@@ -1,0 +1,34 @@
+"""Shared helpers for the table/figure regeneration benchmarks.
+
+Every module here regenerates one table or figure of the paper: it runs
+the same campaign through the framework, prints the regenerated artifact,
+and asserts the *shape* criteria recorded in DESIGN.md/EXPERIMENTS.md.
+``pytest benchmarks/ --benchmark-only`` times the full regeneration of
+each artifact (the cost of reproducing the paper's evaluation from
+scratch, which on the real systems took months of FTE).
+"""
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact under a banner (visible with -s and
+    in the tee'd bench output)."""
+    banner = f"=== {title} " + "=" * max(0, 66 - len(title))
+    print(f"\n{banner}\n{text}")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the campaign exactly once under the benchmark timer.
+
+    The simulated campaigns are deterministic, so multiple timing rounds
+    would only re-measure the same work; one round keeps the whole
+    regeneration suite fast.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

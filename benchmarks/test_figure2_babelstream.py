@@ -1,0 +1,85 @@
+"""Figure 2: BabelStream Triad efficiency across programming models and
+platforms, with impossible combinations as explicit '*' boxes.
+
+Shape criteria (DESIGN.md):
+* CUDA and OpenCL within a few % of peak on the V100;
+* OpenMP runs on every platform, with Intel/AMD CPUs utilised better
+  than ThunderX2;
+* std-ranges far below std-data/std-indices (single-threaded);
+* TBB degraded on Milan relative to Cascade Lake (the paderborn
+  disparity) and absent ('*') on ThunderX2;
+* CUDA absent on all CPUs.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.efficiency import architectural_efficiency
+from repro.machine.progmodel import PROGRAMMING_MODELS
+from repro.postprocess.plotting import heatmap_ascii
+from repro.runner.cli import load_suite
+from repro.runner.executor import Executor
+
+PLATFORMS = [
+    "isambard-macs:volta",
+    "isambard-macs:cascadelake",
+    "isambard",
+    "noctua2",
+    "archer2",
+]
+
+#: The Figure 2 caption: "GCC v9.2.0 for GPU tests and GCC v12.1.0
+#: compiler" -- the CPU runs on Isambard-MACS use the newer module (the
+#: system default gcc 9.2.0 cannot even build std-ranges).
+ENVIRON_FOR = {"isambard-macs:cascadelake": ["gcc@12.1.0"]}
+
+
+def regenerate():
+    executor = Executor()
+    classes = load_suite("babelstream")
+    cells = {model: {} for model in PROGRAMMING_MODELS}
+    for platform in PLATFORMS:
+        report = executor.run(
+            classes, platform, environs=ENVIRON_FOR.get(platform)
+        )
+        for r in report.results:
+            model = r.case.test.model
+            if r.passed:
+                peak = r.case.partition.node.peak_bandwidth_gbs
+                cells[model][platform] = architectural_efficiency(
+                    r.perfvars["Triad"][0], peak
+                )
+            else:
+                cells[model][platform] = None
+    return cells
+
+
+def test_figure2(once):
+    cells = once(regenerate)
+    emit(
+        "Figure 2: Triad bandwidth / theoretical peak",
+        heatmap_ascii(list(PROGRAMMING_MODELS), PLATFORMS, cells),
+    )
+    volta = "isambard-macs:volta"
+    cl = "isambard-macs:cascadelake"
+
+    # GPU-native models near peak on the V100
+    assert cells["cuda"][volta] > 0.88
+    assert cells["ocl"][volta] > 0.88
+    # OpenMP everywhere; x86 beats ThunderX2
+    for platform in PLATFORMS:
+        assert cells["omp"][platform] is not None, platform
+    assert cells["omp"][cl] > cells["omp"]["isambard"]
+    assert cells["omp"]["noctua2"] > cells["omp"]["isambard"]
+    # std-ranges single-threaded: an order of magnitude below std-data
+    assert cells["std-data"][cl] / cells["std-ranges"][cl] > 5
+    # TBB: fine on Cascade Lake, degraded on Milan, absent on TX2
+    assert cells["tbb"][cl] > 1.5 * cells["tbb"]["noctua2"]
+    assert cells["tbb"]["isambard"] is None
+    # CUDA absent on every CPU platform
+    for platform in PLATFORMS[1:]:
+        assert cells["cuda"][platform] is None, platform
+    # every cell is either a valid efficiency or an explicit '*'
+    for model, row in cells.items():
+        for platform, value in row.items():
+            assert value is None or 0 < value <= 1.0, (model, platform)

@@ -1,0 +1,52 @@
+"""Table 1: processors used for the BabelStream benchmarks.
+
+| Vendor  | Processor    | Cores/CUs | Peak Memory Bandwidth (GB/s) |
+|---------|--------------|-----------|------------------------------|
+| Intel   | Cascade Lake | 2x20      | 2 x 140.784 = 282            |
+| Marvell | ThunderX2    | 2x32      | 288                          |
+| AMD     | Milan        | 2x64      | 2 x 204.8                    |
+| NVIDIA  | V100         | 80        | 900                          |
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.systems.registry import get_system
+
+ROWS = [
+    # (platform, vendor, cores_label, peak GB/s)
+    ("isambard-macs:cascadelake", "Intel", "2x20", 2 * 140.784),
+    ("isambard", "Marvell", "2x32", 288.0),
+    ("noctua2", "AMD", "2x64", 2 * 204.8),
+    ("isambard-macs:volta", "NVIDIA", "80", 900.0),
+]
+
+
+def regenerate():
+    lines = ["Vendor   Processor                        Cores/CUs  Peak BW (GB/s)"]
+    rows = []
+    for platform, vendor, cores, peak in ROWS:
+        system, part = platform.partition(":")[::2]
+        node = get_system(system).partition(part or None).node
+        if node.gpu is not None:
+            label = node.gpu.model
+            cores_got = str(node.gpu.compute_units)
+        else:
+            label = node.processor.model
+            cores_got = f"{node.sockets}x{node.processor.cores_per_socket}"
+        rows.append((vendor, label, cores_got, node.peak_bandwidth_gbs))
+        lines.append(
+            f"{vendor:<8} {label:<32} {cores_got:<10} {node.peak_bandwidth_gbs:.3f}"
+        )
+    return rows, "\n".join(lines)
+
+
+def test_table1(once):
+    rows, text = once(regenerate)
+    emit("Table 1: BabelStream processors", text)
+    for (platform, vendor, cores, peak), (v_got, _, c_got, p_got) in zip(
+        ROWS, rows
+    ):
+        assert v_got == vendor
+        assert c_got == cores
+        assert p_got == pytest.approx(peak)

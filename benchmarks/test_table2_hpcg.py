@@ -1,0 +1,87 @@
+"""Table 2: HPCG variants (GFlop/s) on Cascade Lake and AMD Rome, plus
+the Eq. (1) efficiency ratios discussed in Section 3.2.
+
+Paper values:
+
+| Variant          | Intel Cascade Lake | AMD Rome |
+|------------------|--------------------|----------|
+| Original (CSR)   | 24.0               | 39.2     |
+| Intel-avx2 (CSR) | 39.0               | N/A      |
+| Matrix-free      | 51.0               | 124.2    |
+| LFRic            | 18.5               | 56.0     |
+
+E_I = 1.625, E_A(CL) = 2.125, E_A(Rome) = 3.168.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.efficiency import variant_efficiency
+from repro.core.workflow import BenchmarkingWorkflow
+from repro.runner.cli import load_suite
+
+PLATFORMS = ["isambard-macs:cascadelake", "archer2"]
+PAPER = {
+    # test name: (Cascade Lake, Rome); None = N/A
+    "HPCG_Original": (24.0, 39.2),
+    "HPCG_Intel": (39.0, None),
+    "HPCG_MatrixFree": (51.0, 124.2),
+    "HPCG_LFRic": (18.5, 56.0),
+}
+
+
+def regenerate():
+    workflow = BenchmarkingWorkflow(load_suite("hpcg"), PLATFORMS)
+    result = workflow.run()
+    table = {}
+    for name in PAPER:
+        row = []
+        for platform in PLATFORMS:
+            cell = None
+            for r in result.reports[platform].results:
+                if r.case.test.name == name and r.passed:
+                    cell = r.perfvars["gflops"][0]
+            row.append(cell)
+        table[name] = tuple(row)
+    return table
+
+
+def test_table2(once):
+    table = once(regenerate)
+    lines = ["Variant           Cascade Lake      AMD Rome"]
+    for name, (cl, rome) in table.items():
+        lines.append(
+            f"{name:<17} {cl if cl is None else f'{cl:12.1f}'}"
+            f"      {rome if rome is None else f'{rome:.1f}'}"
+        )
+    emit("Table 2: HPCG variants (GFlop/s)", "\n".join(lines))
+
+    for name, (paper_cl, paper_rome) in PAPER.items():
+        got_cl, got_rome = table[name]
+        assert got_cl == pytest.approx(paper_cl, rel=0.05), name
+        if paper_rome is None:
+            assert got_rome is None, f"{name} must be N/A on Rome (MKL)"
+        else:
+            assert got_rome == pytest.approx(paper_rome, rel=0.05), name
+
+    # Eq. (1): implementation vs algorithm gains
+    e_i = variant_efficiency(table["HPCG_Intel"][0], table["HPCG_Original"][0])
+    e_a_cl = variant_efficiency(
+        table["HPCG_MatrixFree"][0], table["HPCG_Original"][0]
+    )
+    e_a_rome = variant_efficiency(
+        table["HPCG_MatrixFree"][1], table["HPCG_Original"][1]
+    )
+    emit(
+        "Eq. (1) efficiencies",
+        f"E_I = {e_i:.3f} (paper 1.625)\n"
+        f"E_A (Cascade Lake) = {e_a_cl:.3f} (paper 2.125)\n"
+        f"E_A (Rome) = {e_a_rome:.3f} (paper 3.168)",
+    )
+    assert e_i == pytest.approx(1.625, rel=0.05)
+    assert e_a_cl == pytest.approx(2.125, rel=0.05)
+    assert e_a_rome == pytest.approx(3.168, rel=0.05)
+    # the paper's conclusion: the algorithmic gain exceeds the
+    # implementation gain, more so on Rome
+    assert e_a_cl > e_i
+    assert e_a_rome > e_a_cl

@@ -1,0 +1,49 @@
+"""Table 5: details of the processors of every system in the study."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.systems.registry import get_system
+
+# (system[:partition], processor-model-substring, clock GHz, cores/socket)
+ROWS = [
+    ("isambard", "ThunderX2", 2.5, 32),
+    ("isambard-macs:cascadelake", "Xeon Gold 6230", 2.1, 20),
+    ("isambard-macs:volta", "Tesla V100", None, None),
+    ("cosma8", "EPYC 7H12", 2.6, 64),
+    ("archer2", "EPYC 7742", 2.25, 64),
+    ("csd3", "Xeon Platinum 8276", 2.2, 28),
+    ("noctua2", "EPYC 7763", 2.45, 64),
+]
+
+
+def regenerate():
+    lines = ["System                      Processor                          Core count"]
+    rows = []
+    for platform, *_ in ROWS:
+        system, part = platform.partition(":")[::2]
+        node = get_system(system).partition(part or None).node
+        if node.gpu is not None and part == "volta":
+            model = node.gpu.model
+            cores = "-"
+            clock = None
+        else:
+            proc = node.processor
+            model = f"{proc.vendor} {proc.model} @ {proc.clock_ghz} GHz"
+            cores = f"{proc.cores_per_socket} cores/socket, dual-socket"
+            clock = proc.clock_ghz
+        rows.append((model, clock, node))
+        lines.append(f"{platform:<27} {model:<34} {cores}")
+    return rows, "\n".join(lines)
+
+
+def test_table5(once):
+    rows, text = once(regenerate)
+    emit("Table 5: processors used in this study", text)
+    for (platform, substr, clock, cores), (model, clock_got, node) in zip(
+        ROWS, rows
+    ):
+        assert substr in model, platform
+        if clock is not None:
+            assert clock_got == pytest.approx(clock)
+            assert node.processor.cores_per_socket == cores

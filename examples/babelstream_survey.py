@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 2: the BabelStream programming-model survey.
+
+Runs every programming model on every platform of the paper's Section
+3.1, computes Triad efficiency against the theoretical peaks of Table 1,
+prints the heatmap (with '*' for combinations that cannot run), renders
+an SVG bar chart, and reports the Pennycook performance-portability
+metric per model.
+
+Run:  python examples/babelstream_survey.py
+"""
+
+from repro.analysis.efficiency import architectural_efficiency
+from repro.analysis.portability import cascade, performance_portability
+from repro.machine.progmodel import PROGRAMMING_MODELS
+from repro.postprocess.plotting import bar_chart_svg, heatmap_ascii
+from repro.runner.cli import load_suite
+from repro.runner.executor import Executor
+
+PLATFORMS = [
+    "isambard-macs:volta",
+    "isambard-macs:cascadelake",
+    "isambard",
+    "noctua2",
+    "archer2",
+]
+# the Figure 2 caption: CPU runs on MACS use the gcc 12.1.0 module
+ENVIRON_FOR = {"isambard-macs:cascadelake": ["gcc@12.1.0"]}
+
+
+def main() -> None:
+    executor = Executor(perflog_prefix="perflogs")
+    classes = load_suite("babelstream")
+
+    cells = {model: {} for model in PROGRAMMING_MODELS}
+    for platform in PLATFORMS:
+        report = executor.run(
+            classes, platform, environs=ENVIRON_FOR.get(platform)
+        )
+        for r in report.results:
+            model = r.case.test.model
+            if r.passed:
+                peak = r.case.partition.node.peak_bandwidth_gbs
+                cells[model][platform] = architectural_efficiency(
+                    r.perfvars["Triad"][0], peak
+                )
+            else:
+                cells[model][platform] = None
+                print(f"  [*] {model} on {platform}: "
+                      f"{r.failure_reason.splitlines()[0][:70]}")
+
+    print()
+    print(heatmap_ascii(
+        list(PROGRAMMING_MODELS), PLATFORMS, cells,
+        title="Figure 2: Triad bandwidth / theoretical peak",
+    ))
+
+    # Pennycook PP per model across all five platforms
+    print("Performance portability (harmonic mean; 0 if any '*'):")
+    for model in PROGRAMMING_MODELS:
+        pp = performance_portability(cells[model])
+        print(f"  {model:<12} PP = {pp:.3f}")
+    print("\nCascade for OpenMP (PP over the best k platforms):")
+    for name, pp in cascade(cells["omp"]):
+        print(f"  +{name:<28} PP = {pp:.3f}")
+
+    # an SVG rendering of the Triad efficiencies, grouped by platform
+    series = {m: [cells[m][p] for p in PLATFORMS] for m in PROGRAMMING_MODELS}
+    with open("figure2.svg", "w", encoding="utf-8") as fh:
+        fh.write(bar_chart_svg(PLATFORMS, series,
+                               title="BabelStream Triad efficiency"))
+    print("\nwrote figure2.svg")
+
+
+if __name__ == "__main__":
+    main()

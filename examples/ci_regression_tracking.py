@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cross-system performance regression testing as a CI gate (Section 4).
+
+The paper closes arguing that "cross-system performance regression
+testing is now a fundamental necessity of scientific software
+development" and that the framework "can form the basis of a CI
+pipeline".  This example is that pipeline in miniature:
+
+1. nightly runs append to the perflog history (here: four simulated
+   nights),
+2. the tracker establishes a noise-aware baseline per
+   (system, test, FOM) series,
+3. a "system upgrade" silently halves one FOM,
+4. the CI gate turns red, naming exactly which series regressed.
+
+Run:  python examples/ci_regression_tracking.py
+"""
+
+import glob
+import tempfile
+
+from repro.core.regression import RegressionTracker
+from repro.runner.cli import main as bench_main
+
+
+def nightly(perflog_dir: str) -> None:
+    rc = bench_main([
+        "-c", "hpgmg", "-r", "--system", "archer2", "-J--qos=standard",
+        "--perflog-dir", perflog_dir,
+    ])
+    assert rc == 0
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as perflog_dir:
+        print("running 4 nightly benchmark campaigns...")
+        for night in range(4):
+            nightly(perflog_dir)
+
+        tracker = RegressionTracker(threshold=0.05, min_history=3)
+        report = tracker.check_perflogs(perflog_dir)
+        print("\nAfter 4 stable nights:")
+        print(report.render())
+        assert report.ok
+
+        # night 5: a library update regresses the l0 rate by 40%
+        print("\nsimulating a bad system upgrade before night 5...")
+        log = sorted(glob.glob(f"{perflog_dir}/**/*.log", recursive=True))[0]
+        lines = open(log).read().strip().splitlines()
+        bad = []
+        for line in lines[-3:]:  # the last run's l0/l1/l2 records
+            parts = line.split("|")
+            if parts[8] == "l0":
+                parts[9] = str(float(parts[9]) * 0.6)
+            bad.append("|".join(parts))
+        with open(log, "a") as fh:
+            fh.write("\n".join(bad) + "\n")
+
+        report = tracker.check_perflogs(perflog_dir)
+        print(report.render())
+        print(f"\nCI exit code: {report.exit_code()} "
+              f"({len(report.regressions)} regression caught)")
+        assert not report.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Energy-aware benchmarking: the paper's Section 4 future work, running.
+
+"We are planning to add functionality to capture relevant parameters of
+the system state during the runtime of the benchmarks, such as network
+or filesystem usage levels or energy consumption."  Here that capture is
+live: every pipeline run records a telemetry trace and an energy report,
+so FOM-per-watt comparisons come for free.
+
+Run:  python examples/energy_survey.py
+"""
+
+from repro.core.framework import BenchmarkingFramework
+
+PLATFORMS = ["archer2", "csd3", "noctua2", "isambard"]
+
+
+def main() -> None:
+    framework = BenchmarkingFramework()
+    result = framework.run_campaign("babelstream", PLATFORMS, tags=["omp"])
+
+    print(f"{'system':<12}{'Triad GB/s':>12}{'mean W':>10}{'kJ':>9}"
+          f"{'GB/s per W':>13}")
+    for platform in PLATFORMS:
+        case = result.reports[platform].passed[0]
+        triad = case.perfvars["Triad"][0]
+        energy = case.energy
+        print(
+            f"{platform:<12}{triad:>12.1f}{energy.mean_watts:>10.0f}"
+            f"{energy.joules / 1e3:>9.1f}"
+            f"{energy.fom_per_watt(triad):>13.3f}"
+        )
+
+    print("\nSystem-state utilisation during the ARCHER2 run:")
+    e = result.reports["archer2"].passed[0].energy
+    print(f"  memory bandwidth: {e.mean_mem_util:.0%} mean")
+    print(f"  network:          {e.mean_network_util:.0%} mean "
+          "(single node: idle)")
+    print(f"  filesystem:       {e.mean_filesystem_util:.0%} mean "
+          "(perflog writes only)")
+    print("\nEnergy figures land in the provenance JSON next to the FOMs,")
+    print("so efficiency-per-watt analyses are as reproducible as the")
+    print("performance ones (Principle 6 applies to telemetry too).")
+
+
+if __name__ == "__main__":
+    main()

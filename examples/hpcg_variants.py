@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reproduce Table 2: implementation vs algorithm on HPCG (Section 3.2).
+
+Runs the four HPCG variants (reference CSR, Intel's MKL binary, the
+matrix-free stencil, and the LFRic Helmholtz operator) on a Cascade Lake
+and a Rome system, then computes the Eq. (1) efficiencies that quantify
+"how much more efficient algorithmic optimisation is, than optimising
+the implementation".
+
+Run:  python examples/hpcg_variants.py
+"""
+
+from repro.analysis.efficiency import variant_efficiency
+from repro.core.workflow import BenchmarkingWorkflow
+from repro.runner.cli import load_suite
+
+PLATFORMS = ["isambard-macs:cascadelake", "archer2"]
+LABELS = {"isambard-macs:cascadelake": "Intel Cascade Lake",
+          "archer2": "AMD Rome"}
+VARIANTS = ["HPCG_Original", "HPCG_Intel", "HPCG_MatrixFree", "HPCG_LFRic"]
+
+
+def main() -> None:
+    workflow = BenchmarkingWorkflow(load_suite("hpcg"), PLATFORMS,
+                                    perflog_prefix="perflogs")
+    result = workflow.run()
+
+    table = {}
+    print(f"{'HPCG Variant':<18}" + "".join(f"{LABELS[p]:>22}" for p in PLATFORMS))
+    for name in VARIANTS:
+        row = []
+        for platform in PLATFORMS:
+            cell = None
+            for r in result.reports[platform].results:
+                if r.case.test.name == name and r.passed:
+                    cell = r.perfvars["gflops"][0]
+            row.append(cell)
+        table[name] = row
+        cells = "".join(
+            f"{'N/A' if c is None else format(c, '.1f'):>22}" for c in row
+        )
+        print(f"{name:<18}{cells}")
+
+    # Eq. (1): E = VAR / ORIG
+    print("\nEq. (1) efficiencies:")
+    e_i = variant_efficiency(table["HPCG_Intel"][0], table["HPCG_Original"][0])
+    print(f"  E_I (Intel implementation, Cascade Lake) = {e_i:.3f}")
+    for i, platform in enumerate(PLATFORMS):
+        e_a = variant_efficiency(table["HPCG_MatrixFree"][i],
+                                 table["HPCG_Original"][i])
+        print(f"  E_A (matrix-free algorithm, {LABELS[platform]}) = {e_a:.3f}")
+    print("\nAlgorithmic optimisation beats implementation optimisation,")
+    print("echoing the 2010 SCALES report (Section 3.2 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

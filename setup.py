@@ -1,0 +1,5 @@
+"""Legacy shim: this environment lacks the `wheel` package, so PEP 660
+editable installs fail; `setup.py develop` works offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro: automated and reproducible benchmarking, reproduced.
+
+A from-scratch implementation of the methodology and framework of
+Koskela et al., *Principles for Automated and Reproducible Benchmarking*
+(SC-W 2023, DOI 10.1145/3624062.3624133), runnable entirely on one
+machine: the HPC platforms, schedulers and compiled benchmarks the paper
+uses are replaced by faithful simulations (see DESIGN.md).
+
+Layers, bottom-up:
+
+* :mod:`repro.systems`   -- the hardware ground truth of the paper's platforms
+* :mod:`repro.machine`   -- roofline execution model (how fast code runs *there*)
+* :mod:`repro.scheduler` -- SLURM/PBS discrete-event simulation
+* :mod:`repro.pkgmgr`    -- Spack-like package manager (specs, concretizer)
+* :mod:`repro.runner`    -- ReFrame-like regression/benchmark runner
+* :mod:`repro.apps`      -- BabelStream, HPCG (4 variants), HPGMG-FV
+* :mod:`repro.postprocess` -- perflog assimilation, mini-DataFrame, plots
+* :mod:`repro.analysis`  -- efficiency & performance-portability metrics
+* :mod:`repro.core`      -- the six Principles, the Figure-1 workflow, the
+  :class:`~repro.core.framework.BenchmarkingFramework` facade
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,38 @@
+"""Analysis: efficiency metrics and performance portability.
+
+Principle 1 demands FOMs that measure *efficiency*; this subpackage turns
+raw FOMs into the paper's three efficiency flavours (architectural % of
+peak, the Eq. (1) variant ratio, application efficiency vs best observed)
+and implements the Pennycook performance-portability metric the paper's
+methodology feeds.
+"""
+
+from repro.analysis.efficiency import (
+    architectural_efficiency,
+    application_efficiency,
+    variant_efficiency,
+)
+from repro.analysis.scaling import (
+    ScalingPoint,
+    ScalingStudy,
+    fit_amdahl,
+    strong_scaling_efficiency,
+    weak_scaling_efficiency,
+)
+from repro.analysis.portability import (
+    cascade,
+    performance_portability,
+)
+
+__all__ = [
+    "architectural_efficiency",
+    "application_efficiency",
+    "variant_efficiency",
+    "cascade",
+    "performance_portability",
+    "ScalingPoint",
+    "ScalingStudy",
+    "fit_amdahl",
+    "strong_scaling_efficiency",
+    "weak_scaling_efficiency",
+]

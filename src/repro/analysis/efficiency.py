@@ -1,0 +1,65 @@
+"""Efficiency metrics (Principle 1 and Eq. (1) of the paper).
+
+Three notions of efficiency appear in the paper:
+
+* **architectural** -- FOM over the platform's theoretical peak (Figure 2
+  divides measured Triad GB/s by Table 1's peak memory bandwidth);
+* **variant** -- Eq. (1): ``E = VAR / ORIG``, the gain of an
+  implementation or algorithm variant over the original on the same
+  platform (the paper computes E_I = 1.625 for Intel's implementation and
+  E_A = 2.125 / 3.168 for the matrix-free algorithm);
+* **application** -- FOM over the best FOM observed for that application
+  on that platform (used by the Pennycook metric when no analytic peak
+  exists).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "architectural_efficiency",
+    "variant_efficiency",
+    "application_efficiency",
+    "EfficiencyError",
+]
+
+
+class EfficiencyError(ValueError):
+    """Nonsensical efficiency inputs (zero/negative peaks etc.)."""
+
+
+def architectural_efficiency(fom: float, theoretical_peak: float) -> float:
+    """FOM / peak, in [0, ~1]; > 1 flags a broken measurement.
+
+    (A value slightly above the sustainable fraction is possible with
+    cache effects -- which is exactly the hazard the array-sizing rule
+    exists to eliminate, so callers should treat > 1 as a red flag, not
+    clamp it.)
+    """
+    if theoretical_peak <= 0:
+        raise EfficiencyError(f"peak must be positive, got {theoretical_peak}")
+    if fom < 0:
+        raise EfficiencyError(f"FOM must be non-negative, got {fom}")
+    return fom / theoretical_peak
+
+
+def variant_efficiency(variant_fom: float, original_fom: float) -> float:
+    """Eq. (1): E = VAR / ORIG on the same platform."""
+    if original_fom <= 0:
+        raise EfficiencyError(
+            f"original FOM must be positive, got {original_fom}"
+        )
+    return variant_fom / original_fom
+
+
+def application_efficiency(
+    foms: Mapping[str, float], best: Optional[float] = None
+) -> Dict[str, float]:
+    """Each platform's FOM over the best observed (or supplied) FOM."""
+    if not foms:
+        return {}
+    reference = best if best is not None else max(foms.values())
+    if reference <= 0:
+        raise EfficiencyError("reference FOM must be positive")
+    return {platform: fom / reference for platform, fom in foms.items()}

@@ -1,0 +1,64 @@
+"""The Pennycook performance-portability metric and cascade plots.
+
+PP(a, p, H) [Pennycook, Sewall, Lee 2019] is the harmonic mean of an
+application's efficiency over a set of platforms H, and **zero if any
+platform in H is unsupported** -- the property that makes Figure 2's
+``*`` boxes bite: a programming model that cannot run somewhere is not
+performance portable across a set containing that somewhere.
+
+The *cascade* [Sewall et al.] sorts platform efficiencies descending and
+tracks PP over growing subsets -- the standard visualisation for "how far
+does this model's portability stretch".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["performance_portability", "cascade"]
+
+
+def performance_portability(
+    efficiencies: Mapping[str, Optional[float]],
+    platforms: Optional[Sequence[str]] = None,
+) -> float:
+    """Harmonic mean of efficiencies over ``platforms`` (default: all keys).
+
+    ``None`` (or missing, or zero) efficiency on any requested platform
+    makes the metric 0, per the definition.
+    """
+    keys = list(platforms) if platforms is not None else list(efficiencies)
+    if not keys:
+        return 0.0
+    values = []
+    for key in keys:
+        e = efficiencies.get(key)
+        if e is None or e <= 0:
+            return 0.0
+        if e > 1.0 + 1e-9:
+            raise ValueError(
+                f"efficiency {e} > 1 on {key}: check the peak used"
+            )
+        values.append(e)
+    return len(values) / sum(1.0 / e for e in values)
+
+
+def cascade(
+    efficiencies: Mapping[str, Optional[float]]
+) -> List[Tuple[str, float]]:
+    """(platform, PP over the best k platforms) with k = 1..n, sorted
+    by descending efficiency; unsupported platforms appear last with 0."""
+    supported = sorted(
+        ((k, v) for k, v in efficiencies.items() if v is not None and v > 0),
+        key=lambda kv: kv[1],
+        reverse=True,
+    )
+    unsupported = [k for k, v in efficiencies.items() if v is None or v <= 0]
+    out: List[Tuple[str, float]] = []
+    running: Dict[str, float] = {}
+    for name, eff in supported:
+        running[name] = eff
+        out.append((name, performance_portability(running)))
+    for name in unsupported:
+        out.append((name, 0.0))
+    return out

@@ -1,0 +1,114 @@
+"""Strong/weak scaling analysis for multi-node benchmark sweeps.
+
+The paper's framework has "ongoing work to provide simplified
+configurations that can be used to produce scaling and time-series
+regression plots"; this module provides the analysis those plots need:
+speedup, parallel efficiency, Amdahl/Gustafson fits and the line-chart
+data shape consumed by :func:`repro.postprocess.plotting.line_chart_svg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ScalingPoint",
+    "ScalingStudy",
+    "strong_scaling_efficiency",
+    "weak_scaling_efficiency",
+    "fit_amdahl",
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One sweep point: task count and the measured time or rate."""
+
+    tasks: int
+    seconds: float
+
+    def __post_init__(self):
+        if self.tasks < 1:
+            raise ValueError("tasks must be >= 1")
+        if self.seconds <= 0:
+            raise ValueError("seconds must be positive")
+
+
+@dataclass
+class ScalingStudy:
+    """An ordered sweep over task counts (strong or weak)."""
+
+    points: List[ScalingPoint]
+
+    def __post_init__(self):
+        if not self.points:
+            raise ValueError("a scaling study needs at least one point")
+        self.points = sorted(self.points, key=lambda p: p.tasks)
+
+    @property
+    def base(self) -> ScalingPoint:
+        return self.points[0]
+
+    def speedups(self) -> List[Tuple[int, float]]:
+        """(tasks, T(base)/T(tasks)) relative to the smallest run."""
+        return [
+            (p.tasks, self.base.seconds / p.seconds) for p in self.points
+        ]
+
+    def strong_efficiencies(self) -> List[Tuple[int, float]]:
+        base = self.base
+        return [
+            (p.tasks,
+             strong_scaling_efficiency(base.seconds, base.tasks, p.seconds,
+                                       p.tasks))
+            for p in self.points
+        ]
+
+    def weak_efficiencies(self) -> List[Tuple[int, float]]:
+        base = self.base
+        return [
+            (p.tasks, weak_scaling_efficiency(base.seconds, p.seconds))
+            for p in self.points
+        ]
+
+
+def strong_scaling_efficiency(
+    t_base: float, n_base: int, t_n: float, n: int
+) -> float:
+    """Fixed problem: E = (T_base * N_base) / (T_N * N)."""
+    if min(t_base, t_n) <= 0 or min(n_base, n) < 1:
+        raise ValueError("times must be positive and task counts >= 1")
+    return (t_base * n_base) / (t_n * n)
+
+
+def weak_scaling_efficiency(t_base: float, t_n: float) -> float:
+    """Problem grows with N: E = T_base / T_N (1.0 is perfect)."""
+    if min(t_base, t_n) <= 0:
+        raise ValueError("times must be positive")
+    return t_base / t_n
+
+
+def fit_amdahl(points: Sequence[ScalingPoint]) -> float:
+    """Least-squares estimate of the serial fraction s in Amdahl's law.
+
+    T(n) = T1 * (s + (1-s)/n); fitted over the sweep, clamped to [0, 1].
+    A large fitted s explains a flattening strong-scaling curve -- for
+    HPGMG that is the latency-bound coarse grids.
+    """
+    points = sorted(points, key=lambda p: p.tasks)
+    if len(points) < 2:
+        raise ValueError("need at least two points to fit")
+    t1 = points[0].seconds * points[0].tasks  # normalise to 1-task time
+    n = np.array([p.tasks for p in points], dtype=float)
+    t = np.array([p.seconds for p in points], dtype=float)
+    # T/T1 = s + (1-s)/n  ->  linear in x = (1 - 1/n): T/T1 = 1/n + s*x
+    x = 1.0 - 1.0 / n
+    y = t / t1 - 1.0 / n
+    denom = float(np.dot(x, x))
+    if denom == 0:
+        return 0.0
+    s = float(np.dot(x, y) / denom)
+    return min(max(s, 0.0), 1.0)

@@ -1,0 +1,13 @@
+"""Benchmark applications: the paper's three case studies, from scratch.
+
+* :mod:`repro.apps.babelstream` -- memory-bandwidth kernels in ten
+  programming-model variants (Section 3.1, Figure 2),
+* :mod:`repro.apps.hpcg` -- conjugate-gradient benchmark in four
+  implementation/algorithm variants (Section 3.2, Table 2),
+* :mod:`repro.apps.hpgmg` -- finite-volume full multigrid (Section 3.3,
+  Table 4).
+
+Each app has a *kernel layer* (real numpy math, verified by tests), a
+*simulator* producing faithful program output with machine-model timing,
+and a *benchmark* module defining the runner test classes.
+"""

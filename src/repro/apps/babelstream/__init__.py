@@ -1,0 +1,21 @@
+"""BabelStream: sustained memory bandwidth in many programming models."""
+
+from repro.apps.babelstream.kernels import (
+    StreamArrays,
+    StreamKernels,
+    VerificationError,
+)
+from repro.apps.babelstream.simulator import (
+    BabelStreamRun,
+    KernelResult,
+    default_array_size,
+)
+
+__all__ = [
+    "StreamArrays",
+    "StreamKernels",
+    "VerificationError",
+    "BabelStreamRun",
+    "KernelResult",
+    "default_array_size",
+]

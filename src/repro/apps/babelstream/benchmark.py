@@ -1,0 +1,148 @@
+"""The BabelStream runner benchmark (Section 3.1 / Figure 2).
+
+One parameterized test fans out over all ten programming models; the
+framework's conflict knowledge (TBB on aarch64, CUDA on CPUs, ...) turns
+impossible combinations into clean build-stage failures -- the white
+``*`` boxes of Figure 2 -- instead of silent gaps.
+
+FOM: ``Triad`` bandwidth in GB/s (Principle 1 pairs it with the platform's
+theoretical peak to yield efficiency; see
+:mod:`repro.analysis.efficiency`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.babelstream.simulator import BabelStreamRun, default_array_size
+from repro.machine.progmodel import PROGRAMMING_MODELS
+from repro.runner import sanity as sn
+from repro.runner.benchmark import (
+    ProgramContext,
+    SpackTest,
+    rfm_test,
+    run_before,
+)
+from repro.runner.fields import parameter, variable
+
+__all__ = ["BabelStreamBenchmark", "StreamBenchmark"]
+
+
+@rfm_test
+class BabelStreamBenchmark(SpackTest):
+    """Single-node memory bandwidth in every programming model."""
+
+    descr = variable(str, value="BabelStream memory bandwidth survey")
+    valid_prog_environs = variable(list, value=["*"])
+    model = parameter(PROGRAMMING_MODELS)
+    #: 0 means "apply the paper's array sizing rule for the platform"
+    array_size = variable(int, value=0)
+    num_times = variable(int, value=100)
+    executable = variable(str, value="babelstream")
+    num_tasks = variable(int, value=1)
+    tags = {"babelstream", "memory-bandwidth", "figure2"}
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        # Principle 2/4: the model is a build variant, so the binary the
+        # framework runs was demonstrably built for this model
+        self.spack_spec = f"babelstream +{self.model}"
+        self.tags = set(type(self).tags) | {self.model}
+
+    def effective_array_size(self, node) -> int:
+        if self.array_size:
+            return self.array_size
+        return default_array_size(node)
+
+    @run_before("run")
+    def set_executable_opts(self):
+        """Record the exact run command (Principle 5) before submission."""
+        size = self.effective_array_size(self.current_partition.node)
+        self.executable_opts = ["-s", str(size), "-n", str(self.num_times)]
+
+    def program(self, ctx: ProgramContext) -> Tuple[str, float]:
+        run = BabelStreamRun(
+            node=ctx.node,
+            model=self.model,
+            compiler=ctx.compiler,
+            array_size=self.effective_array_size(ctx.node),
+            num_times=self.num_times,
+            seed_context=ctx.platform,
+        )
+        return run.render_output()
+
+    def check_sanity(self, stdout: str) -> None:
+        sn.assert_found(r"^BabelStream", stdout, "missing BabelStream banner")
+        for kernel in ("Copy", "Mul", "Add", "Triad", "Dot"):
+            sn.assert_found(
+                rf"^{kernel}\s+[\d.]+", stdout, f"missing {kernel} result row"
+            )
+
+    def extract_performance(self, stdout: str) -> Dict[str, Tuple[float, str]]:
+        out: Dict[str, Tuple[float, str]] = {}
+        for kernel in ("Copy", "Mul", "Add", "Triad", "Dot"):
+            mbytes = sn.extractsingle(
+                rf"^{kernel}\s+([\d.]+)", stdout, group=1, conv=float
+            )
+            out[kernel] = (mbytes / 1e3, "GB/s")
+        return out
+
+
+@rfm_test
+class StreamBenchmark(SpackTest):
+    """Classic McCalpin STREAM: the OpenMP-only baseline BabelStream
+    generalises.  Kept as a minimal second suite -- its Triad should agree
+    with BabelStream's OpenMP variant on every platform, which the test
+    suite asserts as a cross-benchmark consistency check."""
+
+    descr = variable(str, value="McCalpin STREAM (OpenMP)")
+    valid_prog_environs = variable(list, value=["*"])
+    array_size = variable(int, value=0)
+    num_times = variable(int, value=10)
+    executable = variable(str, value="stream_c.exe")
+    num_tasks = variable(int, value=1)
+    tags = {"stream", "memory-bandwidth"}
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.spack_spec = "stream +openmp"
+
+    def program(self, ctx: ProgramContext) -> Tuple[str, float]:
+        run = BabelStreamRun(
+            node=ctx.node,
+            model="omp",
+            compiler=ctx.compiler,
+            array_size=self.array_size or default_array_size(ctx.node),
+            num_times=self.num_times,
+            seed_context=f"stream/{ctx.platform}",
+        )
+        results, seconds = run.execute()
+        lines = [
+            "-------------------------------------------------------------",
+            "STREAM version $Revision: 5.10 $",
+            f"Array size = {run.array_size} (elements)",
+            "Function    Best Rate MB/s  Avg time     Min time     Max time",
+        ]
+        for r in results:
+            if r.name == "Dot":
+                continue  # classic STREAM has no dot kernel
+            name = "Scale" if r.name == "Mul" else r.name
+            lines.append(
+                f"{name}:{r.mbytes_per_sec:16.1f}"
+                f"{r.avg_seconds:13.6f}{r.min_seconds:13.6f}"
+                f"{r.max_seconds:13.6f}"
+            )
+        lines.append("Solution Validates: avg error less than 1.0e-13")
+        return "\n".join(lines) + "\n", seconds
+
+    def check_sanity(self, stdout: str) -> None:
+        sn.assert_found(r"Solution Validates", stdout)
+        for kernel in ("Copy", "Scale", "Add", "Triad"):
+            sn.assert_found(rf"^{kernel}:", stdout)
+
+    def extract_performance(self, stdout: str) -> Dict[str, Tuple[float, str]]:
+        out = {}
+        for kernel in ("Copy", "Scale", "Add", "Triad"):
+            rate = sn.extractsingle(rf"^{kernel}:\s+([\d.]+)", stdout, 1, float)
+            out[kernel] = (rate / 1e3, "GB/s")
+        return out

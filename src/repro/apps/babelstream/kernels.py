@@ -1,0 +1,148 @@
+"""The five STREAM kernels, for real, with BabelStream's verification.
+
+BabelStream [Deakin et al. 2018] measures Copy, Mul, Add, Triad and Dot
+over three arrays ``a, b, c`` initialised to (0.1, 0.2, 0.0), running each
+kernel ``num_times`` times and verifying the final array contents against
+an exact recurrence.  This module is that algorithm in numpy -- the
+vectorized idiom the HPC-Python guides prescribe (no Python-level loops
+over elements, in-place updates, no hidden copies).
+
+The kernels genuinely execute, so the verification is meaningful; the
+*timing* of a simulated platform comes from :mod:`repro.machine` via
+:mod:`repro.apps.babelstream.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["StreamArrays", "StreamKernels", "VerificationError", "KERNELS"]
+
+START_A, START_B, START_C = 0.1, 0.2, 0.0
+SCALAR = 0.4
+
+#: kernel name -> (reads, writes) in units of arrays touched
+KERNELS: Dict[str, Tuple[int, int]] = {
+    "Copy": (1, 1),
+    "Mul": (1, 1),
+    "Add": (2, 1),
+    "Triad": (2, 1),
+    "Dot": (2, 0),
+}
+
+
+class VerificationError(RuntimeError):
+    """Final array contents differ from the analytic recurrence."""
+
+
+@dataclass
+class StreamArrays:
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+
+    @classmethod
+    def initialise(cls, n: int, dtype=np.float64) -> "StreamArrays":
+        return cls(
+            a=np.full(n, START_A, dtype=dtype),
+            b=np.full(n, START_B, dtype=dtype),
+            c=np.full(n, START_C, dtype=dtype),
+        )
+
+    @property
+    def n(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def dtype_bytes(self) -> int:
+        return self.a.dtype.itemsize
+
+
+class StreamKernels:
+    """Executes the BabelStream loop and verifies the results."""
+
+    def __init__(self, arrays: StreamArrays, scalar: float = SCALAR):
+        self.arrays = arrays
+        self.scalar = scalar
+        self.last_dot = 0.0
+
+    # -- the kernels (in-place, no temporaries beyond numpy's fused ops) -----
+    def copy(self) -> None:
+        np.copyto(self.arrays.c, self.arrays.a)
+
+    def mul(self) -> None:
+        np.multiply(self.arrays.c, self.scalar, out=self.arrays.b)
+
+    def add(self) -> None:
+        np.add(self.arrays.a, self.arrays.b, out=self.arrays.c)
+
+    def triad(self) -> None:
+        np.multiply(self.arrays.c, self.scalar, out=self.arrays.a)
+        self.arrays.a += self.arrays.b
+
+    def dot(self) -> float:
+        self.last_dot = float(np.dot(self.arrays.a, self.arrays.b))
+        return self.last_dot
+
+    def run_all(self, num_times: int) -> None:
+        """The BabelStream main loop: all five kernels, num_times rounds."""
+        for _ in range(num_times):
+            self.copy()
+            self.mul()
+            self.add()
+            self.triad()
+            self.dot()
+
+    # -- verification -----------------------------------------------------------
+    @staticmethod
+    def expected_values(num_times: int, scalar: float = SCALAR) -> Tuple[float, float, float]:
+        """Exact per-element values after ``num_times`` rounds."""
+        a, b, c = START_A, START_B, START_C
+        for _ in range(num_times):
+            c = a
+            b = scalar * c
+            c = a + b
+            a = scalar * c + b
+        return a, b, c
+
+    def verify(self, num_times: int, tol_factor: float = 8.0) -> None:
+        """Raise :class:`VerificationError` on drift beyond epsilon noise."""
+        exp_a, exp_b, exp_c = self.expected_values(num_times, self.scalar)
+        eps = np.finfo(self.arrays.a.dtype).eps
+        n = self.arrays.n
+        checks = [
+            ("a", self.arrays.a, exp_a),
+            ("b", self.arrays.b, exp_b),
+            ("c", self.arrays.c, exp_c),
+        ]
+        for name, arr, expected in checks:
+            err = float(np.mean(np.abs(arr - expected)))
+            bound = tol_factor * eps * max(abs(expected), 1.0) * num_times
+            if err > bound:
+                raise VerificationError(
+                    f"array {name} mean error {err:.3e} exceeds {bound:.3e}"
+                )
+        exp_dot = exp_a * exp_b * n
+        if exp_dot != 0:
+            rel = abs(self.last_dot - exp_dot) / abs(exp_dot)
+            if rel > tol_factor * eps * n:
+                raise VerificationError(
+                    f"dot product {self.last_dot:.6e} differs from "
+                    f"{exp_dot:.6e} (rel {rel:.3e})"
+                )
+
+    # -- traffic accounting -------------------------------------------------------
+    def bytes_for(self, kernel: str, n: int | None = None) -> int:
+        """Ideal DRAM traffic for one kernel execution (STREAM convention)."""
+        if kernel not in KERNELS:
+            raise KeyError(f"unknown kernel {kernel!r}")
+        n = n if n is not None else self.arrays.n
+        reads, writes = KERNELS[kernel]
+        return (reads + writes) * n * self.arrays.dtype_bytes
+
+    def flops_for(self, kernel: str, n: int | None = None) -> int:
+        n = n if n is not None else self.arrays.n
+        return {"Copy": 0, "Mul": 1, "Add": 1, "Triad": 2, "Dot": 2}[kernel] * n

@@ -1,0 +1,36 @@
+"""HPCG: the High Performance Conjugate Gradient benchmark, four ways.
+
+Section 3.2 of the paper compares, on the same framework:
+
+* the **original** CSR reference implementation,
+* Intel's **vendor-optimized** binary from oneAPI MKL (``intel-avx2``),
+* a **matrix-free** implementation of the same 27-point stencil,
+* the **LFRic** variant: a symmetrised Helmholtz operator from the Met
+  Office weather model.
+
+Here the solver (:mod:`repro.apps.hpcg.cg`) and all four operators
+(:mod:`repro.apps.hpcg.problem`) are real numpy/scipy code whose
+convergence the test suite checks; per-variant memory-traffic models
+(:mod:`repro.apps.hpcg.variants`) supply the simulated GFlop/s on each
+platform.
+"""
+
+from repro.apps.hpcg.problem import (
+    CsrOperator,
+    LfricHelmholtzOperator,
+    MatrixFreeOperator,
+    Problem,
+)
+from repro.apps.hpcg.cg import CgResult, conjugate_gradient
+from repro.apps.hpcg.variants import HPCG_VARIANTS, VariantModel
+
+__all__ = [
+    "Problem",
+    "CsrOperator",
+    "MatrixFreeOperator",
+    "LfricHelmholtzOperator",
+    "CgResult",
+    "conjugate_gradient",
+    "HPCG_VARIANTS",
+    "VariantModel",
+]

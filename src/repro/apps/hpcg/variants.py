@@ -1,0 +1,105 @@
+"""Per-variant memory-traffic models: the HPCG Table 2 calibration.
+
+HPCG is memory-bandwidth bound on every platform in the study, so each
+variant's achievable GFlop/s is
+
+    GF/s = sustained_bandwidth / effective_bytes_per_flop
+
+where *effective bytes per flop* folds together the variant's true DRAM
+traffic (CSR streams 12 B of matrix data per 2 flops; matrix-free streams
+none) and its achievable fraction of stream bandwidth (reference SymGS is
+dependency-limited; the vendor binary is not).  One constant per
+(variant, microarchitecture) cell, calibrated so the simulated platforms
+land on the paper's Table 2; the *relationships* between cells are the
+physics:
+
+* matrix-free < intel-avx2 < original everywhere (less traffic wins),
+* Rome's 16x larger L3 pays off far more for matrix-free and LFRic
+  (their vector working sets cache; CSR's matrix stream never does),
+  giving the paper's E_A = 3.168 on Rome vs 2.125 on Cascade Lake,
+* the LFRic operator does more loads per flop than the plain stencil
+  (coefficient fields), so it trails on cache-poor Cascade Lake but
+  overtakes original CSR on Rome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.systems.hardware import NodeSpec
+
+__all__ = ["VariantModel", "HPCG_VARIANTS", "UnsupportedVariantError"]
+
+
+class UnsupportedVariantError(RuntimeError):
+    """E.g. the MKL binary on an AMD or aarch64 host (Table 2's N/A)."""
+
+
+@dataclass(frozen=True)
+class VariantModel:
+    """One HPCG implementation/algorithm variant."""
+
+    name: str
+    #: operator kind from repro.apps.hpcg.problem used for the real solve
+    operator: str
+    #: microarch -> effective bytes per flop (calibrated, see module doc)
+    effective_bpf: Dict[str, float]
+    description: str = ""
+
+    def bytes_per_flop(self, node: NodeSpec) -> float:
+        key = node.processor.microarch
+        if key not in self.effective_bpf:
+            raise UnsupportedVariantError(
+                f"HPCG variant {self.name!r} has no support on {key}"
+            )
+        return self.effective_bpf[key]
+
+    def gflops_on(self, node: NodeSpec) -> float:
+        """Modelled GFlop/s on a full node."""
+        bw = node.peak_bandwidth_gbs * node.memory.stream_fraction
+        return bw / self.bytes_per_flop(node)
+
+
+HPCG_VARIANTS: Dict[str, VariantModel] = {
+    "original": VariantModel(
+        name="original",
+        operator="csr",
+        description="Reference CSR implementation (SymGS-limited)",
+        effective_bpf={
+            "cascadelake": 9.386,
+            "rome": 8.568,
+            "milan": 8.2,
+            "thunderx2": 10.5,
+        },
+    ),
+    "intel-avx2": VariantModel(
+        name="intel-avx2",
+        operator="csr",
+        description="Intel oneAPI MKL optimized binary (best of three)",
+        # only exists for Intel x86: Table 2 reports N/A on AMD Rome
+        effective_bpf={"cascadelake": 5.776},
+    ),
+    "matrix-free": VariantModel(
+        name="matrix-free",
+        operator="matrix-free",
+        description="27-point stencil applied without an assembled matrix",
+        effective_bpf={
+            "cascadelake": 4.417,
+            "rome": 2.704,
+            "milan": 2.6,
+            "thunderx2": 5.2,
+        },
+    ),
+    "lfric": VariantModel(
+        name="lfric",
+        operator="lfric",
+        description="Symmetrised LFRic Helmholtz operator (Met Office)",
+        effective_bpf={
+            "cascadelake": 12.178,
+            "rome": 5.998,
+            "milan": 5.8,
+            "thunderx2": 14.0,
+        },
+    ),
+}

@@ -1,0 +1,12 @@
+"""HPGMG-FV: finite-volume full multigrid (Section 3.3, Table 4)."""
+
+from repro.apps.hpgmg.multigrid import FmgSolver, MultigridLevel, PoissonFV
+from repro.apps.hpgmg.model import HpgmgTimingModel, HPGMG_CALIBRATION
+
+__all__ = [
+    "FmgSolver",
+    "MultigridLevel",
+    "PoissonFV",
+    "HpgmgTimingModel",
+    "HPGMG_CALIBRATION",
+]

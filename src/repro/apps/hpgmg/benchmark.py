@@ -1,0 +1,106 @@
+"""HPGMG-FV runner benchmark (Section 3.3, Table 4).
+
+The paper's invocation::
+
+    reframe -c excalibur-tests/benchmarks/apps/hpgmg -r -J'--qos=standard'
+        --system archer2 -S spack_spec=hpgmg%gcc
+        --setvar=num_cpus_per_task=8 --setvar=num_tasks_per_node=2
+        --setvar=num_tasks=8
+
+maps one-to-one onto ``repro-bench -c hpgmg ...`` with the same flags.
+The test really runs the FMG solver (scaled-down grid) to validate the
+algorithm, then reports the three per-level FOMs from the cluster timing
+model in HPGMG's own output format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.hpgmg.model import HpgmgTimingModel
+from repro.apps.hpgmg.multigrid import FmgSolver
+from repro.machine.clock import DeterministicRNG
+from repro.runner import sanity as sn
+from repro.runner.benchmark import ProgramContext, SpackTest, rfm_test
+from repro.runner.fields import variable
+
+__all__ = ["HpgmgBenchmark"]
+
+
+@rfm_test
+class HpgmgBenchmark(SpackTest):
+    """Finite-volume full multigrid; FOM is DOF/s at levels l0, l1, l2."""
+
+    descr = variable(str, value="HPGMG-FV full multigrid proxy")
+    valid_prog_environs = variable(list, value=["*"])
+    executable = variable(str, value="hpgmg-fv")
+    #: the paper's command line arguments '7 8'
+    log2_box_dim = variable(int, value=7)
+    boxes_per_rank = variable(int, value=8)
+    #: the paper's fixed cross-system layout
+    num_tasks = variable(int, value=8)
+    num_tasks_per_node = variable(int, value=2)
+    num_cpus_per_task = variable(int, value=8)
+    #: verification grid for the real solve (full 2^7 boxes would be slow)
+    verify_dim = variable(int, value=32)
+    tags = {"hpgmg", "table4", "multigrid"}
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.spack_spec = "hpgmg"
+        self.executable_opts = [str(self.log2_box_dim), str(self.boxes_per_rank)]
+
+    def program(self, ctx: ProgramContext) -> Tuple[str, float]:
+        # real algorithm check: FMG converges to discretization accuracy
+        solver = FmgSolver(self.verify_dim)
+        solve = solver.solve(v_cycles=1, extra_v_cycles=1)
+        valid = solve.relative_residual < 0.1 and (
+            solve.max_error is None or solve.max_error < 0.05
+        )
+
+        model = HpgmgTimingModel(
+            system=ctx.system,
+            node=ctx.node,
+            num_tasks=ctx.num_tasks,
+            num_tasks_per_node=ctx.num_tasks_per_node or 1,
+            num_cpus_per_task=ctx.num_cpus_per_task,
+            log2_box_dim=self.log2_box_dim,
+            boxes_per_rank=self.boxes_per_rank,
+        )
+        lines = [
+            "HPGMG-FV benchmark",
+            "Requested MPI_THREAD_FUNNELED",
+            f"{ctx.num_tasks} MPI Tasks of {ctx.num_cpus_per_task} threads",
+            f"truncating the v-cycle at 2^3 subdomains",
+            f"FMG solve error: {solve.max_error:.3e}"
+            if solve.max_error is not None
+            else "FMG solve",
+            "FMG convergence: " + ("VERIFIED" if valid else "FAILED"),
+        ]
+        total_seconds = 0.0
+        for level, dof_s in model.fom_levels(3):
+            rng = DeterministicRNG("hpgmg", ctx.platform, level,
+                                   ctx.num_tasks)
+            rate = dof_s * rng.lognormal_factor(0.012)
+            seconds = model.solve_seconds(level)
+            total_seconds += seconds * 10  # the benchmark times ~10 solves
+            lines.append(
+                f"  h={2 ** -(self.log2_box_dim - level):9.6f}  "
+                f"DOF {model.dof_global(level):>12d}  "
+                f"time {seconds:8.6f} seconds  "
+                f"DOF/s={rate:.3e}"
+            )
+        return "\n".join(lines) + "\n", max(total_seconds, 30.0)
+
+    def check_sanity(self, stdout: str) -> None:
+        sn.assert_found(r"HPGMG-FV benchmark", stdout)
+        sn.assert_found(r"FMG convergence: VERIFIED", stdout,
+                        "the multigrid solve did not converge")
+        sn.assert_eq(sn.count(r"DOF/s=", stdout), 3,
+                     "expected three per-level FOMs")
+
+    def extract_performance(self, stdout: str) -> Dict[str, Tuple[float, str]]:
+        rates = sn.extractall(r"DOF/s=([\d.e+]+)", stdout, group=1, conv=float)
+        return {
+            f"l{i}": (rate / 1e6, "MDOF/s") for i, rate in enumerate(rates)
+        }

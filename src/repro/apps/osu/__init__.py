@@ -1,0 +1,16 @@
+"""OSU-style MPI microbenchmarks over the simulated interconnects.
+
+Not one of the paper's three case studies, but the natural fourth suite
+for its framework (the excalibur-tests repository this paper describes
+ships OSU benchmarks alongside BabelStream/HPCG/HPGMG): point-to-point
+latency and bandwidth sweeps that characterise exactly the per-system
+network differences the HPGMG survey exposed.
+"""
+
+from repro.apps.osu.microbench import (
+    OsuSweep,
+    latency_sweep,
+    bandwidth_sweep,
+)
+
+__all__ = ["OsuSweep", "latency_sweep", "bandwidth_sweep"]

@@ -1,0 +1,61 @@
+"""Runner benchmarks for the OSU microbenchmarks.
+
+FOMs follow the excalibur-tests convention: the minimum latency (small
+message) and the peak bandwidth (large message) of each sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.osu.microbench import bandwidth_sweep, latency_sweep
+from repro.runner import sanity as sn
+from repro.runner.benchmark import ProgramContext, SpackTest, rfm_test
+from repro.runner.fields import variable
+
+__all__ = ["OsuLatency", "OsuBandwidth"]
+
+
+class _OsuBase(SpackTest):
+    valid_prog_environs = variable(list, value=["*"])
+    num_tasks = variable(int, value=2)
+    num_tasks_per_node = variable(int, value=1)  # inter-node by design
+    tags = {"osu", "network"}
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.spack_spec = "osu-micro-benchmarks"
+
+    def check_sanity(self, stdout: str) -> None:
+        sn.assert_found(r"# OSU MPI", stdout)
+        sn.assert_bounded(sn.count(r"^\d+", stdout), lo=5)
+
+
+@rfm_test
+class OsuLatency(_OsuBase):
+    """Point-to-point half round-trip latency between two nodes."""
+
+    executable = variable(str, value="osu_latency")
+
+    def program(self, ctx: ProgramContext) -> Tuple[str, float]:
+        sweep = latency_sweep(ctx.system)
+        return sweep.render(), 30.0
+
+    def extract_performance(self, stdout: str) -> Dict[str, Tuple[float, str]]:
+        values = sn.extractall(r"^\d+\s+([\d.]+)", stdout, 1, float)
+        return {"min_latency": (min(values), "us")}
+
+
+@rfm_test
+class OsuBandwidth(_OsuBase):
+    """Streaming point-to-point bandwidth between two nodes."""
+
+    executable = variable(str, value="osu_bw")
+
+    def program(self, ctx: ProgramContext) -> Tuple[str, float]:
+        sweep = bandwidth_sweep(ctx.system)
+        return sweep.render(), 30.0
+
+    def extract_performance(self, stdout: str) -> Dict[str, Tuple[float, str]]:
+        values = sn.extractall(r"^\d+\s+([\d.]+)", stdout, 1, float)
+        return {"max_bandwidth": (max(values), "MB/s")}

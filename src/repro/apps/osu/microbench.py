@@ -1,0 +1,93 @@
+"""The osu_latency / osu_bw message-size sweeps.
+
+Each sweep exercises the system's
+:class:`~repro.machine.interconnect.InterconnectModel` over the standard
+OSU message sizes (powers of two from 1 B to 4 MB), with deterministic
+per-size jitter.  Small messages read back the network's latency, large
+ones its bandwidth -- the two constants that decided the Table 4 spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.machine.clock import DeterministicRNG
+from repro.machine.interconnect import INTERCONNECTS, InterconnectModel
+
+__all__ = ["OsuSweep", "latency_sweep", "bandwidth_sweep", "OSU_SIZES"]
+
+#: the standard OSU sweep: 2^0 .. 2^22 bytes
+OSU_SIZES: Tuple[int, ...] = tuple(1 << p for p in range(0, 23, 2))
+
+
+@dataclass(frozen=True)
+class OsuSweep:
+    """One finished sweep: (message bytes, value) pairs plus units."""
+
+    benchmark: str  # "osu_latency" | "osu_bw"
+    system: str
+    points: Tuple[Tuple[int, float], ...]
+    unit: str
+
+    def value_at(self, size: int) -> float:
+        for s, v in self.points:
+            if s == size:
+                return v
+        raise KeyError(f"size {size} not in sweep")
+
+    @property
+    def smallest(self) -> float:
+        return self.points[0][1]
+
+    @property
+    def largest(self) -> float:
+        return self.points[-1][1]
+
+    def render(self) -> str:
+        header = "# Size          Latency (us)" if self.benchmark == "osu_latency" \
+            else "# Size      Bandwidth (MB/s)"
+        lines = [f"# OSU MPI {self.benchmark[4:].upper()} Test v7.0", header]
+        for size, value in self.points:
+            lines.append(f"{size:<12d}{value:>18.2f}")
+        return "\n".join(lines) + "\n"
+
+
+def _net_for(system: str) -> InterconnectModel:
+    if system not in INTERCONNECTS:
+        raise KeyError(
+            f"no interconnect model for {system!r}; "
+            f"have {sorted(INTERCONNECTS)}"
+        )
+    return INTERCONNECTS[system]
+
+
+def latency_sweep(system: str, iterations: int = 1000) -> OsuSweep:
+    """Half round-trip time per message size, in microseconds."""
+    net = _net_for(system)
+    points = []
+    for size in OSU_SIZES:
+        base = net.transfer_seconds(size) / net.efficiency
+        rng = DeterministicRNG("osu_latency", system, size, iterations)
+        points.append((size, base * rng.lognormal_factor(0.02) * 1e6))
+    return OsuSweep("osu_latency", system, tuple(points), "us")
+
+
+def bandwidth_sweep(system: str, window: int = 64) -> OsuSweep:
+    """Streaming bandwidth per message size, in MB/s.
+
+    A window of in-flight messages amortises latency, as in osu_bw; small
+    messages stay latency-limited, large ones approach the link rate.
+    """
+    net = _net_for(system)
+    points = []
+    for size in OSU_SIZES:
+        # window messages pay one latency plus serialized byte time
+        seconds = (
+            net.latency_us * 1e-6
+            + window * size / (net.bandwidth_gbs * 1e9 * net.efficiency)
+        )
+        rate = window * size / seconds / 1e6
+        rng = DeterministicRNG("osu_bw", system, size, window)
+        points.append((size, rate * rng.lognormal_factor(0.02)))
+    return OsuSweep("osu_bw", system, tuple(points), "MB/s")

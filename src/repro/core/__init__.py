@@ -1,0 +1,33 @@
+"""The paper's contribution: the six Principles, the Figure-1 workflow,
+and the framework facade tying package manager + runner + post-processing
+into one cohesive benchmarking tool.
+"""
+
+from repro.core.principles import (
+    PRINCIPLES,
+    Principle,
+    ComplianceAuditor,
+    ComplianceReport,
+)
+from repro.core.workflow import BenchmarkingWorkflow, WorkflowResult
+from repro.core.framework import BenchmarkingFramework
+from repro.core.provenance import RunProvenance
+from repro.core.regression import (
+    RegressionFinding,
+    RegressionReport,
+    RegressionTracker,
+)
+
+__all__ = [
+    "PRINCIPLES",
+    "Principle",
+    "ComplianceAuditor",
+    "ComplianceReport",
+    "BenchmarkingWorkflow",
+    "WorkflowResult",
+    "BenchmarkingFramework",
+    "RunProvenance",
+    "RegressionFinding",
+    "RegressionReport",
+    "RegressionTracker",
+]

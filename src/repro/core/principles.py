@@ -1,0 +1,166 @@
+"""The six Principles, as data and as a machine-checkable audit.
+
+The paper states its methodology as prose Principles; this module encodes
+them and -- going one step further than a checklist -- audits a finished
+benchmarking run against each one.  A run that was collected through the
+framework should audit clean by construction; the auditor exists so that
+*deviations* (a test without FOMs, a cached binary, a missing job script)
+are surfaced rather than silently tolerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.runner.pipeline import CaseResult
+
+__all__ = ["Principle", "PRINCIPLES", "ComplianceAuditor", "ComplianceReport"]
+
+
+@dataclass(frozen=True)
+class Principle:
+    number: int
+    title: str
+    statement: str
+
+
+PRINCIPLES: Dict[int, Principle] = {
+    1: Principle(
+        1,
+        "Efficiency-capable Figure of Merit",
+        "A benchmark application should have a Figure of Merit which can "
+        "measure (directly or indirectly) the efficiency of the "
+        "application on a given platform.",
+    ),
+    2: Principle(
+        2,
+        "Build knowledge lives in the build system",
+        "Teach the build system how to build the benchmark using the best "
+        "known parameters on each platform.",
+    ),
+    3: Principle(
+        3,
+        "Rebuild on every run",
+        "Rebuild the benchmark every time it runs to guarantee the steps "
+        "to reproduce the binary are known.",
+    ),
+    4: Principle(
+        4,
+        "Captured build steps",
+        "Capture all steps taken to build the benchmark on a given "
+        "platform so it can be reproduced by anyone else using the system "
+        "default environment.",
+    ),
+    5: Principle(
+        5,
+        "Captured run steps",
+        "Capture all steps to run the built benchmark so it can be run by "
+        "anyone on the same system using the default environment.",
+    ),
+    6: Principle(
+        6,
+        "Programmatic post-processing",
+        "Assimilate and post-process the data in a programmable manner so "
+        "as to make extraction and presentation of Figures of Merit "
+        "transparent and error-free.",
+    ),
+}
+
+
+@dataclass
+class ComplianceReport:
+    """Outcome of auditing one case result against all six Principles."""
+
+    case_name: str
+    findings: Dict[int, "tuple[bool, str]"] = field(default_factory=dict)
+
+    @property
+    def compliant(self) -> bool:
+        return all(ok for ok, _ in self.findings.values())
+
+    def violations(self) -> List[str]:
+        return [
+            f"P{num} ({PRINCIPLES[num].title}): {msg}"
+            for num, (ok, msg) in sorted(self.findings.items())
+            if not ok
+        ]
+
+    def render(self) -> str:
+        lines = [f"Compliance audit: {self.case_name}"]
+        for num in sorted(self.findings):
+            ok, msg = self.findings[num]
+            mark = "PASS" if ok else "FAIL"
+            lines.append(f"  [{mark}] P{num} {PRINCIPLES[num].title}: {msg}")
+        return "\n".join(lines)
+
+
+class ComplianceAuditor:
+    """Audits finished :class:`CaseResult` objects against the Principles."""
+
+    def __init__(self, theoretical_peak: Optional[Callable] = None):
+        #: optional platform -> peak lookup; default uses the node's
+        #: peak memory bandwidth (appropriate for bandwidth FOMs)
+        self.theoretical_peak = theoretical_peak
+
+    def audit(self, result: CaseResult) -> ComplianceReport:
+        report = ComplianceReport(case_name=result.case.display_name)
+        f = report.findings
+
+        # P1: an efficiency can be formed: FOMs exist and a peak is known
+        node = result.case.partition.node
+        peak = (
+            self.theoretical_peak(result)
+            if self.theoretical_peak
+            else node.peak_bandwidth_gbs
+        )
+        if not result.perfvars:
+            f[1] = (False, "no Figures of Merit were extracted")
+        elif peak <= 0:
+            f[1] = (False, "no theoretical peak available for the platform")
+        else:
+            f[1] = (True, f"{len(result.perfvars)} FOM(s), peak={peak:g}")
+
+        # P2: the build went through a recipe (a concretized spec exists)
+        if result.concrete_spec is None:
+            f[2] = (False, "benchmark was not built through the package manager")
+        else:
+            f[2] = (True, f"recipe-driven build: {result.concrete_spec.format(deps=False)}")
+
+        # P3: the root was actually rebuilt this run
+        fresh_root = any("Successfully installed" in line
+                         for line in result.build_log)
+        external = result.concrete_spec is not None and result.concrete_spec.external
+        if fresh_root or external:
+            f[3] = (True, "root binary rebuilt this run"
+                    if fresh_root else "root is a system external")
+        else:
+            f[3] = (False, "root binary came from cache (rebuild skipped)")
+
+        # P4: the full concretized DAG is recorded (hashable provenance)
+        if result.concrete_spec is not None and result.concrete_spec.concrete:
+            f[4] = (True, f"lockfile hash /{result.concrete_spec.dag_hash()}")
+        else:
+            f[4] = (False, "no concretized spec recorded")
+
+        # P5: job script + run command captured
+        if result.job_script and result.run_command:
+            f[5] = (True, "job script and launcher command captured")
+        else:
+            f[5] = (False, "job script or run command missing")
+
+        # P6: FOMs were extracted by the framework (not hand-copied): they
+        # must re-extract identically from the recorded stdout
+        try:
+            re_extracted = result.case.test.extract_performance(result.stdout)
+            if re_extracted == result.perfvars:
+                f[6] = (True, "FOMs re-extract identically from stored output")
+            else:
+                f[6] = (False, "stored FOMs do not match re-extraction")
+        except Exception as exc:
+            f[6] = (False, f"re-extraction failed: {exc}")
+
+        return report
+
+    def audit_all(self, results: List[CaseResult]) -> List[ComplianceReport]:
+        return [self.audit(r) for r in results if r.passed]

@@ -1,0 +1,97 @@
+"""Run provenance: everything needed to repeat a benchmarking campaign.
+
+The paper contrasts *archaeological* reproducibility (documenting what
+happened, for later audit) with collecting results so they are
+reproducible *a priori*.  :class:`RunProvenance` serves both: it is
+written as JSON next to the perflogs and contains the concretized specs,
+job scripts, launcher commands and framework configuration -- enough for
+anyone (including the original author, per the paper's "it becomes
+impossible for someone else to reproduce our work if we ourselves do not
+reproduce it") to re-run the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.runner.pipeline import CaseResult
+
+__all__ = ["RunProvenance"]
+
+_FRAMEWORK_VERSION = "1.0.0"
+
+
+@dataclass
+class RunProvenance:
+    """A JSON-able record of one campaign (one Executor run)."""
+
+    system: str
+    invocation: List[str] = field(default_factory=list)
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_case(self, result: CaseResult) -> None:
+        case = result.case
+        self.entries.append(
+            {
+                "test": case.test.name,
+                "platform": case.platform,
+                "environ": case.environ_name,
+                "passed": result.passed,
+                "failing_stage": result.failing_stage,
+                "failure_reason": result.failure_reason,
+                "spec": (
+                    result.concrete_spec.format()
+                    if result.concrete_spec is not None
+                    else None
+                ),
+                "spec_hash": (
+                    result.concrete_spec.dag_hash()
+                    if result.concrete_spec is not None
+                    else None
+                ),
+                "spec_dag": (
+                    result.concrete_spec.dag_dict()
+                    if result.concrete_spec is not None
+                    else None
+                ),
+                "run_command": result.run_command,
+                "job_script": result.job_script,
+                "perfvars": {
+                    k: {"value": v, "unit": u}
+                    for k, (v, u) in result.perfvars.items()
+                },
+                "build_seconds": result.build_seconds,
+                "job_seconds": result.job_seconds,
+                "queue_seconds": result.queue_seconds,
+                "energy": (
+                    result.energy.as_dict() if result.energy is not None
+                    else None
+                ),
+            }
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "framework_version": _FRAMEWORK_VERSION,
+                "host_python": _platform.python_version(),
+                "system": self.system,
+                "invocation": self.invocation,
+                "cases": self.entries,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunProvenance":
+        doc = json.loads(text)
+        prov = cls(system=doc["system"], invocation=doc.get("invocation", []))
+        prov.entries = doc.get("cases", [])
+        return prov
+
+    def spec_hashes(self) -> List[str]:
+        return [e["spec_hash"] for e in self.entries if e.get("spec_hash")]

@@ -1,0 +1,186 @@
+"""Performance-regression tracking over perflog history (CI support).
+
+Section 4 of the paper: "the way is paved for making changes in
+performance as important as changes in answers for scientific
+applications ... a sweep of performance data across diverse computer
+systems ... can be run as part of a CI pipeline, and enable researchers
+to measure and track the performance portability of their applications
+over time."
+
+:class:`RegressionTracker` consumes the perflog history the framework
+already writes (append-only, one file per system/partition/test) and
+answers the CI question: *did the newest measurement regress against the
+established baseline?*  The detector compares the latest value against a
+reference window (mean of the previous N runs) with both a relative
+threshold and a noise-aware z-score, on a higher-is-better or
+lower-is-better basis per FOM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.postprocess.dataframe import DataFrame
+from repro.postprocess.perflog_reader import read_perflogs
+
+__all__ = ["RegressionFinding", "RegressionReport", "RegressionTracker"]
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One (system, partition, test, FOM) series' verdict."""
+
+    key: Tuple[str, str, str, str]  # system, partition, test, perf_var
+    status: str  # "ok" | "regressed" | "improved" | "insufficient-history"
+    latest: float
+    baseline: float
+    change_fraction: float
+    zscore: float
+    history_length: int
+
+    @property
+    def label(self) -> str:
+        system, partition, test, var = self.key
+        return f"{test}/{var} @{system}:{partition}"
+
+
+@dataclass
+class RegressionReport:
+    findings: List[RegressionFinding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[RegressionFinding]:
+        return [f for f in self.findings if f.status == "regressed"]
+
+    @property
+    def improvements(self) -> List[RegressionFinding]:
+        return [f for f in self.findings if f.status == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: green iff nothing regressed."""
+        return not self.regressions
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        lines = ["PERFORMANCE REGRESSION REPORT", "-" * 60]
+        for f in sorted(self.findings, key=lambda f: f.label):
+            arrow = {"regressed": "v", "improved": "^", "ok": "=",
+                     "insufficient-history": "?"}[f.status]
+            lines.append(
+                f"[{arrow}] {f.label}: {f.latest:.4g} vs baseline "
+                f"{f.baseline:.4g} ({f.change_fraction:+.1%}, "
+                f"z={f.zscore:+.1f}) [{f.status}]"
+            )
+        lines.append(
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s), "
+            f"{len(self.findings)} series checked"
+        )
+        return "\n".join(lines)
+
+
+class RegressionTracker:
+    """Detects regressions in perflog time series.
+
+    Parameters
+    ----------
+    threshold:
+        Relative change treated as meaningful (default 5%, matching the
+        ReFrame reference-window convention used in the paper's framework).
+    min_history:
+        Baseline runs required before verdicts are issued.
+    zscore_gate:
+        The change must also exceed this many baseline standard deviations,
+        so noisy series do not page anyone on ordinary jitter.
+    higher_is_better:
+        Per-FOM direction override; defaults to True (bandwidths, GFlop/s,
+        DOF/s).  Keys are ``perf_var`` names.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.05,
+        min_history: int = 3,
+        zscore_gate: float = 2.0,
+        higher_is_better: Optional[Dict[str, bool]] = None,
+    ):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.min_history = max(min_history, 1)
+        self.zscore_gate = zscore_gate
+        self.higher_is_better = dict(higher_is_better or {})
+
+    # -- series assessment ---------------------------------------------------
+    def assess_series(
+        self, key: Tuple[str, str, str, str], values: Sequence[float]
+    ) -> RegressionFinding:
+        values = [float(v) for v in values if not math.isnan(float(v))]
+        var = key[3]
+        better_high = self.higher_is_better.get(var, True)
+        if len(values) < self.min_history + 1:
+            latest = values[-1] if values else float("nan")
+            return RegressionFinding(
+                key=key, status="insufficient-history", latest=latest,
+                baseline=float("nan"), change_fraction=0.0, zscore=0.0,
+                history_length=len(values),
+            )
+        history = np.array(values[:-1][-20:])  # sliding baseline window
+        latest = values[-1]
+        baseline = float(np.mean(history))
+        sigma = float(np.std(history))
+        change = (latest - baseline) / baseline if baseline else 0.0
+        if sigma > 0:
+            z = (latest - baseline) / sigma
+        elif latest == baseline:
+            z = 0.0
+        else:
+            # a zero-noise baseline makes any change infinitely significant
+            z = float("inf") if latest > baseline else float("-inf")
+        worse = change < 0 if better_high else change > 0
+        significant = abs(change) >= self.threshold and abs(z) >= self.zscore_gate
+        if significant and worse:
+            status = "regressed"
+        elif significant:
+            status = "improved"
+        else:
+            status = "ok"
+        return RegressionFinding(
+            key=key, status=status, latest=latest, baseline=baseline,
+            change_fraction=change, zscore=float(np.clip(z, -99, 99)),
+            history_length=len(values),
+        )
+
+    # -- perflog ingestion ------------------------------------------------------
+    def series_from_frame(
+        self, frame: DataFrame
+    ) -> Dict[Tuple[str, str, str, str], List[float]]:
+        """Group a perflog DataFrame into ordered FOM series.
+
+        Perflogs are append-only, so file order *is* time order, which is
+        what makes this work without trusting wall-clock timestamps.
+        """
+        out: Dict[Tuple[str, str, str, str], List[float]] = {}
+        passing = frame.filter(lambda r: str(r["result"]) == "pass")
+        for row in passing.to_records():
+            key = (row["system"], row["partition"], row["test"],
+                   row["perf_var"])
+            out.setdefault(key, []).append(float(row["perf_value"]))
+        return out
+
+    def check(self, frame: DataFrame) -> RegressionReport:
+        report = RegressionReport()
+        for key, values in sorted(self.series_from_frame(frame).items()):
+            report.findings.append(self.assess_series(key, values))
+        return report
+
+    def check_perflogs(self, prefix: str) -> RegressionReport:
+        """The CI entry point: read everything under a prefix and judge."""
+        return self.check(read_perflogs(prefix))

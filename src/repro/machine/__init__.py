@@ -1,0 +1,49 @@
+"""The machine execution model: how fast code runs on a simulated platform.
+
+The paper measures real codes on real hardware; we have one laptop.  The
+substitution (DESIGN.md section 3) is a *roofline* execution model: a
+kernel is characterised by the bytes it moves and the flops it does, a
+platform by its peak memory bandwidth, peak flop rate and cache capacity
+(from :mod:`repro.systems`), and a programming model/compiler by an
+efficiency profile.  Simulated wall-clock is then
+
+    time = max(bytes / effective_bandwidth, flops / effective_flops)
+
+with deterministic, seeded noise standing in for run-to-run variation.
+The kernels themselves still execute for real (numpy) so correctness is
+checked; only the *timing* is modelled.
+"""
+
+from repro.machine.clock import DeterministicRNG, stable_seed, perturb
+from repro.machine.roofline import KernelProfile, RooflineModel
+from repro.machine.progmodel import (
+    ModelEfficiency,
+    ProgrammingModelDB,
+    UnsupportedModelError,
+    default_model_db,
+)
+from repro.machine.interconnect import InterconnectModel, INTERCONNECTS
+from repro.machine.telemetry import (
+    EnergyReport,
+    PowerModel,
+    TelemetryTrace,
+    capture_telemetry,
+)
+
+__all__ = [
+    "DeterministicRNG",
+    "stable_seed",
+    "perturb",
+    "KernelProfile",
+    "RooflineModel",
+    "ModelEfficiency",
+    "ProgrammingModelDB",
+    "UnsupportedModelError",
+    "default_model_db",
+    "InterconnectModel",
+    "INTERCONNECTS",
+    "EnergyReport",
+    "PowerModel",
+    "TelemetryTrace",
+    "capture_telemetry",
+]

@@ -1,0 +1,121 @@
+"""Roofline timing model over a :class:`~repro.systems.hardware.NodeSpec`.
+
+The model implements the standard two-ceiling roofline (Williams et al.)
+with one refinement the paper's Figure 2 methodology depends on: *cache
+capture*.  The paper sizes BabelStream arrays to ``2^29`` on Milan
+precisely because its 512 MB of L3 would otherwise hold the ``2^25``
+working set and report cache -- not memory -- bandwidth.  The model
+reproduces that hazard: a working set fitting in the LLC is served at the
+(much higher) cache bandwidth, so a benchmark that ignores the sizing rule
+reports an inflated FOM, exactly the mistake Principle 1's efficiency
+framing is designed to surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.systems.hardware import NodeSpec
+
+__all__ = ["KernelProfile", "RooflineModel"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Resource footprint of one kernel execution.
+
+    ``bytes_moved`` counts ideal DRAM traffic (reads + writes, no
+    write-allocate) -- the STREAM convention, which the paper notes
+    understates Read-For-Ownership traffic on some microarchitectures;
+    ``rfo_writes_bytes`` carries the write traffic subject to RFO so the
+    model can charge it when the platform lacks streaming stores.
+    """
+
+    name: str
+    bytes_moved: float
+    flops: float = 0.0
+    working_set_bytes: float = 0.0
+    rfo_writes_bytes: float = 0.0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte; zero-traffic kernels are effectively infinite AI."""
+        if self.bytes_moved <= 0:
+            return float("inf")
+        return self.flops / self.bytes_moved
+
+
+class RooflineModel:
+    """Predicts kernel execution time on a node.
+
+    Parameters
+    ----------
+    node:
+        Hardware description (the FOM device: CPU sockets or the GPU).
+    charge_rfo:
+        When True, write traffic in ``rfo_writes_bytes`` is doubled
+        (read-for-ownership), modelling CPUs without non-temporal stores.
+    """
+
+    def __init__(self, node: NodeSpec, charge_rfo: bool = False):
+        self.node = node
+        self.charge_rfo = charge_rfo
+
+    # -- effective ceilings ----------------------------------------------------
+    def effective_bandwidth(
+        self,
+        efficiency: float = 1.0,
+        working_set_bytes: float = float("inf"),
+    ) -> float:
+        """Sustainable GB/s for a working set, scaled by model efficiency.
+
+        A working set within the LLC is served at the cache bandwidth
+        (the Figure 2 array-sizing hazard); otherwise DRAM peak times the
+        hardware's sustainable fraction.
+        """
+        mem = self.node.gpu.memory if self.node.gpu else self.node.memory
+        if (
+            self.node.llc_bytes > 0
+            and working_set_bytes <= self.node.llc_bytes
+            and self.node.gpu is None
+        ):
+            llc = self.node.processor.llc
+            base = llc.bandwidth_gbs * self.node.sockets
+        else:
+            base = mem.peak_bandwidth_gbs * mem.stream_fraction
+        return base * efficiency
+
+    def effective_gflops(self, efficiency: float = 1.0) -> float:
+        return self.node.peak_gflops * efficiency
+
+    # -- timing -----------------------------------------------------------------
+    def time_for(
+        self,
+        profile: KernelProfile,
+        bandwidth_efficiency: float = 1.0,
+        compute_efficiency: float = 1.0,
+    ) -> float:
+        """Seconds the kernel takes: the slower of the two ceilings."""
+        bytes_moved = profile.bytes_moved
+        if self.charge_rfo:
+            bytes_moved += profile.rfo_writes_bytes
+        bw = self.effective_bandwidth(
+            bandwidth_efficiency, profile.working_set_bytes or bytes_moved
+        )
+        t_mem = bytes_moved / (bw * 1e9) if bytes_moved > 0 else 0.0
+        gf = self.effective_gflops(compute_efficiency)
+        t_cpu = profile.flops / (gf * 1e9) if profile.flops > 0 else 0.0
+        return max(t_mem, t_cpu, 1e-9)
+
+    def achieved_bandwidth_gbs(self, profile: KernelProfile, seconds: float) -> float:
+        """GB/s the STREAM convention would report for this execution."""
+        return profile.bytes_moved / seconds / 1e9
+
+    def achieved_gflops(self, profile: KernelProfile, seconds: float) -> float:
+        return profile.flops / seconds / 1e9
+
+    def is_memory_bound(self, profile: KernelProfile) -> bool:
+        """True below the ridge point of this node's roofline."""
+        bw = self.effective_bandwidth(1.0, profile.working_set_bytes or float("inf"))
+        ridge = self.node.peak_gflops / bw
+        return profile.arithmetic_intensity < ridge

@@ -1,0 +1,57 @@
+"""Spack-like package manager substrate.
+
+The paper (Principle 2--4) drives all benchmark builds through Spack so that
+the *knowledge of how to build a code on a platform* is captured in package
+recipes and the concretized dependency DAG is archaeologically reproducible.
+This subpackage is a from-scratch reimplementation of the Spack concepts the
+paper relies on:
+
+* :mod:`repro.pkgmgr.version` -- version ordering and range algebra,
+* :mod:`repro.pkgmgr.spec` -- the spec grammar (``hpgmg%gcc@11.2.0 +omp ^openmpi``),
+* :mod:`repro.pkgmgr.variant` -- build variants,
+* :mod:`repro.pkgmgr.package` -- the recipe API (``depends_on``, ``variant``, ...),
+* :mod:`repro.pkgmgr.repository` -- recipe repositories (builtin + custom),
+* :mod:`repro.pkgmgr.concretizer` -- the dependency solver,
+* :mod:`repro.pkgmgr.environment` -- per-system environments (externals, compilers),
+* :mod:`repro.pkgmgr.installer` -- simulated builds with provenance.
+
+Builds are *simulated*: no compiler runs, but every step that Spack would
+record (concretized spec, dependency hashes, build log) is produced, which is
+what the paper's reproducibility claims rest on.
+"""
+
+from repro.pkgmgr.version import Version, VersionRange, VersionList, ver
+from repro.pkgmgr.spec import Spec, SpecParseError
+from repro.pkgmgr.variant import Variant, VariantMap, VariantError
+from repro.pkgmgr.package import PackageBase, PackageError
+from repro.pkgmgr.repository import Repository, RepoPath, builtin_repo
+from repro.pkgmgr.concretizer import Concretizer, ConcretizationError, concretize
+from repro.pkgmgr.compilers import Compiler, CompilerRegistry
+from repro.pkgmgr.environment import Environment
+from repro.pkgmgr.installer import Installer, InstallRecord, BuildFailure
+
+__all__ = [
+    "Version",
+    "VersionRange",
+    "VersionList",
+    "ver",
+    "Spec",
+    "SpecParseError",
+    "Variant",
+    "VariantMap",
+    "VariantError",
+    "PackageBase",
+    "PackageError",
+    "Repository",
+    "RepoPath",
+    "builtin_repo",
+    "Concretizer",
+    "ConcretizationError",
+    "concretize",
+    "Compiler",
+    "CompilerRegistry",
+    "Environment",
+    "Installer",
+    "InstallRecord",
+    "BuildFailure",
+]

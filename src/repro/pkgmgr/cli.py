@@ -1,0 +1,205 @@
+"""``repro-pkg``: a small Spack-like command line over the package manager.
+
+Subcommands::
+
+    repro-pkg list [glob]         list available recipes
+    repro-pkg info <name>         show versions/variants/deps of a recipe
+    repro-pkg spec <spec>         concretize and print the DAG
+    repro-pkg install <spec>      concretize + simulated install (build log)
+    repro-pkg providers <virt>    list providers of a virtual package
+
+``--system NAME`` selects the environment of one of the configured systems
+(see :mod:`repro.systems.registry`), so e.g.::
+
+    repro-pkg spec --system archer2 'hpgmg%gcc'
+
+prints the ARCHER2 row of the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import os
+import sys
+from typing import List, Optional
+
+from repro.pkgmgr.concretizer import ConcretizationError, Concretizer
+from repro.pkgmgr.installer import BuildFailure, Installer
+from repro.pkgmgr.repository import default_repo_path
+
+__all__ = ["main", "build_parser"]
+
+
+def _environment_for(system: Optional[str]):
+    from repro.pkgmgr.environment import Environment
+
+    if system is None:
+        return Environment.basic("generic")
+    from repro.systems.registry import system_environment
+
+    return system_environment(system)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pkg", description="Spack-like package manager (simulated)"
+    )
+    parser.add_argument(
+        "--system", help="use the named system's environment", default=None
+    )
+    parser.add_argument(
+        "--store", default=os.environ.get("REPRO_STORE_MANIFEST",
+                                          ".repro-store.json"),
+        help="install-database manifest path (persists across invocations)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available recipes")
+    p_list.add_argument("glob", nargs="?", default="*")
+
+    p_info = sub.add_parser("info", help="describe one recipe")
+    p_info.add_argument("name")
+
+    p_spec = sub.add_parser("spec", help="concretize a spec")
+    p_spec.add_argument("spec")
+
+    p_install = sub.add_parser("install", help="concretize and (simulated) install")
+    p_install.add_argument("spec")
+    p_install.add_argument(
+        "--no-rebuild",
+        action="store_true",
+        help="allow cached root (violates Principle 3; logged as such)",
+    )
+
+    p_prov = sub.add_parser("providers", help="providers of a virtual package")
+    p_prov.add_argument("virtual")
+
+    p_find = sub.add_parser(
+        "find", help="list what an install command left in the store"
+    )
+    p_find.add_argument("spec", nargs="?", default=None,
+                        help="optional constraint to filter by")
+
+    p_lock = sub.add_parser(
+        "lock", help="concretize a spec and print its lockfile JSON"
+    )
+    p_lock.add_argument("spec")
+
+    p_env = sub.add_parser(
+        "env", help="print a system environment (compilers, externals, "
+                    "preferences) as the framework resolves it"
+    )
+    p_env.add_argument("name", nargs="?", default=None,
+                       help="system name (defaults to --system)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    repo = default_repo_path()
+    env = _environment_for(args.system)
+
+    if args.command == "list":
+        for name in repo.all_package_names():
+            if fnmatch.fnmatch(name, args.glob):
+                print(name)
+        return 0
+
+    if args.command == "info":
+        try:
+            recipe = repo.get(args.name)
+        except Exception as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{recipe.name()}: {recipe.describe()}")
+        print(f"  homepage: {recipe.homepage}")
+        print(f"  build system: {recipe.build_system}")
+        print("  versions: " + ", ".join(str(v) for v in recipe.available_versions()))
+        if recipe.variants_decl:
+            print("  variants:")
+            for vname, decl in sorted(recipe.variants_decl.items()):
+                print(f"    {vname} [default={decl.default!r}] {decl.description}")
+        if recipe.dependencies_decl:
+            print("  dependencies:")
+            for dep in recipe.dependencies_decl:
+                cond = f" when {dep.when}" if dep.when else ""
+                print(f"    {dep.spec}{cond} ({','.join(dep.type)})")
+        return 0
+
+    if args.command == "env":
+        target = args.name or args.system
+        env = _environment_for(target)
+        print(f"environment: {env.name}")
+        print("compilers:")
+        for comp in env.compilers:
+            mods = f" (modules: {', '.join(comp.modules)})" if comp.modules else ""
+            print(f"  {comp}{mods}")
+        print("externals:")
+        for ext in env.externals:
+            print(f"  {ext.spec.format(deps=False)} @ {ext.prefix}")
+        print("preferences:")
+        for virt, pref in sorted(env.preferences.items()):
+            print(f"  {virt} -> {pref}")
+        print(f"arch: {env.arch}")
+        return 0
+
+    if args.command == "providers":
+        conc = Concretizer(repo=repo, env=env)
+        names = conc._providers_of(args.virtual)
+        for n in names:
+            print(n)
+        return 0 if names else 1
+
+    if args.command == "find":
+        installer = Installer(repo=repo, manifest_path=args.store)
+        constraint = args.spec
+        shown = 0
+        for record in installer.database.values():
+            if constraint and not record.spec.satisfies(constraint):
+                continue
+            print(f"{record.spec.format(deps=False)} /{record.hash}  "
+                  f"{record.prefix}")
+            shown += 1
+        if shown == 0:
+            print("(no matching installs; `repro-pkg install <spec>` first)")
+        return 0
+
+    conc = Concretizer(repo=repo, env=env)
+    try:
+        concrete = conc.concretize(args.spec)
+    except ConcretizationError as exc:
+        print(f"concretization error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.command == "spec":
+        print(concrete.tree())
+        return 0
+
+    if args.command == "lock":
+        print(env.lockfile_json())
+        return 0
+
+    if args.command == "install":
+        installer = Installer(repo=repo, manifest_path=args.store)
+        try:
+            records = installer.install(concrete, rebuild=not args.no_rebuild)
+        except BuildFailure as exc:
+            print("\n".join(exc.log), file=sys.stderr)
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for record in records:
+            for line in record.log:
+                print(line)
+        print(
+            f"==> {len(records)} packages, "
+            f"{installer.total_build_seconds:.0f} simulated build seconds"
+        )
+        return 0
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Compiler registry: which compilers exist on a (simulated) system.
+
+Mirrors Spack's ``compilers.yaml``.  Each system's environment registers the
+compilers its modules provide; the concretizer resolves ``%gcc`` to the
+newest registered gcc, and ``%gcc@9.2.0`` must match a registered entry
+(you cannot use a compiler the machine does not have -- the practical
+failure mode the paper hits with "the build system has conflicts with newer
+versions" on Isambard-MACS:Volta).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pkgmgr.spec import CompilerSpec
+from repro.pkgmgr.version import Version, VersionList
+
+__all__ = ["Compiler", "CompilerRegistry", "CompilerNotFoundError"]
+
+
+class CompilerNotFoundError(LookupError):
+    """Raised when a requested compiler is not installed on the system."""
+
+
+class Compiler:
+    """One installed compiler: name, version, and flag personality."""
+
+    __slots__ = ("name", "version", "cc", "cxx", "fc", "flags", "modules")
+
+    def __init__(
+        self,
+        name: str,
+        version: str,
+        cc: Optional[str] = None,
+        cxx: Optional[str] = None,
+        fc: Optional[str] = None,
+        flags: Optional[Dict[str, str]] = None,
+        modules: Optional[List[str]] = None,
+    ):
+        defaults = {
+            "gcc": ("gcc", "g++", "gfortran"),
+            "oneapi": ("icx", "icpx", "ifx"),
+            "intel-oneapi-compilers": ("icx", "icpx", "ifx"),
+            "cce": ("cc", "CC", "ftn"),
+            "nvhpc": ("nvc", "nvc++", "nvfortran"),
+            "aocc": ("clang", "clang++", "flang"),
+        }
+        d_cc, d_cxx, d_fc = defaults.get(name, ("cc", "c++", "fc"))
+        self.name = name
+        self.version = Version(version)
+        self.cc = cc or d_cc
+        self.cxx = cxx or d_cxx
+        self.fc = fc or d_fc
+        self.flags = dict(flags or {})
+        self.modules = list(modules or [])
+
+    @property
+    def spec(self) -> CompilerSpec:
+        return CompilerSpec(self.name, VersionList([self.version]))
+
+    def satisfies(self, want: CompilerSpec) -> bool:
+        if self.name != want.name:
+            return False
+        return want.versions.is_any or want.versions.includes(self.version)
+
+    def __repr__(self) -> str:
+        return f"Compiler({self.name}@{self.version})"
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.version}"
+
+
+class CompilerRegistry:
+    """The compilers available on one system."""
+
+    def __init__(self, compilers: Optional[List[Compiler]] = None):
+        self._compilers: List[Compiler] = list(compilers or [])
+
+    def add(self, compiler: Compiler) -> None:
+        self._compilers.append(compiler)
+
+    def __iter__(self):
+        return iter(self._compilers)
+
+    def __len__(self) -> int:
+        return len(self._compilers)
+
+    def find(self, want: CompilerSpec) -> Compiler:
+        """Resolve a compiler constraint against the installed set.
+
+        An unversioned request (``%gcc``) resolves to the *first registered*
+        match -- the system's default module, which is how the paper's
+        Table 3 ends up with gcc 9.2.0 on Isambard-MACS while newer gccs
+        exist there.  A versioned request picks the newest matching install.
+        """
+        matches = [c for c in self._compilers if c.satisfies(want)]
+        if not matches:
+            installed = ", ".join(str(c) for c in self._compilers) or "none"
+            raise CompilerNotFoundError(
+                f"no compiler satisfying {want} (installed: {installed})"
+            )
+        if want.versions.is_any:
+            return matches[0]
+        return max(matches, key=lambda c: c.version)
+
+    def default(self) -> Compiler:
+        """The system default compiler (first registered, like module default)."""
+        if not self._compilers:
+            raise CompilerNotFoundError("no compilers registered")
+        return self._compilers[0]
+
+    def __repr__(self) -> str:
+        return f"CompilerRegistry({[str(c) for c in self._compilers]})"

@@ -1,0 +1,138 @@
+"""Spack-style environments: what one system makes available.
+
+The paper: "We create a Spack environment detailing the compilers and
+relevant packages available in all the systems we run benchmarks on, to
+reuse as many existing packages as possible" (Section 2.2), and "If the
+benchmarks are run on a system not yet supported by our framework, a basic
+Spack environment will be automatically created, but no system packages
+will be added."
+
+An :class:`Environment` bundles
+
+* a :class:`~repro.pkgmgr.compilers.CompilerRegistry`,
+* *external packages* -- system installs the concretizer must reuse instead
+  of building (e.g. ``cray-mpich@8.1.23`` on ARCHER2),
+* *preferences* -- e.g. which ``mpi`` provider the system favours,
+* the architecture facts (``target``, ``device``, ``vendor``) injected into
+  every concretized root so recipes can express platform conflicts,
+* a lockfile of everything concretized in it (archaeological
+  reproducibility, Principle 4).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.pkgmgr.compilers import Compiler, CompilerRegistry
+from repro.pkgmgr.spec import Spec
+
+__all__ = ["Environment", "ExternalPackage"]
+
+
+class ExternalPackage:
+    """A package the system provides (never rebuilt).
+
+    ``spec`` must be fully pinned (name + version); ``prefix`` documents
+    where it lives, ``modules`` which environment modules expose it.
+    """
+
+    __slots__ = ("spec", "prefix", "modules", "buildable")
+
+    def __init__(
+        self,
+        spec: str | Spec,
+        prefix: str = "",
+        modules: Optional[List[str]] = None,
+        buildable: bool = True,
+    ):
+        self.spec = Spec(spec) if isinstance(spec, str) else spec
+        if self.spec.name is None:
+            raise ValueError(f"external needs a package name: {spec}")
+        self.prefix = prefix or f"/usr/local/{self.spec.name}"
+        self.modules = list(modules or [])
+        self.buildable = buildable
+
+    def __repr__(self) -> str:
+        return f"ExternalPackage({self.spec})"
+
+
+class Environment:
+    """One system's package-management context."""
+
+    def __init__(
+        self,
+        name: str,
+        compilers: Optional[CompilerRegistry] = None,
+        externals: Optional[List[ExternalPackage]] = None,
+        preferences: Optional[Dict[str, str]] = None,
+        arch: Optional[Dict[str, str]] = None,
+    ):
+        self.name = name
+        self.compilers = compilers or CompilerRegistry()
+        self.externals: List[ExternalPackage] = list(externals or [])
+        #: virtual/package name -> preferred concrete spec string
+        self.preferences: Dict[str, str] = dict(preferences or {})
+        #: architecture facts injected into concretized specs
+        self.arch: Dict[str, str] = dict(
+            arch or {"target": "x86_64", "device": "cpu", "vendor": "generic"}
+        )
+        #: hash -> dag_dict of every spec concretized here (the lockfile)
+        self.lockfile: Dict[str, dict] = {}
+
+    @classmethod
+    def basic(cls, name: str) -> "Environment":
+        """The auto-created environment for an unknown system.
+
+        No system packages are added (matching the paper); a lone recent gcc
+        is registered so builds remain possible.
+        """
+        reg = CompilerRegistry([Compiler("gcc", "12.1.0")])
+        return cls(name, compilers=reg)
+
+    # -- externals ------------------------------------------------------------
+    def add_external(self, external: ExternalPackage | str) -> None:
+        if isinstance(external, str):
+            external = ExternalPackage(external)
+        self.externals.append(external)
+
+    def find_external(self, constraint: Spec) -> Optional[ExternalPackage]:
+        """Best external satisfying *constraint* (newest version wins).
+
+        Externals match on name and version only: the system install's
+        compiler provenance is unknown (it predates our environment), so a
+        ``%compiler`` requirement on the constraint does not disqualify it.
+        This mirrors Spack, where externals are taken as-is.
+        """
+        matches = []
+        for e in self.externals:
+            if constraint.name is not None and e.spec.name != constraint.name:
+                continue
+            if not constraint.versions.is_any and not constraint.versions.includes(
+                e.spec.version
+            ):
+                continue
+            matches.append(e)
+        if not matches:
+            return None
+        return max(matches, key=lambda e: e.spec.version)
+
+    # -- lockfile ---------------------------------------------------------------
+    def record(self, spec: Spec) -> str:
+        """Add a concretized spec to the lockfile; returns its hash."""
+        h = spec.dag_hash()
+        self.lockfile[h] = spec.dag_dict()
+        return h
+
+    def lockfile_json(self) -> str:
+        return json.dumps(
+            {"environment": self.name, "specs": self.lockfile},
+            indent=2,
+            sort_keys=True,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Environment({self.name!r}, {len(self.compilers)} compilers, "
+            f"{len(self.externals)} externals)"
+        )

@@ -1,0 +1,218 @@
+"""Simulated package installation with full provenance (Principles 3 & 4).
+
+No compiler is invoked: :class:`Installer` walks the concrete DAG in build
+order and produces, for every node, an :class:`InstallRecord` carrying the
+build log, the install prefix, the dag hash, the (virtual) build duration
+and the complete environment in which the "build" happened.  Re-installing
+an unchanged spec is a cache hit -- unless ``rebuild=True``, the framework
+default, because Principle 3 says *rebuild the benchmark every time it
+runs*.  The record makes the trade explicit: you always know whether the
+binary you ran was freshly reproduced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.pkgmgr.repository import RepoPath, default_repo_path
+from repro.pkgmgr.spec import Spec
+
+__all__ = ["Installer", "InstallRecord", "BuildFailure"]
+
+
+class BuildFailure(Exception):
+    """Raised when a (simulated) build step fails."""
+
+    def __init__(self, spec: Spec, log: List[str], reason: str):
+        super().__init__(f"build of {spec.format(deps=False)} failed: {reason}")
+        self.spec = spec
+        self.log = log
+        self.reason = reason
+
+
+class InstallRecord:
+    """Provenance of one installed package."""
+
+    __slots__ = (
+        "spec",
+        "prefix",
+        "hash",
+        "log",
+        "build_seconds",
+        "external",
+        "timestamp",
+        "fresh",
+    )
+
+    def __init__(
+        self,
+        spec: Spec,
+        prefix: str,
+        log: List[str],
+        build_seconds: float,
+        external: bool,
+        fresh: bool,
+    ):
+        self.spec = spec
+        self.prefix = prefix
+        self.hash = spec.dag_hash()
+        self.log = log
+        self.build_seconds = build_seconds
+        self.external = external
+        self.fresh = fresh
+        self.timestamp = time.time()
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec.format(),
+            "hash": self.hash,
+            "prefix": self.prefix,
+            "build_seconds": self.build_seconds,
+            "external": self.external,
+            "fresh": self.fresh,
+        }
+
+    def __repr__(self) -> str:
+        kind = "external" if self.external else ("fresh" if self.fresh else "cached")
+        return f"InstallRecord({self.spec.format(deps=False)} [{kind}])"
+
+
+class Installer:
+    """Builds concrete specs into a (virtual) install tree."""
+
+    def __init__(
+        self,
+        repo: Optional[RepoPath] = None,
+        store_root: str = "/opt/repro-store",
+        fail_hook: Optional[Callable[[Spec], Optional[str]]] = None,
+        manifest_path: Optional[str] = None,
+    ):
+        self.repo = repo or default_repo_path()
+        self.store_root = store_root.rstrip("/")
+        #: dag hash -> record; the installed database
+        self.database: Dict[str, InstallRecord] = {}
+        #: optional failure injector for tests: spec -> error message or None
+        self.fail_hook = fail_hook
+        #: total simulated build seconds spent (the paper's FTE argument)
+        self.total_build_seconds = 0.0
+        #: when set, the database persists here across Installer lifetimes
+        #: (what lets `repro-pkg install` then `repro-pkg find` cooperate)
+        self.manifest_path = manifest_path
+        if manifest_path and os.path.exists(manifest_path):
+            self._load_manifest()
+
+    # -- persistence ----------------------------------------------------------
+    def _load_manifest(self) -> None:
+        with open(self.manifest_path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for entry in doc.get("installs", []):
+            spec = Spec.from_dict(entry["spec_dag"])
+            spec.mark_concrete()
+            record = InstallRecord(
+                spec=spec,
+                prefix=entry["prefix"],
+                log=entry.get("log", []),
+                build_seconds=entry.get("build_seconds", 0.0),
+                external=entry.get("external", False),
+                fresh=False,
+            )
+            self.database[spec.dag_hash()] = record
+
+    def save_manifest(self) -> None:
+        if not self.manifest_path:
+            return
+        doc = {
+            "installs": [
+                {
+                    "spec": r.spec.format(),
+                    "spec_dag": r.spec.dag_dict(),
+                    "prefix": r.prefix,
+                    "build_seconds": r.build_seconds,
+                    "external": r.external,
+                    "log": r.log[-3:],
+                }
+                for r in self.database.values()
+            ]
+        }
+        directory = os.path.dirname(self.manifest_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+
+    def prefix_for(self, spec: Spec) -> str:
+        return (
+            f"{self.store_root}/{spec.name}-{spec.version}-{spec.dag_hash()}"
+        )
+
+    def is_installed(self, spec: Spec) -> bool:
+        return spec.dag_hash() in self.database
+
+    def install(self, concrete: Spec, rebuild: bool = True) -> List[InstallRecord]:
+        """Install a concrete DAG; returns records in build order.
+
+        ``rebuild=True`` (the framework default, Principle 3) rebuilds the
+        *root* even when cached; dependencies are reused when already
+        installed, as Spack does.
+        """
+        if not concrete.concrete:
+            raise ValueError(f"cannot install abstract spec {concrete}")
+        from repro.pkgmgr.concretizer import Concretizer
+
+        order = Concretizer(repo=self.repo).build_order(concrete)
+        records = []
+        for node in order:
+            is_root = node.name == concrete.name
+            force = rebuild and is_root
+            records.append(self._install_one(node, force=force))
+        self.save_manifest()
+        return records
+
+    def _install_one(self, spec: Spec, force: bool) -> InstallRecord:
+        h = spec.dag_hash()
+        if spec.external:
+            record = InstallRecord(
+                spec,
+                prefix=f"/usr/system/{spec.name}",
+                log=[f"==> {spec.format(deps=False)} is external, not building"],
+                build_seconds=0.0,
+                external=True,
+                fresh=False,
+            )
+            self.database[h] = record
+            return record
+        if h in self.database and not force:
+            cached = self.database[h]
+            return InstallRecord(
+                spec,
+                prefix=cached.prefix,
+                log=[f"==> {spec.format(deps=False)} already installed"],
+                build_seconds=0.0,
+                external=False,
+                fresh=False,
+            )
+        recipe_cls = self.repo.get(spec.name)
+        recipe = recipe_cls(spec)
+        log: List[str] = []
+        if self.fail_hook is not None:
+            reason = self.fail_hook(spec)
+            if reason:
+                log.append(f"==> Error: {reason}")
+                raise BuildFailure(spec, log, reason)
+        prefix = self.prefix_for(spec)
+        recipe.install(prefix, log.append)
+        seconds = recipe.build_time_estimate()
+        self.total_build_seconds += seconds
+        record = InstallRecord(
+            spec,
+            prefix=prefix,
+            log=log,
+            build_seconds=seconds,
+            external=False,
+            fresh=True,
+        )
+        self.database[h] = record
+        return record

@@ -1,0 +1,276 @@
+"""The package recipe API (Principle 2: teach the build system).
+
+A recipe is a class deriving from :class:`PackageBase` using the declarative
+directives ``version``, ``variant``, ``depends_on`` and ``conflicts`` --
+the same vocabulary as a Spack ``package.py``::
+
+    class Babelstream(PackageBase):
+        '''Memory bandwidth benchmark in many programming models.'''
+
+        homepage = "https://github.com/UoB-HPC/BabelStream"
+
+        version("4.0")
+        version("3.4")
+        variant("omp", default=False, description="Build OpenMP variant")
+        depends_on("cmake@3.13:", type="build")
+        conflicts("+cuda", when="%gcc", msg="CUDA variant needs nvcc")
+
+The directives record structured metadata on the class; the concretizer
+reads it to solve the DAG.  ``install()`` describes the (simulated) build,
+used by :mod:`repro.pkgmgr.installer` to produce build logs and provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.pkgmgr.spec import Spec, parse_spec
+from repro.pkgmgr.variant import Variant
+from repro.pkgmgr.version import Version
+
+__all__ = [
+    "PackageBase",
+    "PackageError",
+    "DependencySpec",
+    "VersionDecl",
+    "ConflictDecl",
+]
+
+
+class PackageError(Exception):
+    """Raised for malformed recipes or recipe-level build failures."""
+
+
+class VersionDecl:
+    """One ``version(...)`` directive: a buildable version plus metadata."""
+
+    __slots__ = ("version", "preferred", "deprecated")
+
+    def __init__(self, version: Version, preferred: bool, deprecated: bool):
+        self.version = version
+        self.preferred = preferred
+        self.deprecated = deprecated
+
+
+class DependencySpec:
+    """One ``depends_on(...)`` directive.
+
+    ``when`` makes the dependency conditional on the dependent's final
+    configuration (e.g. only ``+mpi`` builds need an MPI library).
+    ``type`` distinguishes build-only tools (cmake) from link/run deps;
+    the paper's Table 3 lists both kinds for HPGMG.
+    """
+
+    __slots__ = ("spec", "when", "type")
+
+    def __init__(self, spec: Spec, when: Optional[Spec], type: Tuple[str, ...]):
+        self.spec = spec
+        self.when = when
+        self.type = type
+
+    def active(self, on: Spec) -> bool:
+        return self.when is None or on.satisfies(self.when)
+
+
+class ConflictDecl:
+    """One ``conflicts(...)`` directive: configurations that must not occur."""
+
+    __slots__ = ("constraint", "when", "msg")
+
+    def __init__(self, constraint: Spec, when: Optional[Spec], msg: str):
+        self.constraint = constraint
+        self.when = when
+        self.msg = msg
+
+
+def _to_type_tuple(type_) -> Tuple[str, ...]:
+    if type_ is None:
+        return ("build", "link")
+    if isinstance(type_, str):
+        return (type_,)
+    return tuple(type_)
+
+
+class _DirectiveMeta(type):
+    """Metaclass giving each recipe class its own directive storage.
+
+    Directives are module-level functions in Spack; here they are
+    classmethods populated at class-body execution time through a staging
+    area, keeping recipes byte-for-byte similar to Spack's.
+    """
+
+    _staging: List[Tuple[str, tuple, dict]] = []
+
+    def __new__(mcs, name, bases, namespace):
+        cls = super().__new__(mcs, name, bases, namespace)
+        cls.versions_decl: Dict[Version, VersionDecl] = {}
+        cls.variants_decl: Dict[str, Variant] = {}
+        cls.dependencies_decl: List[DependencySpec] = []
+        cls.conflicts_decl: List[ConflictDecl] = []
+        cls.provides_decl: List[str] = []
+        # inherit parents' directives (Spack does this for base packages)
+        for base in bases:
+            cls.versions_decl.update(getattr(base, "versions_decl", {}))
+            cls.variants_decl.update(getattr(base, "variants_decl", {}))
+            cls.dependencies_decl.extend(getattr(base, "dependencies_decl", []))
+            cls.conflicts_decl.extend(getattr(base, "conflicts_decl", []))
+            cls.provides_decl.extend(getattr(base, "provides_decl", []))
+        for directive, args, kwargs in _DirectiveMeta._staging:
+            getattr(cls, "_apply_" + directive)(args, kwargs)
+        _DirectiveMeta._staging = []
+        return cls
+
+
+def version(ver: str, preferred: bool = False, deprecated: bool = False) -> None:
+    """Declare a buildable version inside a recipe class body."""
+    _DirectiveMeta._staging.append(("version", (ver,), dict(preferred=preferred, deprecated=deprecated)))
+
+
+def variant(
+    name: str,
+    default=False,
+    description: str = "",
+    values=(True, False),
+    multi: bool = False,
+) -> None:
+    """Declare a variant inside a recipe class body."""
+    _DirectiveMeta._staging.append(
+        ("variant", (name,), dict(default=default, description=description, values=values, multi=multi))
+    )
+
+
+def depends_on(spec: str, when: Optional[str] = None, type=None) -> None:
+    """Declare a dependency inside a recipe class body."""
+    _DirectiveMeta._staging.append(("depends_on", (spec,), dict(when=when, type=type)))
+
+
+def conflicts(constraint: str, when: Optional[str] = None, msg: str = "") -> None:
+    """Declare a conflict inside a recipe class body."""
+    _DirectiveMeta._staging.append(("conflicts", (constraint,), dict(when=when, msg=msg)))
+
+
+def provides(virtual: str) -> None:
+    """Declare that this package provides a virtual package (e.g. ``mpi``)."""
+    _DirectiveMeta._staging.append(("provides", (virtual,), {}))
+
+
+class PackageBase(metaclass=_DirectiveMeta):
+    """Base class for all package recipes.
+
+    Subclasses use the module-level directives and may override
+    :meth:`install` (the simulated build script), :meth:`build_time_estimate`
+    and :meth:`cmake_args`.
+    """
+
+    #: URL of the upstream project, for documentation.
+    homepage: str = ""
+    #: Human description; first docstring line is used if empty.
+    description: str = ""
+    #: Build system label ('cmake', 'autotools', 'makefile', 'python').
+    build_system: str = "cmake"
+
+    versions_decl: Dict[Version, VersionDecl]
+    variants_decl: Dict[str, Variant]
+    dependencies_decl: List[DependencySpec]
+    conflicts_decl: List[ConflictDecl]
+
+    def __init__(self, spec: Spec):
+        if spec.name != self.name():
+            raise PackageError(
+                f"recipe {self.name()!r} instantiated with spec for {spec.name!r}"
+            )
+        self.spec = spec
+
+    # -- directive appliers (invoked by the metaclass) ---------------------------
+    @classmethod
+    def _apply_version(cls, args, kwargs) -> None:
+        v = Version(args[0])
+        cls.versions_decl[v] = VersionDecl(v, kwargs["preferred"], kwargs["deprecated"])
+
+    @classmethod
+    def _apply_variant(cls, args, kwargs) -> None:
+        cls.variants_decl[args[0]] = Variant(args[0], **kwargs)
+
+    @classmethod
+    def _apply_depends_on(cls, args, kwargs) -> None:
+        dep = parse_spec(args[0])
+        if dep.name is None:
+            raise PackageError(f"depends_on needs a package name: {args[0]!r}")
+        when = parse_spec(kwargs["when"]) if kwargs["when"] else None
+        cls.dependencies_decl.append(
+            DependencySpec(dep, when, _to_type_tuple(kwargs["type"]))
+        )
+
+    @classmethod
+    def _apply_conflicts(cls, args, kwargs) -> None:
+        constraint = parse_spec(args[0])
+        when = parse_spec(kwargs["when"]) if kwargs["when"] else None
+        cls.conflicts_decl.append(ConflictDecl(constraint, when, kwargs["msg"]))
+
+    @classmethod
+    def _apply_provides(cls, args, kwargs) -> None:
+        cls.provides_decl.append(args[0])
+
+    # -- introspection --------------------------------------------------------------
+    @classmethod
+    def name(cls) -> str:
+        """Package name: CamelCase class name -> kebab-case (Spack convention)."""
+        out = []
+        for i, ch in enumerate(cls.__name__):
+            if ch.isupper() and i > 0:
+                out.append("-")
+            out.append(ch.lower())
+        return "".join(out).replace("_", "-")
+
+    @classmethod
+    def available_versions(cls) -> List[Version]:
+        """All declared versions, newest first, non-deprecated preferred."""
+        return sorted(cls.versions_decl, reverse=True)
+
+    @classmethod
+    def preferred_version(cls) -> Version:
+        if not cls.versions_decl:
+            raise PackageError(f"recipe {cls.name()!r} declares no versions")
+        preferred = [v for v, d in cls.versions_decl.items() if d.preferred]
+        if preferred:
+            return max(preferred)
+        ok = [v for v, d in cls.versions_decl.items() if not d.deprecated]
+        return max(ok or cls.versions_decl)
+
+    @classmethod
+    def describe(cls) -> str:
+        if cls.description:
+            return cls.description
+        if cls.__doc__:
+            return cls.__doc__.strip().splitlines()[0]
+        return ""
+
+    # -- simulated build -----------------------------------------------------------
+    def cmake_args(self) -> List[str]:
+        """Extra configure arguments derived from the spec; override in recipes."""
+        return []
+
+    def build_time_estimate(self) -> float:
+        """Simulated wall-clock seconds the build takes (used by the installer)."""
+        return 30.0
+
+    def install(self, prefix: str, log: Callable[[str], None]) -> None:
+        """Simulated install: emit a realistic build log.
+
+        Override for packages needing custom steps.  The default models a
+        configure/build/install sequence for :attr:`build_system`.
+        """
+        spec = self.spec
+        log(f"==> Installing {spec.format(deps=False)}")
+        if self.build_system == "cmake":
+            args = " ".join(self.cmake_args())
+            log(f"==> cmake -DCMAKE_INSTALL_PREFIX={prefix} {args}".rstrip())
+            log("==> cmake --build . -j")
+        elif self.build_system == "autotools":
+            log(f"==> ./configure --prefix={prefix}")
+            log("==> make -j && make install")
+        elif self.build_system == "python":
+            log(f"==> python -m pip install --prefix={prefix} .")
+        else:
+            log(f"==> make PREFIX={prefix} install")
+        log(f"==> Successfully installed {spec.format(deps=False)}")

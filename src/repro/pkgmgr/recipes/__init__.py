@@ -1,0 +1,14 @@
+"""Builtin package recipes.
+
+Every module in this package is auto-imported by
+:func:`repro.pkgmgr.repository.builtin_repo`; any :class:`PackageBase`
+subclass with at least one declared version defined at module level is
+registered under its kebab-case name.
+
+The recipe set covers everything the paper's three case studies concretize:
+compilers (gcc, oneapi, cce, nvhpc, aocc), MPI libraries (openmpi, mvapich2,
+cray-mpich, intel-mpi -- all providers of the virtual ``mpi``), tools
+(cmake, python), performance libraries (intel-oneapi-mkl, intel-tbb, cuda,
+kokkos, opencl), and the benchmarks themselves (babelstream, hpcg and its
+variants, hpgmg, stream).
+"""

@@ -1,0 +1,167 @@
+"""Recipes for the benchmark applications of the paper's three case studies.
+
+* ``babelstream`` -- memory-bandwidth benchmark with one boolean variant per
+  programming model (``+omp``, ``+cuda``, ``+std-data`` ...), mirroring how
+  the paper requests models on the ReFrame command line
+  (``-S spack_spec='babelstream%gcc@9.2.0 +omp'``).
+* ``hpcg`` / ``hpcg-lfric`` -- the standard sparse CG benchmark and the
+  Met Office LFRic-operator variant used in Section 3.2; the ``variant``
+  option selects CSR / vendor-optimized / matrix-free implementations.
+* ``hpgmg`` -- finite-volume full multigrid, whose concretized dependency
+  set is Table 3 (``mpi`` + ``python`` build deps).
+* ``stream`` -- classic McCalpin STREAM, kept as a baseline.
+"""
+
+from repro.pkgmgr.package import (
+    PackageBase,
+    conflicts,
+    depends_on,
+    variant,
+    version,
+)
+
+__all__ = ["Babelstream", "Hpcg", "HpcgLfric", "Hpgmg", "Stream"]
+
+#: Programming models BabelStream implements, with the library each needs.
+BABELSTREAM_MODELS = (
+    "omp",
+    "kokkos",
+    "cuda",
+    "ocl",
+    "std-data",
+    "std-indices",
+    "std-ranges",
+    "tbb",
+    "sycl",
+    "acc",
+)
+
+
+class Babelstream(PackageBase):
+    """Measure memory transfer rates to/from global device memory."""
+
+    homepage = "https://github.com/UoB-HPC/BabelStream"
+
+    version("5.0")
+    version("4.0", preferred=True)
+    version("3.4")
+
+    for _model in BABELSTREAM_MODELS:
+        variant(_model, default=False, description=f"Build the {_model} variant")
+    del _model
+
+    depends_on("cmake@3.13:", type="build")
+    depends_on("kokkos", when="+kokkos")
+    depends_on("cuda", when="+cuda")
+    depends_on("opencl-icd-loader", when="+ocl")
+    depends_on("intel-tbb", when="+tbb")
+    # the std-* models use TBB as their parallel backend where available;
+    # on aarch64 they build without it and fall back to serial execution
+    # (the isambard-macs vs isambard-xci disparity in Section 3.1)
+    depends_on("intel-tbb", when="+std-data target=x86_64")
+    depends_on("intel-tbb", when="+std-indices target=x86_64")
+    depends_on("intel-tbb", when="+std-ranges target=x86_64")
+    depends_on("dpcpp", when="+sycl")
+
+    conflicts("+cuda", when="device=cpu", msg="CUDA StreamModel needs a GPU")
+    conflicts("+ocl", when="device=cpu vendor=marvell",
+              msg="no OpenCL runtime on the ThunderX2 system")
+    conflicts("+acc", when="%gcc@:9", msg="OpenACC needs gcc 10+ or nvhpc")
+    # std-ranges requires a C++20 toolchain; GCC 9 cannot build it.
+    conflicts("+std-ranges", when="%gcc@:9", msg="std::ranges requires C++20")
+
+    def cmake_args(self):
+        args = []
+        for model in BABELSTREAM_MODELS:
+            if self.spec.variants.get(model):
+                args.append(f"-DMODEL={model}")
+        return args
+
+    def build_time_estimate(self) -> float:
+        return 45.0
+
+
+class Hpcg(PackageBase):
+    """High Performance Conjugate Gradient benchmark (hpcg-benchmark.org)."""
+
+    homepage = "https://www.hpcg-benchmark.org"
+
+    version("3.1")
+    variant(
+        "implementation",
+        default="original",
+        values=("original", "intel-avx2", "matrix-free"),
+        description="CSR reference, vendor-optimized binary, or matrix-free",
+    )
+    depends_on("mpi")
+    depends_on("cmake@3.10:", type="build")
+    depends_on("intel-oneapi-mkl", when="implementation=intel-avx2")
+    conflicts(
+        "implementation=intel-avx2",
+        when="target=aarch64",
+        msg="Intel MKL binaries only run on x86_64",
+    )
+    conflicts(
+        "implementation=intel-avx2",
+        when="vendor=amd",
+        msg="the MKL HPCG binary refuses to run on non-Intel x86 (paper: N/A on Rome)",
+    )
+
+    def build_time_estimate(self) -> float:
+        return 120.0
+
+
+class HpcgLfric(PackageBase):
+    """HPCG solving the symmetrised LFRic Helmholtz operator (Section 3.2)."""
+
+    homepage = "https://github.com/ukri-excalibur/excalibur-tests"
+
+    version("1.0")
+    depends_on("mpi")
+    depends_on("cmake@3.10:", type="build")
+
+    def build_time_estimate(self) -> float:
+        return 150.0
+
+
+class Hpgmg(PackageBase):
+    """HPGMG: finite-volume full-multigrid benchmark (LBNL)."""
+
+    homepage = "https://bitbucket.org/hpgmg/hpgmg"
+    build_system = "python"  # configure is a python script
+
+    version("0.4")
+    variant("fv", default=True, description="Build the finite-volume solver")
+    variant("fe", default=False, description="Build the finite-element solver")
+    depends_on("mpi")
+    depends_on("python", type="build")
+
+    def build_time_estimate(self) -> float:
+        return 90.0
+
+
+class OsuMicroBenchmarks(PackageBase):
+    """OSU MPI microbenchmarks (latency, bandwidth, collectives)."""
+
+    homepage = "https://mvapich.cse.ohio-state.edu/benchmarks/"
+    build_system = "autotools"
+
+    version("7.0.1")
+    version("6.2")
+    depends_on("mpi")
+
+    def build_time_estimate(self) -> float:
+        return 60.0
+
+
+class Stream(PackageBase):
+    """McCalpin STREAM: the original memory bandwidth benchmark."""
+
+    homepage = "https://www.cs.virginia.edu/stream/"
+    build_system = "makefile"
+
+    version("5.10")
+    variant("openmp", default=True, description="Thread the kernels with OpenMP")
+
+    def build_time_estimate(self) -> float:
+        return 5.0

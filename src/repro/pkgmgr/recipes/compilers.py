@@ -1,0 +1,74 @@
+"""Compiler package recipes.
+
+Compilers are packages too (as in modern Spack): systems register the
+installed ones as externals, and the concretizer resolves ``%gcc@11.2.0``
+against these recipes.  The version sets cover every compiler version named
+in the paper (GCC 9.2.0/10.3.0/11.x/12.1.0, oneAPI 2023.1.0, CCE on
+ARCHER2, ...).
+"""
+
+from repro.pkgmgr.package import PackageBase, version, variant
+
+__all__ = ["Gcc", "IntelOneapiCompilers", "Cce", "Nvhpc", "Aocc"]
+
+
+class Gcc(PackageBase):
+    """The GNU Compiler Collection."""
+
+    homepage = "https://gcc.gnu.org"
+    build_system = "autotools"
+
+    version("12.1.0")
+    version("11.2.0")
+    version("11.1.0")
+    version("10.3.0")
+    version("9.2.0")
+    variant("languages", default="c,c++,fortran",
+            values=("c", "c++", "fortran", "go", "ada"), multi=True,
+            description="Languages to build frontends for")
+
+    def build_time_estimate(self) -> float:
+        return 3600.0
+
+
+class IntelOneapiCompilers(PackageBase):
+    """Intel oneAPI compiler suite (icx/icpx/ifx)."""
+
+    homepage = "https://www.intel.com/oneapi"
+    build_system = "makefile"
+
+    version("2023.1.0")
+    version("2022.2.0")
+
+    def build_time_estimate(self) -> float:
+        return 600.0
+
+
+class Cce(PackageBase):
+    """Cray Compiling Environment, available on HPE Cray EX (ARCHER2)."""
+
+    homepage = "https://www.hpe.com"
+    build_system = "makefile"
+
+    version("15.0.0")
+    version("14.0.1")
+
+
+class Nvhpc(PackageBase):
+    """NVIDIA HPC SDK (nvc++, nvfortran, CUDA toolchain integration)."""
+
+    homepage = "https://developer.nvidia.com/hpc-sdk"
+    build_system = "makefile"
+
+    version("23.3")
+    version("22.9")
+
+
+class Aocc(PackageBase):
+    """AMD Optimizing C/C++ Compiler, tuned for EPYC (Rome/Milan)."""
+
+    homepage = "https://www.amd.com/en/developer/aocc.html"
+    build_system = "makefile"
+
+    version("4.0.0")
+    version("3.2.0")

@@ -1,0 +1,110 @@
+"""Performance-library recipes: MKL, TBB, CUDA, Kokkos, OpenCL, SYCL.
+
+These are the backends/abstraction layers the BabelStream programming-model
+survey (Figure 2) depends on: Kokkos builds over OpenMP or CUDA, the ISO
+C++ ``std-*`` models need TBB on CPUs, CUDA/OpenCL need the toolkit, and
+the Intel HPCG binary comes from MKL.
+"""
+
+from repro.pkgmgr.package import (
+    PackageBase,
+    conflicts,
+    depends_on,
+    provides,
+    variant,
+    version,
+)
+
+__all__ = [
+    "IntelOneapiMkl",
+    "IntelTbb",
+    "Cuda",
+    "Kokkos",
+    "OpenclIcdLoader",
+    "Dpcpp",
+]
+
+
+class IntelOneapiMkl(PackageBase):
+    """Intel oneAPI Math Kernel Library (ships optimized HPCG binaries)."""
+
+    homepage = "https://www.intel.com/oneapi"
+    build_system = "makefile"
+
+    version("2023.1.0")
+    version("2022.2.0")
+    variant("ilp64", default=False, description="64-bit integer interface")
+
+
+class IntelTbb(PackageBase):
+    """Intel Threading Building Blocks: task-parallel runtime.
+
+    The paper notes TBB is unavailable on ThunderX2 ("Intel-TBB on
+    Thunder"), making the ``tbb`` and multicore ``std-*`` BabelStream
+    variants fail there; the conflict below encodes that knowledge
+    (Principle 2).
+    """
+
+    homepage = "https://github.com/oneapi-src/oneTBB"
+
+    version("2021.9.0")
+    version("2020.3")
+    conflicts(
+        "target=aarch64",
+        msg="Intel TBB is not supported on ThunderX2/aarch64 systems here",
+    )
+
+
+class Cuda(PackageBase):
+    """NVIDIA CUDA toolkit."""
+
+    homepage = "https://developer.nvidia.com/cuda-toolkit"
+    build_system = "makefile"
+
+    version("12.1")
+    version("11.8")
+    version("11.2")
+    conflicts(
+        "device=cpu",
+        msg="CUDA requires an NVIDIA GPU device",
+    )
+
+
+class Kokkos(PackageBase):
+    """Kokkos C++ performance-portability abstraction."""
+
+    homepage = "https://kokkos.org"
+
+    version("4.0.01")
+    version("3.7.02")
+    variant(
+        "backend",
+        default="openmp",
+        values=("openmp", "cuda", "serial", "hip"),
+        description="Execution backend",
+    )
+    depends_on("cuda@11:", when="backend=cuda")
+
+    def cmake_args(self):
+        backend = self.spec.variants.get("backend", "openmp")
+        return [f"-DKokkos_ENABLE_{str(backend).upper()}=ON"]
+
+
+class OpenclIcdLoader(PackageBase):
+    """OpenCL installable-client-driver loader."""
+
+    homepage = "https://github.com/KhronosGroup/OpenCL-ICD-Loader"
+
+    version("2023.04.17")
+    version("2022.09.30")
+    provides("opencl")
+
+
+class Dpcpp(PackageBase):
+    """Intel's SYCL implementation (DPC++), part of oneAPI."""
+
+    homepage = "https://www.intel.com/oneapi"
+    build_system = "makefile"
+
+    version("2023.1.0")
+    provides("sycl")

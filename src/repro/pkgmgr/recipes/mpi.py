@@ -1,0 +1,79 @@
+"""MPI library recipes -- all providers of the virtual package ``mpi``.
+
+Table 3 of the paper reports the MPI implementation Spack concretized for
+``hpgmg%gcc`` on each system: cray-mpich 8.1.23 (ARCHER2), mvapich 2.3.6
+(COSMA8), openmpi 4.0.4 (CSD3), openmpi 4.0.3 (Isambard-MACS).  Those exact
+versions are declared here and pinned per-system as externals by the
+environment configs in :mod:`repro.runner.config`.
+"""
+
+from repro.pkgmgr.package import PackageBase, depends_on, provides, variant, version
+
+__all__ = ["Openmpi", "Mvapich2", "CrayMpich", "IntelOneapiMpi", "Mpich"]
+
+
+class Openmpi(PackageBase):
+    """Open MPI: open-source MPI-4 implementation."""
+
+    homepage = "https://www.open-mpi.org"
+    build_system = "autotools"
+
+    version("4.1.5")
+    version("4.0.4")
+    version("4.0.3")
+    provides("mpi")
+    variant("cuda", default=False, description="CUDA-aware transports")
+    depends_on("cuda", when="+cuda")
+
+    def build_time_estimate(self) -> float:
+        return 900.0
+
+
+class Mvapich2(PackageBase):
+    """MVAPICH2: InfiniBand-optimized MPI (deployed on COSMA8)."""
+
+    homepage = "https://mvapich.cse.ohio-state.edu"
+    build_system = "autotools"
+
+    version("2.3.7")
+    version("2.3.6")
+    provides("mpi")
+
+    def build_time_estimate(self) -> float:
+        return 800.0
+
+
+class CrayMpich(PackageBase):
+    """Cray MPICH: vendor MPI on HPE Cray EX systems (ARCHER2).
+
+    Never built from source -- always a system external, as on the real
+    machine where it lives behind ``PrgEnv``.
+    """
+
+    homepage = "https://www.hpe.com"
+    build_system = "makefile"
+
+    version("8.1.23")
+    version("8.1.15")
+    provides("mpi")
+
+
+class IntelOneapiMpi(PackageBase):
+    """Intel oneAPI MPI."""
+
+    homepage = "https://www.intel.com/oneapi"
+    build_system = "makefile"
+
+    version("2021.9.0")
+    provides("mpi")
+
+
+class Mpich(PackageBase):
+    """MPICH: reference MPI implementation."""
+
+    homepage = "https://www.mpich.org"
+    build_system = "autotools"
+
+    version("4.1.1")
+    version("3.4.3")
+    provides("mpi")

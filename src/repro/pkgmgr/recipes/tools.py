@@ -1,0 +1,52 @@
+"""Build-tool and interpreter recipes (cmake, python, numactl).
+
+Python versions include every interpreter Table 3 reports as a concretized
+HPGMG build dependency: 3.10.12 (ARCHER2), 2.7.15 (COSMA8), 3.8.2 (CSD3),
+3.7.5 (Isambard-MACS).
+"""
+
+from repro.pkgmgr.package import PackageBase, version, variant
+
+__all__ = ["Cmake", "Python", "Numactl"]
+
+
+class Cmake(PackageBase):
+    """CMake build-system generator."""
+
+    homepage = "https://cmake.org"
+    build_system = "makefile"
+
+    version("3.26.3")
+    version("3.23.1")
+    version("3.20.2")
+    version("3.13.4")
+
+    def build_time_estimate(self) -> float:
+        return 300.0
+
+
+class Python(PackageBase):
+    """The Python interpreter (HPGMG uses it to generate its build)."""
+
+    homepage = "https://www.python.org"
+    build_system = "autotools"
+
+    version("3.11.3")
+    version("3.10.12")
+    version("3.8.2")
+    version("3.7.5")
+    version("2.7.15", deprecated=True)
+    variant("shared", default=True, description="Build libpython as shared")
+
+    def build_time_estimate(self) -> float:
+        return 600.0
+
+
+class Numactl(PackageBase):
+    """NUMA policy control library, used for affinity experiments."""
+
+    homepage = "https://github.com/numactl/numactl"
+    build_system = "autotools"
+
+    version("2.0.16")
+    version("2.0.14")

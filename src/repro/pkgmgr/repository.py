@@ -1,0 +1,141 @@
+"""Recipe repositories.
+
+Spack ships a large builtin repository of recipes and lets sites keep custom
+repositories for local packages ("we keep a local repository of recipes for
+building applications not generally relevant for upstream Spack" -- paper,
+Section 2.2).  :class:`Repository` holds recipes under a namespace;
+:class:`RepoPath` resolves names across an ordered list of repositories,
+custom ones shadowing builtin ones.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from typing import Dict, Iterator, List, Optional, Type
+
+from repro.pkgmgr.package import PackageBase, PackageError
+
+__all__ = ["Repository", "RepoPath", "builtin_repo", "UnknownPackageError"]
+
+
+class UnknownPackageError(PackageError):
+    """Raised when no repository provides a recipe for the requested name."""
+
+    def __init__(self, name: str, repos: List[str]):
+        super().__init__(
+            f"no recipe for package {name!r} in repositories {', '.join(repos)}"
+        )
+        self.package_name = name
+
+
+class Repository:
+    """A named collection of package recipes."""
+
+    def __init__(self, namespace: str):
+        self.namespace = namespace
+        self._recipes: Dict[str, Type[PackageBase]] = {}
+
+    def add(self, recipe: Type[PackageBase]) -> Type[PackageBase]:
+        """Register a recipe class (usable as a decorator)."""
+        if not (isinstance(recipe, type) and issubclass(recipe, PackageBase)):
+            raise PackageError(f"not a PackageBase subclass: {recipe!r}")
+        name = recipe.name()
+        if name in self._recipes and self._recipes[name] is not recipe:
+            raise PackageError(
+                f"duplicate recipe {name!r} in repository {self.namespace!r}"
+            )
+        self._recipes[name] = recipe
+        return recipe
+
+    def remove(self, name: str) -> None:
+        self._recipes.pop(name, None)
+
+    def get(self, name: str) -> Optional[Type[PackageBase]]:
+        return self._recipes.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._recipes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._recipes))
+
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def __repr__(self) -> str:
+        return f"Repository({self.namespace!r}, {len(self)} recipes)"
+
+
+class RepoPath:
+    """Ordered search path over repositories; earlier entries shadow later.
+
+    The framework's default path is ``[local, builtin]`` so that site-local
+    recipes win, exactly as described in the paper.
+    """
+
+    def __init__(self, repos: Optional[List[Repository]] = None):
+        self.repos: List[Repository] = list(repos or [])
+
+    def prepend(self, repo: Repository) -> None:
+        self.repos.insert(0, repo)
+
+    def append(self, repo: Repository) -> None:
+        self.repos.append(repo)
+
+    def get(self, name: str) -> Type[PackageBase]:
+        for repo in self.repos:
+            recipe = repo.get(name)
+            if recipe is not None:
+                return recipe
+        raise UnknownPackageError(name, [r.namespace for r in self.repos])
+
+    def exists(self, name: str) -> bool:
+        return any(name in repo for repo in self.repos)
+
+    def providing_repo(self, name: str) -> Optional[str]:
+        for repo in self.repos:
+            if name in repo:
+                return repo.namespace
+        return None
+
+    def all_package_names(self) -> List[str]:
+        names = set()
+        for repo in self.repos:
+            names.update(iter(repo))
+        return sorted(names)
+
+    def __repr__(self) -> str:
+        return f"RepoPath({[r.namespace for r in self.repos]!r})"
+
+
+#: The builtin repository, populated by importing :mod:`repro.pkgmgr.recipes`.
+_BUILTIN: Optional[Repository] = None
+
+
+def builtin_repo() -> Repository:
+    """Return the builtin recipe repository, loading all recipe modules once."""
+    global _BUILTIN
+    if _BUILTIN is None:
+        _BUILTIN = Repository("builtin")
+        import repro.pkgmgr.recipes as recipes_pkg
+
+        for modinfo in pkgutil.iter_modules(recipes_pkg.__path__):
+            module = importlib.import_module(
+                f"repro.pkgmgr.recipes.{modinfo.name}"
+            )
+            for attr in vars(module).values():
+                if (
+                    isinstance(attr, type)
+                    and issubclass(attr, PackageBase)
+                    and attr is not PackageBase
+                    and attr.__module__ == module.__name__
+                    and attr.versions_decl
+                ):
+                    _BUILTIN.add(attr)
+    return _BUILTIN
+
+
+def default_repo_path(extra: Optional[List[Repository]] = None) -> RepoPath:
+    """The standard search path: any extra (local) repos, then builtin."""
+    return RepoPath(list(extra or []) + [builtin_repo()])

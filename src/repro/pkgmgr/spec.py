@@ -1,0 +1,492 @@
+"""The spec grammar: parse and manipulate ``name@ver%compiler+variant ^dep``.
+
+Specs are the lingua franca of the framework, exactly as in the paper where
+benchmark builds are requested as e.g.::
+
+    babelstream%gcc@9.2.0 +omp
+    hpgmg%gcc
+
+Grammar (a faithful subset of Spack's)::
+
+    spec       := [name] clause* dep*
+    clause     := '@' versions | '%' compiler | '+'name | '~'name | '-'name
+                | name '=' value
+    compiler   := name ['@' versions]
+    dep        := '^' spec
+
+A spec starts *abstract* (partially constrained) and is turned *concrete*
+(every choice pinned) by the concretizer.  Concrete specs have a content
+hash used for installation provenance (Principle 4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.pkgmgr.variant import VariantMap, VariantError
+from repro.pkgmgr.version import Version, VersionList
+
+__all__ = ["Spec", "SpecParseError", "CompilerSpec", "parse_spec"]
+
+
+class SpecParseError(ValueError):
+    """Raised when a spec string cannot be parsed."""
+
+
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.\-]*")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<dep>\^)
+  | (?P<at>@[A-Za-z0-9_.,:\-]+)   # '@' plus its version constraint text
+  | (?P<pct>%)
+  | (?P<plus>\+)
+  | (?P<tilde>[~\-])
+  | (?P<kv>[A-Za-z0-9][A-Za-z0-9_\-]*=[^\s^%+~]+)
+  | (?P<name>[A-Za-z0-9][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class CompilerSpec:
+    """A compiler constraint: name plus optional version constraint."""
+
+    __slots__ = ("name", "versions")
+
+    def __init__(self, name: str, versions: Optional[VersionList] = None):
+        self.name = name
+        self.versions = versions if versions is not None else VersionList()
+
+    @property
+    def version(self) -> Optional[Version]:
+        """The pinned version if exactly one concrete version, else None."""
+        cs = self.versions.constraints
+        if len(cs) == 1 and isinstance(cs[0], Version):
+            return cs[0]
+        return None
+
+    def satisfies(self, other: "CompilerSpec") -> bool:
+        if self.name != other.name:
+            return False
+        if other.versions.is_any:
+            return True
+        v = self.version
+        if v is not None:
+            return other.versions.includes(v)
+        # both abstract: require non-empty intersection
+        return not self.versions.intersect(other.versions).empty
+
+    def copy(self) -> "CompilerSpec":
+        c = CompilerSpec(self.name)
+        c.versions = self.versions
+        return c
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompilerSpec):
+            return NotImplemented
+        return self.name == other.name and str(self.versions) == str(other.versions)
+
+    def __hash__(self) -> int:
+        return hash((self.name, str(self.versions)))
+
+    def __str__(self) -> str:
+        if self.versions.is_any:
+            return self.name
+        return f"{self.name}@{self.versions}"
+
+    def __repr__(self) -> str:
+        return f"CompilerSpec('{self}')"
+
+
+class Spec:
+    """A package constraint or a concrete build configuration.
+
+    Attributes
+    ----------
+    name:
+        Package name; may be ``None`` for anonymous constraint specs
+        (e.g. ``%gcc@11`` applied to everything in an environment).
+    versions:
+        A :class:`~repro.pkgmgr.version.VersionList` constraint.
+    compiler:
+        Optional :class:`CompilerSpec`.
+    variants:
+        A :class:`~repro.pkgmgr.variant.VariantMap`.
+    dependencies:
+        Mapping ``name -> Spec`` of direct dependency constraints
+        (the ``^`` edges).
+    external:
+        Set by the concretizer when the package is provided by the system
+        (recorded in the environment's packages config), mirroring Spack
+        externals; external specs are not rebuilt (Principle 4: reuse the
+        system default environment where configured).
+    """
+
+    def __init__(self, spec_like: Any = None):
+        self.name: Optional[str] = None
+        self.versions: VersionList = VersionList()
+        self.compiler: Optional[CompilerSpec] = None
+        self.variants: VariantMap = VariantMap()
+        self.dependencies: Dict[str, "Spec"] = {}
+        self.external: bool = False
+        self.namespace: Optional[str] = None
+        self._concrete: bool = False
+        if spec_like is None:
+            return
+        if isinstance(spec_like, Spec):
+            other = spec_like.copy()
+            self.__dict__.update(other.__dict__)
+            return
+        if isinstance(spec_like, str):
+            parsed = parse_spec(spec_like)
+            self.__dict__.update(parsed.__dict__)
+            return
+        raise SpecParseError(f"cannot build a Spec from {spec_like!r}")
+
+    # -- basic accessors ------------------------------------------------------
+    @property
+    def version(self) -> Version:
+        """The concrete version; raises unless exactly one version is pinned."""
+        cs = self.versions.constraints
+        if len(cs) == 1 and isinstance(cs[0], Version):
+            return cs[0]
+        raise SpecParseError(f"spec {self} has no concrete version")
+
+    @property
+    def concrete(self) -> bool:
+        return self._concrete
+
+    def mark_concrete(self) -> None:
+        """Seal the spec after concretization (also seals dependencies)."""
+        for dep in self.dependencies.values():
+            if not dep._concrete:
+                dep.mark_concrete()
+        self._concrete = True
+
+    # -- construction ----------------------------------------------------------
+    def copy(self, deps: bool = True) -> "Spec":
+        s = Spec()
+        s.name = self.name
+        s.versions = self.versions
+        s.compiler = self.compiler.copy() if self.compiler else None
+        s.variants = self.variants.copy()
+        s.external = self.external
+        s.namespace = self.namespace
+        s._concrete = self._concrete
+        if deps:
+            s.dependencies = {n: d.copy() for n, d in self.dependencies.items()}
+        return s
+
+    def constrain(self, other: "Spec") -> "Spec":
+        """Merge *other*'s constraints into a copy of self.
+
+        Raises on contradiction (disjoint versions, clashing variants or
+        compiler names).  This is the core operation the concretizer uses to
+        fold many dependents' requirements into one node.
+        """
+        if self._concrete:
+            raise SpecParseError(f"cannot constrain concrete spec {self}")
+        if other.name is not None and self.name is not None and other.name != self.name:
+            raise SpecParseError(
+                f"cannot constrain {self.name!r} with spec for {other.name!r}"
+            )
+        out = self.copy()
+        if out.name is None:
+            out.name = other.name
+        merged_versions = out.versions.intersect(other.versions)
+        if merged_versions.empty:
+            raise SpecParseError(
+                f"conflicting version constraints on {out.name}: "
+                f"{out.versions} vs {other.versions}"
+            )
+        out.versions = merged_versions
+        if other.compiler is not None:
+            if out.compiler is None:
+                out.compiler = other.compiler.copy()
+            else:
+                if out.compiler.name != other.compiler.name:
+                    raise SpecParseError(
+                        f"conflicting compilers on {out.name}: "
+                        f"{out.compiler} vs {other.compiler}"
+                    )
+                merged = out.compiler.versions.intersect(other.compiler.versions)
+                if merged.empty:
+                    raise SpecParseError(
+                        f"conflicting compiler versions on {out.name}: "
+                        f"{out.compiler} vs {other.compiler}"
+                    )
+                out.compiler.versions = merged
+        out.variants = out.variants.merge(other.variants)
+        for dep_name, dep_spec in other.dependencies.items():
+            if dep_name in out.dependencies:
+                out.dependencies[dep_name] = out.dependencies[dep_name].constrain(
+                    dep_spec
+                )
+            else:
+                out.dependencies[dep_name] = dep_spec.copy()
+        return out
+
+    # -- satisfaction ----------------------------------------------------------
+    def satisfies(self, other: Any) -> bool:
+        """True when self meets every constraint *other* expresses.
+
+        *other* may be a spec string.  Anonymous constraints (no name) match
+        any package.  This is the asymmetric Spack relation used for
+        ``conflicts``, ``depends_on(..., when=...)`` and external matching.
+        """
+        if isinstance(other, str):
+            other = parse_spec(other)
+        if other.name is not None and self.name != other.name:
+            return False
+        if not other.versions.is_any:
+            cs = self.versions.constraints
+            if len(cs) == 1 and isinstance(cs[0], Version):
+                if not other.versions.includes(cs[0]):
+                    return False
+            else:
+                if self.versions.intersect(other.versions).empty:
+                    return False
+        if other.compiler is not None:
+            if self.compiler is None:
+                return False
+            if not self.compiler.satisfies(other.compiler):
+                return False
+        if not self.variants.satisfies(other.variants):
+            return False
+        for dep_name, dep_constraint in other.dependencies.items():
+            mine = self._find_dep(dep_name)
+            if mine is None or not mine.satisfies(dep_constraint):
+                return False
+        return True
+
+    def _find_dep(self, name: str) -> Optional["Spec"]:
+        """Find a dependency anywhere in the DAG (transitively)."""
+        for spec in self.traverse():
+            if spec is not self and spec.name == name:
+                return spec
+        return None
+
+    # -- traversal --------------------------------------------------------------
+    def traverse(self, *, order: str = "pre") -> Iterator["Spec"]:
+        """Yield self and all transitive dependencies (deduplicated by name)."""
+        seen: set[str] = set()
+
+        def walk(node: "Spec") -> Iterator["Spec"]:
+            key = node.name or id(node)
+            if key in seen:
+                return
+            seen.add(key)  # type: ignore[arg-type]
+            if order == "pre":
+                yield node
+            for dep_name in sorted(node.dependencies):
+                yield from walk(node.dependencies[dep_name])
+            if order == "post":
+                yield node
+
+        return walk(self)
+
+    def __getitem__(self, name: str) -> "Spec":
+        """Look up a package in the DAG by name: ``spec['openmpi']``."""
+        if self.name == name:
+            return self
+        found = self._find_dep(name)
+        if found is None:
+            raise KeyError(f"no package {name!r} in spec {self}")
+        return found
+
+    def __contains__(self, name: str) -> bool:
+        if self.name == name:
+            return True
+        return self._find_dep(name) is not None
+
+    # -- hashing / provenance -----------------------------------------------------
+    def dag_dict(self) -> dict:
+        """A JSON-able description of the full DAG (the lockfile entry)."""
+        return {
+            "name": self.name,
+            "version": str(self.versions),
+            "compiler": str(self.compiler) if self.compiler else None,
+            "variants": {k: v for k, v in self.variants.items()},
+            "external": self.external,
+            "dependencies": {
+                n: d.dag_dict() for n, d in sorted(self.dependencies.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Spec":
+        """Rebuild a spec from :meth:`dag_dict` output (lockfile loading).
+
+        Round-trips concrete specs exactly (same dag hash), which is what
+        makes provenance records *actionable*: a recorded build can be
+        reinstated, not just read.
+        """
+        spec = cls()
+        spec.name = doc.get("name")
+        version_text = doc.get("version", ":")
+        if version_text and version_text != ":":
+            spec.versions = VersionList.parse(version_text)
+        compiler_text = doc.get("compiler")
+        if compiler_text:
+            cname, _, cver = compiler_text.partition("@")
+            spec.compiler = CompilerSpec(
+                cname, VersionList.parse(cver) if cver else None
+            )
+        variants = {}
+        for key, value in (doc.get("variants") or {}).items():
+            if isinstance(value, list):
+                value = tuple(value)
+            variants[key] = value
+        spec.variants = VariantMap(variants)
+        spec.external = bool(doc.get("external", False))
+        for dep_name, dep_doc in (doc.get("dependencies") or {}).items():
+            spec.dependencies[dep_name] = cls.from_dict(dep_doc)
+        return spec
+
+    def dag_hash(self, length: int = 7) -> str:
+        """Content hash of the concrete DAG, as Spack prints (``/abcdefg``)."""
+        blob = json.dumps(self.dag_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:length]
+
+    # -- rendering -----------------------------------------------------------------
+    def format(self, *, deps: bool = True, hashes: bool = False) -> str:
+        parts = [self.name or ""]
+        if not self.versions.is_any:
+            parts.append(f"@{self.versions}")
+        if self.compiler is not None:
+            parts.append(f"%{self.compiler}")
+        vstr = str(self.variants)
+        if vstr:
+            parts.append(f" {vstr}")
+        if hashes and self._concrete:
+            parts.append(f" /{self.dag_hash()}")
+        text = "".join(parts).strip()
+        if deps:
+            for dep_name in sorted(self.dependencies):
+                dep = self.dependencies[dep_name]
+                text += f" ^{dep.format(deps=False, hashes=hashes)}"
+        return text
+
+    def tree(self, indent: int = 0) -> str:
+        """An indented multi-line rendering like ``spack spec``."""
+        lines = [" " * indent + self.format(deps=False, hashes=True)]
+        for dep_name in sorted(self.dependencies):
+            lines.append(self.dependencies[dep_name].tree(indent + 4))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def __repr__(self) -> str:
+        return f"Spec('{self.format()}')"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Spec):
+            return NotImplemented
+        return self.dag_dict() == other.dag_dict()
+
+    def __hash__(self) -> int:
+        return hash(json.dumps(self.dag_dict(), sort_keys=True, default=str))
+
+
+def parse_spec(text: str) -> Spec:
+    """Parse a spec string into a :class:`Spec` (possibly anonymous)."""
+    if not isinstance(text, str):
+        raise SpecParseError(f"expected str, got {type(text).__name__}")
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SpecParseError(f"bad character at {pos} in spec: {text!r}")
+        kind = m.lastgroup
+        if kind != "ws":
+            tokens.append((kind, m.group()))
+        pos = m.end()
+
+    root = Spec()
+    current = root
+    stack: List[Spec] = []
+    i = 0
+
+    def expect_name(context: str) -> str:
+        nonlocal i
+        if i >= len(tokens) or tokens[i][0] != "name":
+            raise SpecParseError(f"expected name after {context} in {text!r}")
+        value = tokens[i][1]
+        i += 1
+        return value
+
+    while i < len(tokens):
+        kind, value = tokens[i]
+        if kind == "name":
+            if current.name is not None:
+                raise SpecParseError(
+                    f"unexpected second package name {value!r} in {text!r}"
+                )
+            current.name = value
+            i += 1
+        elif kind == "at":
+            try:
+                vlist = VersionList.parse(value[1:])
+            except Exception as exc:
+                raise SpecParseError(f"bad version in {text!r}: {exc}") from exc
+            current.versions = current.versions.intersect(vlist)
+            if current.versions.empty:
+                raise SpecParseError(f"contradictory versions in {text!r}")
+            i += 1
+        elif kind == "pct":
+            i += 1
+            cname = expect_name("'%'")
+            compiler = CompilerSpec(cname)
+            if i < len(tokens) and tokens[i][0] == "at":
+                compiler.versions = VersionList.parse(tokens[i][1][1:])
+                i += 1
+            if current.compiler is not None:
+                raise SpecParseError(f"two compilers in one spec: {text!r}")
+            current.compiler = compiler
+        elif kind == "plus":
+            i += 1
+            vname = expect_name("'+'")
+            current.variants = current.variants.merge(VariantMap({vname: True}))
+        elif kind == "tilde":
+            i += 1
+            vname = expect_name("'~'")
+            current.variants = current.variants.merge(VariantMap({vname: False}))
+        elif kind == "kv":
+            key, _, val = value.partition("=")
+            if "," in val:
+                current.variants = current.variants.merge(
+                    VariantMap({key: tuple(sorted(val.split(",")))})
+                )
+            else:
+                current.variants = current.variants.merge(VariantMap({key: val}))
+            i += 1
+        elif kind == "dep":
+            i += 1
+            dep = Spec()
+            stack.append(current)
+            current = dep
+        else:  # pragma: no cover - the tokenizer admits nothing else
+            raise SpecParseError(f"unexpected token {value!r} in {text!r}")
+
+        # close a dependency scope when the next token starts a new dep or ends
+        if stack and (i >= len(tokens) or tokens[i][0] == "dep"):
+            dep = current
+            if dep.name is None:
+                raise SpecParseError(f"dependency without a name in {text!r}")
+            parent = stack.pop()
+            if dep.name in parent.dependencies:
+                parent.dependencies[dep.name] = parent.dependencies[
+                    dep.name
+                ].constrain(dep)
+            else:
+                parent.dependencies[dep.name] = dep
+            current = parent
+
+    return root

@@ -1,0 +1,217 @@
+"""Build variants: boolean and (multi-)valued options on packages.
+
+A recipe declares variants (``variant('omp', default=True)``); a spec selects
+them (``+omp``, ``~cuda``, ``backend=openmp``).  :class:`VariantMap` stores a
+spec's selections and supports the constraint operations the concretizer
+needs: satisfaction checks and conflict-detecting merges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Tuple, Union
+
+__all__ = ["Variant", "VariantMap", "VariantError"]
+
+
+class VariantError(ValueError):
+    """Raised on undefined variants, bad values, or conflicting selections."""
+
+
+class Variant:
+    """Declaration of a variant in a package recipe.
+
+    Parameters
+    ----------
+    name:
+        Variant name as it appears in specs.
+    default:
+        Value assumed when a spec does not mention the variant.
+    description:
+        Human-readable help, shown by ``repro-pkg info``.
+    values:
+        Allowed values.  ``(True, False)`` declares a boolean variant;
+        any other tuple declares a string-valued variant.
+    multi:
+        If True, a spec may select several values (``languages=c,fortran``).
+    """
+
+    __slots__ = ("name", "default", "description", "values", "multi")
+
+    def __init__(
+        self,
+        name: str,
+        default: Any = False,
+        description: str = "",
+        values: Tuple[Any, ...] = (True, False),
+        multi: bool = False,
+    ):
+        self.name = name
+        self.default = default
+        self.description = description
+        self.values = tuple(values)
+        self.multi = multi
+        if multi:
+            defaults = self._split(default)
+            bad = [d for d in defaults if d not in self.values]
+        else:
+            bad = [] if default in self.values else [default]
+        if bad:
+            raise VariantError(
+                f"default {bad!r} not among allowed values {self.values!r} "
+                f"for variant {name!r}"
+            )
+
+    @property
+    def is_boolean(self) -> bool:
+        return set(self.values) == {True, False}
+
+    @staticmethod
+    def _split(value: Any) -> Tuple[Any, ...]:
+        if isinstance(value, str) and "," in value:
+            return tuple(value.split(","))
+        if isinstance(value, (tuple, list)):
+            return tuple(value)
+        return (value,)
+
+    def validate(self, value: Any) -> Any:
+        """Normalize & check a value selected in a spec; raise on bad values."""
+        if self.is_boolean:
+            if isinstance(value, str):
+                low = value.lower()
+                if low in ("true", "on", "1"):
+                    value = True
+                elif low in ("false", "off", "0"):
+                    value = False
+            if not isinstance(value, bool):
+                raise VariantError(
+                    f"variant {self.name!r} is boolean, got {value!r}"
+                )
+            return value
+        if self.multi:
+            vals = self._split(value)
+            for v in vals:
+                if v not in self.values:
+                    raise VariantError(
+                        f"invalid value {v!r} for multi-variant {self.name!r}; "
+                        f"allowed: {self.values!r}"
+                    )
+            return tuple(sorted(vals))
+        if value not in self.values:
+            raise VariantError(
+                f"invalid value {value!r} for variant {self.name!r}; "
+                f"allowed: {self.values!r}"
+            )
+        return value
+
+    def __repr__(self) -> str:
+        return f"Variant({self.name!r}, default={self.default!r})"
+
+
+def _format_value(name: str, value: Any) -> str:
+    if value is True:
+        return f"+{name}"
+    if value is False:
+        return f"~{name}"
+    if isinstance(value, tuple):
+        return f"{name}={','.join(str(v) for v in value)}"
+    return f"{name}={value}"
+
+
+class VariantMap:
+    """The variant selections carried by a spec.
+
+    Behaves like a mapping ``name -> value`` where a value is ``True``,
+    ``False``, a string, or a tuple of strings (multi variants).
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Optional[Mapping[str, Any]] = None):
+        self._data: dict[str, Any] = dict(data or {})
+
+    def copy(self) -> "VariantMap":
+        return VariantMap(self._data)
+
+    def __getitem__(self, name: str) -> Any:
+        return self._data[name]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self._data[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __iter__(self):
+        return iter(sorted(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._data.get(name, default)
+
+    def items(self) -> Iterable[Tuple[str, Any]]:
+        return sorted(self._data.items())
+
+    def satisfies(self, other: "VariantMap") -> bool:
+        """True when every selection in *other* is present and equal here.
+
+        This is the asymmetric "spec satisfies constraint" relation: the
+        constraint (*other*) may mention fewer variants.
+        """
+        for name, want in other._data.items():
+            if name not in self._data:
+                return False
+            have = self._data[name]
+            if isinstance(have, tuple) and not isinstance(want, tuple):
+                if want not in have:
+                    return False
+            elif isinstance(have, tuple) and isinstance(want, tuple):
+                if not set(want) <= set(have):
+                    return False
+            elif have != want:
+                return False
+        return True
+
+    def merge(self, other: "VariantMap") -> "VariantMap":
+        """Combine two constraint maps; raise :class:`VariantError` on clash."""
+        out = self.copy()
+        for name, value in other._data.items():
+            if name in out._data and out._data[name] != value:
+                a, b = out._data[name], value
+                if isinstance(a, tuple) and isinstance(b, tuple):
+                    out._data[name] = tuple(sorted(set(a) | set(b)))
+                    continue
+                raise VariantError(
+                    f"conflicting values for variant {name!r}: {a!r} vs {b!r}"
+                )
+            out._data[name] = value
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VariantMap):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, v) for k, v in self._data.items())))
+
+    def __str__(self) -> str:
+        if not self._data:
+            return ""
+        # booleans render glued together (+omp~cuda), key=value space-separated,
+        # matching Spack's spec output format.
+        bool_part = "".join(
+            _format_value(k, self._data[k])
+            for k in sorted(self._data)
+            if isinstance(self._data[k], bool)
+        )
+        kv_part = " ".join(
+            _format_value(k, self._data[k])
+            for k in sorted(self._data)
+            if not isinstance(self._data[k], bool)
+        )
+        return " ".join(p for p in (bool_part, kv_part) if p)
+
+    def __repr__(self) -> str:
+        return f"VariantMap({self._data!r})"

@@ -1,0 +1,327 @@
+"""Version semantics: dotted versions, ranges, and lists of ranges.
+
+Implements the subset of Spack's version algebra the concretizer needs:
+
+* :class:`Version` -- a dotted version (``11.2.0``), totally ordered, with
+  numeric components compared numerically and alphanumeric suffixes
+  lexicographically (``1.2rc1 < 1.2``  is *not* modelled; suffixes sort after
+  the bare prefix, matching Spack's simple behaviour for the versions used in
+  the paper: ``9.2.0``, ``10.3.0``, ``11.2.0``, ``2023.1.0`` ...).
+* :class:`VersionRange` -- a closed interval ``lo:hi`` where either end may be
+  open (``None``).  ``@1.2:`` means "1.2 or newer", ``@:1.2`` "1.2 or older".
+  A bare version used as a constraint means *any version with that prefix*
+  (``@11`` is satisfied by ``11.2.0``) as in Spack.
+* :class:`VersionList` -- a union of versions/ranges (``@1.2,1.4:1.6``),
+  supporting intersection, union, satisfaction, and emptiness tests which the
+  concretizer uses to combine constraints from many dependents.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Iterable, Optional, Union
+
+__all__ = ["Version", "VersionRange", "VersionList", "ver", "VersionError"]
+
+
+class VersionError(ValueError):
+    """Raised on malformed version strings or impossible version operations."""
+
+
+_SEGMENT_RE = re.compile(r"(\d+|[a-zA-Z]+)")
+
+
+def _parse_components(string: str) -> tuple:
+    """Split ``'11.2.0rc1'`` into ``(11, 2, 0, 'rc', 1)``.
+
+    Numeric runs become ints, alphabetic runs stay strings; separators
+    (``.``, ``-``, ``_``) are discarded.  This mirrors Spack's tokenizer.
+    """
+    if not string:
+        raise VersionError("empty version string")
+    if not re.fullmatch(r"[A-Za-z0-9._\-]+", string):
+        raise VersionError(f"illegal characters in version: {string!r}")
+    return tuple(
+        int(tok) if tok.isdigit() else tok for tok in _SEGMENT_RE.findall(string)
+    )
+
+
+def _cmp_key(components: tuple) -> tuple:
+    """Key making mixed int/str component tuples totally ordered.
+
+    Ints sort before strings of the same rank so that ``1.2 < 1.2a < 1.10``
+    holds component-wise; shorter tuples that are prefixes sort first
+    (``1.2 < 1.2.0``), which matches Spack's ordering.
+    """
+    key = []
+    for c in components:
+        if isinstance(c, int):
+            key.append((1, c, ""))
+        else:
+            key.append((2, 0, c))
+    return tuple(key)
+
+
+@total_ordering
+class Version:
+    """A single dotted version, e.g. ``Version('11.2.0')``.
+
+    Versions are immutable, hashable, and totally ordered.  A version can act
+    as a *constraint*, in which case it is satisfied by any version of which
+    it is a dotted prefix: ``Version('11').satisfies_version(Version('11.2.0'))``.
+    """
+
+    __slots__ = ("string", "components", "_key")
+
+    def __init__(self, string: Union[str, int, float, "Version"]):
+        if isinstance(string, Version):
+            string = string.string
+        string = str(string)
+        self.string = string
+        self.components = _parse_components(string)
+        self._key = _cmp_key(self.components)
+
+    # -- ordering -----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self.components == other.components
+
+    def __lt__(self, other: "Version") -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self._key < other._key
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    # -- prefix / constraint semantics ---------------------------------------
+    def is_prefix_of(self, other: "Version") -> bool:
+        """True if *self* is a dotted prefix of *other* (``11`` of ``11.2.0``)."""
+        n = len(self.components)
+        return other.components[:n] == self.components
+
+    def satisfies(self, constraint: "VersionConstraint") -> bool:
+        """True if this concrete version satisfies *constraint*."""
+        if isinstance(constraint, Version):
+            return constraint.is_prefix_of(self)
+        return constraint.includes(self)
+
+    def up_to(self, index: int) -> "Version":
+        """Truncate: ``Version('11.2.0').up_to(2) == Version('11.2')``."""
+        if index < 1:
+            raise VersionError("up_to index must be >= 1")
+        return Version(".".join(str(c) for c in self.components[:index]))
+
+    @property
+    def dotted(self) -> str:
+        return self.string
+
+    def __repr__(self) -> str:
+        return f"Version('{self.string}')"
+
+    def __str__(self) -> str:
+        return self.string
+
+
+class VersionRange:
+    """A closed range ``lo:hi``; either bound may be ``None`` (open).
+
+    The bounds use *prefix-inclusive* semantics on the high end as in Spack:
+    ``:11`` admits ``11.2.0`` because ``11`` is a prefix of it.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[Version], hi: Optional[Version]):
+        if lo is not None and not isinstance(lo, Version):
+            lo = Version(lo)
+        if hi is not None and not isinstance(hi, Version):
+            hi = Version(hi)
+        if lo is not None and hi is not None and hi < lo and not lo.is_prefix_of(hi):
+            raise VersionError(f"backwards version range: {lo}:{hi}")
+        self.lo = lo
+        self.hi = hi
+
+    def includes(self, v: Version) -> bool:
+        if self.lo is not None and v < self.lo and not self.lo.is_prefix_of(v):
+            return False
+        if self.hi is not None and v > self.hi and not self.hi.is_prefix_of(v):
+            return False
+        return True
+
+    def intersection(self, other: "VersionRange") -> Optional["VersionRange"]:
+        """The overlapping range, or ``None`` if disjoint."""
+        lo = self.lo
+        if other.lo is not None and (lo is None or other.lo > lo):
+            lo = other.lo
+        hi = self.hi
+        if other.hi is not None and (hi is None or other.hi < hi):
+            hi = other.hi
+        if lo is not None and hi is not None and hi < lo and not lo.is_prefix_of(hi):
+            return None
+        return VersionRange(lo, hi)
+
+    def overlaps(self, other: "VersionRange") -> bool:
+        return self.intersection(other) is not None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionRange):
+            return NotImplemented
+        return (self.lo, self.hi) == (other.lo, other.hi)
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __str__(self) -> str:
+        lo = self.lo.string if self.lo is not None else ""
+        hi = self.hi.string if self.hi is not None else ""
+        return f"{lo}:{hi}"
+
+    def __repr__(self) -> str:
+        return f"VersionRange({self})"
+
+
+VersionConstraint = Union[Version, VersionRange]
+
+
+def _parse_single(text: str) -> VersionConstraint:
+    text = text.strip()
+    if not text:
+        raise VersionError("empty version constraint")
+    if ":" in text:
+        lo_s, _, hi_s = text.partition(":")
+        lo = Version(lo_s) if lo_s else None
+        hi = Version(hi_s) if hi_s else None
+        return VersionRange(lo, hi)
+    return Version(text)
+
+
+class VersionList:
+    """A union of version constraints, e.g. ``@1.2,1.4:1.6``.
+
+    The concretizer folds every dependent's requirement into one
+    ``VersionList`` per package via :meth:`intersect`; an empty result is a
+    conflict.  An *empty constructor* yields the universal list ``:`` (any).
+    """
+
+    __slots__ = ("constraints", "_is_empty")
+
+    def __init__(self, constraints: Iterable[Union[str, VersionConstraint]] = ()):
+        parsed: list[VersionConstraint] = []
+        for c in constraints:
+            if isinstance(c, str):
+                parsed.extend(_parse_single(part) for part in c.split(","))
+            elif isinstance(c, (Version, VersionRange)):
+                parsed.append(c)
+            else:
+                raise VersionError(f"bad version constraint: {c!r}")
+        self.constraints = tuple(parsed)
+        # no constraints at construction means "any"; only intersect() can
+        # produce the unsatisfiable (empty) list
+        self._is_empty = False
+
+    @classmethod
+    def parse(cls, text: str) -> "VersionList":
+        """Parse the text after ``@`` in a spec: ``'1.2,1.4:1.6'``."""
+        return cls([text])
+
+    @property
+    def is_any(self) -> bool:
+        """True for the universal constraint (no restriction at all)."""
+        if self._is_empty:
+            return False
+        if not self.constraints:
+            return True
+        return any(
+            isinstance(c, VersionRange) and c.lo is None and c.hi is None
+            for c in self.constraints
+        )
+
+    def includes(self, v: Version) -> bool:
+        if self.is_any:
+            return True
+        return any(v.satisfies(c) for c in self.constraints)
+
+    def _as_ranges(self) -> list[VersionRange]:
+        out = []
+        for c in self.constraints:
+            if isinstance(c, Version):
+                out.append(VersionRange(c, c))
+            else:
+                out.append(c)
+        return out
+
+    def intersect(self, other: "VersionList") -> "VersionList":
+        """Combine two requirement sets; result admits only versions both admit."""
+        if self.is_any:
+            return other
+        if other.is_any:
+            return self
+        pieces: list[VersionConstraint] = []
+        for a in self._as_ranges():
+            for b in other._as_ranges():
+                both = a.intersection(b)
+                if both is None:
+                    continue
+                if (
+                    both.lo is not None
+                    and both.hi is not None
+                    and both.lo == both.hi
+                ):
+                    pieces.append(both.lo)
+                else:
+                    pieces.append(both)
+        result = VersionList()
+        # dedupe while keeping order
+        seen = set()
+        kept = []
+        for p in pieces:
+            key = str(p)
+            if key not in seen:
+                seen.add(key)
+                kept.append(p)
+        result.constraints = tuple(kept)
+        result._is_empty = not kept
+        return result
+
+    @property
+    def empty(self) -> bool:
+        """True when no version can satisfy (a conflict)."""
+        return self._is_empty
+
+    def highest_of(self, candidates: Iterable[Version]) -> Optional[Version]:
+        """Pick the highest candidate admitted by this list (Spack's policy)."""
+        admitted = [v for v in candidates if self.includes(v)]
+        return max(admitted) if admitted else None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionList):
+            return NotImplemented
+        return str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def __str__(self) -> str:
+        if self._is_empty:
+            return "<none>"
+        if self.is_any:
+            return ":"
+        return ",".join(str(c) for c in self.constraints)
+
+    def __repr__(self) -> str:
+        return f"VersionList('{self}')"
+
+
+def ver(text: Union[str, int, float]) -> Union[Version, VersionRange, VersionList]:
+    """Convenience parser mirroring ``spack.version.ver``.
+
+    ``ver('1.2')`` -> Version, ``ver('1.2:')`` -> VersionRange,
+    ``ver('1.2,1.4')`` -> VersionList.
+    """
+    text = str(text)
+    if "," in text:
+        return VersionList.parse(text)
+    return _parse_single(text)

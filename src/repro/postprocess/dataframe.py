@@ -1,0 +1,262 @@
+"""A minimal column-store DataFrame (the pandas subset the pipeline needs).
+
+Columns are numpy arrays (object dtype for strings), rows are implicit.
+Supported operations mirror what the paper's post-processing scripts do
+with pandas: construction from records, selection, boolean-mask
+filtering, concatenation (the "crucial" cross-platform assimilation
+step), group-by aggregation, sorting, pivoting for chart series, and CSV
+round-tripping.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["DataFrame", "DataFrameError"]
+
+
+class DataFrameError(ValueError):
+    """Schema violations: unknown columns, ragged data, bad merges."""
+
+
+class DataFrame:
+    """An ordered mapping column-name -> numpy array, all equal length."""
+
+    def __init__(self, data: Optional[Dict[str, Sequence[Any]]] = None):
+        self._cols: Dict[str, np.ndarray] = {}
+        if data:
+            lengths = {len(v) for v in data.values()}
+            if len(lengths) > 1:
+                raise DataFrameError(f"ragged columns: lengths {sorted(lengths)}")
+            for name, values in data.items():
+                self._cols[name] = self._as_array(values)
+
+    @staticmethod
+    def _as_array(values: Sequence[Any]) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.dtype.kind in ("U", "S"):
+            arr = arr.astype(object)
+        return arr
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Dict[str, Any]], columns: Optional[List[str]] = None
+    ) -> "DataFrame":
+        records = list(records)
+        if not records and not columns:
+            return cls()
+        names = columns or list(records[0].keys())
+        data = {
+            name: [rec.get(name) for rec in records] for name in names
+        }
+        return cls(data)
+
+    @classmethod
+    def concat(cls, frames: Sequence["DataFrame"]) -> "DataFrame":
+        """Row-wise concatenation; columns are the union, missing -> None."""
+        frames = [f for f in frames if len(f) > 0]
+        if not frames:
+            return cls()
+        names: List[str] = []
+        for f in frames:
+            for name in f.columns:
+                if name not in names:
+                    names.append(name)
+        data: Dict[str, List[Any]] = {n: [] for n in names}
+        for f in frames:
+            n = len(f)
+            for name in names:
+                if name in f._cols:
+                    data[name].extend(f._cols[name].tolist())
+                else:
+                    data[name].extend([None] * n)
+        return cls(data)
+
+    # -- introspection --------------------------------------------------------------
+    @property
+    def columns(self) -> List[str]:
+        return list(self._cols)
+
+    def __len__(self) -> int:
+        if not self._cols:
+            return 0
+        return len(next(iter(self._cols.values())))
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._cols:
+            raise DataFrameError(
+                f"no column {name!r}; have {', '.join(self.columns)}"
+            )
+        return self._cols[name]
+
+    def __setitem__(self, name: str, values: Sequence[Any]) -> None:
+        arr = self._as_array(values)
+        if self._cols and len(arr) != len(self):
+            raise DataFrameError(
+                f"column {name!r} length {len(arr)} != frame length {len(self)}"
+            )
+        self._cols[name] = arr
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def row(self, index: int) -> Dict[str, Any]:
+        return {name: self._cols[name][index] for name in self._cols}
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        return [self.row(i) for i in range(len(self))]
+
+    # -- transformation -------------------------------------------------------------
+    def select(self, names: List[str]) -> "DataFrame":
+        missing = [n for n in names if n not in self._cols]
+        if missing:
+            raise DataFrameError(f"unknown columns {missing}")
+        out = DataFrame()
+        for n in names:
+            out._cols[n] = self._cols[n].copy()
+        return out
+
+    def mask(self, condition: np.ndarray) -> "DataFrame":
+        condition = np.asarray(condition, dtype=bool)
+        if condition.shape != (len(self),):
+            raise DataFrameError("mask length mismatch")
+        out = DataFrame()
+        for name, col in self._cols.items():
+            out._cols[name] = col[condition]
+        return out
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "DataFrame":
+        keep = np.array(
+            [bool(predicate(self.row(i))) for i in range(len(self))], dtype=bool
+        )
+        return self.mask(keep)
+
+    def filter_eq(self, column: str, value: Any) -> "DataFrame":
+        return self.mask(self[column] == value)
+
+    def filter_in(self, column: str, values: Iterable[Any]) -> "DataFrame":
+        values = set(values)
+        keep = np.array([v in values for v in self[column]], dtype=bool)
+        return self.mask(keep)
+
+    def sort_values(self, by: str, ascending: bool = True) -> "DataFrame":
+        col = self[by]
+        order = np.argsort(col, kind="stable")
+        if not ascending:
+            order = order[::-1]
+        out = DataFrame()
+        for name, c in self._cols.items():
+            out._cols[name] = c[order]
+        return out
+
+    def unique(self, column: str) -> List[Any]:
+        seen: Dict[Any, None] = {}
+        for v in self[column]:
+            seen.setdefault(v, None)
+        return list(seen)
+
+    def with_column(
+        self, name: str, fn: Callable[[Dict[str, Any]], Any]
+    ) -> "DataFrame":
+        out = DataFrame()
+        for n, c in self._cols.items():
+            out._cols[n] = c.copy()
+        out[name] = [fn(self.row(i)) for i in range(len(self))]
+        return out
+
+    # -- aggregation -----------------------------------------------------------------
+    def groupby(
+        self,
+        keys: List[str],
+        agg: Dict[str, Callable[[np.ndarray], Any]],
+    ) -> "DataFrame":
+        """Group rows by key columns and aggregate value columns.
+
+        ``agg`` maps column name -> reducer (e.g. ``np.mean``); group key
+        order follows first appearance (stable, deterministic).
+        """
+        groups: Dict[tuple, List[int]] = {}
+        for i in range(len(self)):
+            key = tuple(self._cols[k][i] for k in keys)
+            groups.setdefault(key, []).append(i)
+        records = []
+        for key, idxs in groups.items():
+            rec = dict(zip(keys, key))
+            for col, reducer in agg.items():
+                values = self[col][idxs]
+                rec[col] = reducer(values)
+            records.append(rec)
+        return DataFrame.from_records(records, columns=keys + list(agg))
+
+    def pivot(
+        self, index: str, series: str, values: str
+    ) -> "tuple[List[Any], Dict[Any, List[Any]]]":
+        """Chart-shaped output: ordered index labels and per-series values.
+
+        Missing (index, series) combinations become ``None``, which the
+        plotting layer renders as an absent bar (Figure 2's ``*`` boxes).
+        """
+        idx_labels = self.unique(index)
+        series_labels = self.unique(series)
+        table: Dict[Any, List[Any]] = {
+            s: [None] * len(idx_labels) for s in series_labels
+        }
+        pos = {label: i for i, label in enumerate(idx_labels)}
+        for i in range(len(self)):
+            row_idx = pos[self._cols[index][i]]
+            table[self._cols[series][i]][row_idx] = self._cols[values][i]
+        return idx_labels, table
+
+    # -- io -----------------------------------------------------------------------------
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        for i in range(len(self)):
+            writer.writerow([self._cols[n][i] for n in self.columns])
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "DataFrame":
+        reader = csv.reader(io.StringIO(text))
+        rows = list(reader)
+        if not rows:
+            return cls()
+        header, body = rows[0], rows[1:]
+        data: Dict[str, List[Any]] = {h: [] for h in header}
+        for row in body:
+            for h, v in zip(header, row):
+                try:
+                    data[h].append(float(v))
+                except ValueError:
+                    data[h].append(v)
+        return cls(data)
+
+    def __repr__(self) -> str:
+        return f"DataFrame({len(self)} rows x {len(self.columns)} cols)"
+
+    def to_string(self, max_rows: int = 20) -> str:
+        names = self.columns
+        if not names:
+            return "(empty DataFrame)"
+        rows = [names] + [
+            [str(self._cols[n][i]) for n in names]
+            for i in range(min(len(self), max_rows))
+        ]
+        widths = [max(len(r[c]) for r in rows) for c in range(len(names))]
+        lines = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in rows
+        ]
+        if len(self) > max_rows:
+            lines.append(f"... ({len(self) - max_rows} more rows)")
+        return "\n".join(lines)

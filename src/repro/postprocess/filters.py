@@ -1,0 +1,84 @@
+"""YAML-config-driven filtering of assimilated perflog data.
+
+The paper: "The post-processing scripts also provide a unified way to
+filter the perflog and pass selected data to sample plotting scripts, all
+controlled via a YAML configuration file."
+
+Config schema (all keys optional)::
+
+    filters:
+      - column: system
+        in: [archer2, csd3]
+      - column: perf_var
+        equals: Triad
+      - column: perf_value
+        min: 10.0
+        max: 1000.0
+      - column: test
+        contains: BabelStream
+    series: model        # pivot series column
+    x: system            # pivot index column
+    value: perf_value    # pivot value column
+    title: "Triad bandwidth"
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+import yaml
+
+from repro.postprocess.dataframe import DataFrame
+
+__all__ = ["FilterError", "apply_filters", "load_config"]
+
+
+class FilterError(ValueError):
+    """Malformed filter configuration."""
+
+
+def load_config(text: str) -> Dict[str, Any]:
+    try:
+        doc = yaml.safe_load(text) or {}
+    except yaml.YAMLError as exc:
+        raise FilterError(f"bad YAML config: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise FilterError("config must be a mapping")
+    return doc
+
+
+def apply_filters(frame: DataFrame, config: Dict[str, Any]) -> DataFrame:
+    """Apply the ``filters`` section of a config to a DataFrame."""
+    out = frame
+    for i, rule in enumerate(config.get("filters", [])):
+        if not isinstance(rule, dict) or "column" not in rule:
+            raise FilterError(f"filter #{i}: needs a 'column' key: {rule!r}")
+        column = rule["column"]
+        if column not in out:
+            raise FilterError(
+                f"filter #{i}: no column {column!r} in data "
+                f"(have {', '.join(out.columns)})"
+            )
+        if "equals" in rule:
+            out = out.filter_eq(column, rule["equals"])
+        if "in" in rule:
+            values = rule["in"]
+            if not isinstance(values, list):
+                raise FilterError(f"filter #{i}: 'in' needs a list")
+            out = out.filter_in(column, values)
+        if "contains" in rule:
+            needle = str(rule["contains"])
+            keep = np.array(
+                [needle in str(v) for v in out[column]], dtype=bool
+            )
+            out = out.mask(keep)
+        if "min" in rule:
+            out = out.mask(
+                np.asarray(out[column], dtype=float) >= float(rule["min"])
+            )
+        if "max" in rule:
+            out = out.mask(
+                np.asarray(out[column], dtype=float) <= float(rule["max"])
+            )
+    return out

@@ -1,0 +1,77 @@
+"""Read perflogs into DataFrames.
+
+"If more than one perflog is used for plotting, DataFrames from individual
+perflogs are concatenated together into one DataFrame -- this feature is
+crucial for cross-platform data assimilation in a predictable manner where
+perflogs are generated on isolated systems." (Section 2.4)
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import List
+
+from repro.postprocess.dataframe import DataFrame
+from repro.runner.perflog import PERFLOG_FIELDS
+
+__all__ = ["read_perflog", "read_perflogs", "PerflogFormatError"]
+
+
+class PerflogFormatError(ValueError):
+    """A perflog line does not match the expected schema."""
+
+
+_NUMERIC = {"perf_value", "num_tasks"}
+
+
+def _parse_line(line: str, path: str, lineno: int) -> dict:
+    parts = line.rstrip("\n").split("|")
+    if len(parts) != len(PERFLOG_FIELDS):
+        raise PerflogFormatError(
+            f"{path}:{lineno}: expected {len(PERFLOG_FIELDS)} fields, "
+            f"got {len(parts)}"
+        )
+    rec = dict(zip(PERFLOG_FIELDS, parts))
+    for key in _NUMERIC:
+        try:
+            rec[key] = float(rec[key])
+        except ValueError as exc:
+            raise PerflogFormatError(
+                f"{path}:{lineno}: field {key}={rec[key]!r} is not numeric"
+            ) from exc
+    return rec
+
+
+def read_perflog(path: str) -> DataFrame:
+    """One perflog file -> DataFrame (header line is validated)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            if lineno == 1 and line.startswith("timestamp|"):
+                header = tuple(line.strip().split("|"))
+                if header != PERFLOG_FIELDS:
+                    raise PerflogFormatError(
+                        f"{path}: unexpected header {header}"
+                    )
+                continue
+            records.append(_parse_line(line, path, lineno))
+    frame = DataFrame.from_records(records, columns=list(PERFLOG_FIELDS))
+    frame["perflog_path"] = [path] * len(frame)
+    return frame
+
+
+def read_perflogs(prefix_or_glob: str) -> DataFrame:
+    """All perflogs under a directory (or matching a glob), concatenated."""
+    if os.path.isdir(prefix_or_glob):
+        paths = sorted(
+            glob.glob(os.path.join(prefix_or_glob, "**", "*.log"),
+                      recursive=True)
+        )
+    else:
+        paths = sorted(glob.glob(prefix_or_glob))
+    if not paths:
+        raise FileNotFoundError(f"no perflogs under {prefix_or_glob!r}")
+    return DataFrame.concat([read_perflog(p) for p in paths])

@@ -1,0 +1,227 @@
+"""Chart rendering: grouped bar charts as ASCII (terminal) and SVG (files).
+
+The paper's proof-of-concept uses Bokeh; unavailable here, so the same
+"multiple data series bar chart" is rendered natively.  ``None`` values
+(combinations that did not run -- Figure 2's white ``*`` boxes) are drawn
+as an asterisk/empty slot rather than silently dropped, preserving the
+paper's explicit-failure convention.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["bar_chart_ascii", "bar_chart_svg", "heatmap_ascii",
+           "line_chart_svg"]
+
+_SVG_COLOURS = (
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#000000",
+)
+
+
+def bar_chart_ascii(
+    index: Sequence[Any],
+    series: Dict[Any, List[Optional[float]]],
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bar chart in plain text."""
+    values = [
+        v for vals in series.values() for v in vals if v is not None
+    ]
+    vmax = max(values) if values else 1.0
+    label_w = max(
+        [len(str(i)) for i in index] + [len(str(s)) for s in series] + [4]
+    )
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    for i, idx_label in enumerate(index):
+        lines.append(f"{idx_label}:")
+        for s_label, vals in series.items():
+            v = vals[i]
+            if v is None:
+                lines.append(f"  {str(s_label):<{label_w}} *")
+                continue
+            bar = "#" * max(int(round(v / vmax * width)), 1 if v > 0 else 0)
+            lines.append(
+                f"  {str(s_label):<{label_w}} {bar} {v:.4g}{unit and ' ' + unit}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def heatmap_ascii(
+    rows: Sequence[Any],
+    cols: Sequence[Any],
+    cells: Dict[Any, Dict[Any, Optional[float]]],
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """A Figure 2-style matrix: rows x columns of values, '*' for absent."""
+    col_w = max([len(str(c)) for c in cols] + [6]) + 1
+    row_w = max(len(str(r)) for r in rows) + 1
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    lines.append(" " * row_w + "".join(str(c).rjust(col_w) for c in cols))
+    for r in rows:
+        cells_r = cells.get(r, {})
+        line = str(r).ljust(row_w)
+        for c in cols:
+            v = cells_r.get(c)
+            line += ("*" if v is None else fmt.format(v)).rjust(col_w)
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def line_chart_svg(
+    series: Dict[Any, List[tuple]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 720,
+    height: int = 420,
+    log_x: bool = False,
+) -> str:
+    """Multi-series line chart (scaling curves, time-series regression).
+
+    ``series`` maps a label to ``[(x, y), ...]`` points; ``log_x=True``
+    spaces task counts logarithmically, the conventional scaling-plot
+    axis.
+    """
+    import math
+
+    pts_all = [(x, y) for pts in series.values() for x, y in pts]
+    if not pts_all:
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+                f'height="{height}"/>')
+    xt = (lambda v: math.log2(v)) if log_x else (lambda v: float(v))
+    xs = [xt(x) for x, _ in pts_all]
+    ys = [y for _, y in pts_all]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(min(ys), 0.0), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    m_left, m_right, m_top, m_bot = 60, 20, 36, 44
+
+    def px(x):
+        return m_left + (xt(x) - x_lo) / x_span * (width - m_left - m_right)
+
+    def py(y):
+        return height - m_bot - (y - y_lo) / y_span * (height - m_top - m_bot)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{width // 2}" y="18" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{title}</text>',
+        f'<rect x="{m_left}" y="{m_top}" width="{width - m_left - m_right}" '
+        f'height="{height - m_top - m_bot}" fill="none" stroke="#888"/>',
+        f'<text x="{width // 2}" y="{height - 8}" '
+        f'text-anchor="middle">{x_label}</text>',
+        f'<text x="14" y="{height // 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {height // 2})">{y_label}</text>',
+    ]
+    for k, (label, pts) in enumerate(series.items()):
+        colour = _SVG_COLOURS[k % len(_SVG_COLOURS)]
+        pts = sorted(pts)
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{px(x):.1f},{py(y):.1f}"
+            for i, (x, y) in enumerate(pts)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{colour}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                f'fill="{colour}"/>'
+            )
+        parts.append(
+            f'<text x="{width - m_right - 4}" y="{m_top + 16 + 16 * k}" '
+            f'text-anchor="end" fill="{colour}">{label}</text>'
+        )
+    # axis extremes
+    parts.append(
+        f'<text x="{m_left}" y="{height - m_bot + 14}">'
+        f"{min(x for x, _ in pts_all):g}</text>"
+    )
+    parts.append(
+        f'<text x="{width - m_right}" y="{height - m_bot + 14}" '
+        f'text-anchor="end">{max(x for x, _ in pts_all):g}</text>'
+    )
+    parts.append(
+        f'<text x="{m_left - 6}" y="{py(y_hi) + 4}" text-anchor="end">'
+        f"{y_hi:.3g}</text>"
+    )
+    parts.append(
+        f'<text x="{m_left - 6}" y="{py(y_lo) + 4}" text-anchor="end">'
+        f"{y_lo:.3g}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart_svg(
+    index: Sequence[Any],
+    series: Dict[Any, List[Optional[float]]],
+    title: str = "",
+    unit: str = "",
+    width: int = 800,
+    bar_height: int = 16,
+) -> str:
+    """Grouped horizontal bar chart as a standalone SVG document."""
+    values = [v for vals in series.values() for v in vals if v is not None]
+    vmax = max(values) if values else 1.0
+    n_series = max(len(series), 1)
+    group_h = bar_height * n_series + 14
+    chart_x = 170
+    chart_w = width - chart_x - 90
+    height = 40 + len(index) * group_h + 24 + 18 * n_series
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<text x="{width // 2}" y="20" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{title}</text>',
+    ]
+    y = 40
+    for i, idx_label in enumerate(index):
+        parts.append(
+            f'<text x="{chart_x - 8}" y="{y + group_h // 2}" '
+            f'text-anchor="end">{idx_label}</text>'
+        )
+        for k, (s_label, vals) in enumerate(series.items()):
+            v = vals[i]
+            by = y + k * bar_height
+            colour = _SVG_COLOURS[k % len(_SVG_COLOURS)]
+            if v is None:
+                parts.append(
+                    f'<text x="{chart_x + 4}" y="{by + bar_height - 4}" '
+                    f'fill="#999">*</text>'
+                )
+                continue
+            w = max(v / vmax * chart_w, 1)
+            parts.append(
+                f'<rect x="{chart_x}" y="{by}" width="{w:.1f}" '
+                f'height="{bar_height - 2}" fill="{colour}"/>'
+            )
+            parts.append(
+                f'<text x="{chart_x + w + 4:.1f}" y="{by + bar_height - 4}">'
+                f"{v:.4g}{unit and ' ' + unit}</text>"
+            )
+        y += group_h
+    # legend
+    for k, s_label in enumerate(series):
+        ly = y + 12 + k * 18
+        colour = _SVG_COLOURS[k % len(_SVG_COLOURS)]
+        parts.append(
+            f'<rect x="{chart_x}" y="{ly - 10}" width="12" height="12" '
+            f'fill="{colour}"/>'
+        )
+        parts.append(f'<text x="{chart_x + 18}" y="{ly}">{s_label}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

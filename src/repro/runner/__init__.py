@@ -1,0 +1,67 @@
+"""ReFrame-like regression-test framework for benchmarks.
+
+The paper (Section 2.3): "ReFrame ... separates the description of the
+benchmarks from the system-specific details for compiling and running it.
+A benchmark is defined by implementing a Python class that specifies how
+to build the software, which executable to run, the inputs and the
+parallel execution layout.  System-specific details are recorded in a
+configuration file."
+
+This subpackage reimplements that architecture:
+
+* :mod:`repro.runner.fields` -- typed ``variable``/``parameter`` descriptors,
+* :mod:`repro.runner.benchmark` -- :class:`RegressionTest` / :class:`SpackTest`,
+* :mod:`repro.runner.sanity` -- output parsing and assertion helpers,
+* :mod:`repro.runner.config` -- site configuration (systems, partitions,
+  environments) generated from :mod:`repro.systems`,
+* :mod:`repro.runner.launcher` -- mpirun/srun/aprun command rendering,
+* :mod:`repro.runner.pipeline` -- the setup/build/run/sanity/performance
+  stage machine (build *always* runs: Principle 3),
+* :mod:`repro.runner.perflog` -- one perflog per (system, partition, test),
+* :mod:`repro.runner.executor` -- run a set of test cases, collect a report,
+* :mod:`repro.runner.cli` -- the ``repro-bench`` front-end mirroring the
+  paper's ``reframe -c ... -r`` invocations.
+"""
+
+from repro.runner.fields import parameter, variable
+from repro.runner.benchmark import (
+    BenchmarkError,
+    RegressionTest,
+    SpackTest,
+    TestRegistry,
+    rfm_test,
+)
+from repro.runner.config import (
+    EnvironConfig,
+    PartitionConfig,
+    SiteConfig,
+    SystemConfig,
+    default_site_config,
+)
+from repro.runner.launcher import Launcher, launcher_for
+from repro.runner.pipeline import PipelineError, TestCase, run_case
+from repro.runner.executor import Executor, RunReport
+from repro.runner.perflog import PerflogHandler
+
+__all__ = [
+    "parameter",
+    "variable",
+    "BenchmarkError",
+    "RegressionTest",
+    "SpackTest",
+    "TestRegistry",
+    "rfm_test",
+    "EnvironConfig",
+    "PartitionConfig",
+    "SiteConfig",
+    "SystemConfig",
+    "default_site_config",
+    "Launcher",
+    "launcher_for",
+    "PipelineError",
+    "TestCase",
+    "run_case",
+    "Executor",
+    "RunReport",
+    "PerflogHandler",
+]

@@ -1,0 +1,207 @@
+"""``repro-bench``: the command-line front-end, mirroring ``reframe``.
+
+The paper's appendix runs e.g.::
+
+    reframe -c benchmarks/apps/babelstream -r --tag omp \
+        --system=isambard-macs:cascadelake -S build_locally=false \
+        -S spack_spec='babelstream%gcc@9.2.0 +omp'
+
+the equivalent here::
+
+    repro-bench -c babelstream -r --tag omp \
+        --system=isambard-macs:cascadelake -S build_locally=false \
+        -S spack_spec='babelstream%gcc@9.2.0 +omp'
+
+Differences are cosmetic (``-c`` takes a benchmark suite name rather than
+a path).  ``-n``/``-x`` filter by test name, ``-J`` passes scheduler
+options such as ``--qos=standard`` / ``--account=t01``, ``--setvar`` and
+``-S`` set test variables, ``--performance-report`` prints the FOM table,
+``--list`` lists without running.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+from typing import Dict, List, Optional
+
+from repro.runner.benchmark import REGISTRY
+from repro.runner.config import default_site_config
+from repro.runner.executor import Executor
+
+__all__ = ["main", "build_parser", "load_suite"]
+
+#: benchmark suite name -> (module registering its tests, class filter).
+#: A None filter takes every class the module registers.
+SUITES = {
+    "babelstream": ("repro.apps.babelstream.benchmark",
+                    ("BabelStreamBenchmark",)),
+    "stream": ("repro.apps.babelstream.benchmark", ("StreamBenchmark",)),
+    "hpcg": ("repro.apps.hpcg.benchmark", None),
+    "hpgmg": ("repro.apps.hpgmg.benchmark", None),
+    "osu": ("repro.apps.osu.benchmark", None),
+}
+
+
+def load_suite(name: str) -> List[type]:
+    """Import a suite module and return the test classes it registered."""
+    import importlib
+
+    # tolerate reframe-style paths: benchmarks/apps/babelstream
+    key = name.rstrip("/").rsplit("/", 1)[-1]
+    if key not in SUITES:
+        raise KeyError(
+            f"unknown benchmark suite {name!r}; known: "
+            f"{', '.join(sorted(set(SUITES)))}"
+        )
+    module_name, only = SUITES[key]
+    module = importlib.import_module(module_name)
+    return [
+        cls
+        for cls in (REGISTRY.get(n) for n in REGISTRY.names())
+        if cls.__module__ == module.__name__
+        and (only is None or cls.__name__ in only)
+    ]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Automated, reproducible benchmarking (simulated platforms)",
+    )
+    parser.add_argument("-c", "--checkpath", action="append", default=[],
+                        help="benchmark suite to load (babelstream/hpcg/hpgmg)")
+    parser.add_argument("-r", "--run", action="store_true", help="run the tests")
+    parser.add_argument("--list", action="store_true", help="list selected tests")
+    parser.add_argument("--system", default=None,
+                        help="target 'system[:partition]'; auto-detected otherwise")
+    parser.add_argument("-S", "--spack-var", action="append", default=[],
+                        metavar="VAR=VAL", help="set a test variable (spack_spec=...)")
+    parser.add_argument("--setvar", action="append", default=[],
+                        metavar="VAR=VAL", help="set a test variable")
+    parser.add_argument("-n", "--name", action="append", default=[],
+                        help="only tests whose name matches")
+    parser.add_argument("-x", "--exclude", action="append", default=[],
+                        help="exclude tests whose name matches")
+    parser.add_argument("--tag", action="append", default=[],
+                        help="only tests carrying this tag")
+    parser.add_argument("-J", "--job-option", action="append", default=[],
+                        help="scheduler option, e.g. -J'--qos=standard'")
+    parser.add_argument("--performance-report", action="store_true")
+    parser.add_argument("--perflog-dir", default="perflogs",
+                        help="perflog output prefix (default: ./perflogs)")
+    parser.add_argument("--environ", action="append", default=[],
+                        help="programming environment(s) to use")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="concretize and render job scripts, run nothing")
+    return parser
+
+
+def _parse_assignments(pairs: List[str]) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"expected VAR=VALUE, got {pair!r}")
+        key, _, value = pair.partition("=")
+        out[key.strip()] = value.strip().strip("'\"")
+    return out
+
+
+def _parse_job_options(opts: List[str]) -> Dict[str, Optional[str]]:
+    """Extract account/qos from -J options (the rest are recorded only)."""
+    parsed: Dict[str, Optional[str]] = {"account": None, "qos": None}
+    for opt in opts:
+        text = opt.strip().strip("'\"")
+        for key in ("account", "qos"):
+            marker = f"--{key}="
+            if text.startswith(marker):
+                parsed[key] = text[len(marker):]
+    return parsed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if not args.checkpath:
+        parser.error("no benchmarks selected; use -c <suite>")
+
+    try:
+        classes = []
+        for path in args.checkpath:
+            classes.extend(load_suite(path))
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.list or not args.run:
+        for cls in classes:
+            for test in cls.variants():
+                print(f"- {test.name} (tags: {', '.join(sorted(test.tags)) or '-'})")
+        if not args.run:
+            return 0
+
+    site = default_site_config()
+    system = args.system
+    if system is None:
+        system = site.detect(socket.gethostname())
+        if system is None:
+            print(
+                "error: cannot auto-detect the system (ambiguous login node "
+                "names); pass --system=<name> explicitly",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"auto-detected system: {system}")
+
+    try:
+        setvars = _parse_assignments(args.setvar)
+        spack_vars = _parse_assignments(args.spack_var)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    spec_override = spack_vars.pop("spack_spec", None)
+    spack_vars.pop("build_locally", None)  # meaningless under simulation
+    setvars.update(spack_vars)
+    job_opts = _parse_job_options(args.job_option)
+
+    executor = Executor(site=site, perflog_prefix=args.perflog_dir)
+    try:
+        cases = executor.expand_cases(
+            classes,
+            system,
+            environs=args.environ or None,
+            setvars=setvars,
+            spec_override=spec_override,
+            account=job_opts["account"],
+            qos=job_opts["qos"],
+            name_patterns=args.name or None,
+            exclude=args.exclude or None,
+            tags=args.tag or None,
+        )
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not cases:
+        print("no tests match the selection", file=sys.stderr)
+        return 1
+    if args.dry_run:
+        from repro.runner.pipeline import dry_run_case
+
+        for case in cases:
+            print(dry_run_case(case))
+        return 0
+    report = executor.run_cases(cases)
+    print(report.summary(), end="")
+    if args.performance_report:
+        print(report.performance_report(), end="")
+    if executor.perflog and executor.perflog.written:
+        print("perflogs:")
+        for path in executor.perflog.written:
+            print(f"  {path}")
+    return 0 if report.success else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,241 @@
+"""Site configuration: the runner's view of systems, partitions, environments.
+
+This is ReFrame's ``settings.py`` equivalent.  The default site config is
+*generated* from :mod:`repro.systems.registry` so hardware truth lives in
+exactly one place; a YAML file with the same shape can extend or override
+it (the paper's framework ships such configs per system, and "once a
+system is added to the configuration ... it can be shared with others").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import yaml
+
+from repro.systems.hardware import NodeSpec
+from repro.systems.registry import (
+    SYSTEMS,
+    SystemDescription,
+    UnknownSystemError,
+)
+
+__all__ = [
+    "EnvironConfig",
+    "PartitionConfig",
+    "SystemConfig",
+    "SiteConfig",
+    "default_site_config",
+    "ConfigError",
+]
+
+
+class ConfigError(Exception):
+    """Malformed site configuration."""
+
+
+@dataclass
+class EnvironConfig:
+    """A programming environment: a named compiler personality."""
+
+    name: str
+    compiler: str  # package-manager compiler name, e.g. 'gcc'
+    compiler_version: Optional[str] = None
+    cflags: Tuple[str, ...] = ()
+    modules: Tuple[str, ...] = ()
+
+    @property
+    def compiler_spec(self) -> str:
+        if self.compiler_version:
+            return f"{self.compiler}@{self.compiler_version}"
+        return self.compiler
+
+
+@dataclass
+class PartitionConfig:
+    """One scheduler-addressable slice of a system."""
+
+    name: str
+    node: NodeSpec
+    scheduler: str
+    launcher: str
+    num_nodes: int
+    environs: List[EnvironConfig] = field(default_factory=list)
+    access: Tuple[str, ...] = ()
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.node.total_cores
+
+    def environ(self, name: str) -> EnvironConfig:
+        for env in self.environs:
+            if env.name == name:
+                return env
+        raise ConfigError(
+            f"partition {self.name!r} has no environment {name!r} "
+            f"(has: {', '.join(e.name for e in self.environs)})"
+        )
+
+
+@dataclass
+class SystemConfig:
+    name: str
+    description: str
+    partitions: Dict[str, PartitionConfig]
+    hostname_patterns: Tuple[str, ...] = ()
+    requires_account: bool = False
+    requires_qos: bool = False
+
+    def partition(self, name: Optional[str] = None) -> PartitionConfig:
+        if name is None:
+            return next(iter(self.partitions.values()))
+        if name not in self.partitions:
+            raise ConfigError(
+                f"system {self.name!r} has no partition {name!r} "
+                f"(has: {', '.join(self.partitions)})"
+            )
+        return self.partitions[name]
+
+
+class SiteConfig:
+    """All systems the framework knows how to benchmark on."""
+
+    def __init__(self, systems: Optional[Dict[str, SystemConfig]] = None):
+        self.systems: Dict[str, SystemConfig] = dict(systems or {})
+
+    def add(self, system: SystemConfig) -> None:
+        self.systems[system.name] = system
+
+    def get(self, qualified: str) -> Tuple[SystemConfig, PartitionConfig]:
+        """Resolve ``'system'`` or ``'system:partition'``."""
+        sysname, _, part = qualified.partition(":")
+        if sysname not in self.systems:
+            raise UnknownSystemError(
+                f"unknown system {sysname!r}; configured: "
+                f"{', '.join(sorted(self.systems))}"
+            )
+        system = self.systems[sysname]
+        return system, system.partition(part or None)
+
+    def detect(self, hostname: str) -> Optional[str]:
+        """Auto-detect the system from a hostname.
+
+        Returns None when zero or multiple systems match -- the ambiguity
+        the paper's appendix warns about ("explicitly naming the system
+        with the --system command line option helps avoid some errors").
+        """
+        import fnmatch
+
+        hits = [
+            name
+            for name, system in self.systems.items()
+            if any(
+                fnmatch.fnmatch(hostname, pat)
+                for pat in system.hostname_patterns
+            )
+        ]
+        if len(hits) == 1:
+            return hits[0]
+        return None
+
+    def merge_yaml(self, text: str) -> None:
+        """Add systems from a YAML document (new systems only, no hardware).
+
+        Unknown systems get local scheduling and a generic environment --
+        mirroring the framework's 'basic environment' behaviour for systems
+        it does not support yet.
+        """
+        try:
+            doc = yaml.safe_load(text) or {}
+        except yaml.YAMLError as exc:
+            raise ConfigError(f"bad YAML site config: {exc}") from exc
+        for entry in doc.get("systems", []):
+            if "name" not in entry:
+                raise ConfigError("system entry without a name")
+            from repro.systems.registry import EPYC_MILAN_7763, MEM_MILAN
+
+            node = NodeSpec(processor=EPYC_MILAN_7763, memory=MEM_MILAN)
+            name = entry["name"]
+            environs = [
+                EnvironConfig(name=e.get("name", "default"),
+                              compiler=e.get("compiler", "gcc"),
+                              compiler_version=e.get("version"))
+                for e in entry.get("environs", [{"name": "default"}])
+            ]
+            partitions = {
+                "default": PartitionConfig(
+                    name="default",
+                    node=node,
+                    scheduler=entry.get("scheduler", "local"),
+                    launcher=entry.get("launcher", "local"),
+                    num_nodes=int(entry.get("num_nodes", 1)),
+                    environs=environs,
+                )
+            }
+            self.add(
+                SystemConfig(
+                    name=name,
+                    description=entry.get("description", name),
+                    partitions=partitions,
+                    hostname_patterns=tuple(entry.get("hostnames", ())),
+                )
+            )
+
+
+def _environs_for(system: SystemDescription) -> List[EnvironConfig]:
+    """Programming environments from the system's registered compilers."""
+    env = system.env_factory() if system.env_factory else None
+    out: List[EnvironConfig] = []
+    seen = set()
+    if env is None:
+        return [EnvironConfig(name="default", compiler="gcc")]
+    for comp in env.compilers:
+        label = f"{comp.name}@{comp.version}"
+        if label in seen:
+            continue
+        seen.add(label)
+        out.append(
+            EnvironConfig(
+                name=label,
+                compiler=comp.name,
+                compiler_version=str(comp.version),
+                modules=tuple(comp.modules),
+            )
+        )
+    # first entry doubles as the 'default' environment
+    default = EnvironConfig(
+        name="default",
+        compiler=out[0].compiler,
+        compiler_version=out[0].compiler_version,
+        modules=out[0].modules,
+    )
+    return [default] + out
+
+
+def default_site_config() -> SiteConfig:
+    """The shipped configuration: every system of the paper, ready to use."""
+    site = SiteConfig()
+    for name, system in SYSTEMS.items():
+        partitions: Dict[str, PartitionConfig] = {}
+        for pname, part in system.partitions.items():
+            partitions[pname] = PartitionConfig(
+                name=pname,
+                node=part.node,
+                scheduler=part.scheduler,
+                launcher=part.launcher,
+                num_nodes=part.num_nodes,
+                environs=_environs_for(system),
+                access=tuple(part.access_options),
+            )
+        site.add(
+            SystemConfig(
+                name=name,
+                description=system.full_name,
+                partitions=partitions,
+                hostname_patterns=tuple(system.hostname_patterns),
+                requires_account=system.requires_account,
+                requires_qos=system.requires_qos,
+            )
+        )
+    return site

@@ -1,0 +1,230 @@
+"""The execution policy: expand test cases, run them, report.
+
+Mirrors ``reframe -r``: take the selected benchmark classes, fan out over
+parameter variants and the target platform's environments, push each case
+through the pipeline, write perflogs, and produce the run summary (the
+``[ PASSED ]`` / ``[ FAILED ]`` lines and the ``--performance-report``
+table).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.pkgmgr.installer import Installer
+from repro.runner.benchmark import RegressionTest
+from repro.runner.config import SiteConfig, default_site_config
+from repro.runner.fields import class_variables
+from repro.runner.perflog import PerflogHandler
+from repro.runner.pipeline import CaseResult, TestCase, run_case
+
+__all__ = ["Executor", "RunReport"]
+
+
+@dataclass
+class RunReport:
+    results: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def num_cases(self) -> int:
+        return len(self.results)
+
+    @property
+    def passed(self) -> List[CaseResult]:
+        return [r for r in self.results if r.passed]
+
+    @property
+    def failed(self) -> List[CaseResult]:
+        return [r for r in self.results if not r.passed and not r.skipped]
+
+    @property
+    def skipped(self) -> List[CaseResult]:
+        return [r for r in self.results if r.skipped]
+
+    @property
+    def success(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        out = io.StringIO()
+        for r in self.results:
+            if r.passed:
+                out.write(f"[ PASSED ] {r.case.display_name}\n")
+            elif r.skipped:
+                out.write(f"[  SKIP  ] {r.case.display_name}\n")
+            else:
+                out.write(
+                    f"[ FAILED ] {r.case.display_name} "
+                    f"({r.failing_stage}: {r.failure_reason})\n"
+                )
+        out.write(
+            f"Ran {self.num_cases} case(s): {len(self.passed)} passed, "
+            f"{len(self.failed)} failed, {len(self.skipped)} skipped\n"
+        )
+        return out.getvalue()
+
+    def performance_report(self) -> str:
+        """The --performance-report table."""
+        out = io.StringIO()
+        out.write("PERFORMANCE REPORT\n")
+        out.write("-" * 78 + "\n")
+        for r in self.passed:
+            if not r.perfvars:
+                continue
+            out.write(f"{r.case.display_name}\n")
+            for var, (value, unit) in sorted(r.perfvars.items()):
+                out.write(f"   - {var}: {value:.4g} {unit}\n")
+        return out.getvalue()
+
+
+class Executor:
+    """Expands and runs benchmark cases on one target platform."""
+
+    def __init__(
+        self,
+        site: Optional[SiteConfig] = None,
+        perflog_prefix: Optional[str] = None,
+    ):
+        self.site = site or default_site_config()
+        self.perflog = (
+            PerflogHandler(perflog_prefix) if perflog_prefix else None
+        )
+        # one installer per executor: dependency builds are reused across
+        # cases within a session, roots always rebuilt (Principle 3)
+        self.installer = Installer()
+
+    def expand_cases(
+        self,
+        test_classes: Sequence[Type[RegressionTest]],
+        system: str,
+        environs: Optional[List[str]] = None,
+        setvars: Optional[Dict[str, Any]] = None,
+        spec_override: Optional[str] = None,
+        account: Optional[str] = None,
+        qos: Optional[str] = None,
+        name_patterns: Optional[List[str]] = None,
+        exclude: Optional[List[str]] = None,
+        tags: Optional[List[str]] = None,
+    ) -> List[TestCase]:
+        """All (variant, environment) cases for one 'system[:partition]'.
+
+        ``name_patterns``/``exclude``/``tags`` filter at *variant* level:
+        ``--tag omp`` selects just the OpenMP BabelStream variant, and the
+        paper's ``-n HPCG_ -x HPCG_Intel`` selects by (variant) name.
+        """
+        import fnmatch
+
+        def name_hits(name: str, patterns: List[str]) -> bool:
+            return any(fnmatch.fnmatch(name, p) or p in name for p in patterns)
+
+        sysconf, partconf = self.site.get(system)
+        env_names = environs or ["default"]
+        cases = []
+        for cls in test_classes:
+            param_points = [t._param_values for t in cls.variants()]
+            for point in param_points:
+                for env_name in env_names:
+                    # a fresh instance per case: cases must not share state
+                    test = cls(**point)
+                    if name_patterns and not name_hits(test.name, name_patterns):
+                        continue
+                    if exclude and name_hits(test.name, exclude):
+                        continue
+                    if tags and not set(tags) <= set(test.tags):
+                        continue
+                    self._apply_setvars(test, setvars or {})
+                    if spec_override is not None and hasattr(test, "spack_spec"):
+                        test.spack_spec = spec_override
+                    cases.append(
+                        TestCase(
+                            test=test,
+                            system=sysconf,
+                            partition=partconf,
+                            environ_name=env_name,
+                            account=account,
+                            qos=qos,
+                        )
+                    )
+        return cases
+
+    @staticmethod
+    def _apply_setvars(test: RegressionTest, setvars: Dict[str, Any]) -> None:
+        declared = class_variables(type(test))
+        for name, value in setvars.items():
+            if name not in declared:
+                raise KeyError(
+                    f"--setvar {name}: {type(test).__name__} declares no "
+                    f"such variable (has: {', '.join(sorted(declared))})"
+                )
+            if isinstance(value, str):
+                value = declared[name].coerce(value)
+            setattr(test, name, value)
+
+    @staticmethod
+    def _order_by_dependencies(cases: Sequence[TestCase]) -> List[TestCase]:
+        """Topologically order cases so test dependencies run first.
+
+        Dependencies are matched by *base class name* within the same
+        platform (ReFrame semantics).  A cycle is a configuration error.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        by_key = {}
+        for i, case in enumerate(cases):
+            graph.add_node(i)
+            key = (case.platform, type(case.test).base_name())
+            by_key.setdefault(key, []).append(i)
+        for i, case in enumerate(cases):
+            for dep_name in getattr(case.test, "depends_on_tests", ()):
+                for j in by_key.get((case.platform, dep_name), []):
+                    graph.add_edge(j, i)
+        try:
+            order = list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible:
+            cycle = nx.find_cycle(graph)
+            raise ValueError(f"test dependency cycle: {cycle}") from None
+        return [cases[i] for i in order]
+
+    def run_cases(self, cases: Sequence[TestCase]) -> RunReport:
+        report = RunReport()
+        finished: Dict[tuple, CaseResult] = {}
+        for case in self._order_by_dependencies(cases):
+            deps = getattr(case.test, "depends_on_tests", ())
+            if deps:
+                resolved = {}
+                missing = []
+                for dep_name in deps:
+                    dep_result = finished.get((case.platform, dep_name))
+                    if dep_result is None or not dep_result.passed:
+                        missing.append(dep_name)
+                    else:
+                        resolved[dep_name] = dep_result
+                if missing:
+                    result = CaseResult(case=case)
+                    result.failing_stage = "setup"
+                    result.failure_reason = (
+                        f"dependencies not satisfied on {case.platform}: "
+                        f"{', '.join(missing)}"
+                    )
+                    report.results.append(result)
+                    if self.perflog is not None:
+                        self.perflog.emit(result)
+                    continue
+                case.test.dependency_results = resolved
+            result = run_case(case, installer=self.installer)
+            finished[(case.platform, type(case.test).base_name())] = result
+            report.results.append(result)
+            if self.perflog is not None:
+                self.perflog.emit(result)
+        return report
+
+    def run(
+        self,
+        test_classes: Sequence[Type[RegressionTest]],
+        system: str,
+        **kwargs: Any,
+    ) -> RunReport:
+        return self.run_cases(self.expand_cases(test_classes, system, **kwargs))

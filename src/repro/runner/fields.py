@@ -1,0 +1,133 @@
+"""Typed test-definition fields: ``variable`` and ``parameter``.
+
+ReFrame benchmarks declare tunables as class-level descriptors.  A
+*variable* is a single (possibly overridable) value -- the paper's appendix
+overrides them with ``--setvar num_tasks=8`` on the command line.  A
+*parameter* is a set of values that multiplies the test into variants
+(BabelStream's programming model is a parameter; one ReFrame run fans out
+over all of them).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+__all__ = ["variable", "parameter", "FieldError"]
+
+
+class FieldError(TypeError):
+    """Raised on type mismatches or invalid field access."""
+
+
+class variable:
+    """A typed, defaulted, overridable test attribute.
+
+    Examples
+    --------
+    >>> class T:
+    ...     num_tasks = variable(int, value=1)
+    """
+
+    def __init__(self, *types: type, value: Any = None):
+        if not types:
+            types = (object,)
+        self.types = types
+        self.default = value
+        self.name = "<unbound>"
+        if value is not None:
+            self._check(value)
+
+    def _check(self, value: Any) -> None:
+        if value is None:
+            return
+        if not isinstance(value, self.types):
+            names = "/".join(t.__name__ for t in self.types)
+            raise FieldError(
+                f"variable {self.name!r} expects {names}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj: Any, objtype: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        return obj.__dict__.get(self.name, self.default)
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        self._check(value)
+        obj.__dict__[self.name] = value
+
+    def coerce(self, text: str) -> Any:
+        """Parse a ``--setvar name=text`` string into the declared type."""
+        target = self.types[0]
+        if target is bool:
+            low = text.lower()
+            if low in ("true", "1", "yes"):
+                return True
+            if low in ("false", "0", "no"):
+                return False
+            raise FieldError(f"cannot parse bool from {text!r}")
+        if target in (int, float, str):
+            try:
+                return target(text)
+            except ValueError as exc:
+                raise FieldError(
+                    f"cannot parse {target.__name__} from {text!r}"
+                ) from exc
+        return text
+
+
+class parameter:
+    """A test parameter: the test is instantiated once per value."""
+
+    def __init__(self, values: Iterable[Any]):
+        self.values: Tuple[Any, ...] = tuple(values)
+        if not self.values:
+            raise FieldError("parameter needs at least one value")
+        self.name = "<unbound>"
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj: Any, objtype: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        if self.name not in obj.__dict__:
+            raise FieldError(
+                f"parameter {self.name!r} accessed before instantiation; "
+                f"instantiate via variants()"
+            )
+        return obj.__dict__[self.name]
+
+
+def class_parameters(cls: type) -> Dict[str, parameter]:
+    """All parameters declared on a class (MRO-aware)."""
+    out: Dict[str, parameter] = {}
+    for klass in reversed(cls.__mro__):
+        for name, attr in vars(klass).items():
+            if isinstance(attr, parameter):
+                out[name] = attr
+    return out
+
+
+def class_variables(cls: type) -> Dict[str, variable]:
+    """All variables declared on a class (MRO-aware)."""
+    out: Dict[str, variable] = {}
+    for klass in reversed(cls.__mro__):
+        for name, attr in vars(klass).items():
+            if isinstance(attr, variable):
+                out[name] = attr
+    return out
+
+
+def parameter_space(cls: type) -> List[Dict[str, Any]]:
+    """The cartesian product of all declared parameters."""
+    params = class_parameters(cls)
+    if not params:
+        return [{}]
+    names = sorted(params)
+    combos = itertools.product(*(params[n].values for n in names))
+    return [dict(zip(names, combo)) for combo in combos]

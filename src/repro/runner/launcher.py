@@ -1,0 +1,82 @@
+"""Parallel launchers: how a distributed program is started on a partition.
+
+Part of the system-specific knowledge Principle 5 captures: ARCHER2 uses
+``srun``, the Isambard XCI ``aprun``, most clusters ``mpirun``.  The
+launcher renders the command line recorded in job scripts and perflogs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+__all__ = ["Launcher", "launcher_for", "MpirunLauncher", "SrunLauncher",
+           "AprunLauncher", "LocalLauncher"]
+
+
+class Launcher:
+    """Base: render ``<launcher> <opts> <executable> <args>``."""
+
+    name = "abstract"
+
+    def command(self, num_tasks: int, num_cpus_per_task: int) -> List[str]:
+        raise NotImplementedError
+
+    def run_command(
+        self,
+        executable: str,
+        args: List[str],
+        num_tasks: int,
+        num_cpus_per_task: int = 1,
+    ) -> str:
+        prefix = self.command(num_tasks, num_cpus_per_task)
+        return " ".join(prefix + [executable] + list(args)).strip()
+
+
+class MpirunLauncher(Launcher):
+    name = "mpirun"
+
+    def command(self, num_tasks: int, num_cpus_per_task: int) -> List[str]:
+        return ["mpirun", "-np", str(num_tasks)]
+
+
+class SrunLauncher(Launcher):
+    name = "srun"
+
+    def command(self, num_tasks: int, num_cpus_per_task: int) -> List[str]:
+        out = ["srun", f"--ntasks={num_tasks}"]
+        if num_cpus_per_task > 1:
+            out.append(f"--cpus-per-task={num_cpus_per_task}")
+        return out
+
+
+class AprunLauncher(Launcher):
+    name = "aprun"
+
+    def command(self, num_tasks: int, num_cpus_per_task: int) -> List[str]:
+        out = ["aprun", "-n", str(num_tasks)]
+        if num_cpus_per_task > 1:
+            out += ["-d", str(num_cpus_per_task)]
+        return out
+
+
+class LocalLauncher(Launcher):
+    """No launcher: serial or threaded programs started directly."""
+
+    name = "local"
+
+    def command(self, num_tasks: int, num_cpus_per_task: int) -> List[str]:
+        return []
+
+
+_LAUNCHERS: Dict[str, Type[Launcher]] = {
+    cls.name: cls
+    for cls in (MpirunLauncher, SrunLauncher, AprunLauncher, LocalLauncher)
+}
+
+
+def launcher_for(name: str) -> Launcher:
+    if name not in _LAUNCHERS:
+        raise KeyError(
+            f"unknown launcher {name!r}; known: {', '.join(sorted(_LAUNCHERS))}"
+        )
+    return _LAUNCHERS[name]()

@@ -1,0 +1,103 @@
+"""Perflog output: the performance record the whole analysis chain reads.
+
+"Benchmark output data is appended to a performance log (also known as a
+'perflog') associated with the benchmark on each system, and these logs
+can be collated directly and post-processed" (Section 2.4).
+
+Format: pipe-separated, one line per Figure of Merit per run, append-only,
+one file per (system, partition, test) under::
+
+    <prefix>/<system>/<partition>/<testname>.log
+
+The format is plain enough to grep yet structured enough for
+:mod:`repro.postprocess.perflog_reader` to load losslessly.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import os
+from typing import List, Optional
+
+from repro.runner.pipeline import CaseResult
+
+__all__ = ["PerflogHandler", "PERFLOG_FIELDS", "format_record"]
+
+#: column names, in file order
+PERFLOG_FIELDS = (
+    "timestamp",
+    "version",
+    "test",
+    "system",
+    "partition",
+    "environ",
+    "spec",
+    "num_tasks",
+    "perf_var",
+    "perf_value",
+    "perf_unit",
+    "result",
+)
+
+_VERSION = "repro-1.0.0"
+
+
+def format_record(result: CaseResult, timestamp: Optional[str] = None) -> List[str]:
+    """Perflog lines for one finished case (one per FOM; one if failed)."""
+    case = result.case
+    ts = timestamp or _dt.datetime.now(_dt.timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%S"
+    )
+    spec = (
+        result.concrete_spec.format(deps=False)
+        if result.concrete_spec is not None
+        else ""
+    )
+    base = [
+        ts,
+        _VERSION,
+        case.test.name,
+        case.system.name,
+        case.partition.name,
+        case.environ_name,
+        spec,
+        str(case.test.num_tasks),
+    ]
+    status = "pass" if result.passed else f"fail:{result.failing_stage}"
+    lines = []
+    if result.perfvars:
+        for var, (value, unit) in sorted(result.perfvars.items()):
+            lines.append("|".join(base + [var, f"{value:.6g}", unit, status]))
+    else:
+        lines.append("|".join(base + ["-", "nan", "-", status]))
+    return lines
+
+
+class PerflogHandler:
+    """Appends case results to per-(system, partition, test) log files."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.written: List[str] = []
+
+    def path_for(self, result: CaseResult) -> str:
+        case = result.case
+        return os.path.join(
+            self.prefix,
+            case.system.name,
+            case.partition.name,
+            f"{case.test.name}.log",
+        )
+
+    def emit(self, result: CaseResult) -> str:
+        path = self.path_for(result)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        new_file = not os.path.exists(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            if new_file:
+                fh.write("|".join(PERFLOG_FIELDS) + "\n")
+            for line in format_record(result):
+                fh.write(line + "\n")
+        if path not in self.written:
+            self.written.append(path)
+        return path

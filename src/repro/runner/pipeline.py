@@ -1,0 +1,301 @@
+"""The regression pipeline: setup -> build -> run -> sanity -> performance.
+
+One :class:`TestCase` is one (benchmark, system, partition, environment)
+combination -- the paper's notion of running a benchmark on a *platform*.
+:func:`run_case` drives it through the stages and returns a
+:class:`CaseResult` that either carries the extracted Figures of Merit or
+records exactly which stage failed and why.
+
+The build stage *always* executes (Principle 3: "Rebuild the benchmark
+every time it runs"), and both the concretized spec and the generated job
+script are kept on the result for provenance (Principles 4 and 5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.machine.progmodel import UnsupportedModelError
+from repro.pkgmgr.concretizer import ConcretizationError, Concretizer
+from repro.pkgmgr.installer import BuildFailure, Installer
+from repro.pkgmgr.spec import Spec
+from repro.runner.benchmark import (
+    ProgramContext,
+    RegressionTest,
+    SpackTest,
+)
+from repro.runner.config import PartitionConfig, SystemConfig
+from repro.runner.launcher import launcher_for
+from repro.runner.sanity import SanityError
+from repro.scheduler import Job, JobState, make_scheduler
+from repro.systems.registry import system_environment
+
+__all__ = ["TestCase", "CaseResult", "PipelineError", "run_case", "STAGES"]
+
+STAGES = ("setup", "build", "run", "sanity", "performance")
+
+
+class PipelineError(Exception):
+    """A stage failed for infrastructure (not benchmark) reasons."""
+
+
+@dataclass
+class TestCase:
+    test: RegressionTest
+    system: SystemConfig
+    partition: PartitionConfig
+    environ_name: str = "default"
+    #: scheduler options from the command line (-J'--account=...' etc.)
+    account: Optional[str] = None
+    qos: Optional[str] = None
+
+    @property
+    def platform(self) -> str:
+        return f"{self.system.name}:{self.partition.name}"
+
+    @property
+    def display_name(self) -> str:
+        return f"{self.test.name} @{self.platform}+{self.environ_name}"
+
+
+@dataclass
+class CaseResult:
+    case: TestCase
+    passed: bool = False
+    failing_stage: Optional[str] = None
+    failure_reason: str = ""
+    stdout: str = ""
+    perfvars: Dict[str, Tuple[float, str]] = field(default_factory=dict)
+    #: energy/system-state capture (the paper's Section 4 future work)
+    energy: Optional[object] = None
+    concrete_spec: Optional[Spec] = None
+    build_log: List[str] = field(default_factory=list)
+    job_script: str = ""
+    run_command: str = ""
+    job_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    build_seconds: float = 0.0
+    timestamp: float = field(default_factory=time.time)
+
+    @property
+    def skipped(self) -> bool:
+        return self.failing_stage == "setup" and "not valid" in self.failure_reason
+
+
+def _fail(result: CaseResult, stage: str, reason: str) -> CaseResult:
+    result.passed = False
+    result.failing_stage = stage
+    result.failure_reason = reason
+    return result
+
+
+def dry_run_case(case: TestCase) -> str:
+    """Render what *would* run, without building or submitting.
+
+    Concretizes the spec (cheap, hermetic) and renders the launcher
+    command and batch script -- a preview of the Principle 4/5 provenance
+    that lets users eyeball a campaign before burning allocation.
+    """
+    test = case.test
+    lines = [f"~~~ dry run: {case.display_name}"]
+    if not test.supports_platform(case.system.name, case.partition.name):
+        lines.append("    SKIP: platform not in valid_systems")
+        return "\n".join(lines)
+    environ = case.partition.environ(case.environ_name)
+    test.current_system = case.system
+    test.current_partition = case.partition
+    test.current_environ = environ
+    for hook in test.hooks("after", "setup"):
+        hook()
+    for hook in test.hooks("before", "run"):
+        hook()
+    if isinstance(test, SpackTest):
+        pkg_env = system_environment(case.platform)
+        spec = Spec(test.effective_spec())
+        if spec.compiler is None:
+            spec = spec.constrain(Spec(f"%{environ.compiler_spec}"))
+        try:
+            concrete = Concretizer(env=pkg_env).concretize(spec)
+            lines.append(f"    spec: {concrete.format()}")
+        except ConcretizationError as exc:
+            lines.append(f"    BUILD WOULD FAIL: {exc}")
+            return "\n".join(lines)
+    launcher = launcher_for(case.partition.launcher)
+    command = launcher.run_command(
+        test.executable or f"./{test.name}",
+        [str(o) for o in test.executable_opts],
+        test.num_tasks,
+        test.num_cpus_per_task,
+    )
+    scheduler = make_scheduler(
+        case.partition.scheduler,
+        num_nodes=case.partition.num_nodes,
+        cores_per_node=max(case.partition.cores_per_node, 1),
+    ) if case.partition.scheduler != "local" else make_scheduler("local")
+    job = Job(
+        name=test.name,
+        payload=lambda ctx: ("", 0.0),
+        num_tasks=test.num_tasks,
+        num_tasks_per_node=test.num_tasks_per_node,
+        num_cpus_per_task=test.num_cpus_per_task,
+        time_limit=float(test.time_limit),
+        account=case.account,
+        qos=case.qos,
+        partition=case.partition.name,
+    )
+    script = scheduler.render_script(job, command)
+    lines.append("    " + "\n    ".join(script.splitlines()))
+    return "\n".join(lines)
+
+
+def run_case(case: TestCase, installer: Optional[Installer] = None) -> CaseResult:
+    """Drive one test case through the whole pipeline."""
+    test = case.test
+    result = CaseResult(case=case)
+    installer = installer or Installer()
+
+    # ---------------------------------------------------------------- setup --
+    if not test.supports_platform(case.system.name, case.partition.name):
+        return _fail(
+            result, "setup",
+            f"platform {case.platform} not valid for {test.name} "
+            f"(valid_systems={test.valid_systems})",
+        )
+    if not test.supports_environ(case.environ_name):
+        return _fail(
+            result, "setup",
+            f"environment {case.environ_name} not valid for {test.name}",
+        )
+    try:
+        environ = case.partition.environ(case.environ_name)
+    except Exception as exc:
+        return _fail(result, "setup", str(exc))
+
+    test.current_system = case.system
+    test.current_partition = case.partition
+    test.current_environ = environ
+    for hook in test.hooks("after", "setup"):
+        hook()
+
+    # ---------------------------------------------------------------- build --
+    concrete = None
+    for hook in test.hooks("before", "build"):
+        hook()
+    if isinstance(test, SpackTest):
+        pkg_env = system_environment(case.platform)
+        spec_text = test.effective_spec()
+        spec = Spec(spec_text)
+        # the selected programming environment constrains the compiler,
+        # unless the spec already pins one (the paper pins %gcc@9.2.0 for
+        # the Volta builds explicitly)
+        if spec.compiler is None:
+            spec = spec.constrain(Spec(f"%{environ.compiler_spec}"))
+        try:
+            concrete = Concretizer(env=pkg_env).concretize(spec)
+            records = installer.install(concrete, rebuild=test.rebuild)
+        except (ConcretizationError, BuildFailure) as exc:
+            return _fail(result, "build", str(exc))
+        result.concrete_spec = concrete
+        result.build_log = [line for r in records for line in r.log]
+        result.build_seconds = sum(r.build_seconds for r in records)
+
+    # ------------------------------------------------------------------ run --
+    for hook in test.hooks("before", "run"):
+        hook()
+    node = case.partition.node
+    ctx = ProgramContext(
+        system=case.system.name,
+        partition=case.partition.name,
+        environ=case.environ_name,
+        node=node,
+        num_tasks=test.num_tasks,
+        num_tasks_per_node=test.num_tasks_per_node,
+        num_cpus_per_task=test.num_cpus_per_task,
+        compiler=environ.compiler,
+        compiler_version=environ.compiler_version or "",
+        spec=concrete,
+    )
+
+    def payload(job_ctx):
+        return test.program(ctx)
+
+    scheduler = make_scheduler(
+        case.partition.scheduler,
+        num_nodes=case.partition.num_nodes,
+        cores_per_node=max(case.partition.cores_per_node, 1),
+        require_account=case.system.requires_account,
+        require_qos=case.system.requires_qos,
+    ) if case.partition.scheduler != "local" else make_scheduler("local")
+
+    job = Job(
+        name=test.name,
+        payload=payload,
+        num_tasks=test.num_tasks,
+        num_tasks_per_node=test.num_tasks_per_node,
+        num_cpus_per_task=test.num_cpus_per_task,
+        time_limit=float(test.time_limit),
+        account=case.account or ("z19" if case.system.requires_account else None),
+        qos=case.qos or ("standard" if case.system.requires_qos else None),
+        partition=case.partition.name,
+        extra_options=tuple(case.partition.access),
+    )
+    launcher = launcher_for(case.partition.launcher)
+    result.run_command = launcher.run_command(
+        test.executable or f"./{test.name}",
+        [str(o) for o in test.executable_opts],
+        test.num_tasks,
+        test.num_cpus_per_task,
+    )
+    result.job_script = scheduler.render_script(job, result.run_command)
+
+    try:
+        job_id = scheduler.submit(job)
+        scheduler.wait_all()
+        job_result = scheduler.result(job_id)
+    except Exception as exc:
+        return _fail(result, "run", f"scheduler error: {exc}")
+
+    result.stdout = job_result.stdout
+    result.job_seconds = job_result.run_seconds
+    result.queue_seconds = job_result.queue_seconds
+    # capture system-state telemetry over the (simulated) runtime
+    from repro.machine.telemetry import capture_telemetry
+
+    num_nodes = max(
+        job.nodes_needed(max(case.partition.cores_per_node, 1)), 1
+    )
+    _, result.energy = capture_telemetry(
+        node=node,
+        duration_s=max(result.job_seconds, 1.0),
+        mem_util=float(getattr(test, "telemetry_mem_util", 0.6)),
+        compute_util=float(getattr(test, "telemetry_compute_util", 0.2)),
+        comm_fraction=0.05,
+        num_nodes=num_nodes,
+        seed_context=f"{case.platform}/{test.name}",
+    )
+    if job_result.state is not JobState.COMPLETED:
+        reason = job_result.stderr or job_result.state.value
+        # a model refusing to run is the Figure 2 '*' box, keep it precise
+        if UnsupportedModelError.__name__ in reason:
+            return _fail(result, "run", reason)
+        return _fail(result, "run", f"job {job_result.state.value}: {reason}")
+    for hook in test.hooks("after", "run"):
+        hook()
+
+    # --------------------------------------------------------------- sanity --
+    try:
+        test.check_sanity(result.stdout)
+    except SanityError as exc:
+        return _fail(result, "sanity", str(exc))
+
+    # ---------------------------------------------------------- performance --
+    try:
+        result.perfvars = test.extract_performance(result.stdout)
+        test.check_references(case.platform, result.perfvars)
+    except SanityError as exc:
+        return _fail(result, "performance", str(exc))
+
+    result.passed = True
+    return result

@@ -1,0 +1,131 @@
+"""Sanity and performance extraction helpers (ReFrame's ``sn`` module).
+
+The paper (Section 2.4): "When defining a benchmark in ReFrame, it can
+automatically collect a dictionary of Figures of Merit by parsing the
+output with user-provided regular expressions.  A similar mechanism is
+used to check that the benchmark ran correctly."
+
+These helpers implement that mechanism: extraction by regex with typed
+conversion, and assertions that raise :class:`SanityError` with messages
+pointing at what the output actually contained.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, List, Optional, Union
+
+__all__ = [
+    "SanityError",
+    "extractall",
+    "extractsingle",
+    "count",
+    "assert_found",
+    "assert_not_found",
+    "assert_eq",
+    "assert_bounded",
+    "assert_reference",
+    "avg",
+]
+
+
+class SanityError(AssertionError):
+    """A failed sanity check: the benchmark did not run correctly."""
+
+
+def extractall(
+    pattern: str,
+    text: str,
+    group: Union[int, str] = 0,
+    conv: Callable[[str], Any] = str,
+) -> List[Any]:
+    """All regex matches of ``group``, converted by ``conv``."""
+    out = []
+    for match in re.finditer(pattern, text, re.MULTILINE):
+        raw = match.group(group)
+        try:
+            out.append(conv(raw))
+        except (TypeError, ValueError) as exc:
+            raise SanityError(
+                f"cannot convert match {raw!r} of {pattern!r}: {exc}"
+            ) from exc
+    return out
+
+
+def extractsingle(
+    pattern: str,
+    text: str,
+    group: Union[int, str] = 0,
+    conv: Callable[[str], Any] = str,
+    item: int = 0,
+) -> Any:
+    """The ``item``-th match of the pattern; raises if absent."""
+    matches = extractall(pattern, text, group, conv)
+    if not matches:
+        snippet = text[:200].replace("\n", "\\n")
+        raise SanityError(
+            f"pattern {pattern!r} not found in output (starts: {snippet!r})"
+        )
+    try:
+        return matches[item]
+    except IndexError:
+        raise SanityError(
+            f"pattern {pattern!r} matched {len(matches)} times, "
+            f"item {item} requested"
+        ) from None
+
+
+def count(pattern: str, text: str) -> int:
+    return len(extractall(pattern, text))
+
+
+def assert_found(pattern: str, text: str, msg: str = "") -> bool:
+    if re.search(pattern, text, re.MULTILINE) is None:
+        raise SanityError(msg or f"expected pattern {pattern!r} in output")
+    return True
+
+
+def assert_not_found(pattern: str, text: str, msg: str = "") -> bool:
+    if re.search(pattern, text, re.MULTILINE) is not None:
+        raise SanityError(msg or f"forbidden pattern {pattern!r} in output")
+    return True
+
+
+def assert_eq(actual: Any, expected: Any, msg: str = "") -> bool:
+    if actual != expected:
+        raise SanityError(msg or f"expected {expected!r}, got {actual!r}")
+    return True
+
+
+def assert_bounded(
+    value: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    msg: str = "",
+) -> bool:
+    if lo is not None and value < lo:
+        raise SanityError(msg or f"value {value} below lower bound {lo}")
+    if hi is not None and value > hi:
+        raise SanityError(msg or f"value {value} above upper bound {hi}")
+    return True
+
+
+def assert_reference(
+    value: float,
+    reference: float,
+    lower_frac: float = -0.05,
+    upper_frac: float = 0.05,
+) -> bool:
+    """ReFrame-style reference check: value within (1+lower, 1+upper)*ref."""
+    lo = reference * (1 + lower_frac)
+    hi = reference * (1 + upper_frac)
+    return assert_bounded(
+        value, lo, hi,
+        msg=f"value {value:.4g} outside reference window [{lo:.4g}, {hi:.4g}]",
+    )
+
+
+def avg(values: List[float]) -> float:
+    if not values:
+        raise SanityError("average of no values")
+    return sum(values) / len(values)

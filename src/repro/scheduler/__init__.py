@@ -1,0 +1,46 @@
+"""Discrete-event simulation of HPC batch schedulers (SLURM, PBS).
+
+Principle 5 requires capturing *all* steps needed to run a benchmark --
+scheduler directives, accounts/QoS, process layout, launcher command.  On
+real systems those steps go through sbatch/qsub; here they go through a
+faithful simulation: jobs are submitted with the same directives, wait in
+a FIFO queue for free nodes, are allocated without oversubscription, run
+their payload (which returns output text plus simulated duration from the
+machine model), and complete or fail.  The generated job scripts are real
+sbatch/qsub scripts, recorded for provenance.
+"""
+
+from repro.scheduler.events import SimClock, EventQueue
+from repro.scheduler.job import Job, JobState, JobResult
+from repro.scheduler.allocation import NodePool, AllocationError
+from repro.scheduler.base import SchedulerError, BatchScheduler
+from repro.scheduler.slurm import SlurmScheduler
+from repro.scheduler.pbs import PbsScheduler
+from repro.scheduler.local import LocalScheduler
+
+__all__ = [
+    "SimClock",
+    "EventQueue",
+    "Job",
+    "JobState",
+    "JobResult",
+    "NodePool",
+    "AllocationError",
+    "SchedulerError",
+    "BatchScheduler",
+    "SlurmScheduler",
+    "PbsScheduler",
+    "LocalScheduler",
+]
+
+
+def make_scheduler(kind: str, **kwargs):
+    """Factory: ``'slurm' | 'pbs' | 'local'`` -> scheduler instance."""
+    kinds = {
+        "slurm": SlurmScheduler,
+        "pbs": PbsScheduler,
+        "local": LocalScheduler,
+    }
+    if kind not in kinds:
+        raise SchedulerError(f"unknown scheduler kind {kind!r}")
+    return kinds[kind](**kwargs)

@@ -1,0 +1,81 @@
+"""Node allocation tracking with a no-oversubscription invariant."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+__all__ = ["NodePool", "AllocationError"]
+
+
+class AllocationError(Exception):
+    """Raised for impossible requests or accounting violations."""
+
+
+class NodePool:
+    """A set of identical nodes handed out whole (exclusive node policy).
+
+    Exclusive allocation matches both ARCHER2 and the paper's fixed
+    "two tasks per node" HPGMG layout; shared-node policies belong to the
+    local scheduler, which does not allocate at all.
+    """
+
+    def __init__(self, name_prefix: str, num_nodes: int, cores_per_node: int):
+        if num_nodes < 1:
+            raise AllocationError("a pool needs at least one node")
+        self.cores_per_node = cores_per_node
+        self.all_nodes: List[str] = [
+            f"{name_prefix}{i:04d}" for i in range(1, num_nodes + 1)
+        ]
+        self.free: List[str] = list(self.all_nodes)
+        self.busy: Dict[str, int] = {}  # node -> job id
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.all_nodes)
+
+    @property
+    def num_free(self) -> int:
+        return len(self.free)
+
+    def can_allocate(self, count: int) -> bool:
+        return count <= self.num_free
+
+    def fits_at_all(self, count: int) -> bool:
+        """Could the request ever run on this pool (even when empty)?"""
+        return count <= self.num_nodes
+
+    def allocate(self, count: int, job_id: int) -> List[str]:
+        if count > self.num_nodes:
+            raise AllocationError(
+                f"request for {count} nodes exceeds pool size {self.num_nodes}"
+            )
+        if count > self.num_free:
+            raise AllocationError(
+                f"request for {count} nodes, only {self.num_free} free"
+            )
+        taken = self.free[:count]
+        self.free = self.free[count:]
+        for node in taken:
+            self.busy[node] = job_id
+        return taken
+
+    def release(self, nodes: List[str], job_id: int) -> None:
+        for node in nodes:
+            owner = self.busy.get(node)
+            if owner != job_id:
+                raise AllocationError(
+                    f"job {job_id} releasing node {node} owned by {owner}"
+                )
+            del self.busy[node]
+            self.free.append(node)
+        self.free.sort()
+
+    def check_invariants(self) -> None:
+        """No node is both free and busy; every node is accounted for."""
+        free_set: Set[str] = set(self.free)
+        busy_set: Set[str] = set(self.busy)
+        if free_set & busy_set:
+            raise AllocationError(f"nodes both free and busy: {free_set & busy_set}")
+        if free_set | busy_set != set(self.all_nodes):
+            missing = set(self.all_nodes) - (free_set | busy_set)
+            raise AllocationError(f"nodes unaccounted for: {missing}")

@@ -1,0 +1,186 @@
+"""The batch-scheduler engine shared by the SLURM and PBS frontends.
+
+FIFO-with-backfill over a :class:`~repro.scheduler.allocation.NodePool`,
+driven by the discrete-event queue.  Subclasses only differ in the job
+script dialect they render and the option spellings they accept -- exactly
+the per-system variation Principle 5 says must be captured, not retyped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.scheduler.allocation import NodePool
+from repro.scheduler.events import EventQueue, SimClock
+from repro.scheduler.job import Job, JobContext, JobResult, JobState
+
+__all__ = ["BatchScheduler", "SchedulerError"]
+
+
+class SchedulerError(Exception):
+    """Submission-time or runtime scheduler errors."""
+
+
+class BatchScheduler:
+    """Simulated batch system over one node pool."""
+
+    #: human name of the dialect; subclasses override
+    kind = "abstract"
+    #: seconds of scheduler overhead per job (dispatch latency)
+    dispatch_latency = 1.0
+
+    def __init__(
+        self,
+        num_nodes: int = 8,
+        cores_per_node: int = 128,
+        node_prefix: str = "nid",
+        require_account: bool = False,
+        require_qos: bool = False,
+    ):
+        self.clock = SimClock()
+        self.events = EventQueue(self.clock)
+        self.pool = NodePool(node_prefix, num_nodes, cores_per_node)
+        self.require_account = require_account
+        self.require_qos = require_qos
+        self._next_id = 1000
+        self._queue: List[Job] = []
+        self._jobs: Dict[int, Job] = {}
+
+    # -- submission ---------------------------------------------------------
+    def validate(self, job: Job) -> None:
+        """System-specific admission control (the appendix's accounting note)."""
+        if self.require_account and not job.account:
+            raise SchedulerError(
+                f"{self.kind}: job {job.name!r} rejected: no account given "
+                f"(pass -J'--account=...' as on the real system)"
+            )
+        if self.require_qos and not job.qos:
+            raise SchedulerError(
+                f"{self.kind}: job {job.name!r} rejected: no QoS given "
+                f"(ARCHER2 needs -J'--qos=standard')"
+            )
+        needed = job.nodes_needed(self.pool.cores_per_node)
+        if not self.pool.fits_at_all(needed):
+            raise SchedulerError(
+                f"{self.kind}: job {job.name!r} needs {needed} nodes, "
+                f"system has {self.pool.num_nodes}"
+            )
+
+    def submit(self, job: Job) -> int:
+        self.validate(job)
+        job.job_id = self._next_id
+        self._next_id += 1
+        job.state = JobState.PENDING
+        self._jobs[job.job_id] = job
+        self._queue.append(job)
+        self.events.schedule_in(self.dispatch_latency, self._try_dispatch)
+        return job.job_id
+
+    # -- dispatch loop ---------------------------------------------------------
+    def _try_dispatch(self) -> None:
+        """FIFO with conservative backfill: later jobs may jump only onto
+        nodes the head job cannot use right now."""
+        still_waiting: List[Job] = []
+        head_blocked_nodes: Optional[int] = None
+        for job in self._queue:
+            needed = job.nodes_needed(self.pool.cores_per_node)
+            blocked = (
+                head_blocked_nodes is not None and needed >= head_blocked_nodes
+            )
+            if not blocked and self.pool.can_allocate(needed):
+                self._start(job, needed)
+            else:
+                still_waiting.append(job)
+                if head_blocked_nodes is None:
+                    head_blocked_nodes = needed
+        self._queue = still_waiting
+
+    def _start(self, job: Job, needed: int) -> None:
+        nodes = self.pool.allocate(needed, job.job_id)
+        job.state = JobState.RUNNING
+        ctx = JobContext(
+            job_id=job.job_id,
+            nodes=nodes,
+            num_tasks=job.num_tasks,
+            num_cpus_per_task=job.num_cpus_per_task,
+            submit_time=self.clock.now,
+            start_time=self.clock.now,
+        )
+        try:
+            stdout, duration = job.payload(ctx)
+            failed = False
+            stderr = ""
+        except Exception as exc:  # payload crash == program crash
+            stdout, duration = "", 0.0
+            stderr = f"{type(exc).__name__}: {exc}"
+            failed = True
+
+        if duration > job.time_limit:
+            end_state = JobState.TIMEOUT
+            duration = job.time_limit
+            stderr = (
+                f"{self.kind.upper()}: job {job.job_id} exceeded time limit "
+                f"({job.time_limit}s)"
+            )
+        elif failed:
+            end_state = JobState.FAILED
+        else:
+            end_state = JobState.COMPLETED
+
+        def finish() -> None:
+            self.pool.release(nodes, job.job_id)
+            self.pool.check_invariants()
+            job.state = end_state
+            job.result = JobResult(
+                job_id=job.job_id,
+                state=end_state,
+                stdout=stdout,
+                stderr=stderr,
+                exit_code=0 if end_state is JobState.COMPLETED else 1,
+                submit_time=ctx.submit_time,
+                start_time=ctx.start_time,
+                end_time=self.clock.now,
+                nodes=nodes,
+            )
+            self._try_dispatch()
+
+        self.events.schedule_in(max(duration, 1e-6), finish)
+
+    # -- polling ------------------------------------------------------------------
+    def wait_all(self) -> None:
+        """Drive the simulation until every submitted job finishes."""
+        self.events.run_until_idle()
+        stuck = [j for j in self._jobs.values() if not j.state.finished]
+        if stuck:
+            raise SchedulerError(
+                f"{len(stuck)} jobs never finished: "
+                f"{[j.name for j in stuck]} (insufficient nodes?)"
+            )
+
+    def cancel(self, job_id: int) -> None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise SchedulerError(f"no such job {job_id}")
+        if job in self._queue:
+            self._queue.remove(job)
+            job.state = JobState.CANCELLED
+            job.result = JobResult(job_id=job_id, state=JobState.CANCELLED)
+
+    def job(self, job_id: int) -> Job:
+        if job_id not in self._jobs:
+            raise SchedulerError(f"no such job {job_id}")
+        return self._jobs[job_id]
+
+    def result(self, job_id: int) -> JobResult:
+        job = self.job(job_id)
+        if job.result is None:
+            raise SchedulerError(f"job {job_id} has not finished")
+        return job.result
+
+    # -- provenance ------------------------------------------------------------------
+    def render_script(self, job: Job, command: str) -> str:
+        """The batch script a user would submit for this job (Principle 5)."""
+        raise NotImplementedError
+
+    def queue_depth(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,82 @@
+"""Discrete-event simulation core: a virtual clock and an event queue.
+
+All scheduler time is *simulated* seconds -- a whole benchmarking campaign
+that would occupy a supercomputer for hours replays in milliseconds, which
+is what lets the repository regenerate every table of the paper on a
+laptop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["SimClock", "EventQueue"]
+
+
+class SimClock:
+    """Monotonic virtual time in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"clock cannot go backwards: {t} < {self._now}")
+        self._now = t
+
+    def advance_by(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("negative time step")
+        self._now += dt
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.6f})"
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks; ties break by insertion order."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def schedule(self, at: float, action: Callable[[], None]) -> None:
+        if at < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {at} < {self.clock.now}"
+            )
+        heapq.heappush(self._heap, (at, next(self._counter), action))
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
+        self.schedule(self.clock.now + delay, action)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Run the next event; False when the queue is empty."""
+        if not self._heap:
+            return False
+        at, _, action = heapq.heappop(self._heap)
+        self.clock.advance_to(at)
+        action()
+        return True
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns the number of events processed."""
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(
+                    f"event queue did not drain after {max_events} events"
+                )
+        return count

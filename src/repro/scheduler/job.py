@@ -1,0 +1,121 @@
+"""Batch jobs: resource requests, lifecycle, results.
+
+A job's resource request uses the same three knobs the paper's appendix
+documents for ReFrame (``num_tasks``, ``num_tasks_per_node``,
+``num_cpus_per_task``) plus the accounting options that "vary between HPC
+systems" (account, qos, partition).  The payload is a Python callable
+standing in for the job script's srun/mpirun line; it receives a
+:class:`JobContext` and returns the program's stdout.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Job", "JobState", "JobResult", "JobContext"]
+
+
+class JobState(enum.Enum):
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    TIMEOUT = "TIMEOUT"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def finished(self) -> bool:
+        return self in (
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.TIMEOUT,
+            JobState.CANCELLED,
+        )
+
+
+@dataclass
+class JobContext:
+    """What the payload sees at 'runtime'."""
+
+    job_id: int
+    nodes: List[str]
+    num_tasks: int
+    num_cpus_per_task: int
+    submit_time: float
+    start_time: float
+
+
+@dataclass
+class JobResult:
+    """Outcome of a finished job."""
+
+    job_id: int
+    state: JobState
+    stdout: str = ""
+    stderr: str = ""
+    exit_code: int = 0
+    submit_time: float = 0.0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    nodes: List[str] = field(default_factory=list)
+
+    @property
+    def queue_seconds(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def run_seconds(self) -> float:
+        return self.end_time - self.start_time
+
+
+#: Payload signature: context -> (stdout, simulated_runtime_seconds).
+Payload = Callable[[JobContext], "tuple[str, float]"]
+
+
+@dataclass
+class Job:
+    """A submitted batch job."""
+
+    name: str
+    payload: Payload
+    num_tasks: int = 1
+    num_tasks_per_node: Optional[int] = None
+    num_cpus_per_task: int = 1
+    time_limit: float = 3600.0  # simulated seconds
+    account: Optional[str] = None
+    qos: Optional[str] = None
+    partition: Optional[str] = None
+    extra_options: tuple = ()
+
+    # lifecycle, managed by the scheduler
+    job_id: int = -1
+    state: JobState = JobState.PENDING
+    result: Optional[JobResult] = None
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        if self.num_cpus_per_task < 1:
+            raise ValueError("num_cpus_per_task must be >= 1")
+        if self.num_tasks_per_node is not None and self.num_tasks_per_node < 1:
+            raise ValueError("num_tasks_per_node must be >= 1")
+
+    def nodes_needed(self, cores_per_node: int) -> int:
+        """Nodes this job occupies on a node type with the given core count."""
+        if self.num_tasks_per_node is not None:
+            per_node = self.num_tasks_per_node
+        else:
+            per_node = max(1, cores_per_node // self.num_cpus_per_task)
+        cores_wanted = self.num_tasks_per_node_cores(per_node)
+        if cores_wanted > cores_per_node:
+            raise ValueError(
+                f"job {self.name!r} wants {cores_wanted} cores/node, "
+                f"nodes have {cores_per_node}"
+            )
+        return math.ceil(self.num_tasks / per_node)
+
+    def num_tasks_per_node_cores(self, per_node: int) -> int:
+        return per_node * self.num_cpus_per_task

@@ -1,0 +1,33 @@
+"""The no-scheduler backend: run immediately on the 'login node'.
+
+ReFrame supports local execution for laptops and unscheduled testbeds;
+the framework uses it for unknown systems (which get a basic environment
+and no batch system) and in unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.base import BatchScheduler
+from repro.scheduler.job import Job
+
+__all__ = ["LocalScheduler"]
+
+
+class LocalScheduler(BatchScheduler):
+    """Immediate execution, single 'node', no queueing semantics."""
+
+    kind = "local"
+    dispatch_latency = 0.0
+
+    def __init__(self, cores_per_node: int = 16, **kwargs):
+        kwargs.pop("num_nodes", None)
+        kwargs.pop("node_prefix", None)
+        super().__init__(
+            num_nodes=1,
+            cores_per_node=cores_per_node,
+            node_prefix="localhost",
+            **kwargs,
+        )
+
+    def render_script(self, job: Job, command: str) -> str:
+        return "\n".join(["#!/bin/bash", command, ""])

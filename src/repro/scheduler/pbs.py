@@ -1,0 +1,40 @@
+"""PBS dialect (Isambard XCI and MACS): qsub script rendering."""
+
+from __future__ import annotations
+
+from repro.scheduler.base import BatchScheduler
+from repro.scheduler.job import Job
+
+__all__ = ["PbsScheduler"]
+
+
+def _hms(seconds: float) -> str:
+    s = int(seconds)
+    return f"{s // 3600:02d}:{(s % 3600) // 60:02d}:{s % 60:02d}"
+
+
+class PbsScheduler(BatchScheduler):
+    """The PBS Pro frontend."""
+
+    kind = "pbs"
+
+    def render_script(self, job: Job, command: str) -> str:
+        nodes = job.nodes_needed(self.pool.cores_per_node)
+        per_node = job.num_tasks_per_node or max(
+            1, self.pool.cores_per_node // job.num_cpus_per_task
+        )
+        lines = [
+            "#!/bin/bash",
+            f"#PBS -N {job.name}",
+            f"#PBS -l select={nodes}:ncpus={self.pool.cores_per_node}"
+            f":mpiprocs={per_node}",
+            f"#PBS -l walltime={_hms(job.time_limit)}",
+        ]
+        if job.partition:
+            lines.append(f"#PBS -q {job.partition}")
+        if job.account:
+            lines.append(f"#PBS -A {job.account}")
+        for opt in job.extra_options:
+            lines.append(f"#PBS {opt}")
+        lines += ["", "cd $PBS_O_WORKDIR", command, ""]
+        return "\n".join(lines)

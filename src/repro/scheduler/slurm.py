@@ -1,0 +1,42 @@
+"""SLURM dialect: sbatch script rendering and option spellings."""
+
+from __future__ import annotations
+
+from repro.scheduler.base import BatchScheduler
+from repro.scheduler.job import Job
+
+__all__ = ["SlurmScheduler"]
+
+
+def _hms(seconds: float) -> str:
+    s = int(seconds)
+    return f"{s // 3600:02d}:{(s % 3600) // 60:02d}:{s % 60:02d}"
+
+
+class SlurmScheduler(BatchScheduler):
+    """The SLURM frontend (ARCHER2, COSMA8, CSD3, Noctua2)."""
+
+    kind = "slurm"
+
+    def render_script(self, job: Job, command: str) -> str:
+        nodes = job.nodes_needed(self.pool.cores_per_node)
+        lines = [
+            "#!/bin/bash",
+            f"#SBATCH --job-name={job.name}",
+            f"#SBATCH --nodes={nodes}",
+            f"#SBATCH --ntasks={job.num_tasks}",
+            f"#SBATCH --cpus-per-task={job.num_cpus_per_task}",
+            f"#SBATCH --time={_hms(job.time_limit)}",
+        ]
+        if job.num_tasks_per_node is not None:
+            lines.append(f"#SBATCH --ntasks-per-node={job.num_tasks_per_node}")
+        if job.partition:
+            lines.append(f"#SBATCH --partition={job.partition}")
+        if job.account:
+            lines.append(f"#SBATCH --account={job.account}")
+        if job.qos:
+            lines.append(f"#SBATCH --qos={job.qos}")
+        for opt in job.extra_options:
+            lines.append(f"#SBATCH {opt}")
+        lines += ["", command, ""]
+        return "\n".join(lines)

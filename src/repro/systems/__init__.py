@@ -1,0 +1,38 @@
+"""Simulated HPC systems: hardware registry for the paper's platforms.
+
+The paper benchmarks on seven UK/DE platforms (Table 5): Isambard
+(ThunderX2), Isambard-MACS (Cascade Lake + V100), COSMA8 (Rome), ARCHER2
+(Rome), CSD3 (Cascade Lake), and Noctua2 (Milan).  This subpackage records
+their hardware ground truth -- cores, sockets, clocks, cache sizes, peak
+memory bandwidth (Table 1) and peak FLOP rates -- and builds the
+per-system package-manager environments whose concretizations reproduce
+Table 3.
+"""
+
+from repro.systems.hardware import (
+    CacheSpec,
+    GpuSpec,
+    MemorySpec,
+    NodeSpec,
+    ProcessorSpec,
+)
+from repro.systems.registry import (
+    SYSTEMS,
+    SystemDescription,
+    all_system_names,
+    get_system,
+    system_environment,
+)
+
+__all__ = [
+    "CacheSpec",
+    "GpuSpec",
+    "MemorySpec",
+    "NodeSpec",
+    "ProcessorSpec",
+    "SYSTEMS",
+    "SystemDescription",
+    "all_system_names",
+    "get_system",
+    "system_environment",
+]

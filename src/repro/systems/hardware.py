@@ -1,0 +1,167 @@
+"""Hardware descriptions: processors, memories, caches, nodes.
+
+These dataclasses carry the *theoretical peak* numbers that Principle 1
+turns raw FOMs into efficiencies with: Figure 2 divides measured Triad
+GB/s by :attr:`MemorySpec.peak_bandwidth_gbs` from Table 1.
+
+All bandwidths are in GB/s (decimal, as vendors and the paper quote them),
+capacities in bytes, clocks in GHz, flop rates in GFLOP/s (double
+precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "CacheSpec",
+    "MemorySpec",
+    "ProcessorSpec",
+    "GpuSpec",
+    "NodeSpec",
+]
+
+MiB = 1024 * 1024
+GiB = 1024 * MiB
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One cache level (typically the LLC is what benchmarking cares about).
+
+    The paper's array-sizing rule ("the array size should be set such that
+    it forces the data to go beyond the L3 cache") reads
+    :attr:`size_bytes` of the last level.
+    """
+
+    level: int
+    size_bytes: int
+    per_socket: bool = True
+    bandwidth_gbs: float = 1000.0  # sustained BW when data fits this level
+
+    def total_bytes(self, sockets: int) -> int:
+        return self.size_bytes * (sockets if self.per_socket else 1)
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Main-memory subsystem of a node or device."""
+
+    peak_bandwidth_gbs: float  # theoretical peak, the Figure 2 denominator
+    capacity_bytes: int = 256 * GiB
+    channels: int = 8
+    technology: str = "DDR4"
+
+    #: Fraction of theoretical peak a perfectly-tuned STREAM reaches.  Real
+    #: DRAM never sustains peak (refresh, page misses, RFO traffic); 80-88%
+    #: is typical for CPUs, ~93% for HBM2.  This is hardware ground truth,
+    #: not a programming-model property (those live in repro.machine).
+    stream_fraction: float = 0.82
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A CPU socket type (Table 5 rows)."""
+
+    vendor: str  # "Intel", "AMD", "Marvell"
+    model: str  # "Xeon Gold 6230 (Cascade Lake)"
+    microarch: str  # "cascadelake", "rome", "milan", "thunderx2"
+    isa_family: str  # "x86_64" or "aarch64"
+    cores_per_socket: int
+    clock_ghz: float
+    flops_per_cycle: int  # per-core DP flops/cycle at the widest vector unit
+    caches: Tuple[CacheSpec, ...] = ()
+    smt: int = 1
+
+    @property
+    def peak_gflops_per_socket(self) -> float:
+        return self.cores_per_socket * self.clock_ghz * self.flops_per_cycle
+
+    @property
+    def llc(self) -> Optional[CacheSpec]:
+        return max(self.caches, key=lambda c: c.level) if self.caches else None
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU device type (Table 1's V100 row)."""
+
+    vendor: str
+    model: str
+    microarch: str  # "volta"
+    compute_units: int
+    clock_ghz: float
+    peak_gflops: float  # DP
+    memory: MemorySpec = field(
+        default_factory=lambda: MemorySpec(
+            peak_bandwidth_gbs=900.0,
+            capacity_bytes=16 * GiB,
+            channels=4,
+            technology="HBM2",
+            stream_fraction=0.93,
+        )
+    )
+
+    @property
+    def isa_family(self) -> str:
+        return "gpu"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A full compute node: sockets of a processor (or a host + GPU).
+
+    For GPU partitions the FOM-relevant device is the GPU; the host CPU
+    only launches kernels, so :attr:`gpu` being set switches the machine
+    model to the device's roofline.
+    """
+
+    processor: ProcessorSpec
+    sockets: int = 2
+    memory: MemorySpec = field(
+        default_factory=lambda: MemorySpec(peak_bandwidth_gbs=200.0)
+    )
+    gpu: Optional[GpuSpec] = None
+    gpus_per_node: int = 0
+
+    @property
+    def total_cores(self) -> int:
+        return self.processor.cores_per_socket * self.sockets
+
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        """Peak memory bandwidth of the FOM-relevant device."""
+        if self.gpu is not None:
+            return self.gpu.memory.peak_bandwidth_gbs
+        return self.memory.peak_bandwidth_gbs
+
+    @property
+    def peak_gflops(self) -> float:
+        if self.gpu is not None:
+            return self.gpu.peak_gflops
+        return self.processor.peak_gflops_per_socket * self.sockets
+
+    @property
+    def llc_bytes(self) -> int:
+        """Total last-level cache the Figure 2 array-sizing rule checks."""
+        if self.gpu is not None:
+            return 6 * MiB  # V100 L2
+        llc = self.processor.llc
+        return llc.total_bytes(self.sockets) if llc else 0
+
+    @property
+    def device(self) -> str:
+        return "gpu" if self.gpu is not None else "cpu"
+
+    @property
+    def arch_target(self) -> str:
+        if self.gpu is not None:
+            return self.gpu.microarch
+        return self.processor.isa_family
+
+    @property
+    def arch_vendor(self) -> str:
+        if self.gpu is not None:
+            return self.gpu.vendor.lower()
+        return self.processor.vendor.lower()

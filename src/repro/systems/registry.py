@@ -1,0 +1,501 @@
+"""The system registry: every platform used in the paper.
+
+Each :class:`SystemDescription` bundles
+
+* partitions of :class:`~repro.systems.hardware.NodeSpec` hardware,
+* the scheduler type (SLURM/PBS) and its quirks (ARCHER2 needs a
+  ``--qos``, most systems an account -- the appendix's "Accounting varies
+  between HPC systems"),
+* a factory for the package-manager :class:`~repro.pkgmgr.environment.Environment`
+  (compilers installed, externals, MPI preference), from which the paper's
+  Table 3 concretizations fall out.
+
+Hardware numbers come straight from Tables 1 and 5:
+
+=============  ==========================  =============  ==================
+System         Processor                   Cores          Peak mem BW (GB/s)
+=============  ==========================  =============  ==================
+Isambard       ThunderX2 @ 2.5 GHz         2 x 32         288
+Isambard-MACS  Xeon Gold 6230 @ 2.1 GHz    2 x 20         2 x 140.784 = 282
+Isambard-MACS  NVIDIA V100 PCIe 16 GB      80 SMs         900
+COSMA8         EPYC 7H12 (Rome) @ 2.6      2 x 64         2 x 204.8
+ARCHER2        EPYC 7742 (Rome) @ 2.25     2 x 64         2 x 204.8
+CSD3           Xeon Platinum 8276 @ 2.2    2 x 28         2 x 140.784
+Noctua2        EPYC 7763 (Milan) @ 2.45    2 x 64         2 x 204.8
+=============  ==========================  =============  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.pkgmgr.compilers import Compiler, CompilerRegistry
+from repro.pkgmgr.environment import Environment, ExternalPackage
+from repro.systems.hardware import (
+    CacheSpec,
+    GpuSpec,
+    MemorySpec,
+    MiB,
+    GiB,
+    NodeSpec,
+    ProcessorSpec,
+)
+
+__all__ = [
+    "SystemDescription",
+    "PartitionDescription",
+    "SYSTEMS",
+    "get_system",
+    "all_system_names",
+    "system_environment",
+    "UnknownSystemError",
+]
+
+
+class UnknownSystemError(LookupError):
+    """Raised for a system name not in the registry."""
+
+
+# --------------------------------------------------------------------------
+# processor catalogue
+# --------------------------------------------------------------------------
+
+CASCADE_LAKE_6230 = ProcessorSpec(
+    vendor="Intel",
+    model="Xeon Gold 6230 (Cascade Lake)",
+    microarch="cascadelake",
+    isa_family="x86_64",
+    cores_per_socket=20,
+    clock_ghz=2.1,
+    flops_per_cycle=32,  # AVX-512, 2 FMA units
+    caches=(CacheSpec(3, int(27.5 * MiB)),),
+    smt=2,
+)
+
+CASCADE_LAKE_8276 = ProcessorSpec(
+    vendor="Intel",
+    model="Xeon Platinum 8276 (Cascade Lake)",
+    microarch="cascadelake",
+    isa_family="x86_64",
+    cores_per_socket=28,
+    clock_ghz=2.2,
+    flops_per_cycle=32,
+    caches=(CacheSpec(3, int(38.5 * MiB)),),
+    smt=2,
+)
+
+THUNDERX2 = ProcessorSpec(
+    vendor="Marvell",
+    model="ThunderX2 CN9980",
+    microarch="thunderx2",
+    isa_family="aarch64",
+    cores_per_socket=32,
+    clock_ghz=2.5,
+    flops_per_cycle=8,  # 2x 128-bit NEON FMA
+    caches=(CacheSpec(3, 32 * MiB),),
+    smt=4,
+)
+
+EPYC_ROME_7H12 = ProcessorSpec(
+    vendor="AMD",
+    model="EPYC 7H12 (Rome)",
+    microarch="rome",
+    isa_family="x86_64",
+    cores_per_socket=64,
+    clock_ghz=2.6,
+    flops_per_cycle=16,  # AVX2, 2 FMA units
+    caches=(CacheSpec(3, 256 * MiB),),
+    smt=2,
+)
+
+EPYC_ROME_7742 = ProcessorSpec(
+    vendor="AMD",
+    model="EPYC 7742 (Rome)",
+    microarch="rome",
+    isa_family="x86_64",
+    cores_per_socket=64,
+    clock_ghz=2.25,
+    flops_per_cycle=16,
+    caches=(CacheSpec(3, 256 * MiB),),
+    smt=2,
+)
+
+EPYC_MILAN_7763 = ProcessorSpec(
+    vendor="AMD",
+    model="EPYC 7763 (Milan)",
+    microarch="milan",
+    isa_family="x86_64",
+    cores_per_socket=64,
+    clock_ghz=2.45,
+    flops_per_cycle=16,
+    caches=(CacheSpec(3, 256 * MiB),),
+    smt=2,
+)
+
+V100 = GpuSpec(
+    vendor="NVIDIA",
+    model="Tesla V100 PCIe 16 GB",
+    microarch="volta",
+    compute_units=80,
+    clock_ghz=1.38,
+    peak_gflops=7000.0,
+)
+
+# memory subsystems (peak figures from Table 1)
+MEM_CASCADE_LAKE = MemorySpec(
+    peak_bandwidth_gbs=2 * 140.784, channels=6, technology="DDR4-2933",
+    capacity_bytes=192 * GiB, stream_fraction=0.80,
+)
+MEM_THUNDERX2 = MemorySpec(
+    peak_bandwidth_gbs=288.0, channels=8, technology="DDR4-2400",
+    capacity_bytes=256 * GiB, stream_fraction=0.84,
+)
+MEM_ROME = MemorySpec(
+    peak_bandwidth_gbs=2 * 204.8, channels=8, technology="DDR4-3200",
+    capacity_bytes=256 * GiB, stream_fraction=0.82,
+)
+MEM_MILAN = MemorySpec(
+    peak_bandwidth_gbs=2 * 204.8, channels=8, technology="DDR4-3200",
+    capacity_bytes=256 * GiB, stream_fraction=0.85,
+)
+
+
+# --------------------------------------------------------------------------
+# system descriptions
+# --------------------------------------------------------------------------
+
+@dataclass
+class PartitionDescription:
+    """One homogeneous set of nodes within a system."""
+
+    name: str
+    node: NodeSpec
+    num_nodes: int = 8
+    scheduler: str = "slurm"
+    launcher: str = "mpirun"
+    access_options: Tuple[str, ...] = ()
+    environs: Tuple[str, ...] = ("default",)
+
+
+@dataclass
+class SystemDescription:
+    """A whole facility as the framework sees it."""
+
+    name: str
+    full_name: str
+    tier: str
+    partitions: Dict[str, PartitionDescription]
+    scheduler: str = "slurm"
+    requires_account: bool = True
+    requires_qos: bool = False
+    hostname_patterns: Tuple[str, ...] = ()
+    env_factory: Optional[Callable[[], Environment]] = None
+
+    def partition(self, name: Optional[str] = None) -> PartitionDescription:
+        if name is None:
+            return next(iter(self.partitions.values()))
+        if name not in self.partitions:
+            raise UnknownSystemError(
+                f"system {self.name!r} has no partition {name!r} "
+                f"(has: {', '.join(self.partitions)})"
+            )
+        return self.partitions[name]
+
+    @property
+    def default_partition(self) -> PartitionDescription:
+        return self.partition(None)
+
+
+def _node(processor: ProcessorSpec, memory: MemorySpec, **kw) -> NodeSpec:
+    return NodeSpec(processor=processor, sockets=2, memory=memory, **kw)
+
+
+def _env_archer2() -> Environment:
+    env = Environment(
+        "archer2",
+        compilers=CompilerRegistry(
+            [
+                Compiler("gcc", "11.2.0", modules=["PrgEnv-gnu"]),
+                Compiler("cce", "15.0.0", modules=["PrgEnv-cray"]),
+                Compiler("gcc", "10.3.0"),
+            ]
+        ),
+        externals=[
+            ExternalPackage("cray-mpich@8.1.23", modules=["cray-mpich/8.1.23"]),
+            ExternalPackage("python@3.10.12", modules=["cray-python/3.10.12"]),
+            ExternalPackage("cmake@3.23.1"),
+        ],
+        preferences={"mpi": "cray-mpich@8.1.23"},
+        arch={"target": "x86_64", "device": "cpu", "vendor": "amd"},
+    )
+    return env
+
+
+def _env_cosma8() -> Environment:
+    return Environment(
+        "cosma8",
+        compilers=CompilerRegistry(
+            [
+                Compiler("gcc", "11.1.0"),
+                Compiler("gcc", "9.2.0"),
+                Compiler("intel-oneapi-compilers", "2023.1.0"),
+            ]
+        ),
+        externals=[
+            ExternalPackage("mvapich2@2.3.6", modules=["mvapich2/2.3.6"]),
+            ExternalPackage("python@2.7.15"),  # old system python, as in Table 3
+            ExternalPackage("cmake@3.20.2"),
+        ],
+        preferences={"mpi": "mvapich2@2.3.6"},
+        arch={"target": "x86_64", "device": "cpu", "vendor": "amd"},
+    )
+
+
+def _env_csd3() -> Environment:
+    return Environment(
+        "csd3",
+        compilers=CompilerRegistry(
+            [
+                Compiler("gcc", "11.2.0"),
+                Compiler("intel-oneapi-compilers", "2023.1.0"),
+            ]
+        ),
+        externals=[
+            ExternalPackage("openmpi@4.0.4", modules=["openmpi/4.0.4"]),
+            ExternalPackage("python@3.8.2"),
+            ExternalPackage("cmake@3.23.1"),
+            ExternalPackage("intel-oneapi-mkl@2023.1.0"),
+            ExternalPackage("intel-tbb@2021.9.0"),
+        ],
+        preferences={"mpi": "openmpi@4.0.4"},
+        arch={"target": "x86_64", "device": "cpu", "vendor": "intel"},
+    )
+
+
+def _env_isambard_macs() -> Environment:
+    return Environment(
+        "isambard-macs",
+        compilers=CompilerRegistry(
+            [
+                # gcc 9.2.0 first: the paper pins it for the Volta builds
+                # because "the build system has conflicts with newer versions"
+                Compiler("gcc", "9.2.0"),
+                Compiler("gcc", "10.3.0"),
+                Compiler("gcc", "12.1.0"),
+                Compiler("intel-oneapi-compilers", "2023.1.0"),
+            ]
+        ),
+        externals=[
+            ExternalPackage("openmpi@4.0.3", modules=["openmpi/4.0.3"]),
+            ExternalPackage("python@3.7.5"),
+            ExternalPackage("cmake@3.13.4"),
+            ExternalPackage("cuda@11.2", modules=["cuda/11.2"]),
+            ExternalPackage("intel-oneapi-mkl@2023.1.0"),
+            ExternalPackage("intel-tbb@2020.3"),
+        ],
+        preferences={"mpi": "openmpi@4.0.3"},
+        arch={"target": "x86_64", "device": "cpu", "vendor": "intel"},
+    )
+
+
+def _env_isambard_xci() -> Environment:
+    return Environment(
+        "isambard",
+        compilers=CompilerRegistry(
+            [
+                Compiler("gcc", "10.3.0"),
+                Compiler("gcc", "12.1.0"),
+                Compiler("cce", "14.0.1"),
+            ]
+        ),
+        externals=[
+            ExternalPackage("openmpi@4.0.3"),
+            ExternalPackage("python@3.7.5"),
+            ExternalPackage("cmake@3.20.2"),
+        ],
+        preferences={"mpi": "openmpi@4.0.3"},
+        arch={"target": "aarch64", "device": "cpu", "vendor": "marvell"},
+    )
+
+
+def _env_noctua2() -> Environment:
+    return Environment(
+        "noctua2",
+        compilers=CompilerRegistry(
+            [
+                Compiler("gcc", "12.1.0"),
+                Compiler("gcc", "10.3.0"),
+                Compiler("intel-oneapi-compilers", "2023.1.0"),
+            ]
+        ),
+        externals=[
+            ExternalPackage("openmpi@4.1.5"),
+            ExternalPackage("python@3.10.12"),
+            ExternalPackage("cmake@3.26.3"),
+            ExternalPackage("intel-tbb@2021.9.0"),
+            ExternalPackage("intel-oneapi-mkl@2023.1.0"),
+        ],
+        preferences={"mpi": "openmpi@4.1.5"},
+        arch={"target": "x86_64", "device": "cpu", "vendor": "amd"},
+    )
+
+
+SYSTEMS: Dict[str, SystemDescription] = {
+    "archer2": SystemDescription(
+        name="archer2",
+        full_name="ARCHER2 (UK National Supercomputing Service)",
+        tier="Tier-1",
+        partitions={
+            "compute": PartitionDescription(
+                name="compute",
+                node=_node(EPYC_ROME_7742, MEM_ROME),
+                num_nodes=1024,
+                scheduler="slurm",
+                launcher="srun",
+                access_options=("--partition=standard", "--qos=standard"),
+            )
+        },
+        requires_qos=True,
+        hostname_patterns=("ln0*", "uan0*"),
+        env_factory=_env_archer2,
+    ),
+    "cosma8": SystemDescription(
+        name="cosma8",
+        full_name="COSMA8 (DiRAC Durham)",
+        tier="Tier-1 (DiRAC)",
+        partitions={
+            "compute": PartitionDescription(
+                name="compute",
+                node=_node(EPYC_ROME_7H12, MEM_ROME),
+                num_nodes=360,
+                scheduler="slurm",
+                launcher="mpirun",
+                access_options=("--partition=cosma8",),
+            )
+        },
+        hostname_patterns=("login8*",),
+        env_factory=_env_cosma8,
+    ),
+    "csd3": SystemDescription(
+        name="csd3",
+        full_name="CSD3 (Cambridge Service for Data Driven Discovery)",
+        tier="Tier-2",
+        partitions={
+            "cascadelake": PartitionDescription(
+                name="cascadelake",
+                node=_node(CASCADE_LAKE_8276, MEM_CASCADE_LAKE),
+                num_nodes=672,
+                scheduler="slurm",
+                launcher="mpirun",
+                access_options=("--partition=cclake",),
+            )
+        },
+        hostname_patterns=("login-e-*",),
+        env_factory=_env_csd3,
+    ),
+    "isambard": SystemDescription(
+        name="isambard",
+        full_name="Isambard 2 XCI (GW4 Tier-2, Marvell ThunderX2)",
+        tier="Tier-2",
+        partitions={
+            "compute": PartitionDescription(
+                name="compute",
+                node=_node(THUNDERX2, MEM_THUNDERX2),
+                num_nodes=328,
+                scheduler="pbs",
+                launcher="aprun",
+            )
+        },
+        hostname_patterns=("xcil0*",),
+        env_factory=_env_isambard_xci,
+    ),
+    "isambard-macs": SystemDescription(
+        name="isambard-macs",
+        full_name="Isambard Multi-Architecture Comparison System",
+        tier="Tier-2",
+        partitions={
+            "cascadelake": PartitionDescription(
+                name="cascadelake",
+                node=_node(CASCADE_LAKE_6230, MEM_CASCADE_LAKE),
+                num_nodes=4,
+                scheduler="pbs",
+                launcher="mpirun",
+                access_options=("-q clxq",),
+            ),
+            "volta": PartitionDescription(
+                name="volta",
+                node=NodeSpec(
+                    processor=CASCADE_LAKE_6230,
+                    sockets=2,
+                    memory=MEM_CASCADE_LAKE,
+                    gpu=V100,
+                    gpus_per_node=1,
+                ),
+                num_nodes=2,
+                scheduler="pbs",
+                launcher="mpirun",
+                access_options=("-q voltaq",),
+            ),
+        },
+        hostname_patterns=("login-0*",),
+        env_factory=_env_isambard_macs,
+    ),
+    "noctua2": SystemDescription(
+        name="noctua2",
+        full_name="Noctua 2 (NHR Center PC2, Paderborn)",
+        tier="NHR",
+        partitions={
+            "milan": PartitionDescription(
+                name="milan",
+                node=_node(EPYC_MILAN_7763, MEM_MILAN),
+                num_nodes=990,
+                scheduler="slurm",
+                launcher="srun",
+                access_options=("--partition=normal",),
+            )
+        },
+        hostname_patterns=("n2login*",),
+        env_factory=_env_noctua2,
+    ),
+}
+
+
+def all_system_names() -> List[str]:
+    return sorted(SYSTEMS)
+
+
+def get_system(name: str) -> SystemDescription:
+    """Look up ``'system'`` or ``'system:partition'`` (partition validated)."""
+    sysname, _, part = name.partition(":")
+    if sysname not in SYSTEMS:
+        raise UnknownSystemError(
+            f"unknown system {sysname!r}; known: {', '.join(all_system_names())}"
+        )
+    system = SYSTEMS[sysname]
+    if part:
+        system.partition(part)  # raises if invalid
+    return system
+
+
+def system_environment(name: str) -> Environment:
+    """The package environment of a system, honouring the GPU partition.
+
+    ``'isambard-macs:volta'`` returns the MACS environment with the arch
+    facts switched to the V100 so GPU-only conflicts resolve correctly.
+    A system without an ``env_factory`` gets :meth:`Environment.basic`
+    (the paper: unknown systems get a basic environment, no packages).
+    """
+    sysname, _, part = name.partition(":")
+    system = get_system(sysname)
+    if system.env_factory is None:
+        return Environment.basic(sysname)
+    env = system.env_factory()
+    if part:
+        node = system.partition(part).node
+        env.arch = {
+            "target": node.arch_target,
+            "device": node.device,
+            "vendor": node.arch_vendor,
+        }
+    return env

@@ -1,0 +1,95 @@
+"""Tests for efficiency metrics and the performance-portability metric."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.efficiency import (
+    EfficiencyError,
+    application_efficiency,
+    architectural_efficiency,
+    variant_efficiency,
+)
+from repro.analysis.portability import cascade, performance_portability
+
+
+class TestEfficiency:
+    def test_architectural(self):
+        assert architectural_efficiency(215.3, 281.6) == pytest.approx(0.7645,
+                                                                       rel=1e-3)
+
+    def test_architectural_validation(self):
+        with pytest.raises(EfficiencyError):
+            architectural_efficiency(1.0, 0.0)
+        with pytest.raises(EfficiencyError):
+            architectural_efficiency(-1.0, 10.0)
+
+    def test_variant_eq1_from_paper(self):
+        """E = VAR/ORIG with Table 2's Cascade Lake numbers."""
+        assert variant_efficiency(39.0, 24.0) == pytest.approx(1.625)
+        assert variant_efficiency(51.0, 24.0) == pytest.approx(2.125)
+        assert variant_efficiency(124.2, 39.2) == pytest.approx(3.168,
+                                                                rel=1e-3)
+
+    def test_variant_validation(self):
+        with pytest.raises(EfficiencyError):
+            variant_efficiency(1.0, 0.0)
+
+    def test_application_efficiency_vs_best(self):
+        eff = application_efficiency({"a": 50.0, "b": 100.0})
+        assert eff == {"a": 0.5, "b": 1.0}
+
+    def test_application_efficiency_explicit_best(self):
+        eff = application_efficiency({"a": 50.0}, best=200.0)
+        assert eff["a"] == 0.25
+
+    def test_application_efficiency_empty(self):
+        assert application_efficiency({}) == {}
+
+
+class TestPerformancePortability:
+    def test_harmonic_mean(self):
+        pp = performance_portability({"a": 0.5, "b": 1.0})
+        assert pp == pytest.approx(2 / (1 / 0.5 + 1 / 1.0))
+
+    def test_unsupported_platform_zeroes_pp(self):
+        """Figure 2's '*' boxes: one unsupported platform -> PP = 0."""
+        assert performance_portability({"a": 0.9, "b": None}) == 0.0
+        assert performance_portability({"a": 0.9, "b": 0.0}) == 0.0
+
+    def test_subset_selection(self):
+        effs = {"a": 0.8, "b": None}
+        assert performance_portability(effs, platforms=["a"]) == 0.8
+        assert performance_portability(effs, platforms=["a", "b"]) == 0.0
+
+    def test_empty_set(self):
+        assert performance_portability({}, platforms=[]) == 0.0
+
+    def test_efficiency_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            performance_portability({"a": 1.5})
+
+    def test_cascade_ordering(self):
+        effs = {"slow": 0.2, "fast": 0.9, "broken": None, "mid": 0.5}
+        points = cascade(effs)
+        names = [n for n, _ in points]
+        assert names[:3] == ["fast", "mid", "slow"]
+        assert names[-1] == "broken"
+        values = [v for _, v in points[:3]]
+        # PP is non-increasing as platforms are added best-first
+        assert values == sorted(values, reverse=True)
+        assert points[-1][1] == 0.0
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["p1", "p2", "p3", "p4"]),
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=1,
+        )
+    )
+    def test_pp_bounded_by_min_and_max(self, effs):
+        pp = performance_portability(effs)
+        assert min(effs.values()) - 1e-12 <= pp <= max(effs.values()) + 1e-12
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_pp_of_uniform_is_that_value(self, e):
+        assert performance_portability({"a": e, "b": e}) == pytest.approx(e)

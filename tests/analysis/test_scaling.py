@@ -1,0 +1,107 @@
+"""Tests for strong/weak scaling analysis and the Amdahl fit."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.scaling import (
+    ScalingPoint,
+    ScalingStudy,
+    fit_amdahl,
+    strong_scaling_efficiency,
+    weak_scaling_efficiency,
+)
+
+
+def amdahl_points(serial_fraction, t1=100.0, counts=(1, 2, 4, 8, 16, 32)):
+    return [
+        ScalingPoint(n, t1 * (serial_fraction + (1 - serial_fraction) / n))
+        for n in counts
+    ]
+
+
+class TestEfficiencies:
+    def test_perfect_strong_scaling(self):
+        assert strong_scaling_efficiency(100.0, 1, 25.0, 4) == 1.0
+
+    def test_sublinear_strong_scaling(self):
+        assert strong_scaling_efficiency(100.0, 1, 50.0, 4) == 0.5
+
+    def test_weak_scaling(self):
+        assert weak_scaling_efficiency(10.0, 10.0) == 1.0
+        assert weak_scaling_efficiency(10.0, 20.0) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strong_scaling_efficiency(0.0, 1, 1.0, 2)
+        with pytest.raises(ValueError):
+            weak_scaling_efficiency(1.0, 0.0)
+
+
+class TestStudy:
+    def test_points_sorted_and_base(self):
+        study = ScalingStudy([ScalingPoint(8, 20.0), ScalingPoint(1, 100.0)])
+        assert study.base.tasks == 1
+        assert [t for t, _ in study.speedups()] == [1, 8]
+
+    def test_speedups_relative_to_base(self):
+        study = ScalingStudy(amdahl_points(0.0))
+        for tasks, speedup in study.speedups():
+            assert speedup == pytest.approx(tasks)
+
+    def test_strong_efficiency_decays_with_serial_fraction(self):
+        study = ScalingStudy(amdahl_points(0.2))
+        effs = dict(study.strong_efficiencies())
+        assert effs[1] == pytest.approx(1.0)
+        assert effs[32] < effs[4] < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingStudy([])
+
+    def test_bad_point_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingPoint(0, 1.0)
+        with pytest.raises(ValueError):
+            ScalingPoint(1, 0.0)
+
+
+class TestAmdahlFit:
+    @pytest.mark.parametrize("s", [0.0, 0.05, 0.2, 0.5])
+    def test_recovers_known_serial_fraction(self, s):
+        assert fit_amdahl(amdahl_points(s)) == pytest.approx(s, abs=0.02)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_amdahl([ScalingPoint(1, 1.0)])
+
+    def test_clamped_to_unit_interval(self):
+        # super-linear data (cache effects) would fit s < 0: clamp to 0
+        pts = [ScalingPoint(1, 100.0), ScalingPoint(2, 40.0),
+               ScalingPoint(4, 15.0)]
+        assert fit_amdahl(pts) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_fit_is_exact_on_noiseless_amdahl(self, s):
+        assert fit_amdahl(amdahl_points(s)) == pytest.approx(s, abs=0.02)
+
+
+class TestHpgmgScalingIntegration:
+    def test_hpgmg_strong_scaling_is_comm_limited(self):
+        """Sweeping task counts through the HPGMG timing model yields a
+        classic flattening strong-scaling curve; the fitted Amdahl serial
+        fraction is the latency-bound coarse-grid work."""
+        from repro.apps.hpgmg.model import HpgmgTimingModel
+        from repro.systems.registry import get_system
+
+        node = get_system("archer2").partition(None).node
+        points = []
+        for tasks in (2, 4, 8, 16, 32):
+            model = HpgmgTimingModel("archer2", node, tasks, 2, 8)
+            # fixed global problem: scale boxes per rank down as ranks grow
+            model.boxes_per_rank = max(64 // tasks, 1)
+            points.append(ScalingPoint(tasks, model.solve_seconds(0)))
+        study = ScalingStudy(points)
+        effs = dict(study.strong_efficiencies())
+        assert effs[32] < effs[2]  # efficiency decays
+        assert 0.0 < fit_amdahl(points) < 0.5

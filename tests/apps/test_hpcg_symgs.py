@@ -1,0 +1,104 @@
+"""Tests for the SymGS preconditioner and the spec lockfile round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hpcg.cg import SymGsPreconditioner, conjugate_gradient
+from repro.apps.hpcg.problem import CsrOperator, MatrixFreeOperator, Problem
+
+PROBLEM = Problem(10, 10, 10)
+
+
+class TestSymGs:
+    def test_requires_assembled_matrix(self):
+        with pytest.raises(TypeError, match="matrix-free"):
+            SymGsPreconditioner(MatrixFreeOperator(PROBLEM))
+
+    def test_apply_is_spd(self):
+        """<r, M^-1 r> > 0 and <r1, M^-1 r2> symmetric."""
+        pc = SymGsPreconditioner(CsrOperator(PROBLEM))
+        rng = np.random.default_rng(0)
+        r1, r2 = rng.standard_normal((2, PROBLEM.n))
+        assert np.dot(r1, pc.apply(r1)) > 0
+        assert np.dot(r1, pc.apply(r2)) == pytest.approx(
+            np.dot(r2, pc.apply(r1)), rel=1e-9
+        )
+
+    def test_symgs_beats_jacobi_in_iterations(self):
+        """The reason HPCG uses it: far better spectral clustering."""
+        b = PROBLEM.rhs()
+        jac = conjugate_gradient(CsrOperator(PROBLEM), b, max_iterations=200,
+                                 tolerance=1e-8, preconditioner="jacobi")
+        sgs = conjugate_gradient(CsrOperator(PROBLEM), b, max_iterations=200,
+                                 tolerance=1e-8, preconditioner="symgs")
+        assert sgs.converged and jac.converged
+        assert sgs.iterations < jac.iterations
+
+    def test_symgs_costs_more_per_iteration(self):
+        """...and the flip side: ~2x the memory traffic per iteration
+        (the indirect-access cost Section 3.2 discusses)."""
+        op = CsrOperator(PROBLEM)
+        pc = SymGsPreconditioner(op)
+        assert pc.ideal_bytes_per_apply() > op.ideal_bytes_per_apply()
+
+    def test_unknown_preconditioner_rejected(self):
+        with pytest.raises(ValueError, match="unknown preconditioner"):
+            conjugate_gradient(CsrOperator(PROBLEM), PROBLEM.rhs(),
+                               preconditioner="ilu")
+
+    def test_solution_correct_under_symgs(self):
+        op = CsrOperator(PROBLEM)
+        b = PROBLEM.rhs()
+        result = conjugate_gradient(op, b, max_iterations=200,
+                                    tolerance=1e-10, preconditioner="symgs")
+        np.testing.assert_allclose(op.apply(result.x), b, atol=1e-6)
+
+
+class TestLockfileRoundTrip:
+    def test_from_dict_inverts_dag_dict(self):
+        from repro.pkgmgr.concretizer import concretize
+        from repro.pkgmgr.spec import Spec
+        from repro.systems.registry import system_environment
+
+        for system in ("archer2", "csd3"):
+            env = system_environment(system)
+            original = concretize("hpgmg%gcc", env=env)
+            reloaded = Spec.from_dict(original.dag_dict())
+            assert reloaded.dag_hash() == original.dag_hash()
+            assert reloaded.format() == original.format()
+
+    def test_installer_manifest_roundtrip(self, tmp_path):
+        from repro.pkgmgr.concretizer import concretize
+        from repro.pkgmgr.environment import Environment
+        from repro.pkgmgr.installer import Installer
+
+        manifest = str(tmp_path / "store.json")
+        spec = concretize("stream", env=Environment.basic("x"))
+        first = Installer(manifest_path=manifest)
+        first.install(spec)
+        second = Installer(manifest_path=manifest)
+        assert second.is_installed(spec)
+        # a rebuild=False install is now fully cache-served
+        records = second.install(spec, rebuild=False)
+        assert not any(r.fresh for r in records)
+
+    def test_cli_install_then_find(self, tmp_path, capsys):
+        from repro.pkgmgr.cli import main as pkg_main
+
+        store = str(tmp_path / "store.json")
+        assert pkg_main(["--store", store, "install", "stream"]) == 0
+        capsys.readouterr()
+        assert pkg_main(["--store", store, "find", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "stream@5.10" in out
+
+    def test_cli_lock_prints_lockfile(self, capsys):
+        from repro.pkgmgr.cli import main as pkg_main
+
+        assert pkg_main(["--system", "archer2", "lock", "hpgmg%gcc"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        doc = json.loads(out)
+        assert doc["environment"] == "archer2"
+        assert len(doc["specs"]) == 1

@@ -1,0 +1,106 @@
+"""Tests for the OSU microbenchmarks and the classic STREAM suite."""
+
+import pytest
+
+from repro.apps.osu.microbench import (
+    OSU_SIZES,
+    bandwidth_sweep,
+    latency_sweep,
+)
+from repro.machine.interconnect import INTERCONNECTS
+from repro.runner.cli import load_suite
+from repro.runner.executor import Executor
+
+
+class TestOsuSweeps:
+    def test_latency_monotone_in_size(self):
+        sweep = latency_sweep("archer2")
+        values = [v for _, v in sweep.points]
+        # alpha-beta model: strictly more time for more bytes (mod noise)
+        assert values[-1] > values[0]
+        assert sweep.smallest == min(values[:3])
+
+    def test_small_message_latency_near_network_alpha(self):
+        for system, net in INTERCONNECTS.items():
+            sweep = latency_sweep(system)
+            assert sweep.smallest == pytest.approx(
+                net.latency_us / net.efficiency, rel=0.1
+            ), system
+
+    def test_bandwidth_approaches_link_rate(self):
+        for system, net in INTERCONNECTS.items():
+            sweep = bandwidth_sweep(system)
+            peak_mbs = sweep.largest
+            link_mbs = net.bandwidth_gbs * net.efficiency * 1e3
+            assert 0.5 * link_mbs < peak_mbs <= 1.05 * link_mbs, system
+
+    def test_macs_network_is_the_outlier(self):
+        """The microbenchmarks expose what dragged Table 4's MACS row."""
+        macs = latency_sweep("isambard-macs").smallest
+        csd3 = latency_sweep("csd3").smallest
+        assert macs > 4 * csd3
+
+    def test_render_format(self):
+        text = latency_sweep("cosma8").render()
+        assert text.startswith("# OSU MPI")
+        assert len([l for l in text.splitlines() if l[:1].isdigit()]) == len(
+            OSU_SIZES
+        )
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            latency_sweep("summit")
+
+    def test_deterministic(self):
+        assert latency_sweep("archer2") == latency_sweep("archer2")
+
+    def test_value_at(self):
+        sweep = bandwidth_sweep("csd3")
+        assert sweep.value_at(OSU_SIZES[0]) == sweep.points[0][1]
+        with pytest.raises(KeyError):
+            sweep.value_at(3)
+
+
+class TestOsuBenchmarks:
+    def test_suite_runs_and_reports(self):
+        ex = Executor()
+        report = ex.run(load_suite("osu"), "archer2")
+        assert report.success
+        foms = {
+            r.case.test.name: r.perfvars for r in report.passed
+        }
+        assert foms["OsuLatency"]["min_latency"][1] == "us"
+        assert foms["OsuBandwidth"]["max_bandwidth"][0] > 1000
+
+    def test_inter_node_layout(self):
+        cls = [c for c in load_suite("osu") if c.__name__ == "OsuLatency"][0]
+        test = cls()
+        assert test.num_tasks == 2
+        assert test.num_tasks_per_node == 1  # forces the network path
+
+
+class TestStreamSuite:
+    def test_suite_selects_only_stream(self):
+        names = {c.__name__ for c in load_suite("stream")}
+        assert names == {"StreamBenchmark"}
+        names = {c.__name__ for c in load_suite("babelstream")}
+        assert names == {"BabelStreamBenchmark"}
+
+    def test_stream_output_format(self):
+        ex = Executor()
+        report = ex.run(load_suite("stream"), "csd3")
+        assert report.success
+        result = report.passed[0]
+        assert "Solution Validates" in result.stdout
+        assert set(result.perfvars) == {"Copy", "Scale", "Add", "Triad"}
+
+    def test_stream_agrees_with_babelstream_omp(self):
+        """Cross-benchmark consistency: same kernels, same platform,
+        same machine model -> Triad within noise."""
+        ex = Executor()
+        stream = ex.run(load_suite("stream"), "archer2").passed[0]
+        babel = ex.run(load_suite("babelstream"), "archer2",
+                       tags=["omp"]).passed[0]
+        s = stream.perfvars["Triad"][0]
+        b = babel.perfvars["Triad"][0]
+        assert s == pytest.approx(b, rel=0.05)

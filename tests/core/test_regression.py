@@ -1,0 +1,131 @@
+"""Tests for performance-regression tracking over perflog history."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.regression import RegressionTracker
+from repro.postprocess.dataframe import DataFrame
+from repro.runner.cli import main as bench_main
+from repro.postprocess.perflog_reader import read_perflogs
+
+KEY = ("archer2", "compute", "SomeTest", "Triad")
+
+
+def tracker(**kw):
+    defaults = dict(threshold=0.05, min_history=3, zscore_gate=2.0)
+    defaults.update(kw)
+    return RegressionTracker(**defaults)
+
+
+class TestAssessSeries:
+    def test_stable_series_ok(self):
+        finding = tracker().assess_series(KEY, [100, 101, 99, 100, 100.5])
+        assert finding.status == "ok"
+
+    def test_regression_detected(self):
+        finding = tracker().assess_series(KEY, [100, 101, 99, 100, 80])
+        assert finding.status == "regressed"
+        assert finding.change_fraction < -0.05
+
+    def test_improvement_detected(self):
+        finding = tracker().assess_series(KEY, [100, 101, 99, 100, 130])
+        assert finding.status == "improved"
+
+    def test_insufficient_history(self):
+        finding = tracker().assess_series(KEY, [100, 90])
+        assert finding.status == "insufficient-history"
+
+    def test_noise_gate_suppresses_jittery_series(self):
+        """A 6% dip inside a +/-10% noise band is not a regression."""
+        noisy = [100, 112, 91, 108, 94, 110, 90, 94]
+        finding = tracker().assess_series(KEY, noisy)
+        assert finding.status == "ok"
+
+    def test_lower_is_better_direction(self):
+        t = tracker(higher_is_better={"latency": False})
+        key = KEY[:3] + ("latency",)
+        worse = t.assess_series(key, [10, 10, 10, 10, 12])
+        assert worse.status == "regressed"
+        better = t.assess_series(key, [10, 10, 10, 10, 8])
+        assert better.status == "improved"
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTracker(threshold=0.0)
+
+    @given(st.lists(st.floats(min_value=50, max_value=51), min_size=5,
+                    max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_near_constant_series_never_regresses(self, values):
+        finding = tracker().assess_series(KEY, values)
+        assert finding.status in ("ok", "insufficient-history")
+
+
+class TestFromFrames:
+    def frame(self, values, result="pass"):
+        n = len(values)
+        return DataFrame(
+            {
+                "system": ["archer2"] * n,
+                "partition": ["compute"] * n,
+                "test": ["T"] * n,
+                "perf_var": ["Triad"] * n,
+                "perf_value": values,
+                "result": [result] * n,
+            }
+        )
+
+    def test_check_builds_report(self):
+        report = tracker().check(self.frame([100, 100, 100, 100, 70]))
+        assert len(report.findings) == 1
+        assert not report.ok
+        assert report.exit_code() == 1
+        assert "regressed" in report.render()
+
+    def test_failed_runs_excluded_from_series(self):
+        good = self.frame([100, 100, 100, 100])
+        bad = self.frame([1.0], result="fail:sanity")
+        both = DataFrame.concat([good, bad])
+        report = tracker().check(both)
+        assert report.findings[0].history_length == 4
+        assert report.ok
+
+    def test_multiple_series_keyed_separately(self):
+        a = self.frame([100, 100, 100, 100])
+        b = self.frame([5, 5, 5, 5])
+        b = b.with_column("perf_var", lambda r: "Copy")
+        report = tracker().check(DataFrame.concat([a, b]))
+        assert len(report.findings) == 2
+
+
+class TestCiPipeline:
+    def test_repeated_campaigns_are_regression_free(self, tmp_path):
+        """The paper's CI vision: run the suite on a cadence; identical
+        code on an identical system must gate green."""
+        for _ in range(4):
+            rc = bench_main([
+                "-c", "hpgmg", "-r", "--system", "cosma8",
+                "--perflog-dir", str(tmp_path),
+            ])
+            assert rc == 0
+        report = tracker().check_perflogs(str(tmp_path))
+        assert report.findings  # l0, l1, l2 series
+        assert report.ok, report.render()
+
+    def test_injected_regression_gates_red(self, tmp_path):
+        for _ in range(4):
+            assert bench_main([
+                "-c", "hpgmg", "-r", "--system", "cosma8",
+                "--perflog-dir", str(tmp_path),
+            ]) == 0
+        # simulate a system-software regression by appending a bad run
+        frame = read_perflogs(str(tmp_path))
+        logpath = frame["perflog_path"][0]
+        last = open(logpath).read().strip().splitlines()[-1]
+        parts = last.split("|")
+        parts[9] = str(float(parts[9]) * 0.5)  # halve the FOM
+        with open(logpath, "a") as fh:
+            fh.write("|".join(parts) + "\n")
+        report = tracker().check_perflogs(str(tmp_path))
+        assert not report.ok
+        assert any(f.change_fraction < -0.4 for f in report.regressions)

@@ -1,0 +1,124 @@
+"""End-to-end integration: CLI -> scheduler -> perflogs -> plots -> audit.
+
+These tests exercise the full workflow of the paper's Figure 1 across
+module boundaries, including the exact command lines from the artifact
+appendix.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.framework import BenchmarkingFramework
+from repro.postprocess.perflog_reader import read_perflogs
+from repro.runner.cli import main as bench_main
+
+
+class TestPaperInvocations:
+    """The three appendix invocations, end to end through the CLI."""
+
+    def test_babelstream_appendix_a11(self, tmp_path, capsys):
+        rc = bench_main([
+            "-c", "benchmarks/apps/babelstream", "-r", "--tag", "omp",
+            "--system=isambard-macs:cascadelake",
+            "-S", "build_locally=false",
+            "-S", "spack_spec=babelstream%gcc@9.2.0 +omp",
+            "--perflog-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        frame = read_perflogs(str(tmp_path))
+        triad = frame.filter_eq("perf_var", "Triad")
+        assert len(triad) == 1
+        # the pinned compiler went into the concretized spec
+        assert "gcc@9.2.0" in triad["spec"][0]
+        # efficiency against Table 1's 282 GB/s sits in the Figure 2 band
+        assert 0.6 < triad["perf_value"][0] / 281.568 < 0.85
+
+    def test_hpcg_appendix_a12(self, tmp_path, capsys):
+        rc = bench_main([
+            "-c", "hpcg", "-r", "-n", "HPCG_", "-x", "HPCG_Intel",
+            "--system", "isambard-macs:cascadelake",
+            "--performance-report",
+            "--perflog-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        frame = read_perflogs(str(tmp_path))
+        tests_run = set(frame["test"])
+        assert tests_run == {"HPCG_Original", "HPCG_MatrixFree", "HPCG_LFRic"}
+
+    def test_hpgmg_appendix_a13(self, tmp_path, capsys):
+        rc = bench_main([
+            "-c", "hpgmg", "-r", "-J--qos=standard", "--system", "archer2",
+            "-S", "spack_spec=hpgmg%gcc",
+            "--setvar=num_cpus_per_task=8",
+            "--setvar=num_tasks_per_node=2",
+            "--setvar=num_tasks=8",
+            "--perflog-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        frame = read_perflogs(str(tmp_path))
+        assert set(frame["perf_var"]) == {"l0", "l1", "l2"}
+        l0 = frame.filter_eq("perf_var", "l0")["perf_value"][0]
+        assert l0 == pytest.approx(95.36, rel=0.07)
+
+
+class TestCrossSystemAssimilation:
+    def test_perflogs_from_isolated_systems_concatenate(self, tmp_path):
+        """The Section 2.4 workflow: separate systems, one DataFrame."""
+        for system in ("archer2", "cosma8", "csd3"):
+            rc = bench_main([
+                "-c", "hpgmg", "-r", "--system", system,
+                "--perflog-dir", str(tmp_path),
+            ])
+            assert rc == 0
+        frame = read_perflogs(str(tmp_path))
+        assert set(frame["system"]) == {"archer2", "cosma8", "csd3"}
+        pivot_index, series = frame.filter_eq("perf_var", "l0").pivot(
+            "system", "perf_var", "perf_value"
+        )
+        assert len(pivot_index) == 3
+
+    def test_failed_combinations_logged_not_lost(self, tmp_path):
+        """A '*' box ends up in the perflog as an explicit failure."""
+        rc = bench_main([
+            "-c", "babelstream", "-r", "--tag", "cuda",
+            "--system", "csd3", "--perflog-dir", str(tmp_path),
+        ])
+        assert rc == 1  # the run failed, visibly
+        frame = read_perflogs(str(tmp_path))
+        assert frame["result"][0].startswith("fail:")
+        assert np.isnan(frame["perf_value"][0])
+
+
+class TestDeterministicCampaigns:
+    def test_identical_perflogs_modulo_timestamp(self, tmp_path):
+        dirs = [tmp_path / "run1", tmp_path / "run2"]
+        for d in dirs:
+            rc = bench_main([
+                "-c", "babelstream", "-r", "--tag", "omp",
+                "--system", "noctua2", "--perflog-dir", str(d),
+            ])
+            assert rc == 0
+        contents = []
+        for d in dirs:
+            frame = read_perflogs(str(d))
+            contents.append(
+                [(r["perf_var"], r["perf_value"]) for r in frame.to_records()]
+            )
+        assert contents[0] == contents[1]
+
+
+class TestFullFrameworkCampaign:
+    def test_campaign_with_provenance_and_audit(self, tmp_path):
+        fw = BenchmarkingFramework(perflog_prefix=str(tmp_path / "pl"))
+        result = fw.run_campaign(
+            "hpcg", ["archer2"], name_patterns=["HPCG_Original"]
+        )
+        assert result.reports["archer2"].success
+        audit = fw.audit(result)
+        assert all(a.compliant for a in audit)
+        paths = fw.write_provenance(result, str(tmp_path / "prov"))
+        assert os.path.exists(paths[0])
+        # the perflog was written alongside
+        assert read_perflogs(str(tmp_path / "pl"))["test"][0] == "HPCG_Original"

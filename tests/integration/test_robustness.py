@@ -1,0 +1,164 @@
+"""Robustness and failure-injection tests across module boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pkgmgr.spec import SpecParseError, parse_spec
+from repro.postprocess.cli import main as plot_main
+from repro.runner.cli import main as bench_main
+from repro.scheduler import Job, JobState, SlurmScheduler
+
+
+class TestSpecFuzzing:
+    """The parser must reject garbage with SpecParseError, never crash."""
+
+    junk = st.text(
+        alphabet="abc123@%+~^=.,:- \t", min_size=0, max_size=40
+    )
+
+    @given(junk)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_never_raises_unexpected(self, text):
+        try:
+            spec = parse_spec(text)
+        except (SpecParseError, Exception) as exc:
+            # only the declared error family may escape
+            assert isinstance(exc, (SpecParseError, ValueError)), type(exc)
+            return
+        # whatever parsed must re-parse to itself
+        assert parse_spec(spec.format()) == spec
+
+
+class TestSchedulerBackfill:
+    def test_small_job_backfills_around_blocked_head(self):
+        """A 1-node job may start while a 4-node job waits for space."""
+        sched = SlurmScheduler(num_nodes=4, cores_per_node=8)
+
+        def payload(seconds):
+            return lambda ctx: ("ok", seconds)
+
+        # occupy 2 nodes for a long time
+        blocker = sched.submit(Job("blocker", payload(1000.0), num_tasks=16,
+                                   num_tasks_per_node=8))
+        # head of queue needs 4 nodes: cannot start yet
+        big = sched.submit(Job("big", payload(100.0), num_tasks=32,
+                               num_tasks_per_node=8))
+        # a 1-node job can use one of the two remaining nodes meanwhile
+        small = sched.submit(Job("small", payload(10.0), num_tasks=8,
+                                 num_tasks_per_node=8))
+        sched.wait_all()
+        r_small = sched.result(small)
+        r_big = sched.result(big)
+        assert r_small.start_time < r_big.start_time
+        assert all(
+            sched.result(j).state is JobState.COMPLETED
+            for j in (blocker, big, small)
+        )
+
+    def test_backfill_never_starves_the_head(self):
+        """Conservative backfill: an equal-size later job must not jump
+        the blocked head."""
+        sched = SlurmScheduler(num_nodes=2, cores_per_node=8)
+
+        def payload(seconds):
+            return lambda ctx: ("ok", seconds)
+
+        sched.submit(Job("run", payload(100.0), num_tasks=16,
+                         num_tasks_per_node=8))
+        head = sched.submit(Job("head", payload(10.0), num_tasks=16,
+                                num_tasks_per_node=8))
+        rival = sched.submit(Job("rival", payload(10.0), num_tasks=16,
+                                 num_tasks_per_node=8))
+        sched.wait_all()
+        assert sched.result(head).start_time <= sched.result(rival).start_time
+
+
+class TestMalformedInputs:
+    def test_cli_rejects_bad_setvar(self, capsys):
+        rc = bench_main([
+            "-c", "hpgmg", "-r", "--system", "archer2",
+            "--setvar", "num_tasks",  # missing '='
+        ])
+        assert rc == 1
+        assert "VAR=VALUE" in capsys.readouterr().err
+
+    def test_cli_rejects_bad_setvar_type(self, capsys):
+        rc = bench_main([
+            "-c", "hpgmg", "-r", "--system", "archer2",
+            "--setvar", "num_tasks=lots",
+        ])
+        assert rc == 1
+
+    def test_plot_cli_bad_config(self, tmp_path, capsys):
+        log = tmp_path / "x"
+        log.mkdir()
+        cfg = tmp_path / "bad.yaml"
+        cfg.write_text("filters: [")
+        # create one valid perflog first
+        assert bench_main([
+            "-c", "osu", "-r", "--system", "csd3",
+            "--perflog-dir", str(log),
+        ]) == 0
+        assert plot_main([str(log), "--config", str(cfg)]) == 1
+
+    def test_timeseries_unknown_fom(self, tmp_path, capsys):
+        log = tmp_path / "pl"
+        assert bench_main([
+            "-c", "osu", "-r", "--system", "csd3",
+            "--perflog-dir", str(log),
+        ]) == 0
+        assert plot_main([str(log), "--timeseries", "nonexistent"]) == 1
+
+    def test_timeseries_renders(self, tmp_path, capsys):
+        log = tmp_path / "pl"
+        for _ in range(3):
+            assert bench_main([
+                "-c", "osu", "-r", "--system", "csd3",
+                "--perflog-dir", str(log),
+            ]) == 0
+        svg = tmp_path / "ts.svg"
+        rc = plot_main([str(log), "--timeseries", "min_latency",
+                        "--svg", str(svg)])
+        assert rc == 0
+        assert svg.exists()
+        assert "OsuLatency" in capsys.readouterr().out
+
+
+class TestNumericalEdgeCases:
+    def test_hpcg_tiny_grid(self):
+        from repro.apps.hpcg.cg import conjugate_gradient
+        from repro.apps.hpcg.problem import Problem, make_operator
+
+        p = Problem(2, 2, 2)
+        op = make_operator("matrix-free", p)
+        r = conjugate_gradient(op, p.ones_rhs(), max_iterations=50)
+        assert r.converged
+
+    def test_hpcg_anisotropic_grid(self):
+        from repro.apps.hpcg.cg import conjugate_gradient
+        from repro.apps.hpcg.problem import Problem, make_operator
+
+        p = Problem(16, 4, 8)
+        for kind in ("csr", "matrix-free", "lfric"):
+            op = make_operator(kind, p)
+            r = conjugate_gradient(op, p.rhs(), max_iterations=300,
+                                   tolerance=1e-8)
+            assert r.converged, kind
+
+    def test_zero_rhs_converges_immediately(self):
+        from repro.apps.hpcg.cg import conjugate_gradient
+        from repro.apps.hpcg.problem import Problem, make_operator
+
+        p = Problem(8, 8, 8)
+        op = make_operator("csr", p)
+        r = conjugate_gradient(op, np.zeros(p.n))
+        assert r.converged
+        assert np.all(r.x == 0)
+
+    def test_babelstream_single_element(self):
+        from repro.apps.babelstream.kernels import StreamArrays, StreamKernels
+
+        k = StreamKernels(StreamArrays.initialise(1))
+        k.run_all(3)
+        k.verify(3)

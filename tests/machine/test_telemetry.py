@@ -1,0 +1,122 @@
+"""Tests for the energy/system-state telemetry capture (paper Section 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.telemetry import (
+    EnergyReport,
+    PowerModel,
+    capture_telemetry,
+)
+from repro.systems.registry import get_system
+
+
+def node_of(system, partition=None):
+    return get_system(system).partition(partition).node
+
+
+class TestPowerModel:
+    def test_idle_below_busy(self):
+        model = PowerModel(node_of("archer2"))
+        assert model.idle_watts < model.watts(1.0, 1.0)
+
+    def test_monotone_in_utilisation(self):
+        model = PowerModel(node_of("csd3"))
+        assert model.watts(0.2, 0.2) < model.watts(0.8, 0.2)
+        assert model.watts(0.2, 0.2) < model.watts(0.2, 0.8)
+
+    def test_utilisation_clamped(self):
+        model = PowerModel(node_of("csd3"))
+        assert model.watts(5.0, 5.0) == model.watts(1.0, 1.0)
+        assert model.watts(-1.0, -1.0) == model.idle_watts
+
+    def test_node_scale_plausible(self):
+        """Dual-socket server nodes draw hundreds of watts, not kW/10 W."""
+        for system in ("archer2", "cosma8", "csd3", "isambard", "noctua2"):
+            model = PowerModel(node_of(system))
+            assert 80 < model.idle_watts < 400, system
+            assert 200 < model.watts(1.0, 1.0) < 900, system
+
+    def test_gpu_node_adds_gpu_power(self):
+        cpu_only = PowerModel(node_of("isambard-macs", "cascadelake"))
+        with_gpu = PowerModel(node_of("isambard-macs", "volta"))
+        assert with_gpu.watts(1.0, 1.0) > cpu_only.watts(1.0, 1.0) + 200
+
+
+class TestCapture:
+    def test_deterministic(self):
+        a = capture_telemetry(node_of("archer2"), 100.0, 0.7,
+                              seed_context="x")[1]
+        b = capture_telemetry(node_of("archer2"), 100.0, 0.7,
+                              seed_context="x")[1]
+        assert a.joules == b.joules
+
+    def test_energy_scales_with_duration(self):
+        node = node_of("archer2")
+        short = capture_telemetry(node, 10.0, 0.7)[1]
+        long = capture_telemetry(node, 1000.0, 0.7)[1]
+        assert long.joules > 10 * short.joules
+
+    def test_energy_scales_with_nodes(self):
+        node = node_of("archer2")
+        one = capture_telemetry(node, 100.0, 0.7, num_nodes=1)[1]
+        four = capture_telemetry(node, 100.0, 0.7, num_nodes=4)[1]
+        assert four.joules == pytest.approx(4 * one.joules)
+
+    def test_network_activity_only_multinode(self):
+        node = node_of("archer2")
+        single = capture_telemetry(node, 100.0, 0.7, num_nodes=1)[1]
+        multi = capture_telemetry(node, 100.0, 0.7, num_nodes=4)[1]
+        assert single.mean_network_util == 0.0
+        assert multi.mean_network_util > 0.0
+
+    def test_trace_statistics(self):
+        trace, report = capture_telemetry(node_of("csd3"), 60.0, 0.6,
+                                          seed_context="stats")
+        assert trace.duration_s == pytest.approx(60.0)
+        assert trace.peak("watts") >= trace.mean("watts")
+        assert 0 < report.mean_mem_util <= 1.0
+
+    def test_fom_per_watt(self):
+        report = EnergyReport(
+            joules=1000.0, mean_watts=500.0, duration_s=2.0, nodes=1,
+            mean_mem_util=0.5, mean_network_util=0.0,
+            mean_filesystem_util=0.0,
+        )
+        assert report.fom_per_watt(250.0) == 0.5
+        bad = EnergyReport(0, 0, 0, 1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            bad.fom_per_watt(1.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e4),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_joules_consistent_with_mean_power(self, duration, util):
+        _, report = capture_telemetry(node_of("noctua2"), duration, util,
+                                      seed_context="prop")
+        assert report.joules == pytest.approx(
+            report.mean_watts * report.duration_s, rel=0.15
+        )
+
+
+class TestPipelineIntegration:
+    def test_case_result_carries_energy(self):
+        from repro.runner.cli import load_suite
+        from repro.runner.executor import Executor
+
+        report = Executor().run(load_suite("babelstream"), "archer2",
+                                tags=["omp"])
+        result = report.passed[0]
+        assert result.energy is not None
+        assert result.energy.joules > 0
+        assert result.energy.nodes == 1
+
+    def test_provenance_includes_energy(self):
+        from repro.core.framework import BenchmarkingFramework
+
+        fw = BenchmarkingFramework()
+        result = fw.run_campaign("hpgmg", ["archer2"], qos="standard")
+        entry = fw.provenance(result)["archer2"].entries[0]
+        assert entry["energy"]["joules"] > 0
+        # the paper's layout: 8 tasks, 2 per node -> 4 nodes drawing power
+        assert entry["energy"]["nodes"] == 4

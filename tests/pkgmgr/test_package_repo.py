@@ -1,0 +1,284 @@
+"""Tests for the recipe API, repositories, variants, installer and CLI."""
+
+import pytest
+
+from repro.pkgmgr.cli import main as pkg_main
+from repro.pkgmgr.concretizer import Concretizer, concretize
+from repro.pkgmgr.environment import Environment
+from repro.pkgmgr.installer import BuildFailure, Installer
+from repro.pkgmgr.package import (
+    PackageBase,
+    PackageError,
+    depends_on,
+    variant,
+    version,
+)
+from repro.pkgmgr.repository import (
+    RepoPath,
+    Repository,
+    UnknownPackageError,
+    builtin_repo,
+    default_repo_path,
+)
+from repro.pkgmgr.spec import Spec
+from repro.pkgmgr.variant import Variant, VariantError, VariantMap
+from repro.pkgmgr.version import Version
+
+
+# ---------------------------------------------------------------------------
+# Variant declarations
+# ---------------------------------------------------------------------------
+
+class TestVariant:
+    def test_boolean_validate(self):
+        v = Variant("omp")
+        assert v.validate(True) is True
+        assert v.validate("true") is True
+        assert v.validate("off") is False
+        with pytest.raises(VariantError):
+            v.validate("sideways")
+
+    def test_valued_validate(self):
+        v = Variant("impl", default="a", values=("a", "b"))
+        assert v.validate("b") == "b"
+        with pytest.raises(VariantError):
+            v.validate("c")
+
+    def test_multi_validate_sorts(self):
+        v = Variant("langs", default="c", values=("c", "fortran"), multi=True)
+        assert v.validate("fortran,c") == ("c", "fortran")
+
+    def test_bad_default_raises(self):
+        with pytest.raises(VariantError):
+            Variant("impl", default="z", values=("a", "b"))
+
+    def test_map_merge_conflict(self):
+        with pytest.raises(VariantError):
+            VariantMap({"omp": True}).merge(VariantMap({"omp": False}))
+
+    def test_map_merge_multi_union(self):
+        out = VariantMap({"langs": ("c",)}).merge(VariantMap({"langs": ("fortran",)}))
+        assert out["langs"] == ("c", "fortran")
+
+    def test_map_str_format(self):
+        m = VariantMap({"omp": True, "cuda": False, "impl": "csr"})
+        assert str(m) == "~cuda+omp impl=csr"
+
+
+# ---------------------------------------------------------------------------
+# Recipe API
+# ---------------------------------------------------------------------------
+
+class TestRecipeApi:
+    def test_kebab_case_name(self):
+        from repro.pkgmgr.recipes.mpi import CrayMpich
+
+        assert CrayMpich.name() == "cray-mpich"
+
+    def test_preferred_version_flag_wins(self):
+        from repro.pkgmgr.recipes.benchmarks import Babelstream
+
+        assert Babelstream.preferred_version() == Version("4.0")
+
+    def test_deprecated_excluded_from_preferred(self):
+        from repro.pkgmgr.recipes.tools import Python
+
+        assert Python.preferred_version() != Version("2.7.15")
+
+    def test_describe_uses_docstring(self):
+        from repro.pkgmgr.recipes.benchmarks import Hpgmg
+
+        assert "multigrid" in Hpgmg.describe().lower()
+
+    def test_instantiation_checks_name(self):
+        from repro.pkgmgr.recipes.benchmarks import Hpcg
+
+        with pytest.raises(PackageError):
+            Hpcg(Spec("babelstream"))
+
+    def test_no_versions_raises(self):
+        class Empty(PackageBase):
+            pass
+
+        with pytest.raises(PackageError):
+            Empty.preferred_version()
+
+    def test_directive_inheritance(self):
+        class Base(PackageBase):
+            version("1.0")
+            variant("base-opt", default=True)
+
+        class Derived(Base):
+            version("2.0")
+
+        assert "base-opt" in Derived.variants_decl
+        assert Version("1.0") in Derived.versions_decl
+        assert Version("2.0") in Derived.versions_decl
+
+
+# ---------------------------------------------------------------------------
+# Repositories
+# ---------------------------------------------------------------------------
+
+class TestRepository:
+    def test_builtin_has_all_paper_packages(self):
+        repo = builtin_repo()
+        for name in (
+            "babelstream",
+            "hpcg",
+            "hpcg-lfric",
+            "hpgmg",
+            "gcc",
+            "openmpi",
+            "mvapich2",
+            "cray-mpich",
+            "python",
+            "cmake",
+            "intel-oneapi-mkl",
+            "intel-tbb",
+            "cuda",
+            "kokkos",
+        ):
+            assert name in repo, name
+
+    def test_custom_repo_shadows_builtin(self):
+        class Babelstream(PackageBase):
+            """Site-patched babelstream."""
+
+            version("99.0")
+
+        local = Repository("site")
+        local.add(Babelstream)
+        path = RepoPath([local, builtin_repo()])
+        assert path.get("babelstream").preferred_version() == Version("99.0")
+        assert path.providing_repo("babelstream") == "site"
+        # concretization through the custom path picks the site version
+        s = concretize(
+            "babelstream", env=Environment.basic("x"), repo=path
+        )
+        assert s.version == Version("99.0")
+
+    def test_duplicate_recipe_rejected(self):
+        repo = Repository("dup")
+
+        class Foo(PackageBase):
+            version("1.0")
+
+        repo.add(Foo)
+        with pytest.raises(PackageError):
+            class Foo(PackageBase):  # noqa: F811 - intentionally same name
+                version("2.0")
+
+            repo.add(Foo)
+
+    def test_unknown_package_error(self):
+        with pytest.raises(UnknownPackageError):
+            default_repo_path().get("nonexistent-package")
+
+    def test_non_recipe_rejected(self):
+        with pytest.raises(PackageError):
+            Repository("x").add(object)
+
+
+# ---------------------------------------------------------------------------
+# Installer
+# ---------------------------------------------------------------------------
+
+class TestInstaller:
+    def test_install_produces_records_in_dep_order(self):
+        env = Environment.basic("inst")
+        s = concretize("hpgmg", env=env)
+        installer = Installer()
+        records = installer.install(s)
+        names = [r.spec.name for r in records]
+        assert names[-1] == "hpgmg"
+        assert all(r.log for r in records)
+
+    def test_root_rebuilt_every_time(self):
+        """Principle 3: the benchmark binary is rebuilt on every run."""
+        env = Environment.basic("inst")
+        s = concretize("babelstream", env=env)
+        installer = Installer()
+        first = installer.install(s)
+        second = installer.install(s)
+        root_second = [r for r in second if r.spec.name == "babelstream"][0]
+        assert root_second.fresh
+        dep_second = [r for r in second if r.spec.name == "cmake"][0]
+        assert not dep_second.fresh  # deps cached, like Spack
+
+    def test_no_rebuild_flag_respects_cache(self):
+        env = Environment.basic("inst")
+        s = concretize("babelstream", env=env)
+        installer = Installer()
+        installer.install(s)
+        cached = installer.install(s, rebuild=False)
+        assert not any(r.fresh for r in cached)
+
+    def test_external_not_built(self):
+        from repro.systems.registry import system_environment
+
+        env = system_environment("archer2")
+        s = concretize("hpgmg%gcc", env=env)
+        installer = Installer()
+        records = installer.install(s)
+        mpich = [r for r in records if r.spec.name == "cray-mpich"][0]
+        assert mpich.external and mpich.build_seconds == 0.0
+
+    def test_failure_injection(self):
+        env = Environment.basic("inst")
+        s = concretize("babelstream", env=env)
+
+        def fail_babelstream(spec):
+            return "simulated compiler ICE" if spec.name == "babelstream" else None
+
+        installer = Installer(fail_hook=fail_babelstream)
+        with pytest.raises(BuildFailure, match="compiler ICE"):
+            installer.install(s)
+
+    def test_abstract_spec_rejected(self):
+        with pytest.raises(ValueError):
+            Installer().install(Spec("babelstream"))
+
+    def test_build_seconds_accumulate(self):
+        env = Environment.basic("inst")
+        s = concretize("babelstream", env=env)
+        installer = Installer()
+        installer.install(s)
+        assert installer.total_build_seconds > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_list(self, capsys):
+        assert pkg_main(["list", "hp*"]) == 0
+        out = capsys.readouterr().out
+        assert "hpcg" in out and "hpgmg" in out
+
+    def test_info(self, capsys):
+        assert pkg_main(["info", "babelstream"]) == 0
+        out = capsys.readouterr().out
+        assert "versions:" in out and "omp" in out
+
+    def test_info_unknown(self, capsys):
+        assert pkg_main(["info", "nope"]) == 1
+
+    def test_spec_with_system(self, capsys):
+        assert pkg_main(["--system", "archer2", "spec", "hpgmg%gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "cray-mpich@8.1.23" in out
+
+    def test_spec_conflict_errors(self, capsys):
+        assert pkg_main(["--system", "isambard", "spec", "babelstream +tbb"]) == 1
+
+    def test_install(self, capsys):
+        assert pkg_main(["install", "babelstream"]) == 0
+        out = capsys.readouterr().out
+        assert "Successfully installed babelstream" in out
+
+    def test_providers(self, capsys):
+        assert pkg_main(["providers", "mpi"]) == 0
+        out = capsys.readouterr().out
+        assert "openmpi" in out

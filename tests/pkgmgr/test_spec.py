@@ -1,0 +1,263 @@
+"""Tests for the spec grammar: parsing, satisfaction, constraining, hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pkgmgr.spec import CompilerSpec, Spec, SpecParseError, parse_spec
+from repro.pkgmgr.version import Version
+
+
+class TestParsing:
+    def test_bare_name(self):
+        s = Spec("babelstream")
+        assert s.name == "babelstream"
+        assert s.versions.is_any
+        assert s.compiler is None
+
+    def test_version(self):
+        s = Spec("hpcg@3.1")
+        assert s.version == Version("3.1")
+
+    def test_version_range(self):
+        s = Spec("cmake@3.13:")
+        assert s.versions.includes(Version("3.26.3"))
+        assert not s.versions.includes(Version("3.12"))
+
+    def test_compiler(self):
+        s = Spec("babelstream%gcc@9.2.0")
+        assert s.compiler == CompilerSpec("gcc", None) or s.compiler.name == "gcc"
+        assert s.compiler.version == Version("9.2.0")
+
+    def test_compiler_unversioned(self):
+        s = Spec("hpgmg%gcc")
+        assert s.compiler.name == "gcc"
+        assert s.compiler.versions.is_any
+
+    def test_bool_variants(self):
+        s = Spec("babelstream +omp~cuda")
+        assert s.variants["omp"] is True
+        assert s.variants["cuda"] is False
+
+    def test_minus_variant(self):
+        s = Spec("babelstream -cuda")
+        assert s.variants["cuda"] is False
+
+    def test_kv_variant(self):
+        s = Spec("hpcg implementation=matrix-free")
+        assert s.variants["implementation"] == "matrix-free"
+
+    def test_multi_kv_variant(self):
+        s = Spec("gcc languages=c,fortran")
+        assert s.variants["languages"] == ("c", "fortran")
+
+    def test_paper_spec_babelstream(self):
+        """The exact spec from the paper's appendix A.1.1."""
+        s = Spec("babelstream%gcc@9.2.0 +omp")
+        assert s.name == "babelstream"
+        assert s.compiler.name == "gcc"
+        assert s.compiler.version == Version("9.2.0")
+        assert s.variants["omp"] is True
+
+    def test_dependency(self):
+        s = Spec("hpgmg ^openmpi@4.0.4")
+        assert "openmpi" in s.dependencies
+        assert s.dependencies["openmpi"].version == Version("4.0.4")
+
+    def test_dependency_with_compiler(self):
+        s = Spec("hpgmg ^openmpi%gcc@11")
+        assert s.dependencies["openmpi"].compiler.name == "gcc"
+
+    def test_two_dependencies(self):
+        s = Spec("hpgmg ^openmpi ^python@3.10")
+        assert set(s.dependencies) == {"openmpi", "python"}
+
+    def test_anonymous_spec(self):
+        s = Spec("%gcc@11")
+        assert s.name is None
+        assert s.compiler.name == "gcc"
+
+    def test_empty_string_gives_anonymous(self):
+        s = Spec("")
+        assert s.name is None
+
+    def test_whitespace_tolerated(self):
+        s = Spec("  babelstream   +omp  ")
+        assert s.variants["omp"] is True
+
+    def test_bad_character_raises(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("babelstream!")
+
+    def test_double_name_raises(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("foo bar")
+
+    def test_two_compilers_raise(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("foo%gcc%oneapi")
+
+    def test_dangling_caret_raises(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("foo ^")
+
+    def test_conflicting_bool_variant_raises(self):
+        with pytest.raises(Exception):
+            parse_spec("foo +omp~omp")
+
+    def test_from_spec_copies(self):
+        a = Spec("hpcg@3.1")
+        b = Spec(a)
+        assert a == b and a is not b
+
+    def test_from_bad_type_raises(self):
+        with pytest.raises(SpecParseError):
+            Spec(42)
+
+
+class TestSatisfies:
+    def test_name_mismatch(self):
+        assert not Spec("hpcg").satisfies("hpgmg")
+
+    def test_version_pin(self):
+        assert Spec("hpcg@3.1").satisfies("hpcg@3.1")
+        assert Spec("hpcg@3.1").satisfies("hpcg@3:")
+        assert not Spec("hpcg@3.1").satisfies("hpcg@4:")
+
+    def test_anonymous_constraint_matches_any_name(self):
+        assert Spec("hpcg@3.1").satisfies("@3:")
+
+    def test_compiler_constraint(self):
+        s = Spec("foo%gcc@11.2.0")
+        assert s.satisfies("%gcc")
+        assert s.satisfies("%gcc@11")
+        assert not s.satisfies("%oneapi")
+        assert not Spec("foo").satisfies("%gcc")
+
+    def test_variant_constraint(self):
+        s = Spec("babelstream +omp~cuda")
+        assert s.satisfies("+omp")
+        assert s.satisfies("~cuda")
+        assert not s.satisfies("+cuda")
+        assert not Spec("babelstream").satisfies("+omp")
+
+    def test_multi_variant_membership(self):
+        s = Spec("gcc languages=c,fortran")
+        assert s.satisfies("languages=c")
+        assert not s.satisfies("languages=go")
+
+    def test_dependency_constraint(self):
+        s = Spec("hpgmg ^openmpi@4.0.4")
+        assert s.satisfies("hpgmg ^openmpi@4:")
+        assert not s.satisfies("hpgmg ^openmpi@4.1:")
+        assert not s.satisfies("hpgmg ^mvapich2")
+
+
+class TestConstrain:
+    def test_merges_versions(self):
+        out = Spec("cmake@3.13:").constrain(Spec("cmake@:3.20"))
+        assert out.versions.includes(Version("3.20.2"))
+        assert not out.versions.includes(Version("3.26.3"))
+
+    def test_disjoint_versions_raise(self):
+        with pytest.raises(SpecParseError):
+            Spec("cmake@:3.13").constrain(Spec("cmake@3.20:"))
+
+    def test_name_fill_in(self):
+        out = Spec("%gcc").constrain(Spec("hpcg"))
+        assert out.name == "hpcg"
+
+    def test_different_names_raise(self):
+        with pytest.raises(SpecParseError):
+            Spec("hpcg").constrain(Spec("hpgmg"))
+
+    def test_compiler_merge(self):
+        out = Spec("foo%gcc").constrain(Spec("foo%gcc@11"))
+        assert not out.compiler.versions.is_any
+
+    def test_compiler_clash_raises(self):
+        with pytest.raises(SpecParseError):
+            Spec("foo%gcc").constrain(Spec("foo%oneapi"))
+
+    def test_variant_clash_raises(self):
+        with pytest.raises(Exception):
+            Spec("foo+omp").constrain(Spec("foo~omp"))
+
+    def test_concrete_cannot_be_constrained(self):
+        s = Spec("foo@1.0")
+        s.mark_concrete()
+        with pytest.raises(SpecParseError):
+            s.constrain(Spec("foo@1.0"))
+
+
+class TestDagOps:
+    def test_traverse_yields_all(self):
+        s = Spec("hpgmg ^openmpi ^python")
+        names = {n.name for n in s.traverse()}
+        assert names == {"hpgmg", "openmpi", "python"}
+
+    def test_getitem(self):
+        s = Spec("hpgmg ^openmpi@4.0.4")
+        assert s["openmpi"].version == Version("4.0.4")
+        assert s["hpgmg"] is s
+        with pytest.raises(KeyError):
+            s["cuda"]
+
+    def test_contains(self):
+        s = Spec("hpgmg ^openmpi")
+        assert "openmpi" in s
+        assert "hpgmg" in s
+        assert "cuda" not in s
+
+    def test_dag_hash_stable(self):
+        a = Spec("hpcg@3.1 +omp ^openmpi@4.0.4")
+        b = Spec("hpcg@3.1 +omp ^openmpi@4.0.4")
+        assert a.dag_hash() == b.dag_hash()
+
+    def test_dag_hash_differs_on_variant(self):
+        assert Spec("hpcg@3.1+omp").dag_hash() != Spec("hpcg@3.1~omp").dag_hash()
+
+    def test_tree_renders_deps_indented(self):
+        text = Spec("hpgmg ^openmpi@4.0.4").tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("hpgmg")
+        assert lines[1].startswith("    openmpi")
+
+
+class TestRoundTrip:
+    CASES = [
+        "babelstream",
+        "hpcg@3.1",
+        "cmake@3.13:",
+        "babelstream%gcc@9.2.0 +omp",
+        "hpcg implementation=matrix-free",
+        "hpgmg%gcc ^openmpi@4.0.4 ^python@3.10.12",
+        "gcc languages=c,fortran",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_format_parse_fixpoint(self, text):
+        once = parse_spec(text)
+        twice = parse_spec(once.format())
+        assert once == twice
+
+
+# property-based round trip over generated specs -----------------------------
+
+names = st.sampled_from(["hpcg", "babelstream", "hpgmg", "cmake", "openmpi"])
+versions = st.sampled_from(["1.0", "3.1", "4.0.4", "11.2.0"])
+bool_variants = st.dictionaries(
+    st.sampled_from(["omp", "cuda", "tbb", "fv"]), st.booleans(), max_size=3
+)
+
+
+@given(names, st.none() | versions, bool_variants)
+def test_constructed_specs_roundtrip(name, version, variants):
+    text = name
+    if version:
+        text += f"@{version}"
+    for k, v in variants.items():
+        text += f" {'+' if v else '~'}{k}"
+    spec = parse_spec(text)
+    assert parse_spec(spec.format()) == spec
+    # a spec always satisfies itself
+    assert spec.satisfies(spec)

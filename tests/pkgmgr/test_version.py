@@ -1,0 +1,230 @@
+"""Unit and property tests for version ordering and range algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pkgmgr.version import (
+    Version,
+    VersionError,
+    VersionList,
+    VersionRange,
+    ver,
+)
+
+
+# ---------------------------------------------------------------------------
+# Version basics
+# ---------------------------------------------------------------------------
+
+class TestVersion:
+    def test_parse_components(self):
+        assert Version("11.2.0").components == (11, 2, 0)
+
+    def test_parse_alpha_suffix(self):
+        assert Version("2.3.7rc1").components == (2, 3, 7, "rc", 1)
+
+    def test_equality(self):
+        assert Version("1.2") == Version("1.2")
+        assert Version("1.2") != Version("1.2.0")
+
+    def test_ordering_numeric(self):
+        assert Version("9.2.0") < Version("10.3.0")
+        assert Version("1.9") < Version("1.10")
+
+    def test_prefix_sorts_before_longer(self):
+        assert Version("1.2") < Version("1.2.0")
+
+    def test_alpha_sorts_after_numeric_component(self):
+        assert Version("1.2") < Version("1.2a")
+
+    def test_str_roundtrip(self):
+        assert str(Version("2023.1.0")) == "2023.1.0"
+
+    def test_hashable(self):
+        assert len({Version("1.0"), Version("1.0"), Version("2.0")}) == 2
+
+    def test_from_version(self):
+        assert Version(Version("3.1")) == Version("3.1")
+
+    def test_from_int(self):
+        assert Version(3) == Version("3")
+
+    def test_empty_raises(self):
+        with pytest.raises(VersionError):
+            Version("")
+
+    def test_illegal_chars_raise(self):
+        with pytest.raises(VersionError):
+            Version("1.2:3")
+
+    def test_is_prefix_of(self):
+        assert Version("11").is_prefix_of(Version("11.2.0"))
+        assert not Version("11.2").is_prefix_of(Version("11.3.0"))
+        assert Version("11.2.0").is_prefix_of(Version("11.2.0"))
+
+    def test_prefix_constraint_satisfaction(self):
+        assert Version("11.2.0").satisfies(Version("11"))
+        assert not Version("12.1.0").satisfies(Version("11"))
+
+    def test_up_to(self):
+        assert Version("11.2.0").up_to(2) == Version("11.2")
+        with pytest.raises(VersionError):
+            Version("11.2.0").up_to(0)
+
+
+# ---------------------------------------------------------------------------
+# VersionRange
+# ---------------------------------------------------------------------------
+
+class TestVersionRange:
+    def test_closed_range_includes(self):
+        r = VersionRange(Version("1.2"), Version("1.6"))
+        assert r.includes(Version("1.4"))
+        assert r.includes(Version("1.2"))
+        assert r.includes(Version("1.6"))
+        assert not r.includes(Version("1.7"))
+        assert not r.includes(Version("1.1"))
+
+    def test_open_low(self):
+        r = VersionRange(None, Version("3.13"))
+        assert r.includes(Version("1.0"))
+        assert r.includes(Version("3.13.4"))  # prefix-inclusive high end
+        assert not r.includes(Version("3.14"))
+
+    def test_open_high(self):
+        r = VersionRange(Version("3.13"), None)
+        assert r.includes(Version("3.26.3"))
+        assert not r.includes(Version("3.12"))
+
+    def test_backwards_raises(self):
+        with pytest.raises(VersionError):
+            VersionRange(Version("2.0"), Version("1.0"))
+
+    def test_intersection_overlap(self):
+        a = VersionRange(Version("1.0"), Version("2.0"))
+        b = VersionRange(Version("1.5"), Version("3.0"))
+        both = a.intersection(b)
+        assert both == VersionRange(Version("1.5"), Version("2.0"))
+
+    def test_intersection_disjoint_is_none(self):
+        a = VersionRange(Version("1.0"), Version("2.0"))
+        b = VersionRange(Version("3.0"), Version("4.0"))
+        assert a.intersection(b) is None
+        assert not a.overlaps(b)
+
+    def test_str(self):
+        assert str(VersionRange(Version("1.2"), None)) == "1.2:"
+        assert str(VersionRange(None, Version("1.2"))) == ":1.2"
+
+
+# ---------------------------------------------------------------------------
+# VersionList
+# ---------------------------------------------------------------------------
+
+class TestVersionList:
+    def test_empty_is_any(self):
+        assert VersionList().is_any
+        assert VersionList().includes(Version("42"))
+
+    def test_parse_union(self):
+        vl = VersionList.parse("1.2,1.4:1.6")
+        assert vl.includes(Version("1.2"))
+        assert vl.includes(Version("1.5"))
+        assert not vl.includes(Version("1.3"))
+
+    def test_intersect_narrows(self):
+        a = VersionList.parse("1.0:2.0")
+        b = VersionList.parse("1.5:3.0")
+        both = a.intersect(b)
+        assert both.includes(Version("1.7"))
+        assert not both.includes(Version("1.2"))
+
+    def test_intersect_disjoint_empty(self):
+        a = VersionList.parse("1.0:1.4")
+        b = VersionList.parse("2.0:")
+        assert a.intersect(b).empty
+
+    def test_intersect_any_identity(self):
+        a = VersionList.parse("1.2:")
+        assert a.intersect(VersionList()) == a
+        assert VersionList().intersect(a) == a
+
+    def test_point_intersection_becomes_version(self):
+        a = VersionList.parse(":1.5")
+        b = VersionList.parse("1.5:")
+        both = a.intersect(b)
+        assert both.includes(Version("1.5"))
+        assert not both.includes(Version("1.4"))
+
+    def test_highest_of(self):
+        vl = VersionList.parse(":11")
+        cands = [Version("9.2.0"), Version("11.2.0"), Version("12.1.0")]
+        assert vl.highest_of(cands) == Version("11.2.0")
+
+    def test_highest_of_none(self):
+        vl = VersionList.parse("99:")
+        assert vl.highest_of([Version("1.0")]) is None
+
+    def test_str_any(self):
+        assert str(VersionList()) == ":"
+
+
+# ---------------------------------------------------------------------------
+# ver() convenience
+# ---------------------------------------------------------------------------
+
+def test_ver_dispatch():
+    assert isinstance(ver("1.2"), Version)
+    assert isinstance(ver("1.2:"), VersionRange)
+    assert isinstance(ver("1.2,1.4"), VersionList)
+
+
+# ---------------------------------------------------------------------------
+# property-based: total order and algebra laws
+# ---------------------------------------------------------------------------
+
+version_strings = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=4
+).map(lambda parts: ".".join(map(str, parts)))
+
+
+@given(version_strings, version_strings)
+def test_ordering_is_total(a, b):
+    va, vb = Version(a), Version(b)
+    assert (va < vb) + (vb < va) + (va == vb) == 1
+
+
+@given(version_strings, version_strings, version_strings)
+def test_ordering_is_transitive(a, b, c):
+    va, vb, vc = sorted([Version(a), Version(b), Version(c)])
+    assert va <= vb <= vc
+    assert va <= vc
+
+
+@given(version_strings)
+def test_version_satisfies_own_prefixes(s):
+    v = Version(s)
+    for i in range(1, len(v.components) + 1):
+        assert v.satisfies(v.up_to(i))
+
+
+@given(version_strings, version_strings, version_strings)
+def test_range_intersection_soundness(a, b, c):
+    """v in (A ∩ B)  <=>  v in A and v in B."""
+    lo, hi = sorted([Version(a), Version(b)])
+    r1 = VersionRange(lo, hi)
+    r2 = VersionRange(lo, None)
+    v = Version(c)
+    both = r1.intersection(r2)
+    in_both = both is not None and both.includes(v)
+    assert in_both == (r1.includes(v) and r2.includes(v))
+
+
+@given(version_strings, version_strings)
+def test_versionlist_intersect_commutes(a, b):
+    la = VersionList.parse(f"{a}:")
+    lb = VersionList.parse(f":{b}")
+    x = la.intersect(lb)
+    y = lb.intersect(la)
+    for probe in (a, b, "0", "999.999"):
+        assert x.includes(Version(probe)) == y.includes(Version(probe))

@@ -1,0 +1,148 @@
+"""Tests and property tests for the mini-DataFrame."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.postprocess.dataframe import DataFrame, DataFrameError
+
+
+def sample():
+    return DataFrame(
+        {
+            "system": ["archer2", "archer2", "csd3", "csd3"],
+            "model": ["omp", "tbb", "omp", "tbb"],
+            "value": [322.9, 180.8, 217.2, 185.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_ragged_rejected(self):
+        with pytest.raises(DataFrameError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_from_records(self):
+        df = DataFrame.from_records([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert df.columns == ["a", "b"]
+        assert len(df) == 2
+
+    def test_from_records_missing_keys_become_none(self):
+        df = DataFrame.from_records([{"a": 1}, {"a": 2, "b": 3}],
+                                    columns=["a", "b"])
+        assert df["b"][0] is None
+
+    def test_empty(self):
+        assert DataFrame().empty
+        assert DataFrame.from_records([]).empty
+
+    def test_setitem_length_checked(self):
+        df = sample()
+        with pytest.raises(DataFrameError):
+            df["extra"] = [1]
+
+    def test_unknown_column(self):
+        with pytest.raises(DataFrameError):
+            sample()["nope"]
+
+
+class TestOps:
+    def test_filter_eq(self):
+        df = sample().filter_eq("system", "csd3")
+        assert len(df) == 2
+        assert set(df["model"]) == {"omp", "tbb"}
+
+    def test_filter_in(self):
+        df = sample().filter_in("model", ["omp"])
+        assert len(df) == 2
+
+    def test_filter_predicate(self):
+        df = sample().filter(lambda row: row["value"] > 200)
+        assert len(df) == 2
+
+    def test_sort_values(self):
+        df = sample().sort_values("value")
+        assert list(df["value"]) == sorted(df["value"])
+        desc = sample().sort_values("value", ascending=False)
+        assert list(desc["value"])[0] == 322.9
+
+    def test_unique_preserves_order(self):
+        assert sample().unique("system") == ["archer2", "csd3"]
+
+    def test_with_column(self):
+        df = sample().with_column("eff", lambda r: r["value"] / 409.6)
+        assert "eff" in df
+        assert df["eff"][0] == pytest.approx(322.9 / 409.6)
+
+    def test_select(self):
+        df = sample().select(["system", "value"])
+        assert df.columns == ["system", "value"]
+        with pytest.raises(DataFrameError):
+            sample().select(["ghost"])
+
+    def test_concat_unions_columns(self):
+        a = DataFrame({"x": [1], "y": ["a"]})
+        b = DataFrame({"x": [2], "z": [9.0]})
+        both = DataFrame.concat([a, b])
+        assert len(both) == 2
+        assert both["y"][1] is None
+        assert both["z"][0] is None
+
+    def test_groupby_mean(self):
+        agg = sample().groupby(["system"], {"value": np.mean})
+        rec = {r["system"]: r["value"] for r in agg.to_records()}
+        assert rec["archer2"] == pytest.approx((322.9 + 180.8) / 2)
+
+    def test_pivot_with_missing_cells(self):
+        df = DataFrame(
+            {
+                "system": ["archer2", "csd3"],
+                "model": ["omp", "tbb"],
+                "value": [1.0, 2.0],
+            }
+        )
+        index, series = df.pivot("system", "model", "value")
+        assert index == ["archer2", "csd3"]
+        assert series["omp"] == [1.0, None]
+        assert series["tbb"] == [None, 2.0]
+
+    def test_csv_roundtrip(self):
+        df = sample()
+        back = DataFrame.from_csv(df.to_csv())
+        assert list(back["value"]) == list(df["value"])
+        assert list(back["system"]) == list(df["system"])
+
+    def test_to_string_truncation(self):
+        text = sample().to_string(max_rows=2)
+        assert "more rows" in text
+
+
+# -- property tests -------------------------------------------------------
+
+values = st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                  max_size=30)
+
+
+@given(values)
+def test_sort_is_permutation_and_ordered(vals):
+    df = DataFrame({"v": vals, "tag": [str(i) for i in range(len(vals))]})
+    out = df.sort_values("v")
+    assert sorted(out["v"]) == sorted(vals)
+    assert all(out["v"][i] <= out["v"][i + 1] for i in range(len(vals) - 1))
+
+
+@given(values, st.floats(min_value=-1e6, max_value=1e6))
+def test_mask_then_concat_partition(vals, pivot_value):
+    df = DataFrame({"v": vals})
+    lo = df.mask(np.asarray(df["v"], dtype=float) <= pivot_value)
+    hi = df.mask(np.asarray(df["v"], dtype=float) > pivot_value)
+    assert len(lo) + len(hi) == len(df)
+    together = DataFrame.concat([lo, hi])
+    assert sorted(together["v"]) == sorted(vals)
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30))
+def test_groupby_count_conserves_rows(keys):
+    df = DataFrame({"k": keys, "v": list(range(len(keys)))})
+    agg = df.groupby(["k"], {"v": len})
+    assert sum(agg["v"]) == len(keys)

@@ -1,0 +1,91 @@
+"""Additional DataFrame coverage: multi-key groupby, multi-agg, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess.dataframe import DataFrame, DataFrameError
+
+
+def frame():
+    return DataFrame(
+        {
+            "system": ["a", "a", "b", "b", "b"],
+            "test": ["t1", "t2", "t1", "t1", "t2"],
+            "value": [1.0, 2.0, 3.0, 5.0, 7.0],
+        }
+    )
+
+
+class TestGroupbyMore:
+    def test_multi_key_groupby(self):
+        agg = frame().groupby(["system", "test"], {"value": np.mean})
+        recs = {(r["system"], r["test"]): r["value"] for r in agg.to_records()}
+        assert recs[("b", "t1")] == pytest.approx(4.0)
+        assert len(recs) == 4
+
+    def test_multiple_aggregations(self):
+        agg = frame().groupby(
+            ["system"], {"value": np.max, "test": len}
+        )
+        recs = {r["system"]: (r["value"], r["test"]) for r in agg.to_records()}
+        assert recs["b"] == (7.0, 3)
+
+    def test_groupby_preserves_first_appearance_order(self):
+        agg = frame().groupby(["system"], {"value": np.sum})
+        assert list(agg["system"]) == ["a", "b"]
+
+    def test_groupby_empty_frame(self):
+        empty = DataFrame({"k": [], "v": []})
+        agg = empty.groupby(["k"], {"v": np.sum})
+        assert agg.empty
+
+
+class TestPivotMore:
+    def test_duplicate_cells_last_write_wins(self):
+        df = DataFrame(
+            {"x": ["p", "p"], "s": ["m", "m"], "v": [1.0, 9.0]}
+        )
+        _, series = df.pivot("x", "s", "v")
+        assert series["m"] == [9.0]
+
+    def test_pivot_empty(self):
+        df = DataFrame({"x": [], "s": [], "v": []})
+        index, series = df.pivot("x", "s", "v")
+        assert index == [] and series == {}
+
+
+class TestMiscEdges:
+    def test_concat_of_nothing(self):
+        assert DataFrame.concat([]).empty
+        assert DataFrame.concat([DataFrame()]).empty
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            frame().row(99)
+
+    def test_with_column_does_not_mutate_original(self):
+        df = frame()
+        out = df.with_column("double", lambda r: r["value"] * 2)
+        assert "double" not in df
+        assert "double" in out
+
+    def test_mask_wrong_length(self):
+        with pytest.raises(DataFrameError):
+            frame().mask(np.array([True]))
+
+    def test_from_csv_mixed_types(self):
+        back = DataFrame.from_csv("name,score\nalpha,1.5\nbeta,2\n")
+        assert back["score"][0] == 1.5
+        assert back["name"][1] == "beta"
+
+    def test_from_csv_empty(self):
+        assert DataFrame.from_csv("").empty
+
+    def test_to_string_empty(self):
+        assert "empty" in DataFrame().to_string()
+
+    def test_filter_in_with_no_matches(self):
+        out = frame().filter_in("system", ["zzz"])
+        assert out.empty
+        # schema is preserved on empty results
+        assert out.columns == frame().columns

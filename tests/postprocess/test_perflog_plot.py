@@ -1,0 +1,178 @@
+"""Tests for perflog reading, YAML filters, plotting, and the plot CLI."""
+
+import os
+
+import pytest
+
+from repro.postprocess.cli import main as plot_main
+from repro.postprocess.dataframe import DataFrame
+from repro.postprocess.filters import FilterError, apply_filters, load_config
+from repro.postprocess.perflog_reader import (
+    PerflogFormatError,
+    read_perflog,
+    read_perflogs,
+)
+from repro.postprocess.plotting import (
+    bar_chart_ascii,
+    bar_chart_svg,
+    heatmap_ascii,
+)
+from repro.runner.cli import load_suite
+from repro.runner.executor import Executor
+
+
+@pytest.fixture(scope="module")
+def perflog_dir(tmp_path_factory):
+    """Real perflogs from real runs on two simulated systems."""
+    prefix = tmp_path_factory.mktemp("perflogs")
+    classes = load_suite("babelstream")
+    for system in ("archer2", "csd3"):
+        ex = Executor(perflog_prefix=str(prefix))
+        ex.run(classes, system, tags=["omp"])
+    return str(prefix)
+
+
+class TestPerflogReader:
+    def test_read_single(self, perflog_dir):
+        path = os.path.join(
+            perflog_dir, "archer2", "compute", "BabelStreamBenchmark_omp.log"
+        )
+        frame = read_perflog(path)
+        assert len(frame) == 5  # five kernels
+        assert set(frame["perf_var"]) == {"Copy", "Mul", "Add", "Triad", "Dot"}
+        assert all(v > 0 for v in frame["perf_value"])
+
+    def test_read_all_concatenates_systems(self, perflog_dir):
+        frame = read_perflogs(perflog_dir)
+        assert set(frame["system"]) == {"archer2", "csd3"}
+        assert len(frame) == 10
+
+    def test_missing_prefix(self):
+        with pytest.raises(FileNotFoundError):
+            read_perflogs("/nonexistent/prefix")
+
+    def test_malformed_line_rejected(self, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("just|three|fields\n")
+        with pytest.raises(PerflogFormatError):
+            read_perflog(str(bad))
+
+    def test_non_numeric_value_rejected(self, tmp_path):
+        from repro.runner.perflog import PERFLOG_FIELDS
+
+        fields = ["x"] * len(PERFLOG_FIELDS)
+        bad = tmp_path / "bad.log"
+        bad.write_text("|".join(fields) + "\n")
+        with pytest.raises(PerflogFormatError):
+            read_perflog(str(bad))
+
+
+class TestFilters:
+    def frame(self):
+        return DataFrame(
+            {
+                "system": ["archer2", "csd3", "csd3"],
+                "perf_var": ["Triad", "Triad", "Copy"],
+                "perf_value": [322.0, 217.0, 212.0],
+            }
+        )
+
+    def test_equals_and_in(self):
+        config = load_config(
+            "filters:\n"
+            "  - column: perf_var\n"
+            "    equals: Triad\n"
+            "  - column: system\n"
+            "    in: [csd3]\n"
+        )
+        out = apply_filters(self.frame(), config)
+        assert len(out) == 1 and out["perf_value"][0] == 217.0
+
+    def test_min_max_contains(self):
+        config = load_config(
+            "filters:\n"
+            "  - column: perf_value\n"
+            "    min: 215\n"
+            "    max: 400\n"
+            "  - column: perf_var\n"
+            "    contains: ria\n"
+        )
+        out = apply_filters(self.frame(), config)
+        assert len(out) == 2
+
+    def test_unknown_column_rejected(self):
+        config = {"filters": [{"column": "ghost", "equals": 1}]}
+        with pytest.raises(FilterError):
+            apply_filters(self.frame(), config)
+
+    def test_bad_yaml_rejected(self):
+        with pytest.raises(FilterError):
+            load_config("filters: [\n")
+        with pytest.raises(FilterError):
+            load_config("- just\n- a list\n")
+
+    def test_filter_without_column_rejected(self):
+        with pytest.raises(FilterError):
+            apply_filters(self.frame(), {"filters": [{"equals": 1}]})
+
+
+class TestPlotting:
+    INDEX = ["archer2", "csd3"]
+    SERIES = {"omp": [322.9, 217.2], "tbb": [180.8, None]}
+
+    def test_ascii_bar_chart(self):
+        text = bar_chart_ascii(self.INDEX, self.SERIES, title="Triad",
+                               unit="GB/s")
+        assert "Triad" in text
+        assert "#" in text
+        assert "*" in text  # the missing tbb cell
+
+    def test_svg_bar_chart_wellformed(self):
+        svg = bar_chart_svg(self.INDEX, self.SERIES, title="Triad")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") >= 3  # 3 bars + legend swatches
+
+    def test_heatmap(self):
+        cells = {"omp": {"archer2": 0.79, "csd3": 0.77},
+                 "cuda": {"archer2": None, "csd3": None}}
+        text = heatmap_ascii(["omp", "cuda"], ["archer2", "csd3"], cells)
+        assert "0.79" in text and "*" in text
+
+
+class TestPlotCli:
+    def test_table_output(self, perflog_dir, capsys):
+        assert plot_main([perflog_dir]) == 0
+        out = capsys.readouterr().out
+        assert "perf_var" in out
+
+    def test_csv_output(self, perflog_dir, capsys):
+        assert plot_main([perflog_dir, "--csv"]) == 0
+        assert "Triad" in capsys.readouterr().out
+
+    def test_config_driven_chart(self, perflog_dir, capsys, tmp_path):
+        cfg = tmp_path / "plot.yaml"
+        cfg.write_text(
+            "filters:\n"
+            "  - column: perf_var\n"
+            "    equals: Triad\n"
+            "x: system\n"
+            "series: test\n"
+            "value: perf_value\n"
+            "title: Triad bandwidth\n"
+        )
+        svg_path = tmp_path / "out.svg"
+        rc = plot_main([perflog_dir, "--config", str(cfg), "--svg",
+                        str(svg_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Triad bandwidth" in out
+        assert svg_path.exists()
+
+    def test_filter_to_nothing(self, perflog_dir, capsys, tmp_path):
+        cfg = tmp_path / "plot.yaml"
+        cfg.write_text("filters:\n  - column: system\n    equals: summit\n")
+        assert plot_main([perflog_dir, "--config", str(cfg)]) == 1
+
+    def test_missing_perflogs(self, capsys):
+        assert plot_main(["/nope"]) == 1

@@ -1,0 +1,107 @@
+"""Tests for --dry-run, repro-plot --check-regressions, repro-pkg env,
+and the line-chart renderer."""
+
+import pytest
+
+from repro.pkgmgr.cli import main as pkg_main
+from repro.postprocess.cli import main as plot_main
+from repro.postprocess.plotting import line_chart_svg
+from repro.runner.cli import main as bench_main
+
+
+class TestDryRun:
+    def test_renders_paper_job_script_without_running(self, capsys, tmp_path):
+        rc = bench_main([
+            "-c", "hpgmg", "-r", "--dry-run", "--system", "archer2",
+            "-J--qos=standard",
+            "--setvar=num_tasks=8", "--setvar=num_tasks_per_node=2",
+            "--setvar=num_cpus_per_task=8",
+            "--perflog-dir", str(tmp_path / "pl"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "#SBATCH --nodes=4" in out
+        assert "srun --ntasks=8 --cpus-per-task=8 hpgmg-fv 7 8" in out
+        assert "spec: hpgmg@0.4%gcc@11.2.0" in out
+        # nothing ran: no perflogs
+        assert not (tmp_path / "pl").exists()
+
+    def test_dry_run_shows_build_conflicts(self, capsys):
+        rc = bench_main([
+            "-c", "babelstream", "-r", "--dry-run", "--tag", "cuda",
+            "--system", "csd3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "BUILD WOULD FAIL" in out
+
+    def test_dry_run_pbs_dialect(self, capsys):
+        rc = bench_main([
+            "-c", "babelstream", "-r", "--dry-run", "--tag", "omp",
+            "--system", "isambard",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "#PBS" in out and "aprun" in out
+
+
+class TestPlotCiGate:
+    def _populate(self, tmp_path, runs=4):
+        for _ in range(runs):
+            assert bench_main([
+                "-c", "osu", "-r", "--system", "csd3",
+                "--perflog-dir", str(tmp_path),
+            ]) == 0
+
+    def test_green_on_stable_history(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        rc = plot_main([str(tmp_path), "--check-regressions"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 regression(s)" in out
+
+    def test_red_on_injected_regression(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        import glob
+
+        log = sorted(glob.glob(str(tmp_path / "**" / "*.log"),
+                               recursive=True))[0]
+        last = open(log).read().strip().splitlines()[-1].split("|")
+        # max_bandwidth is higher-is-better: halving it is a regression
+        last[9] = str(float(last[9]) * 0.5)
+        with open(log, "a") as fh:
+            fh.write("|".join(last) + "\n")
+        rc = plot_main([str(tmp_path), "--check-regressions"])
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().out
+
+
+class TestPkgEnvCommand:
+    def test_env_for_system(self, capsys):
+        assert pkg_main(["env", "archer2"]) == 0
+        out = capsys.readouterr().out
+        assert "cray-mpich@8.1.23" in out
+        assert "mpi -> cray-mpich@8.1.23" in out
+        assert "PrgEnv-gnu" in out
+
+    def test_env_defaults_to_generic(self, capsys):
+        assert pkg_main(["env"]) == 0
+        out = capsys.readouterr().out
+        assert "environment: generic" in out
+
+
+class TestLineChart:
+    SERIES = {"archer2": [(1, 1.0), (8, 5.9), (64, 20.1)],
+              "csd3": [(1, 1.0), (8, 6.5)]}
+
+    def test_wellformed_svg(self):
+        svg = line_chart_svg(self.SERIES, title="speedup", log_x=True)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<path") == 2
+        assert svg.count("<circle") == 5
+        assert "speedup" in svg
+
+    def test_empty_series(self):
+        svg = line_chart_svg({"a": []})
+        assert svg.startswith("<svg")

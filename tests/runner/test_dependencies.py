@@ -1,0 +1,112 @@
+"""Tests for ReFrame-style dependencies between tests."""
+
+import pytest
+
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest
+from repro.runner.executor import Executor
+from repro.runner.fields import variable
+
+
+class ProducerTest(RegressionTest):
+    """Measures a baseline FOM that downstream tests consume."""
+
+    crash = variable(bool, value=False)
+
+    def program(self, ctx):
+        if self.crash:
+            raise RuntimeError("producer crashed")
+        return "baseline: 100.0\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"baseline", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r"baseline: ([\d.]+)", stdout, 1, float)
+        return {"baseline": (v, "units")}
+
+
+class ConsumerTest(RegressionTest):
+    """Reports its FOM relative to the producer's (an efficiency)."""
+
+    depends_on_tests = ("ProducerTest",)
+
+    def program(self, ctx):
+        base = self.dependency_results["ProducerTest"].perfvars["baseline"][0]
+        return f"relative: {42.0 / base}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"relative", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r"relative: ([\d.]+)", stdout, 1, float)
+        return {"relative": (v, "ratio")}
+
+
+class TestDependencies:
+    def test_consumer_sees_producer_result(self):
+        ex = Executor()
+        report = ex.run_cases(
+            ex.expand_cases([ConsumerTest, ProducerTest], "csd3")
+        )
+        assert report.success
+        consumer = [r for r in report.results
+                    if r.case.test.name == "ConsumerTest"][0]
+        assert consumer.perfvars["relative"][0] == pytest.approx(0.42)
+
+    def test_order_is_dependency_driven_not_list_driven(self):
+        """Even listed consumer-first, the producer runs first."""
+        ex = Executor()
+        cases = ex.expand_cases([ConsumerTest], "csd3") + ex.expand_cases(
+            [ProducerTest], "csd3"
+        )
+        report = ex.run_cases(cases)
+        assert report.success
+
+    def test_failed_dependency_skips_consumer(self):
+        ex = Executor()
+        cases = ex.expand_cases(
+            [ProducerTest, ConsumerTest], "csd3", setvars=None
+        )
+        for case in cases:
+            if isinstance(case.test, ProducerTest):
+                case.test.crash = True
+        report = ex.run_cases(cases)
+        consumer = [r for r in report.results
+                    if r.case.test.name == "ConsumerTest"][0]
+        assert not consumer.passed
+        assert "dependencies not satisfied" in consumer.failure_reason
+
+    def test_missing_dependency_reported(self):
+        ex = Executor()
+        report = ex.run_cases(ex.expand_cases([ConsumerTest], "csd3"))
+        assert not report.success
+        assert "ProducerTest" in report.results[0].failure_reason
+
+    def test_dependency_cycle_rejected(self):
+        class A(RegressionTest):
+            depends_on_tests = ("B",)
+
+            def program(self, ctx):
+                return "x", 1.0
+
+        class B(RegressionTest):
+            depends_on_tests = ("A",)
+
+            def program(self, ctx):
+                return "x", 1.0
+
+        ex = Executor()
+        with pytest.raises(ValueError, match="cycle"):
+            ex.run_cases(ex.expand_cases([A, B], "csd3"))
+
+    def test_dependencies_are_per_platform(self):
+        """A producer on archer2 does not satisfy a consumer on csd3."""
+        ex = Executor()
+        cases = ex.expand_cases([ProducerTest], "archer2") + ex.expand_cases(
+            [ConsumerTest], "csd3"
+        )
+        report = ex.run_cases(cases)
+        consumer = [r for r in report.results
+                    if r.case.test.name == "ConsumerTest"][0]
+        assert not consumer.passed

@@ -1,0 +1,175 @@
+"""Tests for runner fields, sanity helpers, and launchers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runner import sanity as sn
+from repro.runner.fields import (
+    FieldError,
+    class_parameters,
+    class_variables,
+    parameter,
+    parameter_space,
+    variable,
+)
+from repro.runner.launcher import launcher_for
+
+
+class TestVariable:
+    def test_default_and_override(self):
+        class T:
+            num_tasks = variable(int, value=4)
+
+        t = T()
+        assert t.num_tasks == 4
+        t.num_tasks = 8
+        assert t.num_tasks == 8
+
+    def test_type_enforced(self):
+        class T:
+            num_tasks = variable(int, value=1)
+
+        t = T()
+        with pytest.raises(FieldError):
+            t.num_tasks = "lots"
+
+    def test_bad_default_rejected_at_declaration(self):
+        with pytest.raises(FieldError):
+            variable(int, value="x")
+
+    def test_none_default_allowed(self):
+        class T:
+            opt = variable(int, value=None)
+
+        assert T().opt is None
+
+    def test_class_access_returns_descriptor(self):
+        class T:
+            v = variable(int, value=1)
+
+        assert isinstance(T.v, variable)
+
+    @pytest.mark.parametrize(
+        "typ,text,expected",
+        [
+            (int, "8", 8),
+            (float, "2.5", 2.5),
+            (bool, "true", True),
+            (bool, "0", False),
+            (str, "abc", "abc"),
+        ],
+    )
+    def test_coerce(self, typ, text, expected):
+        v = variable(typ, value=None)
+        assert v.coerce(text) == expected
+
+    def test_coerce_errors(self):
+        with pytest.raises(FieldError):
+            variable(int, value=None).coerce("eight")
+        with pytest.raises(FieldError):
+            variable(bool, value=None).coerce("maybe")
+
+
+class TestParameter:
+    def test_space_is_cartesian_product(self):
+        class T:
+            a = parameter([1, 2])
+            b = parameter(["x", "y", "z"])
+
+        assert len(parameter_space(T)) == 6
+
+    def test_empty_parameter_rejected(self):
+        with pytest.raises(FieldError):
+            parameter([])
+
+    def test_unbound_access_raises(self):
+        class T:
+            p = parameter([1, 2])
+
+        with pytest.raises(FieldError):
+            T().p
+
+    def test_mro_collection(self):
+        class Base:
+            a = parameter([1])
+            v = variable(int, value=0)
+
+        class Child(Base):
+            b = parameter([2])
+
+        assert set(class_parameters(Child)) == {"a", "b"}
+        assert "v" in class_variables(Child)
+
+
+class TestSanity:
+    OUT = "Triad       215303.741  0.01247\nResult: VALID\n"
+
+    def test_extractall(self):
+        vals = sn.extractall(r"Triad\s+([\d.]+)", self.OUT, 1, float)
+        assert vals == [215303.741]
+
+    def test_extractsingle_missing_raises(self):
+        with pytest.raises(sn.SanityError, match="not found"):
+            sn.extractsingle(r"Quad", self.OUT)
+
+    def test_extractsingle_item_out_of_range(self):
+        with pytest.raises(sn.SanityError, match="matched"):
+            sn.extractsingle(r"Triad", self.OUT, item=3)
+
+    def test_extract_conversion_failure(self):
+        with pytest.raises(sn.SanityError, match="convert"):
+            sn.extractall(r"(Result)", self.OUT, 1, float)
+
+    def test_assert_found_and_not_found(self):
+        assert sn.assert_found(r"VALID", self.OUT)
+        with pytest.raises(sn.SanityError):
+            sn.assert_found(r"INVALID_MARKER", self.OUT)
+        assert sn.assert_not_found(r"INVALID_MARKER", self.OUT)
+        with pytest.raises(sn.SanityError):
+            sn.assert_not_found(r"VALID", self.OUT)
+
+    def test_assert_bounded(self):
+        assert sn.assert_bounded(5, 0, 10)
+        with pytest.raises(sn.SanityError):
+            sn.assert_bounded(5, 6, None)
+        with pytest.raises(sn.SanityError):
+            sn.assert_bounded(5, None, 4)
+
+    def test_assert_reference_window(self):
+        assert sn.assert_reference(100.0, 100.0)
+        assert sn.assert_reference(96.0, 100.0)
+        with pytest.raises(sn.SanityError):
+            sn.assert_reference(80.0, 100.0)
+
+    def test_count_and_avg(self):
+        assert sn.count(r"\d+\.\d+", self.OUT) == 2
+        assert sn.avg([1.0, 3.0]) == 2.0
+        with pytest.raises(sn.SanityError):
+            sn.avg([])
+
+    @given(st.floats(min_value=0.1, max_value=1e6))
+    def test_extract_roundtrips_floats(self, x):
+        text = f"value={x!r}"
+        got = sn.extractsingle(r"value=([\d.e+-]+)", text, 1, float)
+        assert got == pytest.approx(x)
+
+
+class TestLaunchers:
+    def test_mpirun(self):
+        cmd = launcher_for("mpirun").run_command("./a.out", ["7", "8"], 8)
+        assert cmd == "mpirun -np 8 ./a.out 7 8"
+
+    def test_srun_with_cpus(self):
+        cmd = launcher_for("srun").run_command("./a.out", [], 8, 4)
+        assert "--ntasks=8" in cmd and "--cpus-per-task=4" in cmd
+
+    def test_aprun(self):
+        cmd = launcher_for("aprun").run_command("./a.out", [], 16, 2)
+        assert cmd.startswith("aprun -n 16 -d 2")
+
+    def test_local_is_bare(self):
+        assert launcher_for("local").run_command("./a.out", [], 4) == "./a.out"
+
+    def test_unknown_launcher(self):
+        with pytest.raises(KeyError):
+            launcher_for("blast-off")

@@ -1,0 +1,304 @@
+"""Tests for config, the pipeline, executor, perflog and the CLI."""
+
+import os
+
+import pytest
+
+from repro.runner import sanity as sn
+from repro.runner.benchmark import (
+    ProgramContext,
+    RegressionTest,
+    SpackTest,
+)
+from repro.runner.benchmark import TestRegistry as RunnerRegistry
+from repro.runner.cli import main as bench_main
+from repro.runner.config import ConfigError, default_site_config
+from repro.runner.executor import Executor
+from repro.runner.fields import parameter, variable
+from repro.runner.perflog import PERFLOG_FIELDS, format_record
+from repro.runner.pipeline import TestCase as RunnerCase
+from repro.runner.pipeline import run_case
+from repro.systems.registry import UnknownSystemError
+
+
+class EchoTest(RegressionTest):
+    """A minimal benchmark used across these tests."""
+
+    message = variable(str, value="hello world 42.5")
+    executable = variable(str, value="echo")
+
+    def program(self, ctx):
+        return f"OUT: {self.message}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"OUT:", stdout)
+
+    def extract_performance(self, stdout):
+        value = sn.extractsingle(r"([\d.]+)", stdout, 1, float)
+        return {"value": (value, "units")}
+
+
+class TestSiteConfig:
+    def test_all_paper_systems_configured(self):
+        site = default_site_config()
+        assert set(site.systems) == {
+            "archer2", "cosma8", "csd3", "isambard", "isambard-macs",
+            "noctua2",
+        }
+
+    def test_get_with_partition(self):
+        site = default_site_config()
+        system, part = site.get("isambard-macs:volta")
+        assert part.node.gpu is not None
+
+    def test_get_unknown_system(self):
+        with pytest.raises(UnknownSystemError):
+            default_site_config().get("summit")
+
+    def test_get_unknown_partition(self):
+        with pytest.raises(ConfigError):
+            default_site_config().get("archer2:gpu")
+
+    def test_hostname_detection(self):
+        site = default_site_config()
+        assert site.detect("ln01") == "archer2"
+        assert site.detect("unknown-host") is None
+
+    def test_environs_have_default_first(self):
+        site = default_site_config()
+        _, part = site.get("isambard-macs")
+        assert part.environs[0].name == "default"
+        # MACS default is the gcc 9.2.0 module
+        assert part.environs[0].compiler_version == "9.2.0"
+
+    def test_merge_yaml_new_system(self):
+        site = default_site_config()
+        site.merge_yaml(
+            "systems:\n"
+            "  - name: mylaptop\n"
+            "    scheduler: local\n"
+            "    launcher: local\n"
+        )
+        system, part = site.get("mylaptop")
+        assert part.scheduler == "local"
+
+    def test_merge_yaml_bad_doc(self):
+        with pytest.raises(ConfigError):
+            default_site_config().merge_yaml("systems:\n  - nope: 1\n")
+
+
+def make_case(test=None, platform="csd3", environ="default"):
+    site = default_site_config()
+    system, part = site.get(platform)
+    return RunnerCase(
+        test=test or EchoTest(),
+        system=system,
+        partition=part,
+        environ_name=environ,
+    )
+
+
+class TestPipeline:
+    def test_happy_path(self):
+        result = run_case(make_case())
+        assert result.passed
+        assert result.perfvars["value"][0] == 42.5
+        assert "OUT:" in result.stdout
+        assert result.job_script.startswith("#!/bin/bash")
+        assert "echo" in result.run_command
+
+    def test_invalid_platform_skips(self):
+        t = EchoTest()
+        t.valid_systems = ["archer2"]
+        result = run_case(make_case(t, platform="csd3"))
+        assert not result.passed
+        assert result.failing_stage == "setup"
+        assert result.skipped
+
+    def test_invalid_environ(self):
+        t = EchoTest()
+        t.valid_prog_environs = ["gcc@99*"]
+        result = run_case(make_case(t))
+        assert result.failing_stage == "setup"
+
+    def test_sanity_failure_reported(self):
+        class Broken(EchoTest):
+            def program(self, ctx):
+                return "garbage\n", 1.0
+
+        result = run_case(make_case(Broken()))
+        assert result.failing_stage == "sanity"
+
+    def test_program_crash_is_run_failure(self):
+        class Crash(EchoTest):
+            def program(self, ctx):
+                raise RuntimeError("SIGSEGV")
+
+        result = run_case(make_case(Crash()))
+        assert result.failing_stage == "run"
+        assert "SIGSEGV" in result.failure_reason
+
+    def test_timeout_is_run_failure(self):
+        class Slow(EchoTest):
+            def program(self, ctx):
+                return "OUT: 1\n", 1e9
+
+        t = Slow()
+        t.time_limit = 10.0
+        result = run_case(make_case(t))
+        assert result.failing_stage == "run"
+        assert "TIMEOUT" in result.failure_reason.upper()
+
+    def test_reference_check(self):
+        t = EchoTest()
+        t.reference = {"csd3:*": {"value": (42.5, -0.01, 0.01, "units")}}
+        assert run_case(make_case(t)).passed
+        t2 = EchoTest()
+        t2.reference = {"csd3:*": {"value": (100.0, -0.01, 0.01, "units")}}
+        result = run_case(make_case(t2))
+        assert result.failing_stage == "performance"
+
+    def test_spack_test_builds(self):
+        class Spacky(SpackTest, EchoTest):
+            def __init__(self, **p):
+                super().__init__(**p)
+                self.spack_spec = "stream"
+
+        result = run_case(make_case(Spacky()))
+        assert result.passed
+        assert result.concrete_spec is not None
+        assert result.concrete_spec.name == "stream"
+        assert result.build_seconds > 0
+
+    def test_spack_build_failure_reported(self):
+        class BadSpec(SpackTest, EchoTest):
+            def __init__(self, **p):
+                super().__init__(**p)
+                self.spack_spec = "babelstream +cuda"  # CPU platform
+
+        result = run_case(make_case(BadSpec()))
+        assert result.failing_stage == "build"
+        assert "conflict" in result.failure_reason
+
+
+class TestExecutor:
+    def test_variant_expansion(self):
+        class Multi(EchoTest):
+            speed = parameter(["fast", "slow"])
+
+        ex = Executor()
+        cases = ex.expand_cases([Multi], "csd3")
+        assert {c.test.name for c in cases} == {"Multi_fast", "Multi_slow"}
+
+    def test_setvar_applied_and_validated(self):
+        ex = Executor()
+        cases = ex.expand_cases(
+            [EchoTest], "csd3", setvars={"message": "x 7.25"}
+        )
+        assert cases[0].test.message == "x 7.25"
+        with pytest.raises(KeyError, match="no .*such variable"):
+            ex.expand_cases([EchoTest], "csd3", setvars={"bogus": "1"})
+
+    def test_report_summary(self):
+        ex = Executor()
+        report = ex.run([EchoTest], "csd3")
+        assert report.success
+        text = report.summary()
+        assert "[ PASSED ]" in text and "1 passed" in text
+        assert "value: 42.5" in report.performance_report()
+
+    def test_tag_filtering(self):
+        class Tagged(EchoTest):
+            tags = {"special"}
+
+        ex = Executor()
+        assert ex.expand_cases([Tagged], "csd3", tags=["special"])
+        assert not ex.expand_cases([Tagged], "csd3", tags=["other"])
+
+    def test_name_filtering(self):
+        ex = Executor()
+        assert ex.expand_cases([EchoTest], "csd3", name_patterns=["Echo"])
+        assert not ex.expand_cases([EchoTest], "csd3", exclude=["Echo"])
+
+
+class TestPerflog:
+    def test_format_record_fields(self):
+        result = run_case(make_case())
+        lines = format_record(result, timestamp="2023-11-12T00:00:00")
+        assert len(lines) == 1
+        parts = lines[0].split("|")
+        assert len(parts) == len(PERFLOG_FIELDS)
+        assert parts[2] == "EchoTest"
+        assert parts[-1] == "pass"
+
+    def test_failed_case_logged(self):
+        class Broken(EchoTest):
+            def program(self, ctx):
+                return "garbage\n", 1.0
+
+        result = run_case(make_case(Broken()))
+        lines = format_record(result)
+        assert lines[0].endswith("fail:sanity")
+
+    def test_handler_writes_and_appends(self, tmp_path):
+        from repro.runner.perflog import PerflogHandler
+
+        handler = PerflogHandler(str(tmp_path))
+        result = run_case(make_case())
+        path = handler.emit(result)
+        handler.emit(result)
+        text = open(path).read().splitlines()
+        assert text[0].startswith("timestamp|")
+        assert len(text) == 3  # header + two appended records
+
+
+class TestRegistryAndCli:
+    def test_registry_select(self):
+        reg = RunnerRegistry()
+        reg.register(EchoTest)
+        assert reg.names() == ["EchoTest"]
+        assert reg.select(name_patterns=["Echo*"])
+        assert not reg.select(exclude=["Echo*"])
+        with pytest.raises(Exception):
+            reg.get("Nothing")
+
+    def test_cli_list(self, capsys):
+        assert bench_main(["-c", "hpcg", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "HPCG_Original" in out and "HPCG_Intel" in out
+
+    def test_cli_unknown_suite(self, capsys):
+        assert bench_main(["-c", "linpack", "--list"]) == 1
+
+    def test_cli_requires_system_when_undetectable(self, capsys):
+        rc = bench_main(["-c", "hpcg", "-r"])
+        assert rc == 1
+        assert "--system" in capsys.readouterr().err
+
+    def test_cli_paper_hpcg_invocation(self, capsys, tmp_path):
+        """The appendix A.1.2 invocation, translated."""
+        rc = bench_main([
+            "-c", "hpcg", "-r", "-n", "HPCG_", "-x", "HPCG_Intel",
+            "--system", "isambard-macs:cascadelake",
+            "--performance-report",
+            "--perflog-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "HPCG_Original" in out
+        assert "HPCG_Intel" not in out.split("PERFORMANCE REPORT")[1]
+
+    def test_cli_paper_hpgmg_invocation(self, capsys, tmp_path):
+        """The appendix A.1.3 invocation, translated."""
+        rc = bench_main([
+            "-c", "hpgmg", "-r", "-J--qos=standard", "--system", "archer2",
+            "-S", "spack_spec=hpgmg%gcc",
+            "--setvar=num_cpus_per_task=8",
+            "--setvar=num_tasks_per_node=2",
+            "--setvar=num_tasks=8",
+            "--perflog-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        log = os.path.join(str(tmp_path), "archer2", "compute",
+                           "HpgmgBenchmark.log")
+        assert os.path.exists(log)

@@ -1,0 +1,251 @@
+"""Scheduler simulation tests: lifecycle, allocation invariants, dialects."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduler import (
+    AllocationError,
+    Job,
+    JobState,
+    LocalScheduler,
+    NodePool,
+    PbsScheduler,
+    SchedulerError,
+    SlurmScheduler,
+    make_scheduler,
+)
+from repro.scheduler.events import EventQueue, SimClock
+
+
+def ok_payload(seconds=10.0, text="done"):
+    def payload(ctx):
+        return text, seconds
+
+    return payload
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(5.0, lambda: seen.append("b"))
+        q.schedule(1.0, lambda: seen.append("a"))
+        q.schedule(9.0, lambda: seen.append("c"))
+        q.run_until_idle()
+        assert seen == ["a", "b", "c"]
+        assert q.clock.now == 9.0
+
+    def test_ties_break_by_insertion(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, lambda: seen.append(1))
+        q.schedule(1.0, lambda: seen.append(2))
+        q.run_until_idle()
+        assert seen == [1, 2]
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue(SimClock(100.0))
+        with pytest.raises(ValueError):
+            q.schedule(50.0, lambda: None)
+
+    def test_clock_monotone(self):
+        c = SimClock()
+        c.advance_to(5.0)
+        with pytest.raises(ValueError):
+            c.advance_to(4.0)
+        with pytest.raises(ValueError):
+            c.advance_by(-1)
+
+
+class TestNodePool:
+    def test_allocate_release_roundtrip(self):
+        pool = NodePool("nid", 4, 128)
+        nodes = pool.allocate(2, job_id=1)
+        assert pool.num_free == 2
+        pool.release(nodes, job_id=1)
+        assert pool.num_free == 4
+        pool.check_invariants()
+
+    def test_oversubscription_rejected(self):
+        pool = NodePool("nid", 2, 128)
+        pool.allocate(2, job_id=1)
+        with pytest.raises(AllocationError):
+            pool.allocate(1, job_id=2)
+
+    def test_impossible_request_rejected(self):
+        pool = NodePool("nid", 2, 128)
+        with pytest.raises(AllocationError):
+            pool.allocate(3, job_id=1)
+
+    def test_wrong_owner_release_rejected(self):
+        pool = NodePool("nid", 2, 128)
+        nodes = pool.allocate(1, job_id=1)
+        with pytest.raises(AllocationError):
+            pool.release(nodes, job_id=2)
+
+
+class TestJob:
+    def test_nodes_needed_explicit_layout(self):
+        """The paper's HPGMG layout: 8 tasks, 2 per node -> 4 nodes."""
+        job = Job("hpgmg", ok_payload(), num_tasks=8, num_tasks_per_node=2,
+                  num_cpus_per_task=8)
+        assert job.nodes_needed(cores_per_node=128) == 4
+
+    def test_nodes_needed_derived_layout(self):
+        job = Job("b", ok_payload(), num_tasks=256, num_cpus_per_task=1)
+        assert job.nodes_needed(cores_per_node=128) == 2
+
+    def test_overpacked_node_rejected(self):
+        job = Job("b", ok_payload(), num_tasks=4, num_tasks_per_node=4,
+                  num_cpus_per_task=64)
+        with pytest.raises(ValueError):
+            job.nodes_needed(cores_per_node=128)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            Job("x", ok_payload(), num_tasks=0)
+        with pytest.raises(ValueError):
+            Job("x", ok_payload(), num_cpus_per_task=0)
+
+
+class TestSchedulerLifecycle:
+    def test_job_completes(self):
+        sched = SlurmScheduler(num_nodes=4, cores_per_node=128)
+        jid = sched.submit(Job("j", ok_payload(30.0, "hello")))
+        sched.wait_all()
+        res = sched.result(jid)
+        assert res.state is JobState.COMPLETED
+        assert res.stdout == "hello"
+        assert res.run_seconds == pytest.approx(30.0)
+        assert res.queue_seconds >= 0
+
+    def test_payload_exception_fails_job(self):
+        def boom(ctx):
+            raise RuntimeError("segfault")
+
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        jid = sched.submit(Job("j", boom))
+        sched.wait_all()
+        res = sched.result(jid)
+        assert res.state is JobState.FAILED
+        assert "segfault" in res.stderr
+        assert res.exit_code != 0
+
+    def test_timeout(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        jid = sched.submit(Job("j", ok_payload(9999.0), time_limit=100.0))
+        sched.wait_all()
+        assert sched.result(jid).state is JobState.TIMEOUT
+
+    def test_queueing_when_full(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        a = sched.submit(Job("a", ok_payload(50.0), num_tasks=16))
+        b = sched.submit(Job("b", ok_payload(50.0), num_tasks=16))
+        sched.wait_all()
+        ra, rb = sched.result(a), sched.result(b)
+        assert rb.start_time >= ra.end_time  # b waited for a's nodes
+
+    def test_account_required(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16,
+                               require_account=True)
+        with pytest.raises(SchedulerError, match="account"):
+            sched.submit(Job("j", ok_payload()))
+        sched.submit(Job("j", ok_payload(), account="t01"))
+
+    def test_qos_required_archer2_style(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16, require_qos=True)
+        with pytest.raises(SchedulerError, match="qos|QoS"):
+            sched.submit(Job("j", ok_payload()))
+
+    def test_too_large_job_rejected_at_submit(self):
+        sched = SlurmScheduler(num_nodes=2, cores_per_node=16)
+        with pytest.raises(SchedulerError, match="needs"):
+            sched.submit(Job("j", ok_payload(), num_tasks=64))
+
+    def test_cancel_pending(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        jid = sched.submit(Job("j", ok_payload()))
+        sched.cancel(jid)
+        assert sched.job(jid).state is JobState.CANCELLED
+
+    def test_result_before_finish_raises(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        jid = sched.submit(Job("j", ok_payload()))
+        with pytest.raises(SchedulerError):
+            sched.result(jid)
+
+    def test_make_scheduler_factory(self):
+        assert make_scheduler("slurm", num_nodes=1, cores_per_node=4).kind == "slurm"
+        assert make_scheduler("pbs", num_nodes=1, cores_per_node=4).kind == "pbs"
+        assert make_scheduler("local").kind == "local"
+        with pytest.raises(SchedulerError):
+            make_scheduler("loadleveler")
+
+
+class TestScripts:
+    def test_sbatch_script(self):
+        sched = SlurmScheduler(num_nodes=8, cores_per_node=128)
+        job = Job("hpgmg", ok_payload(), num_tasks=8, num_tasks_per_node=2,
+                  num_cpus_per_task=8, qos="standard", partition="standard")
+        text = sched.render_script(job, "srun ./hpgmg-fv 7 8")
+        assert "#SBATCH --nodes=4" in text
+        assert "#SBATCH --ntasks=8" in text
+        assert "#SBATCH --cpus-per-task=8" in text
+        assert "#SBATCH --qos=standard" in text
+        assert "srun ./hpgmg-fv 7 8" in text
+
+    def test_qsub_script(self):
+        sched = PbsScheduler(num_nodes=4, cores_per_node=40)
+        job = Job("babelstream", ok_payload(), num_tasks=1,
+                  num_cpus_per_task=40, partition="clxq", account="br-proj")
+        text = sched.render_script(job, "./babelstream -s 33554432")
+        assert "#PBS -q clxq" in text
+        assert "#PBS -A br-proj" in text
+        assert "ncpus=40" in text
+
+    def test_local_script(self):
+        sched = LocalScheduler()
+        text = sched.render_script(Job("x", ok_payload()), "./a.out")
+        assert text.splitlines()[1] == "./a.out"
+
+
+class TestSchedulerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=8),  # tasks
+                st.floats(min_value=1.0, max_value=500.0),  # duration
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_jobs_finish_and_pool_is_clean(self, reqs):
+        """Conservation: whatever the workload, every job ends and every
+        node is returned."""
+        sched = SlurmScheduler(num_nodes=4, cores_per_node=8)
+        ids = []
+        for tasks, dur in reqs:
+            ids.append(
+                sched.submit(
+                    Job(f"j{len(ids)}", ok_payload(dur), num_tasks=tasks,
+                        num_tasks_per_node=2)
+                )
+            )
+        sched.wait_all()
+        assert sched.pool.num_free == sched.pool.num_nodes
+        for jid in ids:
+            assert sched.result(jid).state is JobState.COMPLETED
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_fifo_start_order_for_equal_jobs(self, n):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=4)
+        ids = [
+            sched.submit(Job(f"j{i}", ok_payload(10.0), num_tasks=4))
+            for i in range(n)
+        ]
+        sched.wait_all()
+        starts = [sched.result(j).start_time for j in ids]
+        assert starts == sorted(starts)

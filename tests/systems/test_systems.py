@@ -1,0 +1,123 @@
+"""Tests for the hardware registry: the paper's Tables 1 and 5 as data."""
+
+import pytest
+
+from repro.systems.hardware import MiB
+from repro.systems.registry import (
+    SYSTEMS,
+    UnknownSystemError,
+    get_system,
+    system_environment,
+)
+
+
+class TestTable5:
+    """Processor details of every system (Table 5 of the paper)."""
+
+    EXPECTED = {
+        # system: (vendor, microarch, cores/socket, clock GHz)
+        "isambard": ("Marvell", "thunderx2", 32, 2.5),
+        "cosma8": ("AMD", "rome", 64, 2.6),
+        "archer2": ("AMD", "rome", 64, 2.25),
+        "csd3": ("Intel", "cascadelake", 28, 2.2),
+        "noctua2": ("AMD", "milan", 64, 2.45),
+    }
+
+    @pytest.mark.parametrize("system", sorted(EXPECTED))
+    def test_row(self, system):
+        vendor, march, cores, clock = self.EXPECTED[system]
+        proc = get_system(system).default_partition.node.processor
+        assert proc.vendor == vendor
+        assert proc.microarch == march
+        assert proc.cores_per_socket == cores
+        assert proc.clock_ghz == clock
+
+    def test_isambard_macs_partitions(self):
+        system = get_system("isambard-macs")
+        cl = system.partition("cascadelake").node
+        assert cl.processor.model.startswith("Xeon Gold 6230")
+        assert cl.processor.cores_per_socket == 20
+        assert cl.processor.clock_ghz == 2.1
+        volta = system.partition("volta").node
+        assert volta.gpu is not None
+        assert volta.gpu.model.startswith("Tesla V100")
+        assert volta.gpu.compute_units == 80
+
+    def test_all_nodes_dual_socket(self):
+        for name, system in SYSTEMS.items():
+            for part in system.partitions.values():
+                assert part.node.sockets == 2, name
+
+
+class TestTable1:
+    """Peak memory bandwidths used as Figure 2 denominators."""
+
+    def test_cascade_lake_282(self):
+        node = get_system("isambard-macs").partition("cascadelake").node
+        assert node.peak_bandwidth_gbs == pytest.approx(2 * 140.784)
+
+    def test_thunderx2_288(self):
+        assert get_system("isambard").default_partition.node.peak_bandwidth_gbs == 288.0
+
+    def test_milan_2x204_8(self):
+        assert get_system("noctua2").default_partition.node.peak_bandwidth_gbs == pytest.approx(2 * 204.8)
+
+    def test_v100_900(self):
+        node = get_system("isambard-macs").partition("volta").node
+        assert node.peak_bandwidth_gbs == 900.0
+
+    def test_milan_l3_is_512mb(self):
+        """'256 MB per socket L3 cache size, equating to 512 MB'."""
+        node = get_system("noctua2").default_partition.node
+        assert node.llc_bytes == 512 * MiB
+
+    def test_cascadelake_l3_is_27_5mb_per_socket(self):
+        node = get_system("isambard-macs").partition("cascadelake").node
+        assert node.processor.llc.size_bytes == int(27.5 * MiB)
+
+
+class TestDerivedQuantities:
+    def test_peak_gflops_positive_and_sane(self):
+        for name, system in SYSTEMS.items():
+            for part in system.partitions.values():
+                gf = part.node.peak_gflops
+                assert 100 < gf < 20000, (name, gf)
+
+    def test_gpu_node_arch_facts(self):
+        node = get_system("isambard-macs").partition("volta").node
+        assert node.device == "gpu"
+        assert node.arch_target == "volta"
+        assert node.arch_vendor == "nvidia"
+
+    def test_cpu_node_arch_facts(self):
+        node = get_system("isambard").default_partition.node
+        assert node.device == "cpu"
+        assert node.arch_target == "aarch64"
+        assert node.arch_vendor == "marvell"
+
+
+class TestEnvironments:
+    def test_unknown_system(self):
+        with pytest.raises(UnknownSystemError):
+            get_system("lumi")
+        with pytest.raises(UnknownSystemError):
+            system_environment("lumi")
+
+    def test_unknown_partition(self):
+        with pytest.raises(UnknownSystemError):
+            get_system("archer2:gpu")
+
+    def test_volta_environment_arch_switched(self):
+        env = system_environment("isambard-macs:volta")
+        assert env.arch["device"] == "gpu"
+        env_cpu = system_environment("isambard-macs:cascadelake")
+        assert env_cpu.arch["device"] == "cpu"
+
+    def test_archer2_prefers_cray_mpich(self):
+        env = system_environment("archer2")
+        assert env.preferences["mpi"].startswith("cray-mpich")
+
+    def test_every_system_has_gcc(self):
+        for name in SYSTEMS:
+            env = system_environment(name)
+            assert any(c.name == "gcc" for c in env.compilers), name
