@@ -57,6 +57,10 @@ class RunProvenance:
                     if result.concrete_spec is not None
                     else None
                 ),
+                # whether the concretizer *solve* came from the memo cache
+                # (the binary itself is still rebuilt every run, Principle
+                # 3; the solve being reused is itself provenance-relevant)
+                "concretize_cache_hit": result.concretize_cache_hit,
                 "run_command": result.run_command,
                 "job_script": result.job_script,
                 "perfvars": {

@@ -12,6 +12,7 @@ paper relies on:
 * :mod:`repro.pkgmgr.package` -- the recipe API (``depends_on``, ``variant``, ...),
 * :mod:`repro.pkgmgr.repository` -- recipe repositories (builtin + custom),
 * :mod:`repro.pkgmgr.concretizer` -- the dependency solver,
+* :mod:`repro.pkgmgr.memo` -- content-addressed memoization of solutions,
 * :mod:`repro.pkgmgr.environment` -- per-system environments (externals, compilers),
 * :mod:`repro.pkgmgr.installer` -- simulated builds with provenance.
 
@@ -26,6 +27,7 @@ from repro.pkgmgr.variant import Variant, VariantMap, VariantError
 from repro.pkgmgr.package import PackageBase, PackageError
 from repro.pkgmgr.repository import Repository, RepoPath, builtin_repo
 from repro.pkgmgr.concretizer import Concretizer, ConcretizationError, concretize
+from repro.pkgmgr.memo import CacheStats, ConcretizationCache, MemoizedFailure
 from repro.pkgmgr.compilers import Compiler, CompilerRegistry
 from repro.pkgmgr.environment import Environment
 from repro.pkgmgr.installer import Installer, InstallRecord, BuildFailure
@@ -48,6 +50,9 @@ __all__ = [
     "Concretizer",
     "ConcretizationError",
     "concretize",
+    "CacheStats",
+    "ConcretizationCache",
+    "MemoizedFailure",
     "Compiler",
     "CompilerRegistry",
     "Environment",

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from repro.pkgmgr.environment import Environment
+from repro.pkgmgr.memo import ConcretizationCache, MemoizedFailure
 from repro.pkgmgr.package import PackageBase
 from repro.pkgmgr.repository import RepoPath, UnknownPackageError, default_repo_path
 from repro.pkgmgr.spec import CompilerSpec, Spec
@@ -58,26 +59,60 @@ class Concretizer:
         self,
         repo: Optional[RepoPath] = None,
         env: Optional[Environment] = None,
+        cache: Optional[ConcretizationCache] = None,
     ):
         self.repo = repo or default_repo_path()
         self.env = env or Environment.basic("generic")
+        #: optional shared memo table (see :mod:`repro.pkgmgr.memo`)
+        self.cache = cache
+        #: after :meth:`concretize`: True (served from cache), False
+        #: (solved and stored), or None (no cache attached / spec was
+        #: already concrete).  Consumed by the pipeline for provenance.
+        self.last_cache_hit: Optional[bool] = None
 
     # ------------------------------------------------------------------ api --
     def concretize(self, spec: Spec | str) -> Spec:
         """Return a new, concrete spec satisfying *spec* in this environment."""
         root = Spec(spec) if isinstance(spec, str) else spec.copy()
+        self.last_cache_hit = None
         if root.name is None:
             raise ConcretizationError(f"cannot concretize anonymous spec: {root}")
         if root.concrete:
             return root.copy()
 
-        nodes, edges = self._expand(root)
-        self._pin_all(nodes, root.name)
-        self._propagate_compiler(nodes, edges, root.name)
-        self._check_conflicts(nodes)
-        concrete = self._assemble(nodes, edges, root.name)
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(root, self.env, self.repo)
+            memoized = self.cache.lookup(key)
+            if memoized is not None:
+                # the *solve* is reused; the lockfile still records the
+                # concretization (Principle 4) and the installer still
+                # rebuilds the root (Principle 3)
+                self.last_cache_hit = True
+                if isinstance(memoized, MemoizedFailure):
+                    # the identical problem already proved unsatisfiable
+                    raise ConcretizationError(memoized.message)
+                self.env.record(memoized)
+                return memoized
+            self.last_cache_hit = False
+
+        try:
+            nodes, edges = self._expand(root)
+            self._pin_all(nodes, root.name)
+            self._propagate_compiler(nodes, edges, root.name)
+            self._check_conflicts(nodes)
+            concrete = self._assemble(nodes, edges, root.name)
+        except ConcretizationError as exc:
+            # unsatisfiability is as deterministic as a solution: memoize
+            # it so a campaign pays one miss per unique spec x system even
+            # for its impossible (spec, platform) combinations
+            if self.cache is not None and key is not None:
+                self.cache.store_failure(key, str(exc))
+            raise
         concrete.mark_concrete()
         self.env.record(concrete)
+        if self.cache is not None and key is not None:
+            self.cache.store(key, concrete)
         return concrete
 
     # ----------------------------------------------------------- expansion --

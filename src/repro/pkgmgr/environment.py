@@ -21,6 +21,7 @@ An :class:`Environment` bundles
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, List, Optional
 
@@ -116,6 +117,36 @@ class Environment:
         if not matches:
             return None
         return max(matches, key=lambda e: e.spec.version)
+
+    # -- fingerprinting ---------------------------------------------------------
+    def config_fingerprint(self) -> str:
+        """Content hash of everything that can influence concretization.
+
+        Two environments with identical configuration (compilers in the
+        same registration order -- order decides the default -- plus the
+        same externals, preferences, and architecture facts) fingerprint
+        identically, which is what lets the concretization memo cache
+        (:mod:`repro.pkgmgr.memo`) share solutions across the fresh
+        ``Environment`` objects :func:`repro.systems.registry.system_environment`
+        builds per case.  Any change to the system's ``packages.yaml``
+        equivalent (a new external, a different MPI preference) changes
+        the fingerprint and therefore invalidates all cached solutions.
+
+        The *name* and the lockfile are deliberately excluded: neither
+        affects what the solver picks.
+        """
+        doc = {
+            # registration order matters: the first compiler is the default
+            "compilers": [str(c) for c in self.compilers],
+            "externals": sorted(
+                f"{e.spec.format()}|buildable={e.buildable}"
+                for e in self.externals
+            ),
+            "preferences": sorted(self.preferences.items()),
+            "arch": sorted(self.arch.items()),
+        }
+        blob = json.dumps(doc, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     # -- lockfile ---------------------------------------------------------------
     def record(self, spec: Spec) -> str:

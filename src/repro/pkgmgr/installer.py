@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -101,6 +102,11 @@ class Installer:
         #: when set, the database persists here across Installer lifetimes
         #: (what lets `repro-pkg install` then `repro-pkg find` cooperate)
         self.manifest_path = manifest_path
+        #: serializes installs when one Installer is shared by the async
+        #: execution policy's worker pool (repro.runner.parallel); the
+        #: simulated builds are cheap, so contention is negligible while
+        #: the database and build-time accounting stay consistent
+        self._lock = threading.RLock()
         if manifest_path and os.path.exists(manifest_path):
             self._load_manifest()
 
@@ -163,13 +169,14 @@ class Installer:
         from repro.pkgmgr.concretizer import Concretizer
 
         order = Concretizer(repo=self.repo).build_order(concrete)
-        records = []
-        for node in order:
-            is_root = node.name == concrete.name
-            force = rebuild and is_root
-            records.append(self._install_one(node, force=force))
-        self.save_manifest()
-        return records
+        with self._lock:
+            records = []
+            for node in order:
+                is_root = node.name == concrete.name
+                force = rebuild and is_root
+                records.append(self._install_one(node, force=force))
+            self.save_manifest()
+            return records
 
     def _install_one(self, spec: Spec, force: bool) -> InstallRecord:
         h = spec.dag_hash()

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+from functools import lru_cache
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.pkgmgr.variant import VariantMap, VariantError
@@ -395,9 +396,21 @@ class Spec:
 
 
 def parse_spec(text: str) -> Spec:
-    """Parse a spec string into a :class:`Spec` (possibly anonymous)."""
+    """Parse a spec string into a :class:`Spec` (possibly anonymous).
+
+    Parsing is memoized per string (:func:`_parse_spec_cached`): a campaign
+    re-parses the same ``spack_spec`` / constraint strings once per case,
+    and tokenization dominates.  Because :class:`Spec` is mutable, callers
+    receive a :meth:`Spec.copy` of the cached parse, never the cached
+    object itself.
+    """
     if not isinstance(text, str):
         raise SpecParseError(f"expected str, got {type(text).__name__}")
+    return _parse_spec_cached(text).copy()
+
+
+@lru_cache(maxsize=2048)
+def _parse_spec_cached(text: str) -> Spec:
     tokens = []
     pos = 0
     while pos < len(text):

@@ -19,7 +19,7 @@ Implements the subset of Spack's version algebra the concretizer needs:
 from __future__ import annotations
 
 import re
-from functools import total_ordering
+from functools import lru_cache, total_ordering
 from typing import Iterable, Optional, Union
 
 __all__ = ["Version", "VersionRange", "VersionList", "ver", "VersionError"]
@@ -32,11 +32,16 @@ class VersionError(ValueError):
 _SEGMENT_RE = re.compile(r"(\d+|[a-zA-Z]+)")
 
 
+@lru_cache(maxsize=4096)
 def _parse_components(string: str) -> tuple:
     """Split ``'11.2.0rc1'`` into ``(11, 2, 0, 'rc', 1)``.
 
     Numeric runs become ints, alphabetic runs stay strings; separators
     (``.``, ``-``, ``_``) are discarded.  This mirrors Spack's tokenizer.
+
+    Memoized: campaigns re-parse the same handful of version strings
+    (``9.2.0``, ``11.2.0`` ...) thousands of times across cases, and the
+    result tuple is immutable so sharing is safe.
     """
     if not string:
         raise VersionError("empty version string")
@@ -224,7 +229,14 @@ class VersionList:
 
     @classmethod
     def parse(cls, text: str) -> "VersionList":
-        """Parse the text after ``@`` in a spec: ``'1.2,1.4:1.6'``."""
+        """Parse the text after ``@`` in a spec: ``'1.2,1.4:1.6'``.
+
+        Memoized (see :func:`_parse_versionlist`): version lists are
+        treated as immutable throughout the codebase, so the shared
+        instance is safe to hand out repeatedly.
+        """
+        if cls is VersionList:
+            return _parse_versionlist(text)
         return cls([text])
 
     @property
@@ -254,11 +266,20 @@ class VersionList:
         return out
 
     def intersect(self, other: "VersionList") -> "VersionList":
-        """Combine two requirement sets; result admits only versions both admit."""
+        """Combine two requirement sets; result admits only versions both admit.
+
+        The pairwise range arithmetic is memoized per (self, other) pair in
+        :func:`_intersect_lists` -- the concretizer folds the same few
+        constraints into nodes once per *case*, which a campaign repeats
+        hundreds of times.
+        """
         if self.is_any:
             return other
         if other.is_any:
             return self
+        return _intersect_lists(self, other)
+
+    def _intersect_impl(self, other: "VersionList") -> "VersionList":
         pieces: list[VersionConstraint] = []
         for a in self._as_ranges():
             for b in other._as_ranges():
@@ -313,6 +334,23 @@ class VersionList:
 
     def __repr__(self) -> str:
         return f"VersionList('{self}')"
+
+
+@lru_cache(maxsize=4096)
+def _parse_versionlist(text: str) -> "VersionList":
+    """Memoized ``VersionList([text])`` (hot in spec parsing)."""
+    return VersionList([text])
+
+
+@lru_cache(maxsize=8192)
+def _intersect_lists(a: "VersionList", b: "VersionList") -> "VersionList":
+    """Memoized pairwise intersection.
+
+    ``VersionList`` hashes and compares by its canonical string, so equal
+    renderings share one cached result.  Results are never mutated after
+    creation, making the shared instance safe.
+    """
+    return a._intersect_impl(b)
 
 
 def ver(text: Union[str, int, float]) -> Union[Version, VersionRange, VersionList]:

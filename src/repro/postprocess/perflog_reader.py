@@ -44,20 +44,31 @@ def _parse_line(line: str, path: str, lineno: int) -> dict:
 
 
 def read_perflog(path: str) -> DataFrame:
-    """One perflog file -> DataFrame (header line is validated)."""
+    """One perflog file -> DataFrame (header line is validated).
+
+    Appended/concatenated logs are **coalesced**: perflogs are append-only
+    and isolated systems often assemble campaign logs by concatenating
+    per-run files (``cat run1.log run2.log``), which leaves duplicate
+    header lines mid-file.  Any line matching the canonical header is
+    treated as a segment boundary and skipped, so a coalesced log reads
+    exactly like one continuous perflog.  The whole file is read in one
+    buffered gulp rather than line-at-a-time.
+    """
+    header_line = "|".join(PERFLOG_FIELDS)
     records = []
     with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            if not line.strip():
-                continue
-            if lineno == 1 and line.startswith("timestamp|"):
-                header = tuple(line.strip().split("|"))
-                if header != PERFLOG_FIELDS:
-                    raise PerflogFormatError(
-                        f"{path}: unexpected header {header}"
-                    )
-                continue
-            records.append(_parse_line(line, path, lineno))
+        lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped == header_line:
+            continue  # initial header or an append-coalescing boundary
+        if lineno == 1 and stripped.startswith("timestamp|"):
+            raise PerflogFormatError(
+                f"{path}: unexpected header {tuple(stripped.split('|'))}"
+            )
+        records.append(_parse_line(line, path, lineno))
     frame = DataFrame.from_records(records, columns=list(PERFLOG_FIELDS))
     frame["perflog_path"] = [path] * len(frame)
     return frame

@@ -17,8 +17,12 @@ This subpackage reimplements that architecture:
 * :mod:`repro.runner.launcher` -- mpirun/srun/aprun command rendering,
 * :mod:`repro.runner.pipeline` -- the setup/build/run/sanity/performance
   stage machine (build *always* runs: Principle 3),
-* :mod:`repro.runner.perflog` -- one perflog per (system, partition, test),
-* :mod:`repro.runner.executor` -- run a set of test cases, collect a report,
+* :mod:`repro.runner.perflog` -- one (batched) perflog per (system,
+  partition, test),
+* :mod:`repro.runner.parallel` -- the async execution policy: dependency
+  wavefronts on a worker pool, deterministic serial-identical output,
+* :mod:`repro.runner.executor` -- run a set of test cases (serial or
+  async policy), collect a report,
 * :mod:`repro.runner.cli` -- the ``repro-bench`` front-end mirroring the
   paper's ``reframe -c ... -r`` invocations.
 """
@@ -40,7 +44,8 @@ from repro.runner.config import (
 )
 from repro.runner.launcher import Launcher, launcher_for
 from repro.runner.pipeline import PipelineError, TestCase, run_case
-from repro.runner.executor import Executor, RunReport
+from repro.runner.parallel import dependency_waves, run_waves
+from repro.runner.executor import Executor, RunReport, POLICIES
 from repro.runner.perflog import PerflogHandler
 
 __all__ = [
@@ -61,7 +66,10 @@ __all__ = [
     "PipelineError",
     "TestCase",
     "run_case",
+    "dependency_waves",
+    "run_waves",
     "Executor",
     "RunReport",
+    "POLICIES",
     "PerflogHandler",
 ]

@@ -135,15 +135,23 @@ class RegressionTest:
     def base_name(cls) -> str:
         return cls.__name__
 
+    @classmethod
+    def name_for_params(cls, params: Dict[str, Any]) -> str:
+        """The instance name a parameter point *would* produce.
+
+        Lets the executor filter variants by name *before* constructing
+        any test instance (hot when ``-n``/``-x`` prune a large campaign).
+        """
+        if not params:
+            return cls.base_name()
+        suffix = "_".join(
+            str(v).replace("-", "_") for _, v in sorted(params.items())
+        )
+        return f"{cls.base_name()}_{suffix}"
+
     @property
     def name(self) -> str:
-        if not self._param_values:
-            return self.base_name()
-        suffix = "_".join(
-            str(v).replace("-", "_")
-            for _, v in sorted(self._param_values.items())
-        )
-        return f"{self.base_name()}_{suffix}"
+        return type(self).name_for_params(self._param_values)
 
     @classmethod
     def variants(cls, **fixed: Any) -> List["RegressionTest"]:

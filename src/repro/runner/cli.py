@@ -95,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="programming environment(s) to use")
     parser.add_argument("--dry-run", action="store_true",
                         help="concretize and render job scripts, run nothing")
+    parser.add_argument("--policy", choices=["serial", "async"],
+                        default="serial",
+                        help="execution policy: 'serial' (one case at a "
+                             "time) or 'async' (dependency wavefronts on a "
+                             "worker pool; deterministic, serial-identical "
+                             "output)")
+    parser.add_argument("-j", "--max-workers", type=int, default=4,
+                        metavar="N",
+                        help="worker pool size for --policy=async "
+                             "(default: 4)")
     return parser
 
 
@@ -192,7 +202,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for case in cases:
             print(dry_run_case(case))
         return 0
-    report = executor.run_cases(cases)
+    if args.max_workers < 1:
+        print("error: -j/--max-workers must be >= 1", file=sys.stderr)
+        return 1
+    report = executor.run_cases(
+        cases, policy=args.policy, workers=args.max_workers
+    )
     print(report.summary(), end="")
     if args.performance_report:
         print(report.performance_report(), end="")

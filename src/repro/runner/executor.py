@@ -1,26 +1,46 @@
-"""The execution policy: expand test cases, run them, report.
+"""The execution policies: expand test cases, run them, report.
 
 Mirrors ``reframe -r``: take the selected benchmark classes, fan out over
 parameter variants and the target platform's environments, push each case
 through the pipeline, write perflogs, and produce the run summary (the
 ``[ PASSED ]`` / ``[ FAILED ]`` lines and the ``--performance-report``
 table).
+
+Two execution policies are provided (DESIGN.md section 4):
+
+* ``serial`` -- one case at a time, in topological dependency order;
+* ``async`` -- dependency wavefronts on a worker pool
+  (:mod:`repro.runner.parallel`), with results, reports, and perflogs in
+  the exact serial order (deterministic, bit-identical output).
+
+Either way one :class:`~repro.pkgmgr.memo.ConcretizationCache` and one
+:class:`~repro.pkgmgr.installer.Installer` are shared across the whole
+campaign: identical abstract specs concretize once per (spec, system
+config), dependency builds are reused, and roots are still rebuilt every
+run (Principle 3).
 """
 
 from __future__ import annotations
 
+import fnmatch
 import io
+import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Type
+from typing import Any, Dict, List, Optional, Pattern, Sequence, Tuple, Type
 
 from repro.pkgmgr.installer import Installer
+from repro.pkgmgr.memo import ConcretizationCache
 from repro.runner.benchmark import RegressionTest
 from repro.runner.config import SiteConfig, default_site_config
-from repro.runner.fields import class_variables
+from repro.runner.fields import class_variables, parameter_space
+from repro.runner.parallel import order_by_dependencies, run_waves
 from repro.runner.perflog import PerflogHandler
 from repro.runner.pipeline import CaseResult, TestCase, run_case
 
-__all__ = ["Executor", "RunReport"]
+__all__ = ["Executor", "RunReport", "POLICIES"]
+
+#: the execution policies run_cases accepts
+POLICIES = ("serial", "async")
 
 
 @dataclass
@@ -79,6 +99,24 @@ class RunReport:
         return out.getvalue()
 
 
+def _compile_patterns(
+    patterns: Optional[List[str]],
+) -> Optional[List[Tuple[Pattern[str], str]]]:
+    """Pre-compile -n/-x filters once per expansion (not once per case).
+
+    Each pattern matches as fnmatch *or* substring, exactly as before;
+    compiling ``fnmatch.translate`` output hoists the regex build out of
+    the (class x variant x environment) triple loop.
+    """
+    if not patterns:
+        return None
+    return [(re.compile(fnmatch.translate(p)), p) for p in patterns]
+
+
+def _name_hits(name: str, compiled: List[Tuple[Pattern[str], str]]) -> bool:
+    return any(regex.match(name) or raw in name for regex, raw in compiled)
+
+
 class Executor:
     """Expands and runs benchmark cases on one target platform."""
 
@@ -86,14 +124,22 @@ class Executor:
         self,
         site: Optional[SiteConfig] = None,
         perflog_prefix: Optional[str] = None,
+        perflog_batch: int = 64,
+        concretizer_cache: Optional[ConcretizationCache] = None,
     ):
         self.site = site or default_site_config()
         self.perflog = (
-            PerflogHandler(perflog_prefix) if perflog_prefix else None
+            PerflogHandler(perflog_prefix, batch_size=perflog_batch)
+            if perflog_prefix
+            else None
         )
         # one installer per executor: dependency builds are reused across
         # cases within a session, roots always rebuilt (Principle 3)
         self.installer = Installer()
+        # one concretization memo per executor: identical (abstract spec,
+        # system config) pairs solve once per campaign (Principle 4: every
+        # concretization, cached or not, still lands in the lockfile)
+        self.concretizer_cache = concretizer_cache or ConcretizationCache()
 
     def expand_cases(
         self,
@@ -113,27 +159,41 @@ class Executor:
         ``name_patterns``/``exclude``/``tags`` filter at *variant* level:
         ``--tag omp`` selects just the OpenMP BabelStream variant, and the
         paper's ``-n HPCG_ -x HPCG_Intel`` selects by (variant) name.
+
+        Filtering is decided once per variant -- names are computed from
+        the parameter point without instantiating the test, and at most
+        one probe instance is built for tag filtering -- so excluded
+        variants cost no test construction at all, and included ones are
+        constructed exactly once per environment.
         """
-        import fnmatch
-
-        def name_hits(name: str, patterns: List[str]) -> bool:
-            return any(fnmatch.fnmatch(name, p) or p in name for p in patterns)
-
         sysconf, partconf = self.site.get(system)
         env_names = environs or ["default"]
+        include_pats = _compile_patterns(name_patterns)
+        exclude_pats = _compile_patterns(exclude)
+        tagset = set(tags) if tags else None
         cases = []
         for cls in test_classes:
-            param_points = [t._param_values for t in cls.variants()]
-            for point in param_points:
+            for point in parameter_space(cls):
+                # name filters need no instance at all
+                name = cls.name_for_params(point)
+                if include_pats is not None and not _name_hits(name, include_pats):
+                    continue
+                if exclude_pats is not None and _name_hits(name, exclude_pats):
+                    continue
+                # tags may be refined in __init__ (e.g. BabelStream adds
+                # its model), so probe with one throwaway instance -- which
+                # is then *reused* as the first environment's test
+                probe: Optional[RegressionTest] = None
+                if tagset is not None:
+                    probe = cls(**point)
+                    if not tagset <= set(probe.tags):
+                        continue
                 for env_name in env_names:
                     # a fresh instance per case: cases must not share state
-                    test = cls(**point)
-                    if name_patterns and not name_hits(test.name, name_patterns):
-                        continue
-                    if exclude and name_hits(test.name, exclude):
-                        continue
-                    if tags and not set(tags) <= set(test.tags):
-                        continue
+                    if probe is not None:
+                        test, probe = probe, None
+                    else:
+                        test = cls(**point)
                     self._apply_setvars(test, setvars or {})
                     if spec_override is not None and hasattr(test, "spack_spec"):
                         test.spack_spec = spec_override
@@ -166,65 +226,62 @@ class Executor:
     def _order_by_dependencies(cases: Sequence[TestCase]) -> List[TestCase]:
         """Topologically order cases so test dependencies run first.
 
-        Dependencies are matched by *base class name* within the same
-        platform (ReFrame semantics).  A cycle is a configuration error.
+        (Kept as a method for backwards compatibility; the implementation
+        lives in :func:`repro.runner.parallel.order_by_dependencies`.)
         """
-        import networkx as nx
+        return order_by_dependencies(cases)
 
-        graph = nx.DiGraph()
-        by_key = {}
-        for i, case in enumerate(cases):
-            graph.add_node(i)
-            key = (case.platform, type(case.test).base_name())
-            by_key.setdefault(key, []).append(i)
-        for i, case in enumerate(cases):
-            for dep_name in getattr(case.test, "depends_on_tests", ()):
-                for j in by_key.get((case.platform, dep_name), []):
-                    graph.add_edge(j, i)
+    def run_cases(
+        self,
+        cases: Sequence[TestCase],
+        policy: str = "serial",
+        workers: int = 1,
+    ) -> RunReport:
+        """Run a campaign under the chosen execution policy.
+
+        ``policy='serial'`` processes the topological order one case at a
+        time; ``policy='async'`` runs dependency wavefronts on ``workers``
+        threads.  Both produce results (and perflogs) in the identical,
+        deterministic serial order.
+        """
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown execution policy {policy!r}; known: "
+                f"{', '.join(POLICIES)}"
+            )
+        ordered = self._order_by_dependencies(cases)
+        effective_workers = workers if policy == "async" else 1
+
+        def case_runner(case: TestCase) -> CaseResult:
+            return run_case(
+                case,
+                installer=self.installer,
+                concretizer_cache=self.concretizer_cache,
+            )
+
+        on_result = self.perflog.emit if self.perflog is not None else None
         try:
-            order = list(nx.topological_sort(graph))
-        except nx.NetworkXUnfeasible:
-            cycle = nx.find_cycle(graph)
-            raise ValueError(f"test dependency cycle: {cycle}") from None
-        return [cases[i] for i in order]
-
-    def run_cases(self, cases: Sequence[TestCase]) -> RunReport:
-        report = RunReport()
-        finished: Dict[tuple, CaseResult] = {}
-        for case in self._order_by_dependencies(cases):
-            deps = getattr(case.test, "depends_on_tests", ())
-            if deps:
-                resolved = {}
-                missing = []
-                for dep_name in deps:
-                    dep_result = finished.get((case.platform, dep_name))
-                    if dep_result is None or not dep_result.passed:
-                        missing.append(dep_name)
-                    else:
-                        resolved[dep_name] = dep_result
-                if missing:
-                    result = CaseResult(case=case)
-                    result.failing_stage = "setup"
-                    result.failure_reason = (
-                        f"dependencies not satisfied on {case.platform}: "
-                        f"{', '.join(missing)}"
-                    )
-                    report.results.append(result)
-                    if self.perflog is not None:
-                        self.perflog.emit(result)
-                    continue
-                case.test.dependency_results = resolved
-            result = run_case(case, installer=self.installer)
-            finished[(case.platform, type(case.test).base_name())] = result
-            report.results.append(result)
+            results = run_waves(
+                ordered,
+                case_runner,
+                workers=effective_workers,
+                on_result=on_result,
+            )
+        finally:
             if self.perflog is not None:
-                self.perflog.emit(result)
-        return report
+                self.perflog.flush()
+        return RunReport(results=list(results))
 
     def run(
         self,
         test_classes: Sequence[Type[RegressionTest]],
         system: str,
+        policy: str = "serial",
+        workers: int = 1,
         **kwargs: Any,
     ) -> RunReport:
-        return self.run_cases(self.expand_cases(test_classes, system, **kwargs))
+        return self.run_cases(
+            self.expand_cases(test_classes, system, **kwargs),
+            policy=policy,
+            workers=workers,
+        )

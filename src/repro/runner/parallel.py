@@ -1,0 +1,194 @@
+"""The asynchronous, dependency-aware execution policy.
+
+DESIGN.md advertises "serial & async execution policies"; this module is
+the async one.  A benchmark campaign (the paper's Figure 1 workflow:
+~10 programming models x 7 platforms x N environments) consists of
+mostly-independent :class:`~repro.runner.pipeline.TestCase` objects --
+only ReFrame-style ``depends_on_tests`` edges order them.  The engine
+therefore schedules the topologically-ordered case list in
+**dependency wavefronts**:
+
+* wave *k* holds every case whose longest dependency chain has length *k*;
+* cases within a wave are independent by construction and run concurrently
+  on a worker pool (threads: each case drives its own discrete-event
+  scheduler simulation, and the shared installer / concretization cache
+  are lock-protected);
+* the ``finished`` map -- which dependents read their producers' results
+  from -- is updated between waves **in the input order**, so dependency
+  resolution is bit-for-bit the serial policy's.
+
+Determinism: results are returned in the exact order the serial policy
+would produce them (the topological order computed by
+:func:`order_by_dependencies`), and the optional ``on_result`` callback
+(the executor's perflog emission) fires in that same order.  With a
+pinned perflog timestamp, serial and async runs therefore produce
+*byte-identical* perflogs and identical reports -- the property
+``tests/runner/test_parallel.py`` locks in.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.pipeline import CaseResult, TestCase
+
+__all__ = [
+    "order_by_dependencies",
+    "dependency_waves",
+    "resolve_dependencies",
+    "run_waves",
+]
+
+#: key identifying a producer in the finished-results map (ReFrame
+#: semantics: dependencies match by base class name on the same platform)
+FinishedKey = Tuple[str, str]
+
+
+def _dependency_edges(
+    cases: Sequence[TestCase],
+) -> Tuple[Dict[FinishedKey, List[int]], List[Tuple[int, int]]]:
+    """Producer index map and (producer, consumer) edges for *cases*."""
+    by_key: Dict[FinishedKey, List[int]] = {}
+    for i, case in enumerate(cases):
+        key = (case.platform, type(case.test).base_name())
+        by_key.setdefault(key, []).append(i)
+    edges: List[Tuple[int, int]] = []
+    for i, case in enumerate(cases):
+        for dep_name in getattr(case.test, "depends_on_tests", ()):
+            for j in by_key.get((case.platform, dep_name), []):
+                edges.append((j, i))
+    return by_key, edges
+
+
+def order_by_dependencies(cases: Sequence[TestCase]) -> List[TestCase]:
+    """Topologically order cases so test dependencies run first.
+
+    Dependencies are matched by *base class name* within the same
+    platform (ReFrame semantics).  A cycle is a configuration error.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(cases)))
+    _, edges = _dependency_edges(cases)
+    graph.add_edges_from(edges)
+    try:
+        order = list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible:
+        cycle = nx.find_cycle(graph)
+        raise ValueError(f"test dependency cycle: {cycle}") from None
+    return [cases[i] for i in order]
+
+
+def dependency_waves(ordered: Sequence[TestCase]) -> List[List[int]]:
+    """Partition an already-ordered case list into concurrent wavefronts.
+
+    Wave of case *i* = 1 + max(wave of its producers), so every producer
+    sits in a strictly earlier wave and each wave's members are mutually
+    independent.  Within a wave, input order is preserved (determinism).
+    A campaign without dependencies is one single, fully-parallel wave.
+    """
+    _, edges = _dependency_edges(ordered)
+    producers: Dict[int, List[int]] = {}
+    for j, i in edges:
+        producers.setdefault(i, []).append(j)
+    level = [0] * len(ordered)
+    # `ordered` is topological, so producers are resolved before consumers
+    for i in range(len(ordered)):
+        deps = producers.get(i)
+        if deps:
+            level[i] = 1 + max(level[j] for j in deps)
+    waves: List[List[int]] = [[] for _ in range(max(level, default=-1) + 1)]
+    for i, lvl in enumerate(level):
+        waves[lvl].append(i)
+    return waves
+
+
+def resolve_dependencies(
+    case: TestCase, finished: Dict[FinishedKey, CaseResult]
+) -> Optional[CaseResult]:
+    """Inject producer results into *case*; return a failure on unmet deps.
+
+    Mirrors the serial policy exactly: every declared dependency must have
+    a finished, *passed* result on the same platform; otherwise the case
+    fails in ``setup`` without entering the pipeline.
+    """
+    deps = getattr(case.test, "depends_on_tests", ())
+    if not deps:
+        return None
+    resolved: Dict[str, CaseResult] = {}
+    missing: List[str] = []
+    for dep_name in deps:
+        dep_result = finished.get((case.platform, dep_name))
+        if dep_result is None or not dep_result.passed:
+            missing.append(dep_name)
+        else:
+            resolved[dep_name] = dep_result
+    if missing:
+        failure = CaseResult(case=case)
+        failure.failing_stage = "setup"
+        failure.failure_reason = (
+            f"dependencies not satisfied on {case.platform}: "
+            f"{', '.join(missing)}"
+        )
+        return failure
+    case.test.dependency_results = resolved
+    return None
+
+
+def run_waves(
+    ordered: Sequence[TestCase],
+    case_runner: Callable[[TestCase], CaseResult],
+    workers: int = 1,
+    on_result: Optional[Callable[[CaseResult], None]] = None,
+) -> List[CaseResult]:
+    """Execute a topologically-ordered campaign wave by wave.
+
+    ``workers == 1`` degenerates to the serial policy (no pool, no
+    threads); ``workers > 1`` runs each wave on a thread pool.  Results
+    come back in input order regardless of completion order, and
+    ``on_result`` fires in that order too (after each wave), so any
+    observer -- the perflog handler above all -- sees the serial sequence.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    results: List[Optional[CaseResult]] = [None] * len(ordered)
+    finished: Dict[FinishedKey, CaseResult] = {}
+    dep_failed: set = set()
+
+    pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+    try:
+        for wave in dependency_waves(ordered):
+            runnable: List[int] = []
+            for i in wave:
+                failure = resolve_dependencies(ordered[i], finished)
+                if failure is not None:
+                    results[i] = failure
+                    dep_failed.add(i)
+                else:
+                    runnable.append(i)
+            if pool is not None and len(runnable) > 1:
+                for i, result in zip(
+                    runnable,
+                    pool.map(lambda i: case_runner(ordered[i]), runnable),
+                ):
+                    results[i] = result
+            else:
+                for i in runnable:
+                    results[i] = case_runner(ordered[i])
+            # publish producer results in input order (serial semantics:
+            # the *last* finished case wins a duplicated key; cases that
+            # failed dependency resolution never publish)
+            for i in wave:
+                if i in dep_failed:
+                    continue
+                key = (ordered[i].platform, type(ordered[i].test).base_name())
+                finished[key] = results[i]  # type: ignore[assignment]
+            if on_result is not None:
+                for i in wave:
+                    on_result(results[i])  # type: ignore[arg-type]
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    return results  # type: ignore[return-value]

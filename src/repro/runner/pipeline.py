@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.machine.progmodel import UnsupportedModelError
 from repro.pkgmgr.concretizer import ConcretizationError, Concretizer
 from repro.pkgmgr.installer import BuildFailure, Installer
+from repro.pkgmgr.memo import ConcretizationCache
 from repro.pkgmgr.spec import Spec
 from repro.runner.benchmark import (
     ProgramContext,
@@ -71,6 +72,10 @@ class CaseResult:
     #: energy/system-state capture (the paper's Section 4 future work)
     energy: Optional[object] = None
     concrete_spec: Optional[Spec] = None
+    #: whether the concretizer solution was served from the memo cache
+    #: (None: no cache in play / not a SpackTest).  Provenance metadata --
+    #: the build itself is never cached for the root (Principle 3).
+    concretize_cache_hit: Optional[bool] = None
     build_log: List[str] = field(default_factory=list)
     job_script: str = ""
     run_command: str = ""
@@ -150,8 +155,18 @@ def dry_run_case(case: TestCase) -> str:
     return "\n".join(lines)
 
 
-def run_case(case: TestCase, installer: Optional[Installer] = None) -> CaseResult:
-    """Drive one test case through the whole pipeline."""
+def run_case(
+    case: TestCase,
+    installer: Optional[Installer] = None,
+    concretizer_cache: Optional[ConcretizationCache] = None,
+) -> CaseResult:
+    """Drive one test case through the whole pipeline.
+
+    ``concretizer_cache``, when given, memoizes the concretizer *solve*
+    across cases (see :mod:`repro.pkgmgr.memo`); whether this case hit the
+    cache is recorded on the result for provenance.  The build stage still
+    always rebuilds the root (Principle 3).
+    """
     test = case.test
     result = CaseResult(case=case)
     installer = installer or Installer()
@@ -192,12 +207,15 @@ def run_case(case: TestCase, installer: Optional[Installer] = None) -> CaseResul
         # the Volta builds explicitly)
         if spec.compiler is None:
             spec = spec.constrain(Spec(f"%{environ.compiler_spec}"))
+        concretizer = Concretizer(env=pkg_env, cache=concretizer_cache)
         try:
-            concrete = Concretizer(env=pkg_env).concretize(spec)
+            concrete = concretizer.concretize(spec)
             records = installer.install(concrete, rebuild=test.rebuild)
         except (ConcretizationError, BuildFailure) as exc:
+            result.concretize_cache_hit = concretizer.last_cache_hit
             return _fail(result, "build", str(exc))
         result.concrete_spec = concrete
+        result.concretize_cache_hit = concretizer.last_cache_hit
         result.build_log = [line for r in records for line in r.log]
         result.build_seconds = sum(r.build_seconds for r in records)
 

@@ -1,0 +1,249 @@
+"""The concretization memo cache: accounting, invalidation, Principles.
+
+The cache (:mod:`repro.pkgmgr.memo`) may reuse a *solve* but must never
+compromise the paper's principles: the root binary is still rebuilt every
+run (Principle 3), every concretization still lands in the environment
+lockfile (Principle 4), and a changed system configuration can never be
+served a stale solution (the content-addressed key differs).
+"""
+
+import pytest
+
+from repro.core.principles import ComplianceAuditor
+from repro.core.provenance import RunProvenance
+from repro.pkgmgr.concretizer import Concretizer
+from repro.pkgmgr.environment import Environment, ExternalPackage
+from repro.pkgmgr.memo import CacheStats, ConcretizationCache
+from repro.pkgmgr.spec import Spec
+from repro.runner import sanity as sn
+from repro.runner.benchmark import SpackTest
+from repro.runner.executor import Executor
+from repro.systems.registry import system_environment
+
+
+@pytest.fixture
+def cache():
+    return ConcretizationCache()
+
+
+def solve(spec, env, cache):
+    conc = Concretizer(env=env, cache=cache)
+    result = conc.concretize(spec)
+    return result, conc.last_cache_hit
+
+
+class TestAccounting:
+    def test_miss_then_hit(self, cache):
+        env = Environment.basic("sys")
+        first, hit1 = solve("babelstream", env, cache)
+        second, hit2 = solve("babelstream", env, cache)
+        assert (hit1, hit2) == (False, True)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+        assert first.dag_hash() == second.dag_hash()
+
+    def test_different_spec_is_a_miss(self, cache):
+        env = Environment.basic("sys")
+        solve("babelstream", env, cache)
+        _, hit = solve("babelstream@5.0", env, cache)
+        assert hit is False
+        assert len(cache) == 2
+
+    def test_no_cache_attached_reports_none(self):
+        conc = Concretizer(env=Environment.basic("sys"))
+        conc.concretize("babelstream")
+        assert conc.last_cache_hit is None
+
+    def test_lru_eviction_accounted(self):
+        small = ConcretizationCache(max_entries=2)
+        env = Environment.basic("sys")
+        for spec in ("babelstream", "stream", "hpcg"):
+            solve(spec, env, small)
+        assert len(small) == 2
+        assert small.stats.evictions == 1
+        # the oldest entry (babelstream) was evicted -> miss again
+        _, hit = solve("babelstream", env, small)
+        assert hit is False
+
+    def test_stats_as_dict(self):
+        stats = CacheStats()
+        stats.hits, stats.misses = 4, 1
+        assert stats.as_dict() == {
+            "hits": 4, "misses": 1, "evictions": 0, "hit_rate": 0.8,
+        }
+        assert CacheStats().hit_rate == 0.0
+
+
+class TestIsolation:
+    def test_hits_return_defensive_copies(self, cache):
+        env = Environment.basic("sys")
+        a, _ = solve("babelstream", env, cache)
+        b, _ = solve("babelstream", env, cache)
+        assert a is not b
+        # mutating one returned DAG must not poison the memo table
+        b.name = "mutated"
+        c, hit = solve("babelstream", env, cache)
+        assert hit is True
+        assert c.name == "babelstream"
+
+    def test_store_copies_its_input(self, cache):
+        env = Environment.basic("sys")
+        a, _ = solve("babelstream", env, cache)
+        a.name = "mutated-after-store"
+        b, hit = solve("babelstream", env, cache)
+        assert hit is True and b.name == "babelstream"
+
+    def test_lockfile_still_records_cached_solves(self, cache):
+        """Principle 4: every concretization lands in the lockfile."""
+        env = Environment.basic("sys")
+        solve("babelstream", env, cache)
+        fresh = Environment.basic("sys")
+        spec, hit = solve("babelstream", fresh, cache)
+        assert hit is True
+        assert spec.dag_hash() in fresh.lockfile
+
+
+class TestInvalidation:
+    def test_equivalent_environments_share_solutions(self, cache):
+        """Fresh per-case Environment objects fingerprint identically."""
+        a = system_environment("archer2")
+        b = system_environment("archer2")
+        assert a is not b
+        assert a.config_fingerprint() == b.config_fingerprint()
+        solve("babelstream%gcc", a, cache)
+        _, hit = solve("babelstream%gcc", b, cache)
+        assert hit is True
+
+    def test_new_external_invalidates(self, cache):
+        env = Environment.basic("sys")
+        solve("hpcg", env, cache)
+        changed = Environment.basic("sys")
+        changed.add_external(ExternalPackage("openmpi@4.1.2"))
+        assert (changed.config_fingerprint()
+                != Environment.basic("sys").config_fingerprint())
+        _, hit = solve("hpcg", changed, cache)
+        assert hit is False
+
+    def test_changed_preference_invalidates(self, cache):
+        env = Environment.basic("sys")
+        solve("hpcg", env, cache)
+        changed = Environment.basic("sys")
+        changed.preferences["mpi"] = "openmpi"
+        _, hit = solve("hpcg", changed, cache)
+        assert hit is False
+
+    def test_changed_arch_invalidates(self, cache):
+        env = Environment.basic("sys")
+        solve("babelstream", env, cache)
+        changed = Environment.basic("sys")
+        changed.arch["target"] = "aarch64"
+        _, hit = solve("babelstream", changed, cache)
+        assert hit is False
+
+    def test_name_and_lockfile_do_not_invalidate(self, cache):
+        a = Environment.basic("one")
+        b = Environment.basic("two")
+        solve("babelstream", a, cache)  # populates a's lockfile too
+        assert a.config_fingerprint() == b.config_fingerprint()
+        _, hit = solve("babelstream", b, cache)
+        assert hit is True
+
+
+class TestNegativeCaching:
+    """Unsatisfiable solves are memoized too: one miss per unique
+    spec x system, impossible combinations included."""
+
+    def test_conflict_is_memoized(self, cache):
+        from repro.pkgmgr.concretizer import ConcretizationError
+
+        env = Environment.basic("sys")  # CPU-only architecture
+        conc1 = Concretizer(env=env, cache=cache)
+        with pytest.raises(ConcretizationError) as first:
+            conc1.concretize("babelstream +cuda")
+        assert conc1.last_cache_hit is False
+
+        conc2 = Concretizer(env=Environment.basic("sys"), cache=cache)
+        with pytest.raises(ConcretizationError) as second:
+            conc2.concretize("babelstream +cuda")
+        assert conc2.last_cache_hit is True
+        # the re-raised error is the recorded one, verbatim
+        assert str(second.value) == str(first.value)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_failure_does_not_pollute_lockfile(self, cache):
+        from repro.pkgmgr.concretizer import ConcretizationError
+
+        env = Environment.basic("sys")
+        solve("babelstream +cuda".replace(" +cuda", ""), env, cache)
+        before = dict(env.lockfile)
+        with pytest.raises(ConcretizationError):
+            Concretizer(env=env, cache=cache).concretize("babelstream +cuda")
+        with pytest.raises(ConcretizationError):
+            Concretizer(env=env, cache=cache).concretize("babelstream +cuda")
+        assert env.lockfile == before
+
+
+class CachedSpackEcho(SpackTest):
+    """Minimal package-built benchmark for executor-level cache tests."""
+
+    def __init__(self, **p):
+        super().__init__(**p)
+        self.spack_spec = "stream"
+
+    def program(self, ctx):
+        return "OUT: 42.5\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"OUT:", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r"([\d.]+)", stdout, 1, float)
+        return {"value": (v, "units")}
+
+
+class TestExecutorIntegration:
+    def test_campaign_reuses_solves_but_rebuilds_roots(self):
+        """Two runs of one campaign: solve cached, Principle 3 intact."""
+        ex = Executor()
+        first = ex.run([CachedSpackEcho], "csd3")
+        second = ex.run([CachedSpackEcho], "csd3")
+        assert first.success and second.success
+        assert first.results[0].concretize_cache_hit is False
+        assert second.results[0].concretize_cache_hit is True
+        assert ex.concretizer_cache.stats.hits >= 1
+        # the cached solve still passes the full Principles audit: the
+        # installer rebuilt the root ("Successfully installed" in the
+        # build log), so P3 holds
+        for result in (first.results[0], second.results[0]):
+            report = ComplianceAuditor().audit(result)
+            ok, msg = report.findings[3]
+            assert ok, msg
+
+    def test_provenance_records_cache_hits(self):
+        ex = Executor()
+        prov = RunProvenance(system="csd3")
+        for report in (ex.run([CachedSpackEcho], "csd3"),
+                       ex.run([CachedSpackEcho], "csd3")):
+            for r in report.results:
+                prov.add_case(r)
+        hits = [e["concretize_cache_hit"] for e in prov.entries]
+        assert hits == [False, True]
+        # round-trips through JSON
+        again = RunProvenance.from_json(prov.to_json())
+        assert [e["concretize_cache_hit"] for e in again.entries] == hits
+
+    def test_non_spack_tests_record_no_cache_state(self):
+        from repro.runner.benchmark import RegressionTest
+
+        class Plain(RegressionTest):
+            def program(self, ctx):
+                return "ok\n", 1.0
+
+        ex = Executor()
+        report = ex.run([Plain], "csd3")
+        assert report.success
+        assert report.results[0].concretize_cache_hit is None
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ConcretizationCache(max_entries=0)

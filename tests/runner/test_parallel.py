@@ -1,0 +1,183 @@
+"""The serial/async equivalence property: one campaign, one output.
+
+The async execution policy (``repro.runner.parallel``) promises that a
+campaign produces *identical* observable output -- the run summary, every
+case's Figures of Merit, and the perflog bytes on disk -- regardless of
+the policy or the worker count.  These tests lock that property in, both
+with hand-picked campaigns (dependencies, multi-variant, multi-platform)
+and with hypothesis-driven worker counts.
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest
+from repro.runner.executor import Executor
+from repro.runner.fields import parameter, variable
+from repro.runner.parallel import (
+    dependency_waves,
+    order_by_dependencies,
+    run_waves,
+)
+
+PINNED_TS = "2026-01-01T00:00:00"
+
+
+class WaveProducer(RegressionTest):
+    """Baseline FOM other tests consume (forces a second wavefront)."""
+
+    crash = variable(bool, value=False)
+
+    def program(self, ctx):
+        if self.crash:
+            raise RuntimeError("producer crashed")
+        return "baseline: 200.0\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"baseline", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r"baseline: ([\d.]+)", stdout, 1, float)
+        return {"baseline": (v, "units")}
+
+
+class WaveConsumer(RegressionTest):
+    depends_on_tests = ("WaveProducer",)
+
+    def program(self, ctx):
+        base = self.dependency_results["WaveProducer"].perfvars["baseline"][0]
+        return f"relative: {84.0 / base}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"relative", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r"relative: ([\d.]+)", stdout, 1, float)
+        return {"relative": (v, "ratio")}
+
+
+class FanOut(RegressionTest):
+    """Many independent variants: the bulk of wave 0."""
+
+    size = parameter([1, 2, 3, 4, 5])
+
+    def program(self, ctx):
+        return f"size {self.size}: {self.size * 1.5}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"size", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r": ([\d.]+)", stdout, 1, float)
+        return {"value": (v, "units")}
+
+
+CAMPAIGN = [WaveProducer, WaveConsumer, FanOut]
+PLATFORMS = ["csd3", "archer2"]
+
+
+def run_campaign(policy, workers, classes=CAMPAIGN, platforms=PLATFORMS,
+                 crash_producer=False):
+    """One full campaign -> (summary, perfvars list, perflog bytes map)."""
+    with tempfile.TemporaryDirectory() as prefix:
+        ex = Executor(perflog_prefix=prefix)
+        ex.perflog.timestamp = PINNED_TS  # byte-reproducible logs
+        cases = []
+        for platform in platforms:
+            cases.extend(ex.expand_cases(classes, platform))
+        if crash_producer:
+            for case in cases:
+                if isinstance(case.test, WaveProducer):
+                    case.test.crash = True
+        report = ex.run_cases(cases, policy=policy, workers=workers)
+        logs = {}
+        for root, _, files in os.walk(prefix):
+            for fname in files:
+                path = os.path.join(root, fname)
+                with open(path, "rb") as fh:
+                    logs[os.path.relpath(path, prefix)] = fh.read()
+        perfvars = [(r.case.display_name, sorted(r.perfvars.items()))
+                    for r in report.results]
+        return report.summary(), perfvars, logs
+
+
+class TestWavefronts:
+    def test_independent_campaign_is_one_wave(self):
+        ex = Executor()
+        ordered = order_by_dependencies(ex.expand_cases([FanOut], "csd3"))
+        waves = dependency_waves(ordered)
+        assert len(waves) == 1
+        assert sorted(waves[0]) == list(range(len(ordered)))
+
+    def test_consumers_land_in_later_waves(self):
+        ex = Executor()
+        cases = ex.expand_cases([WaveConsumer, WaveProducer, FanOut], "csd3")
+        ordered = order_by_dependencies(cases)
+        waves = dependency_waves(ordered)
+        assert len(waves) == 2
+        wave_of = {i: w for w, idxs in enumerate(waves) for i in idxs}
+        for i, case in enumerate(ordered):
+            expected = 1 if isinstance(case.test, WaveConsumer) else 0
+            assert wave_of[i] == expected, case.display_name
+
+    def test_run_waves_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_waves([], lambda c: None, workers=0)
+
+    def test_executor_rejects_unknown_policy(self):
+        ex = Executor()
+        with pytest.raises(ValueError, match="policy"):
+            ex.run_cases([], policy="turbo")
+
+    def test_results_keep_input_order_despite_completion_order(self):
+        """Slow-first cases must not reorder the result list."""
+
+        class Jittered(RegressionTest):
+            delay = parameter([0.05, 0.0, 0.03, 0.01])
+
+            def program(self, ctx):
+                time.sleep(self.delay)
+                return f"d {self.delay}\n", 1.0
+
+            def extract_performance(self, stdout):
+                v = sn.extractsingle(r"d ([\d.]+)", stdout, 1, float)
+                return {"d": (v, "s")}
+
+        ex = Executor()
+        cases = ex.expand_cases([Jittered], "csd3")
+        expected = [c.test.name for c in cases]
+        report = ex.run_cases(cases, policy="async", workers=4)
+        assert [r.case.test.name for r in report.results] == expected
+
+
+class TestPolicyEquivalence:
+    def test_async_matches_serial_exactly(self):
+        serial = run_campaign("serial", 1)
+        for workers in (1, 2, 4):
+            assert run_campaign("async", workers) == serial
+
+    def test_equivalence_survives_failures(self):
+        """Crashed producers and dep-failed consumers log identically."""
+        serial = run_campaign("serial", 1, crash_producer=True)
+        summary, perfvars, logs = serial
+        assert "dependencies not satisfied" in summary
+        assert run_campaign("async", 4, crash_producer=True) == serial
+        # the dep-failed consumer still leaves a perflog record
+        consumer_logs = [b for p, b in logs.items() if "WaveConsumer" in p]
+        assert consumer_logs and all(b"fail:setup" in b
+                                     for b in consumer_logs)
+
+    @settings(max_examples=8, deadline=None)
+    @given(workers=st.integers(min_value=1, max_value=6))
+    def test_any_worker_count_is_serial_identical(self, workers):
+        assert run_campaign("async", workers) == run_campaign("serial", 1)
+
+    def test_single_platform_dependency_chain(self):
+        serial = run_campaign("serial", 1, platforms=["csd3"])
+        assert run_campaign("async", 3, platforms=["csd3"]) == serial
