@@ -1,0 +1,402 @@
+"""Post-processing throughput: vectorized ingest + incremental store.
+
+Three claims from the ISSUE this PR implements, measured end to end on a
+synthetic ~1M-row multi-platform campaign (100 perflogs: 5 systems x 2
+partitions x 10 tests):
+
+1. **Vectorized ingest**: the block-wise columnar parser assimilates the
+   campaign >= 5x faster (rows/sec) than the retained row-at-a-time
+   reference reader (:mod:`repro.postprocess.reference`), with
+   bit-identical frames.
+2. **Incremental re-ingest**: regrowing every log five times and
+   re-reading through a :class:`~repro.postprocess.store.PerflogStore`
+   parses only the appended bytes -- >= 90% manifest hit rate and >= 90%
+   byte reuse over the five regrowths, with the incremental frame
+   identical to a fresh full parse.
+3. **Groupby latency**: the factorize + argsort kernel aggregates the
+   million-row frame faster than the dict-per-row-tuple reference while
+   producing bit-identical records.
+
+The measured numbers are written to ``BENCH_postprocess.json`` at the
+repo root; ``tests/postprocess/test_throughput_smoke.py`` re-runs a
+reduced-size version of the same measurements inside the tier-1 budget
+and fails if ingest throughput regresses >2x against these baselines.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.postprocess.dataframe import DataFrame
+from repro.postprocess.perflog_reader import read_perflogs
+from repro.postprocess.reference import (
+    reference_concat,
+    reference_groupby,
+    reference_read_perflog,
+)
+from repro.postprocess.store import PerflogStore
+from repro.runner.perflog import PERFLOG_FIELDS
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..",
+                             "BENCH_postprocess.json")
+
+#: 5 systems x 2 partitions x 10 tests = 100 perflogs
+CAMPAIGN_SYSTEMS = [
+    ("archer2", "compute"),
+    ("csd3", "icelake"),
+    ("isambard", "a64fx"),
+    ("noctua2", "gpu"),
+    ("cirrus", "standard"),
+]
+CAMPAIGN_TESTS = 10
+ROWS_PER_FILE = 10_000          # -> 1M rows total
+WORKERS = 4
+REGROWTHS = 5
+GROWTH_ROWS = 200               # appended per file per regrowth
+
+_HEADER = "|".join(PERFLOG_FIELDS)
+
+
+def synth_rows(system, partition, test, n, seed, start=0):
+    """Deterministic perflog records for one (system, partition, test)."""
+    rng = np.random.default_rng(seed + start)
+    values = rng.uniform(10.0, 400.0, size=n)
+    tasks = rng.choice([1, 8, 64, 128], size=n)
+    return [
+        f"2026-01-01T{(start + i) % 24:02d}:{(start + i) % 60:02d}:00"
+        f"|repro-1.0.0|{test}|{system}|{partition}|gcc@12.1.0"
+        f"|stream@5.10|{tasks[i]}|Triad|{values[i]:.4f}|GB/s|pass"
+        for i in range(n)
+    ]
+
+
+def make_campaign(root, rows_per_file, n_tests=CAMPAIGN_TESTS):
+    """Write the synthetic multi-platform campaign; returns file specs."""
+    os.makedirs(root, exist_ok=True)
+    specs = []
+    seed = 0
+    for system, base_part in CAMPAIGN_SYSTEMS:
+        for partition in (base_part, base_part + "-highmem"):
+            for t in range(n_tests):
+                test = f"BabelStream_{t}"
+                path = os.path.join(
+                    root, f"{system}_{partition}_{test}.log"
+                )
+                rows = synth_rows(system, partition, test,
+                                  rows_per_file, seed)
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(_HEADER + "\n")
+                    fh.write("\n".join(rows) + "\n")
+                specs.append((path, system, partition, test, seed))
+                seed += 1
+    return specs
+
+
+def grow_campaign(specs, n_rows, generation):
+    """Append ``n_rows`` records to every campaign log (no header)."""
+    for path, system, partition, test, seed in specs:
+        rows = synth_rows(system, partition, test, n_rows, seed,
+                          start=1_000_000 + generation * n_rows)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(rows) + "\n")
+
+
+def prewarm(specs):
+    """Touch every byte once so timings compare parsers, not page cache."""
+    for path, *_ in specs:
+        with open(path, "rb") as fh:
+            fh.read()
+
+
+def timed(fn, repeats=2):
+    """``(best_seconds, result)`` over ``repeats`` runs.
+
+    Min-of-N is the standard throughput methodology here: the first run
+    of a million-row parse pays one-off costs (heap growth, first-touch
+    page faults on ~10^8 bytes of fresh object memory) that say nothing
+    about parser throughput and would swamp the comparison.
+    """
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def assert_frames_identical(a: DataFrame, b: DataFrame) -> None:
+    assert a.columns == b.columns
+    for name in a.columns:
+        assert a[name].dtype == b[name].dtype, name
+        assert len(a[name]) == len(b[name]), name
+        assert (a[name] == b[name]).all(), name
+
+
+def _update_baseline(**entries):
+    doc = {}
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    doc.update(entries)
+    with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# --------------------------------------------------------------------------
+# 1. vectorized ingest vs the row-at-a-time reference reader
+# --------------------------------------------------------------------------
+
+def regenerate_ingest(root):
+    specs = make_campaign(root, ROWS_PER_FILE)
+    prewarm(specs)
+    paths = [path for path, *_ in specs]
+    # untimed warm-up: grow the heap once so neither parser is charged
+    # for first-touch page faults on ~10^8 bytes of object memory
+    read_perflogs(root)
+
+    # both parsers assimilate the *same* full campaign: the reference
+    # reader's dict-per-row materialization is exactly what collapses at
+    # this scale, so sampling a subset would understate its true cost
+    ref_elapsed, ref_frame = timed(lambda: reference_concat(
+        [reference_read_perflog(p) for p in sorted(paths)]
+    ))
+    vec_elapsed, frame = timed(lambda: read_perflogs(root))
+
+    # bit-identity of the full assimilated campaign
+    assert_frames_identical(frame, ref_frame)
+    del ref_frame
+
+    mt_elapsed, frame_mt = timed(
+        lambda: read_perflogs(root, workers=WORKERS)
+    )
+    assert_frames_identical(frame, frame_mt)
+    return {
+        "n_files": len(specs),
+        "n_rows": len(frame),
+        "ref_elapsed": ref_elapsed,
+        "vec_elapsed": vec_elapsed,
+        "mt_elapsed": mt_elapsed,
+    }
+
+
+def test_vectorized_ingest_speedup(once, tmp_path):
+    r = once(regenerate_ingest, str(tmp_path / "campaign"))
+    ref_rate = r["n_rows"] / r["ref_elapsed"]
+    vec_rate = r["n_rows"] / r["vec_elapsed"]
+    mt_rate = r["n_rows"] / r["mt_elapsed"]
+    speedup = vec_rate / ref_rate
+    emit(
+        "Perflog ingest: vectorized block parser vs row-at-a-time reader",
+        f"campaign: {r['n_rows']:,} rows across {r['n_files']} perflogs\n"
+        f"reference : {ref_rate:,.0f} rows/s\n"
+        f"vectorized: {vec_rate:,.0f} rows/s (serial)\n"
+        f"vectorized: {mt_rate:,.0f} rows/s (workers={WORKERS})\n"
+        f"speedup   : {speedup:.1f}x",
+    )
+    assert r["n_rows"] >= 900_000, "campaign is not ~1M rows"
+    assert speedup >= 5.0, f"ingest speedup only {speedup:.2f}x"
+    _update_baseline(
+        campaign_rows=r["n_rows"],
+        campaign_files=r["n_files"],
+        ingest_reference_rows_per_second=round(ref_rate),
+        ingest_vectorized_rows_per_second=round(vec_rate),
+        ingest_vectorized_mt_rows_per_second=round(mt_rate),
+        ingest_speedup=round(speedup, 2),
+        ingest_workers=WORKERS,
+    )
+
+
+# --------------------------------------------------------------------------
+# 2. cold vs warm incremental re-ingest through the manifest store
+# --------------------------------------------------------------------------
+
+def regenerate_store_regrowth(root):
+    specs = make_campaign(root, ROWS_PER_FILE)
+    prewarm(specs)
+    store = PerflogStore()
+
+    start = time.perf_counter()
+    cold = read_perflogs(root, store=store)
+    cold_elapsed = time.perf_counter() - start
+    cold_rows = len(cold)
+    snap = store.stats.as_dict()
+
+    warm_elapsed = 0.0
+    frame = cold
+    for generation in range(REGROWTHS):
+        grow_campaign(specs, GROWTH_ROWS, generation)
+        start = time.perf_counter()
+        frame = read_perflogs(root, store=store)
+        warm_elapsed += time.perf_counter() - start
+
+    # the incremental result must equal a fresh full parse
+    assert_frames_identical(frame, read_perflogs(root))
+    return {
+        "n_files": len(specs),
+        "cold_rows": cold_rows,
+        "final_rows": len(frame),
+        "cold_elapsed": cold_elapsed,
+        "warm_elapsed": warm_elapsed,
+        "snap": snap,
+        "stats": store.stats,
+    }
+
+
+def test_warm_incremental_reingest(once, tmp_path):
+    r = once(regenerate_store_regrowth, str(tmp_path / "campaign"))
+    stats, snap = r["stats"], r["snap"]
+    warm_lookups = stats.lookups - (snap["hits"] + snap["misses"])
+    warm_hits = stats.hits - snap["hits"]
+    warm_hit_rate = warm_hits / warm_lookups
+    warm_parsed = stats.bytes_parsed - snap["bytes_parsed"]
+    warm_reused = stats.bytes_reused - snap["bytes_reused"]
+    warm_byte_reuse = warm_reused / (warm_parsed + warm_reused)
+    appended_rows = r["final_rows"] - r["cold_rows"]
+    cold_rate = r["cold_rows"] / r["cold_elapsed"]
+    # each warm pass re-assembles the full campaign frame:
+    warm_rate = (r["final_rows"] * REGROWTHS) / r["warm_elapsed"]
+    emit(
+        "Incremental re-ingest: 5 regrowths through the manifest store",
+        f"campaign: {r['cold_rows']:,} rows cold, +{appended_rows:,} "
+        f"appended over {REGROWTHS} regrowths x {r['n_files']} files\n"
+        f"cold : {r['cold_elapsed']:.3f} s ({cold_rate:,.0f} rows/s)\n"
+        f"warm : {r['warm_elapsed']:.3f} s over {REGROWTHS} full re-reads "
+        f"({warm_rate:,.0f} rows/s effective)\n"
+        f"manifest: {warm_hits}/{warm_lookups} warm hits "
+        f"({warm_hit_rate:.1%}), warm byte reuse {warm_byte_reuse:.1%}",
+    )
+    # one full parse per (file, offset): the cold pass pays every miss
+    assert snap["misses"] == r["n_files"]
+    assert stats.misses == snap["misses"], "regrowth caused a re-parse"
+    assert stats.invalidations == 0
+    assert warm_hit_rate >= 0.90
+    assert warm_byte_reuse >= 0.90, "warm re-reads re-parsed old bytes"
+    _update_baseline(
+        store_regrowths=REGROWTHS,
+        store_growth_rows=GROWTH_ROWS * r["n_files"],
+        store_cold_rows_per_second=round(cold_rate),
+        store_warm_rows_per_second=round(warm_rate),
+        store_warm_hit_rate=round(warm_hit_rate, 4),
+        store_warm_byte_reuse_rate=round(warm_byte_reuse, 4),
+        store_warm_speedup=round(warm_rate / cold_rate, 2),
+    )
+
+
+# --------------------------------------------------------------------------
+# smoke scale: the same measurements, sized for the tier-1 time budget
+# --------------------------------------------------------------------------
+
+SMOKE_ROWS_PER_FILE = 2_000
+SMOKE_TESTS = 2                 # -> 20 files, 40k rows
+
+
+def measure_ingest_smoke(root):
+    """Reduced-size ingest + store measurement shared with the tier-1
+    smoke gate (``tests/postprocess/test_throughput_smoke.py``)."""
+    specs = make_campaign(root, SMOKE_ROWS_PER_FILE, n_tests=SMOKE_TESTS)
+    prewarm(specs)
+    paths = sorted(path for path, *_ in specs)
+    read_perflogs(root)  # untimed heap warm-up
+
+    ref_elapsed, ref_frame = timed(lambda: reference_concat(
+        [reference_read_perflog(p) for p in paths]
+    ))
+    vec_elapsed, frame = timed(lambda: read_perflogs(root))
+    assert_frames_identical(frame, ref_frame)
+
+    store = PerflogStore()
+    read_perflogs(root, store=store)
+    snap = store.stats.as_dict()
+    for generation in range(REGROWTHS):
+        grow_campaign(specs, 50, generation)
+        grown = read_perflogs(root, store=store)
+    assert_frames_identical(grown, read_perflogs(root))
+    stats = store.stats
+    warm_lookups = stats.lookups - (snap["hits"] + snap["misses"])
+    warm_parsed = stats.bytes_parsed - snap["bytes_parsed"]
+    warm_reused = stats.bytes_reused - snap["bytes_reused"]
+    return {
+        "n_rows": len(frame),
+        "n_files": len(specs),
+        "ref_rate": len(frame) / ref_elapsed,
+        "vec_rate": len(frame) / vec_elapsed,
+        "warm_hit_rate": (stats.hits - snap["hits"]) / warm_lookups,
+        "warm_byte_reuse": warm_reused / (warm_parsed + warm_reused),
+        "misses": stats.misses,
+    }
+
+
+def test_smoke_scale_baseline(once, tmp_path):
+    """Record the reduced-size numbers the tier-1 smoke gate compares
+    against (same measurement, same machine class as the full bench)."""
+    r = once(measure_ingest_smoke, str(tmp_path / "campaign"))
+    speedup = r["vec_rate"] / r["ref_rate"]
+    emit(
+        "Smoke-scale ingest baseline (tier-1 gate reference points)",
+        f"campaign: {r['n_rows']:,} rows across {r['n_files']} perflogs\n"
+        f"reference : {r['ref_rate']:,.0f} rows/s\n"
+        f"vectorized: {r['vec_rate']:,.0f} rows/s ({speedup:.1f}x)\n"
+        f"warm hits : {r['warm_hit_rate']:.1%}, "
+        f"byte reuse {r['warm_byte_reuse']:.1%}",
+    )
+    assert speedup >= 2.5
+    assert r["warm_hit_rate"] >= 0.90
+    _update_baseline(
+        smoke_rows=r["n_rows"],
+        smoke_files=r["n_files"],
+        smoke_ingest_reference_rows_per_second=round(r["ref_rate"]),
+        smoke_ingest_vectorized_rows_per_second=round(r["vec_rate"]),
+        smoke_ingest_speedup=round(speedup, 2),
+    )
+
+
+# --------------------------------------------------------------------------
+# 3. groupby kernel latency vs the dict-per-row-tuple reference
+# --------------------------------------------------------------------------
+
+GROUP_KEYS = ["system", "partition", "test"]
+GROUP_AGG = {"perf_value": np.mean, "num_tasks": np.max}
+
+
+def regenerate_groupby(root):
+    make_campaign(root, ROWS_PER_FILE)
+    frame = read_perflogs(root)
+    frame.groupby(GROUP_KEYS, GROUP_AGG)  # untimed heap warm-up
+
+    vec_elapsed, vec = timed(lambda: frame.groupby(GROUP_KEYS, GROUP_AGG))
+    ref_elapsed, ref = timed(
+        lambda: reference_groupby(frame, GROUP_KEYS, GROUP_AGG)
+    )
+
+    assert vec.to_records() == ref.to_records()
+    return {
+        "n_rows": len(frame),
+        "n_groups": len(vec),
+        "vec_elapsed": vec_elapsed,
+        "ref_elapsed": ref_elapsed,
+    }
+
+
+def test_groupby_kernel_latency(once, tmp_path):
+    r = once(regenerate_groupby, str(tmp_path / "campaign"))
+    speedup = r["ref_elapsed"] / r["vec_elapsed"]
+    emit(
+        "Groupby kernel: factorize + argsort vs dict-per-row-tuple",
+        f"{r['n_rows']:,} rows -> {r['n_groups']} groups "
+        f"(keys={GROUP_KEYS})\n"
+        f"reference : {r['ref_elapsed'] * 1e3:.0f} ms\n"
+        f"vectorized: {r['vec_elapsed'] * 1e3:.0f} ms\n"
+        f"speedup   : {speedup:.1f}x (bit-identical records)",
+    )
+    assert speedup >= 1.5, f"groupby speedup only {speedup:.2f}x"
+    _update_baseline(
+        groupby_rows=r["n_rows"],
+        groupby_groups=r["n_groups"],
+        groupby_reference_ms=round(r["ref_elapsed"] * 1e3, 1),
+        groupby_vectorized_ms=round(r["vec_elapsed"] * 1e3, 1),
+        groupby_speedup=round(speedup, 2),
+    )

@@ -66,12 +66,16 @@ class ThroughputProbe(SpackTest):
         return {"value": (v, "MB/s")}
 
 
-def _run_policy(policy, workers, tmpdir):
+def _run_policy(policy, workers, tmpdir, classes=None, platforms=None):
+    """Run one probe campaign under a policy; also reused (at reduced
+    size) by the tier-1 smoke gate in
+    ``tests/postprocess/test_throughput_smoke.py``."""
     ex = Executor(perflog_prefix=tmpdir)
     ex.perflog.timestamp = PINNED_TS
     cases = []
-    for platform in PLATFORMS:
-        cases.extend(ex.expand_cases([ThroughputProbe], platform))
+    for platform in (platforms or PLATFORMS):
+        cases.extend(ex.expand_cases(classes or [ThroughputProbe],
+                                     platform))
     start = time.perf_counter()
     report = ex.run_cases(cases, policy=policy, workers=workers)
     elapsed = time.perf_counter() - start

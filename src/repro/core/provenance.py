@@ -31,6 +31,17 @@ class RunProvenance:
     system: str
     invocation: List[str] = field(default_factory=list)
     entries: List[Dict[str, Any]] = field(default_factory=list)
+    #: perflog ingest-cache accounting (``PerflogStore.stats.as_dict()``),
+    #: surfaced alongside the per-case concretization-memo hits: whether
+    #: an analytics pass re-parsed history or extended a manifest is as
+    #: provenance-relevant as whether a solve came from the memo table
+    ingest_cache: Optional[Dict[str, Any]] = None
+
+    def attach_ingest_cache(self, stats: Any) -> None:
+        """Record perflog-store accounting (a ``StoreStats`` or dict)."""
+        self.ingest_cache = (
+            stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+        )
 
     def add_case(self, result: CaseResult) -> None:
         case = result.case
@@ -85,6 +96,7 @@ class RunProvenance:
                 "system": self.system,
                 "invocation": self.invocation,
                 "cases": self.entries,
+                "ingest_cache": self.ingest_cache,
             },
             indent=2,
             sort_keys=True,
@@ -95,6 +107,7 @@ class RunProvenance:
         doc = json.loads(text)
         prov = cls(system=doc["system"], invocation=doc.get("invocation", []))
         prov.entries = doc.get("cases", [])
+        prov.ingest_cache = doc.get("ingest_cache")
         return prov
 
     def spec_hashes(self) -> List[str]:

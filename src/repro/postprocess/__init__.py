@@ -10,7 +10,12 @@ YAML config.
 """
 
 from repro.postprocess.dataframe import DataFrame, DataFrameError
-from repro.postprocess.perflog_reader import read_perflog, read_perflogs
+from repro.postprocess.perflog_reader import (
+    parse_block,
+    read_perflog,
+    read_perflogs,
+)
+from repro.postprocess.store import PerflogStore, StoreStats
 from repro.postprocess.filters import apply_filters, FilterError
 from repro.postprocess.plotting import (
     bar_chart_ascii,
@@ -22,8 +27,11 @@ from repro.postprocess.plotting import (
 __all__ = [
     "DataFrame",
     "DataFrameError",
+    "parse_block",
     "read_perflog",
     "read_perflogs",
+    "PerflogStore",
+    "StoreStats",
     "apply_filters",
     "FilterError",
     "bar_chart_ascii",

@@ -69,8 +69,10 @@ def apply_filters(frame: DataFrame, config: Dict[str, Any]) -> DataFrame:
             out = out.filter_in(column, values)
         if "contains" in rule:
             needle = str(rule["contains"])
-            keep = np.array(
-                [needle in str(v) for v in out[column]], dtype=bool
+            col = out[column]
+            keep = np.fromiter(
+                (needle in str(v) for v in col.tolist()),
+                dtype=bool, count=len(col),
             )
             out = out.mask(keep)
         if "min" in rule:

@@ -9,10 +9,22 @@ paper's explicit-failure convention.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = ["bar_chart_ascii", "bar_chart_svg", "heatmap_ascii",
            "line_chart_svg"]
+
+
+def _absent(v: Any) -> bool:
+    """``None`` *or* NaN marks an absent cell -- the vectorized pivot
+    kernels hand float columns through, where missing data is NaN."""
+    if v is None:
+        return True
+    try:
+        return math.isnan(v)
+    except TypeError:
+        return False
 
 _SVG_COLOURS = (
     "#4477aa", "#ee6677", "#228833", "#ccbb44",
@@ -29,7 +41,7 @@ def bar_chart_ascii(
 ) -> str:
     """Grouped horizontal bar chart in plain text."""
     values = [
-        v for vals in series.values() for v in vals if v is not None
+        v for vals in series.values() for v in vals if not _absent(v)
     ]
     vmax = max(values) if values else 1.0
     label_w = max(
@@ -42,7 +54,7 @@ def bar_chart_ascii(
         lines.append(f"{idx_label}:")
         for s_label, vals in series.items():
             v = vals[i]
-            if v is None:
+            if _absent(v):
                 lines.append(f"  {str(s_label):<{label_w}} *")
                 continue
             bar = "#" * max(int(round(v / vmax * width)), 1 if v > 0 else 0)
@@ -71,7 +83,7 @@ def heatmap_ascii(
         line = str(r).ljust(row_w)
         for c in cols:
             v = cells_r.get(c)
-            line += ("*" if v is None else fmt.format(v)).rjust(col_w)
+            line += ("*" if _absent(v) else fmt.format(v)).rjust(col_w)
         lines.append(line)
     return "\n".join(lines) + "\n"
 
@@ -174,7 +186,7 @@ def bar_chart_svg(
     bar_height: int = 16,
 ) -> str:
     """Grouped horizontal bar chart as a standalone SVG document."""
-    values = [v for vals in series.values() for v in vals if v is not None]
+    values = [v for vals in series.values() for v in vals if not _absent(v)]
     vmax = max(values) if values else 1.0
     n_series = max(len(series), 1)
     group_h = bar_height * n_series + 14
@@ -198,7 +210,7 @@ def bar_chart_svg(
             v = vals[i]
             by = y + k * bar_height
             colour = _SVG_COLOURS[k % len(_SVG_COLOURS)]
-            if v is None:
+            if _absent(v):
                 parts.append(
                     f'<text x="{chart_x + 4}" y="{by + bar_height - 4}" '
                     f'fill="#999">*</text>'

@@ -21,6 +21,13 @@ direct construction) preserves the historical write-through behaviour;
 the executor uses a larger batch and flushes at end of run.  Buffered
 lines are flushed in emission order, so the on-disk byte sequence is
 identical to write-through mode.
+
+The handler optionally carries a **manifest hook**: pass an ingest
+``store`` (:class:`repro.postprocess.store.PerflogStore`) and every
+flushed append is mirrored into the store's content/offset manifest via
+``store.note_append`` -- the analytics side then re-ingests a growing
+campaign without re-parsing a single already-written byte (the write
+path keeps the read cache warm).
 """
 
 from __future__ import annotations
@@ -101,6 +108,12 @@ class PerflogHandler:
         makes perflogs *byte-reproducible* across runs and execution
         policies -- what the serial-vs-async equivalence tests rely on.
         Default: wall-clock UTC at emit time.
+    store:
+        Optional perflog ingest store
+        (:class:`repro.postprocess.store.PerflogStore`); every flushed
+        append is mirrored into its manifest so later analytics reads
+        start warm.  Duck-typed: anything with
+        ``note_append(path, lines, wrote_header)`` works.
     """
 
     def __init__(
@@ -108,12 +121,14 @@ class PerflogHandler:
         prefix: str,
         batch_size: int = 1,
         timestamp: Optional[Union[str, Callable[[], str]]] = None,
+        store: Optional[object] = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.prefix = prefix
         self.batch_size = batch_size
         self.timestamp = timestamp
+        self.store = store
         self.written: List[str] = []
         #: path -> pending lines (insertion-ordered: flush order is
         #: deterministic and equals emission order per file)
@@ -153,6 +168,8 @@ class PerflogHandler:
                 if new_file:
                     fh.write("|".join(PERFLOG_FIELDS) + "\n")
                 fh.write("\n".join(lines) + "\n")
+            if self.store is not None:
+                self.store.note_append(path, lines, wrote_header=new_file)
             if path not in self.written:
                 self.written.append(path)
         self._buffer.clear()

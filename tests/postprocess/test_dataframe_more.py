@@ -41,17 +41,100 @@ class TestGroupbyMore:
 
 
 class TestPivotMore:
-    def test_duplicate_cells_last_write_wins(self):
+    def test_duplicate_cells_raise(self):
+        # silent last-write-wins would hide repeated runs: refuse instead
         df = DataFrame(
             {"x": ["p", "p"], "s": ["m", "m"], "v": [1.0, 9.0]}
         )
-        _, series = df.pivot("x", "s", "v")
-        assert series["m"] == [9.0]
+        with pytest.raises(DataFrameError, match="duplicates"):
+            df.pivot("x", "s", "v")
+
+    def test_duplicate_cells_with_explicit_reducer(self):
+        df = DataFrame(
+            {"x": ["p", "p", "q"], "s": ["m", "m", "m"],
+             "v": [1.0, 9.0, 4.0]}
+        )
+        index, series = df.pivot("x", "s", "v", reducer=np.mean)
+        assert index == ["p", "q"]
+        assert series["m"] == [5.0, 4.0]
 
     def test_pivot_empty(self):
         df = DataFrame({"x": [], "s": [], "v": []})
         index, series = df.pivot("x", "s", "v")
         assert index == [] and series == {}
+
+
+class TestConcatSchema:
+    def test_concat_preserves_schema_of_empty_frames(self):
+        # an empty-but-typed frame (e.g. a perflog that recorded nothing
+        # yet) must not lose its columns in assimilation
+        typed = DataFrame({"system": [], "perf_value": []})
+        alone = DataFrame.concat([typed])
+        assert alone.empty
+        assert alone.columns == ["system", "perf_value"]
+        several = DataFrame.concat([DataFrame(), typed, DataFrame({"extra": []})])
+        assert several.empty
+        assert several.columns == ["system", "perf_value", "extra"]
+
+    def test_concat_empty_frame_contributes_columns_to_union(self):
+        typed = DataFrame({"system": [], "energy": []})
+        live = DataFrame({"system": ["a"], "perf_value": [1.0]})
+        both = DataFrame.concat([typed, live])
+        assert len(both) == 1
+        assert set(both.columns) == {"system", "energy", "perf_value"}
+        assert both["energy"][0] is None
+
+    def test_concat_empty_preserves_dtype(self):
+        typed = DataFrame({"v": np.array([], dtype=np.float64)})
+        out = DataFrame.concat([typed, DataFrame({"v": []})])
+        assert out["v"].dtype == np.float64
+
+
+class TestCsvLossless:
+    def test_none_round_trips(self):
+        df = DataFrame.concat([
+            DataFrame({"system": ["a"], "note": ["hello"]}),
+            DataFrame({"system": ["b"]}),
+        ])
+        back = DataFrame.from_csv(df.to_csv())
+        assert back["note"][0] == "hello"
+        assert back["note"][1] is None  # not the string "None"
+
+    def test_numeric_looking_strings_stay_strings(self):
+        # a system named "1e3" must not come back as the float 1000.0
+        df = DataFrame({"system": ["1e3", "42", "inf"],
+                        "perf_value": [1.5, 2.5, 3.5]})
+        back = DataFrame.from_csv(df.to_csv())
+        assert list(back["system"]) == ["1e3", "42", "inf"]
+        assert back["perf_value"].dtype == np.float64
+        assert list(back["perf_value"]) == [1.5, 2.5, 3.5]
+
+    def test_backslash_and_empty_string_round_trip(self):
+        df = DataFrame({"s": ["\\N", "", "\\x", "plain"]})
+        back = DataFrame.from_csv(df.to_csv())
+        assert list(back["s"]) == ["\\N", "", "\\x", "plain"]
+
+    def test_perflog_schema_round_trip_lossless(self, tmp_path):
+        from repro.postprocess.perflog_reader import read_perflog
+        from repro.runner.perflog import PERFLOG_FIELDS
+
+        row = ["2026-01-01T00:00:00", "repro-1.0.0", "T", "1e3", "part",
+               "gcc", "", "8", "Triad", "322.9", "GB/s", "pass"]
+        log = tmp_path / "t.log"
+        log.write_text("|".join(PERFLOG_FIELDS) + "\n" + "|".join(row) + "\n")
+        frame = read_perflog(str(log))
+        back = DataFrame.from_csv(frame.to_csv())
+        assert back.columns == frame.columns
+        for name in frame.columns:
+            assert list(back[name]) == list(frame[name]), name
+            assert back[name].dtype == frame[name].dtype, name
+        assert back["system"][0] == "1e3"  # still a string
+        assert back["spec"][0] == ""       # empty string, not None
+
+    def test_legacy_untyped_csv_still_inferred(self):
+        back = DataFrame.from_csv("name,score\nalpha,1.5\nbeta,2\n")
+        assert back["score"][0] == 1.5
+        assert back["name"][1] == "beta"
 
 
 class TestMiscEdges:
