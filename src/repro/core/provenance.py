@@ -36,12 +36,50 @@ class RunProvenance:
     #: an analytics pass re-parsed history or extended a manifest is as
     #: provenance-relevant as whether a solve came from the memo table
     ingest_cache: Optional[Dict[str, Any]] = None
+    #: campaign-level resilience accounting (DESIGN.md section 6): the
+    #: fault plan + seed in force, retry policy, whether the run resumed
+    #: from a journal, and the circuit-breaker outcome.  A retried or
+    #: resumed campaign that is not *recorded* as such is archaeology.
+    resilience: Optional[Dict[str, Any]] = None
 
     def attach_ingest_cache(self, stats: Any) -> None:
         """Record perflog-store accounting (a ``StoreStats`` or dict)."""
         self.ingest_cache = (
             stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
         )
+
+    def attach_resilience(
+        self,
+        report: Any = None,
+        faults: Any = None,
+        retry: Any = None,
+        journal_path: Optional[str] = None,
+        resumed: bool = False,
+    ) -> None:
+        """Record the campaign's resilience configuration and outcome."""
+        info: Dict[str, Any] = {
+            "journal": journal_path,
+            "resumed_from_journal": bool(resumed),
+        }
+        if faults is not None:
+            info["fault_spec"] = faults.format()
+            info["fault_seed"] = faults.seed
+            info["faults_fired"] = faults.fired
+        if retry is not None:
+            info["retry"] = {
+                "max_attempts": retry.max_attempts,
+                "backoff_base": retry.backoff_base,
+                "backoff_factor": retry.backoff_factor,
+                "backoff_max": retry.backoff_max,
+                "jitter": retry.jitter,
+                "seed": retry.seed,
+            }
+        if report is not None:
+            info["aborted"] = report.aborted
+            info["cases_retried"] = len(report.retried)
+            info["cases_resumed"] = len(report.resumed)
+            info["cases_quarantined"] = len(report.quarantined)
+        self.resilience = info
 
     def add_case(self, result: CaseResult) -> None:
         case = result.case
@@ -85,6 +123,12 @@ class RunProvenance:
                     result.energy.as_dict() if result.energy is not None
                     else None
                 ),
+                # resilience provenance: how hard this result was to get
+                "attempts": result.attempts,
+                "backoff_schedule": list(result.backoff_schedule),
+                "faults": list(result.fault_log),
+                "resumed": result.resumed,
+                "quarantined": result.quarantined,
             }
         )
 
@@ -97,6 +141,7 @@ class RunProvenance:
                 "invocation": self.invocation,
                 "cases": self.entries,
                 "ingest_cache": self.ingest_cache,
+                "resilience": self.resilience,
             },
             indent=2,
             sort_keys=True,
@@ -108,6 +153,7 @@ class RunProvenance:
         prov = cls(system=doc["system"], invocation=doc.get("invocation", []))
         prov.entries = doc.get("cases", [])
         prov.ingest_cache = doc.get("ingest_cache")
+        prov.resilience = doc.get("resilience")
         return prov
 
     def spec_hashes(self) -> List[str]:

@@ -1,0 +1,356 @@
+"""Deterministic fault injection: the chaos layer of the resilience stack.
+
+The paper's Principles 4-6 promise *unattended*, repeatable campaigns, so
+the framework must be testable against exactly the failures that real
+facilities produce: transient build breakage, scheduler submit errors,
+job timeouts and node failures, misbehaving test hooks, and perflog
+write errors.  This module provides a **seedable, deterministic** fault
+harness -- the same seed always yields the same fault schedule, regardless
+of execution policy or worker count -- so that resilience tests (and
+``repro-bench --inject-faults SPEC --fault-seed N``) are themselves
+reproducible experiments.
+
+Fault-spec grammar (``--inject-faults``)::
+
+    SPEC    := CLAUSE (',' CLAUSE)*
+    CLAUSE  := KIND ':' RATE ['x' COUNT]     probabilistic over cases
+             | KIND '@' GLOB ['#' COUNT]     explicit case coordinates
+    KIND    := build | submit | timeout | hook | perflog
+    RATE    := float in [0, 1]   fraction of (kind, case) coordinates hit
+    COUNT   := positive int | '*'   attempts that fault (default 1;
+                                    '*' = every attempt, i.e. *permanent*)
+
+Examples::
+
+    build:0.3                 30% of cases fail their first build attempt
+    submit:0.2x2              20% of cases fail the first two submits
+    hook@HPCG_*               every HPCG variant's first hook call raises
+    perflog@*#*               every perflog write fails, forever
+
+Selection is a pure function of ``(seed, kind, case)`` -- a SHA-256 hash
+mapped to [0, 1) and compared against the rate -- so whether a coordinate
+faults never depends on thread interleaving or on how many other cases
+ran first.  The *attempt* at which a site is visited is tracked by a
+:class:`FaultClock`, a thread-safe attempt ledger doubling as the virtual
+clock that retry backoff sleeps against (no real time passes).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultClock",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedFault",
+    "parse_fault_spec",
+    "unit_hash",
+]
+
+#: the injectable failure categories, one per resilience-relevant layer
+FAULT_KINDS = ("build", "submit", "timeout", "hook", "perflog")
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``--inject-faults`` specification."""
+
+
+def unit_hash(seed: int, *parts: str) -> float:
+    """A deterministic uniform draw in [0, 1) from (seed, parts).
+
+    Shared by fault selection and retry-backoff jitter: both must be
+    order- and thread-independent, which a stateful RNG cannot give.
+    """
+    payload = "\x1f".join([str(seed), *parts]).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure at a (kind, target, attempt) coordinate."""
+
+    kind: str
+    target: str
+    attempt: int
+    transient: bool = True
+
+    def describe(self) -> str:
+        perm = "" if self.transient else ":permanent"
+        return f"injected:{self.kind}@{self.target}#{self.attempt}{perm}"
+
+
+class InjectedFault(Exception):
+    """The exception a firing fault raises at its injection site.
+
+    ``transient`` faults clear after their configured attempt count --
+    the retry layer classifies them as worth retrying; permanent ones
+    (``COUNT='*'``) never clear and are classified like any other hard
+    failure.
+    """
+
+    def __init__(self, fault: Fault):
+        super().__init__(fault.describe())
+        self.fault = fault
+
+    @property
+    def transient(self) -> bool:
+        return self.fault.transient
+
+
+class FaultClock:
+    """Thread-safe attempt ledger + virtual backoff clock.
+
+    Two jobs, both deterministic:
+
+    * :meth:`next_attempt` counts how many times each ``(kind, target)``
+      injection site has been visited -- what lets a transient fault fire
+      on the first N visits and then clear;
+    * :meth:`sleep` advances a *virtual* clock by the retry layer's
+      backoff delays, so exponential backoff is fully recorded (and
+      testable) without a campaign ever sleeping wall-clock time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._lock = threading.Lock()
+        self._start = float(start)
+        self._now = float(start)
+        self._attempts: Dict[Tuple[str, ...], int] = {}
+
+    @property
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    @property
+    def slept_seconds(self) -> float:
+        with self._lock:
+            return self._now - self._start
+
+    def sleep(self, seconds: float) -> float:
+        """Advance virtual time; returns the new ``now``."""
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def next_attempt(self, key: Tuple[str, ...]) -> int:
+        """Increment and return the 1-based visit count for *key*."""
+        with self._lock:
+            count = self._attempts.get(key, 0) + 1
+            self._attempts[key] = count
+            return count
+
+    def attempts(self, key: Tuple[str, ...]) -> int:
+        with self._lock:
+            return self._attempts.get(key, 0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._now = self._start
+            self._attempts.clear()
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec."""
+
+    kind: str
+    #: probabilistic selection rate (ignored when ``glob`` is set)
+    rate: float = 0.0
+    #: explicit fnmatch pattern over the target id
+    glob: Optional[str] = None
+    #: attempts on which the fault fires (None = every attempt, permanent)
+    count: Optional[int] = 1
+
+    def selects(self, seed: int, target: str) -> bool:
+        if self.glob is not None:
+            return fnmatch.fnmatch(target, self.glob)
+        return unit_hash(seed, self.kind, target) < self.rate
+
+    def fires_on(self, attempt: int) -> bool:
+        return self.count is None or attempt <= self.count
+
+    @property
+    def transient(self) -> bool:
+        return self.count is not None
+
+    def format(self) -> str:
+        if self.glob is not None:
+            count = "*" if self.count is None else str(self.count)
+            return f"{self.kind}@{self.glob}#{count}"
+        suffix = "" if self.count == 1 else (
+            "x*" if self.count is None else f"x{self.count}"
+        )
+        return f"{self.kind}:{self.rate:g}{suffix}"
+
+
+def _parse_count(text: str, clause: str) -> Optional[int]:
+    if text == "*":
+        return None
+    try:
+        count = int(text)
+    except ValueError:
+        raise FaultSpecError(
+            f"bad attempt count {text!r} in clause {clause!r}"
+        ) from None
+    if count < 1:
+        raise FaultSpecError(f"attempt count must be >= 1 in {clause!r}")
+    return count
+
+
+def parse_fault_spec(spec: str) -> List[FaultClause]:
+    """Parse a ``--inject-faults`` string into clauses (grammar above)."""
+    clauses: List[FaultClause] = []
+    for raw in spec.split(","):
+        text = raw.strip()
+        if not text:
+            continue
+        if "@" in text:
+            kind, _, rest = text.partition("@")
+            glob, _, count_text = rest.partition("#")
+            if not glob:
+                raise FaultSpecError(f"empty case pattern in {text!r}")
+            count = _parse_count(count_text, text) if count_text else 1
+            clause = FaultClause(kind=kind.strip(), glob=glob, count=count)
+        elif ":" in text:
+            kind, _, rest = text.partition(":")
+            rate_text, _, count_text = rest.partition("x")
+            try:
+                rate = float(rate_text)
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad rate {rate_text!r} in clause {text!r}"
+                ) from None
+            if not 0.0 <= rate <= 1.0:
+                raise FaultSpecError(f"rate must be in [0, 1] in {text!r}")
+            count = _parse_count(count_text, text) if count_text else 1
+            clause = FaultClause(kind=kind.strip(), rate=rate, count=count)
+        else:
+            raise FaultSpecError(
+                f"clause {text!r} is neither KIND:RATE nor KIND@GLOB"
+            )
+        if clause.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {clause.kind!r}; known: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        clauses.append(clause)
+    if not clauses:
+        raise FaultSpecError(f"empty fault spec {spec!r}")
+    return clauses
+
+
+class FaultPlan:
+    """A seeded schedule of injectable faults for one campaign.
+
+    The plan is consulted at each injection site with
+    :meth:`check`/:meth:`fire`; every consultation advances the site's
+    attempt counter on the shared :class:`FaultClock`, and every fault
+    that actually fires is appended to :attr:`log` (campaign provenance:
+    the full fault history ends up in the run summary and the journal).
+    """
+
+    def __init__(
+        self,
+        clauses: Sequence[FaultClause] = (),
+        seed: int = 0,
+        clock: Optional[FaultClock] = None,
+    ):
+        self.clauses = list(clauses)
+        self.seed = int(seed)
+        self.clock = clock or FaultClock()
+        self.log: List[Fault] = []
+        self._lock = threading.Lock()
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        return cls(parse_fault_spec(spec), seed=seed)
+
+    @classmethod
+    def at(
+        cls,
+        kind: str,
+        glob: str = "*",
+        attempts: Optional[int] = 1,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """An explicit single-clause plan (the test-suite convenience)."""
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(f"unknown fault kind {kind!r}")
+        return cls([FaultClause(kind=kind, glob=glob, count=attempts)],
+                   seed=seed)
+
+    # -- consultation --------------------------------------------------------
+    def check(self, kind: str, target: str) -> Optional[Fault]:
+        """Visit the (kind, target) site; return the firing fault, if any."""
+        attempt = self.clock.next_attempt((kind, target))
+        for clause in self.clauses:
+            if clause.kind != kind:
+                continue
+            if clause.selects(self.seed, target) and clause.fires_on(attempt):
+                fault = Fault(
+                    kind=kind,
+                    target=target,
+                    attempt=attempt,
+                    transient=clause.transient,
+                )
+                with self._lock:
+                    self.log.append(fault)
+                return fault
+        return None
+
+    def fire(self, kind: str, target: str) -> None:
+        """Like :meth:`check`, but raise :class:`InjectedFault` on a hit."""
+        fault = self.check(kind, target)
+        if fault is not None:
+            raise InjectedFault(fault)
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def fired(self) -> int:
+        with self._lock:
+            return len(self.log)
+
+    def faults_for(self, target: str) -> List[Fault]:
+        with self._lock:
+            return [f for f in self.log if f.target == target]
+
+    def format(self) -> str:
+        return ",".join(c.format() for c in self.clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.format()!r}, seed={self.seed})"
+
+
+class SchedulerFaultInjector:
+    """Adapter binding a :class:`FaultPlan` to one case for the scheduler.
+
+    The batch-scheduler layer is deliberately ignorant of fault plans; it
+    accepts any object with this duck-typed interface:
+
+    * :meth:`on_submit` -- called during ``submit()``; raising aborts the
+      submission (the pipeline sees a scheduler error);
+    * :meth:`on_start` -- called when a job starts; returning a
+      :class:`Fault` makes the job die as a node failure with partial
+      stdout.
+    """
+
+    def __init__(self, plan: FaultPlan, target: str):
+        self.plan = plan
+        self.target = target
+
+    def on_submit(self, job: object) -> None:
+        self.plan.fire("submit", self.target)
+
+    def on_start(self, job: object) -> Optional[Fault]:
+        return self.plan.check("timeout", self.target)

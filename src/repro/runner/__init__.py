@@ -21,6 +21,9 @@ This subpackage reimplements that architecture:
   partition, test),
 * :mod:`repro.runner.parallel` -- the async execution policy: dependency
   wavefronts on a worker pool, deterministic serial-identical output,
+* :mod:`repro.runner.resilience` -- retry with deterministic backoff,
+  circuit breaker, quarantine, and the crash-safe campaign journal
+  behind ``--journal``/``--resume`` (DESIGN.md section 6),
 * :mod:`repro.runner.executor` -- run a set of test cases (serial or
   async policy), collect a report,
 * :mod:`repro.runner.cli` -- the ``repro-bench`` front-end mirroring the
@@ -45,6 +48,13 @@ from repro.runner.config import (
 from repro.runner.launcher import Launcher, launcher_for
 from repro.runner.pipeline import PipelineError, TestCase, run_case
 from repro.runner.parallel import dependency_waves, run_waves
+from repro.runner.resilience import (
+    CampaignAborted,
+    CampaignJournal,
+    RetryPolicy,
+    case_fingerprint,
+    is_transient,
+)
 from repro.runner.executor import Executor, RunReport, POLICIES
 from repro.runner.perflog import PerflogHandler
 
@@ -68,6 +78,11 @@ __all__ = [
     "run_case",
     "dependency_waves",
     "run_waves",
+    "CampaignAborted",
+    "CampaignJournal",
+    "RetryPolicy",
+    "case_fingerprint",
+    "is_transient",
     "Executor",
     "RunReport",
     "POLICIES",

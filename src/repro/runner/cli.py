@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from repro.runner.benchmark import REGISTRY
 from repro.runner.config import default_site_config
 from repro.runner.executor import Executor
+from repro.runner.resilience import RetryPolicy
 
 __all__ = ["main", "build_parser", "load_suite"]
 
@@ -105,6 +106,32 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="worker pool size for --policy=async "
                              "(default: 4)")
+    # ---- resilience (DESIGN.md section 6) -------------------------------
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="retries per case for *transient* failures "
+                             "(scheduler errors, build flakes, job "
+                             "timeouts/node failures); 0 disables "
+                             "(default: 2)")
+    parser.add_argument("--max-failures", type=int, default=None,
+                        metavar="N",
+                        help="campaign circuit breaker: stop submitting "
+                             "new cases after N case failures "
+                             "(default: unlimited)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="append every finished case to a crash-safe "
+                             "JSONL campaign journal at PATH")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --journal: skip cases the journal "
+                             "records as completed, re-run only "
+                             "incomplete ones")
+    parser.add_argument("--inject-faults", default=None, metavar="SPEC",
+                        help="deterministic chaos testing: inject faults "
+                             "per SPEC, e.g. 'build:0.3,submit:0.2x2,"
+                             "timeout@*hpcg*#1' (kinds: build, submit, "
+                             "timeout, hook, perflog)")
+    parser.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                        help="seed for --inject-faults selection and "
+                             "backoff jitter (default: 0)")
     return parser
 
 
@@ -205,8 +232,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_workers < 1:
         print("error: -j/--max-workers must be >= 1", file=sys.stderr)
         return 1
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 1
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal PATH", file=sys.stderr)
+        return 1
+    faults = None
+    if args.inject_faults:
+        from repro.faults import FaultPlan, FaultSpecError
+
+        try:
+            faults = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+        except FaultSpecError as exc:
+            print(f"error: --inject-faults: {exc}", file=sys.stderr)
+            return 1
+    retry = RetryPolicy(
+        max_attempts=args.max_retries + 1, seed=args.fault_seed
+    )
     report = executor.run_cases(
-        cases, policy=args.policy, workers=args.max_workers
+        cases,
+        policy=args.policy,
+        workers=args.max_workers,
+        retry=retry,
+        faults=faults,
+        max_failures=args.max_failures,
+        journal=args.journal,
+        resume=args.resume,
     )
     print(report.summary(), end="")
     if args.performance_report:

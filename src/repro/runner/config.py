@@ -86,6 +86,12 @@ class SystemConfig:
     hostname_patterns: Tuple[str, ...] = ()
     requires_account: bool = False
     requires_qos: bool = False
+    #: account/QoS jobs fall back to when the command line passes none --
+    #: the per-system accounting knowledge the paper's appendix insists
+    #: lives in configuration, not in the runner.  A system that requires
+    #: an account but has no default fails admission control cleanly.
+    default_account: Optional[str] = None
+    default_qos: Optional[str] = None
 
     def partition(self, name: Optional[str] = None) -> PartitionConfig:
         if name is None:
@@ -236,6 +242,8 @@ def default_site_config() -> SiteConfig:
                 hostname_patterns=tuple(system.hostname_patterns),
                 requires_account=system.requires_account,
                 requires_qos=system.requires_qos,
+                default_account=system.default_account,
+                default_qos=system.default_qos,
             )
         )
     return site

@@ -26,8 +26,20 @@ import fnmatch
 import io
 import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Pattern, Sequence, Tuple, Type
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Pattern,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
+from repro.faults import FaultClock, FaultPlan
 from repro.pkgmgr.installer import Installer
 from repro.pkgmgr.memo import ConcretizationCache
 from repro.runner.benchmark import RegressionTest
@@ -36,6 +48,17 @@ from repro.runner.fields import class_variables, parameter_space
 from repro.runner.parallel import order_by_dependencies, run_waves
 from repro.runner.perflog import PerflogHandler
 from repro.runner.pipeline import CaseResult, TestCase, run_case
+from repro.runner.resilience import (
+    COMPLETED_STATUSES,
+    CampaignAborted,
+    CampaignJournal,
+    CircuitBreaker,
+    Quarantine,
+    RetryPolicy,
+    as_journal,
+    case_fingerprint,
+    result_from_record,
+)
 
 __all__ = ["Executor", "RunReport", "POLICIES"]
 
@@ -46,6 +69,8 @@ POLICIES = ("serial", "async")
 @dataclass
 class RunReport:
     results: List[CaseResult] = field(default_factory=list)
+    #: circuit-breaker trip message when the campaign stopped early
+    aborted: Optional[str] = None
 
     @property
     def num_cases(self) -> int:
@@ -64,8 +89,24 @@ class RunReport:
         return [r for r in self.results if r.skipped]
 
     @property
+    def retried(self) -> List[CaseResult]:
+        return [r for r in self.results if r.attempts > 1]
+
+    @property
+    def resumed(self) -> List[CaseResult]:
+        return [r for r in self.results if r.resumed]
+
+    @property
+    def quarantined(self) -> List[CaseResult]:
+        return [r for r in self.results if r.quarantined]
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(len(r.fault_log) for r in self.results)
+
+    @property
     def success(self) -> bool:
-        return not self.failed
+        return not self.failed and self.aborted is None
 
     def summary(self) -> str:
         out = io.StringIO()
@@ -83,6 +124,25 @@ class RunReport:
             f"Ran {self.num_cases} case(s): {len(self.passed)} passed, "
             f"{len(self.failed)} failed, {len(self.skipped)} skipped\n"
         )
+        # resilience counters, shown only when the campaign exercised them
+        # (a quiet run's summary is byte-identical to the historical one)
+        if self.retried:
+            extra = sum(r.attempts - 1 for r in self.retried)
+            out.write(
+                f"Retried {len(self.retried)} case(s) "
+                f"({extra} extra attempt(s))\n"
+            )
+        if self.resumed:
+            out.write(
+                f"Resumed {len(self.resumed)} case(s) from the "
+                f"campaign journal\n"
+            )
+        if self.quarantined:
+            out.write(f"Quarantined {len(self.quarantined)} case(s)\n")
+        if self.faults_injected:
+            out.write(f"Absorbed {self.faults_injected} injected fault(s)\n")
+        if self.aborted:
+            out.write(f"ABORTED: {self.aborted}\n")
         return out.getvalue()
 
     def performance_report(self) -> str:
@@ -125,11 +185,16 @@ class Executor:
         site: Optional[SiteConfig] = None,
         perflog_prefix: Optional[str] = None,
         perflog_batch: int = 64,
+        perflog_timestamp: Optional[Union[str, Callable[[], str]]] = None,
         concretizer_cache: Optional[ConcretizationCache] = None,
     ):
         self.site = site or default_site_config()
         self.perflog = (
-            PerflogHandler(perflog_prefix, batch_size=perflog_batch)
+            PerflogHandler(
+                perflog_prefix,
+                batch_size=perflog_batch,
+                timestamp=perflog_timestamp,
+            )
             if perflog_prefix
             else None
         )
@@ -236,6 +301,12 @@ class Executor:
         cases: Sequence[TestCase],
         policy: str = "serial",
         workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        max_failures: Optional[int] = None,
+        journal: Optional[Union[str, CampaignJournal]] = None,
+        resume: bool = False,
+        quarantine_threshold: Optional[int] = 3,
     ) -> RunReport:
         """Run a campaign under the chosen execution policy.
 
@@ -243,6 +314,23 @@ class Executor:
         time; ``policy='async'`` runs dependency wavefronts on ``workers``
         threads.  Both produce results (and perflogs) in the identical,
         deterministic serial order.
+
+        Resilience (DESIGN.md section 6):
+
+        * ``retry`` bounds per-case re-attempts of transient failures
+          (default: :class:`RetryPolicy` -- three attempts, exponential
+          backoff on the virtual clock);
+        * ``faults`` injects the deterministic chaos plan at every
+          pipeline fault site (``--inject-faults``);
+        * ``max_failures`` arms the campaign circuit breaker -- failures
+          are counted in deterministic result order, and once the budget
+          is exhausted the remaining cases are not run
+          (:class:`RunReport.aborted` carries the trip message);
+        * ``journal`` appends every finished case to a crash-safe JSONL
+          journal *after* its perflog rows are flushed; with
+          ``resume=True`` completed cases found in the journal are
+          replayed instead of re-run, and cases that failed in
+          ``quarantine_threshold`` earlier cycles are quarantined.
         """
         if policy not in POLICIES:
             raise ValueError(
@@ -252,25 +340,117 @@ class Executor:
         ordered = self._order_by_dependencies(cases)
         effective_workers = workers if policy == "async" else 1
 
+        retry_policy = retry or RetryPolicy()
+        clock = faults.clock if faults is not None else FaultClock()
+        breaker = CircuitBreaker(max_failures)
+        quarantine = Quarantine(quarantine_threshold)
+        journal = as_journal(journal)
+        completed: Dict[str, Dict[str, Any]] = {}
+        if journal is not None and resume:
+            completed = journal.load()
+            quarantine.seed(journal.failure_counts())
+        if self.perflog is not None and faults is not None:
+            self.perflog.faults = faults
+
         def case_runner(case: TestCase) -> CaseResult:
+            fingerprint = case_fingerprint(case)
+            record = completed.get(fingerprint)
+            if record is not None and record.get("status") in COMPLETED_STATUSES:
+                # crash-safe resume: replay, don't re-run
+                return result_from_record(case, record)
+            if quarantine.is_quarantined(fingerprint):
+                result = CaseResult(case=case)
+                result.failing_stage = "setup"
+                result.failure_reason = (
+                    f"quarantined: {quarantine.failures(fingerprint)} "
+                    f"recorded failure(s) >= threshold "
+                    f"{quarantine.threshold}"
+                )
+                result.quarantined = True
+                return result
             return run_case(
                 case,
                 installer=self.installer,
                 concretizer_cache=self.concretizer_cache,
+                retry=retry_policy,
+                faults=faults,
+                clock=clock,
             )
 
-        on_result = self.perflog.emit if self.perflog is not None else None
+        collected: List[CaseResult] = []
+
+        def on_result(result: CaseResult) -> None:
+            # fires per case, in deterministic serial order, as soon as
+            # the result is available (run_waves streams it) -- so the
+            # journal is crash-consistent at every case boundary and the
+            # breaker trips at the same case under every policy
+            collected.append(result)
+            failed = not result.passed and not result.skipped
+            fingerprint = case_fingerprint(result.case)
+            failures: Optional[int] = None
+            if failed and not result.resumed:
+                failures = quarantine.record_failure(fingerprint)
+            if not result.resumed:
+                self._persist(result, journal, fingerprint, failures)
+            if failed:
+                breaker.record_failure()
+                if breaker.tripped:
+                    raise CampaignAborted(breaker.describe())
+
+        aborted: Optional[str] = None
         try:
-            results = run_waves(
+            results: Sequence[CaseResult] = run_waves(
                 ordered,
                 case_runner,
                 workers=effective_workers,
                 on_result=on_result,
             )
+        except CampaignAborted as exc:
+            aborted = str(exc)
+            results = collected  # everything finished before the trip
         finally:
             if self.perflog is not None:
                 self.perflog.flush()
-        return RunReport(results=list(results))
+        return RunReport(results=list(results), aborted=aborted)
+
+    def _persist(
+        self,
+        result: CaseResult,
+        journal: Optional[CampaignJournal],
+        fingerprint: str,
+        failures: Optional[int],
+    ) -> None:
+        """Emit one result's perflog rows, then journal it.
+
+        Ordering is the crash-safety invariant: the journal line is
+        appended only after the case's perflog rows are durably flushed,
+        so a journal entry always implies on-disk perflog data and
+        ``--resume`` never loses (or duplicates) rows.  Perflog write
+        errors are retried -- the batched writer keeps unwritten files
+        buffered -- and only a persistently failing flush aborts; without
+        a journal, a failed write simply stays buffered for the next
+        (or final) flush.
+        """
+        if self.perflog is not None:
+            try:
+                self.perflog.emit(result)  # may auto-flush, hence raise
+            except Exception:
+                pass  # rows stay buffered; the flush below retries
+            if journal is not None:
+                last: Optional[Exception] = None
+                for _ in range(3):
+                    try:
+                        self.perflog.flush()
+                        last = None
+                        break
+                    except Exception as exc:
+                        last = exc
+                if last is not None:
+                    # durable perflog data is unattainable: fail loudly
+                    # rather than journal a lie
+                    raise last
+        if journal is not None:
+            journal.record(result, fingerprint=fingerprint, failures=failures)
 
     def run(
         self,

@@ -31,7 +31,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.runner.pipeline import CaseResult, TestCase
+from repro.runner.pipeline import CaseResult, TestCase, infra_failure
 
 __all__ = [
     "order_by_dependencies",
@@ -148,14 +148,33 @@ def run_waves(
     ``workers == 1`` degenerates to the serial policy (no pool, no
     threads); ``workers > 1`` runs each wave on a thread pool.  Results
     come back in input order regardless of completion order, and
-    ``on_result`` fires in that order too (after each wave), so any
-    observer -- the perflog handler above all -- sees the serial sequence.
+    ``on_result`` streams in that order too -- *per case*, as soon as the
+    case's result is available in order (not batched at wave boundaries),
+    so a crash-safe observer (the executor's journal) has every finished
+    case on disk before the next one is consumed.  In serial mode the
+    result iterator is lazy, so ``on_result`` for case *k* fires strictly
+    before case *k+1* starts running.
+
+    Robustness: ``case_runner`` is wrapped so that any unexpected
+    exception (``run_case`` is itself hardened, but observers and
+    wrappers stacked on top of it may not be) becomes a structured
+    infrastructure-failure :class:`CaseResult` instead of tearing down
+    the whole campaign.  :class:`~repro.runner.resilience.CampaignAborted`
+    is a ``BaseException`` precisely so it cuts through this guard --
+    it is the circuit breaker's deliberate stop signal.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     results: List[Optional[CaseResult]] = [None] * len(ordered)
     finished: Dict[FinishedKey, CaseResult] = {}
     dep_failed: set = set()
+
+    def guarded(i: int) -> CaseResult:
+        case = ordered[i]
+        try:
+            return case_runner(case)
+        except Exception as exc:  # CampaignAborted passes through
+            return infra_failure(case, exc)
 
     pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
     try:
@@ -169,25 +188,29 @@ def run_waves(
                 else:
                     runnable.append(i)
             if pool is not None and len(runnable) > 1:
-                for i, result in zip(
-                    runnable,
-                    pool.map(lambda i: case_runner(ordered[i]), runnable),
-                ):
-                    results[i] = result
+                result_iter = pool.map(guarded, runnable)
             else:
-                for i in runnable:
-                    results[i] = case_runner(ordered[i])
-            # publish producer results in input order (serial semantics:
-            # the *last* finished case wins a duplicated key; cases that
-            # failed dependency resolution never publish)
+                result_iter = map(guarded, runnable)  # lazy: serial policy
+            # Consume the wave in input order.  Cases that failed
+            # dependency resolution already hold a result; runnable ones
+            # are pulled from the (in-order) iterator.  Producer results
+            # are published as soon as they arrive -- intra-wave cases
+            # are independent by construction, so no same-wave consumer
+            # can observe them early -- and ``on_result`` fires per case
+            # in the exact serial sequence.
             for i in wave:
                 if i in dep_failed:
-                    continue
-                key = (ordered[i].platform, type(ordered[i].test).base_name())
-                finished[key] = results[i]  # type: ignore[assignment]
-            if on_result is not None:
-                for i in wave:
-                    on_result(results[i])  # type: ignore[arg-type]
+                    result = results[i]
+                else:
+                    result = next(result_iter)
+                    results[i] = result
+                    key = (
+                        ordered[i].platform,
+                        type(ordered[i].test).base_name(),
+                    )
+                    finished[key] = result  # last duplicate key wins
+                if on_result is not None:
+                    on_result(result)  # type: ignore[arg-type]
     finally:
         if pool is not None:
             pool.shutdown(wait=True)

@@ -114,6 +114,10 @@ class PerflogHandler:
         append is mirrored into its manifest so later analytics reads
         start warm.  Duck-typed: anything with
         ``note_append(path, lines, wrote_header)`` works.
+    faults:
+        Optional fault plan (:class:`repro.faults.FaultPlan`); ``perflog``
+        faults fire here, *before* a file's append, to exercise the
+        durability path.  Duck-typed: anything with ``fire(kind, target)``.
     """
 
     def __init__(
@@ -122,6 +126,7 @@ class PerflogHandler:
         batch_size: int = 1,
         timestamp: Optional[Union[str, Callable[[], str]]] = None,
         store: Optional[object] = None,
+        faults: Optional[object] = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -129,6 +134,7 @@ class PerflogHandler:
         self.batch_size = batch_size
         self.timestamp = timestamp
         self.store = store
+        self.faults = faults
         self.written: List[str] = []
         #: path -> pending lines (insertion-ordered: flush order is
         #: deterministic and equals emission order per file)
@@ -160,8 +166,25 @@ class PerflogHandler:
         return path
 
     def flush(self) -> None:
-        """Coalesce every file's pending lines into one append each."""
-        for path, lines in self._buffer.items():
+        """Coalesce every file's pending lines into one append each.
+
+        Files are drained *one at a time*, each removed from the buffer
+        only after its append succeeded.  A write error (injected or
+        real) therefore leaves exactly the unwritten files buffered --
+        already-flushed files are never re-appended (no duplicate rows),
+        and a later :meth:`flush` retries just the remainder.  Each
+        file's batch goes down in a single newline-terminated ``write``
+        call, so readers (and the campaign journal, which always lives
+        in a different file) never observe a partial line.
+        """
+        while self._buffer:
+            path = next(iter(self._buffer))
+            lines = self._buffer[path]
+            # fault site sits *before* the append: an injected perflog
+            # error is indistinguishable from a failed write -- the
+            # file's lines stay buffered for the retry
+            if self.faults is not None:
+                self.faults.fire("perflog", path)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             new_file = not os.path.exists(path)
             with open(path, "a", encoding="utf-8") as fh:
@@ -172,7 +195,8 @@ class PerflogHandler:
                 self.store.note_append(path, lines, wrote_header=new_file)
             if path not in self.written:
                 self.written.append(path)
-        self._buffer.clear()
+            del self._buffer[path]
+            self._pending -= len(lines)
         self._pending = 0
 
     def close(self) -> None:

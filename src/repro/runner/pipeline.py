@@ -9,6 +9,16 @@ records exactly which stage failed and why.
 The build stage *always* executes (Principle 3: "Rebuild the benchmark
 every time it runs"), and both the concretized spec and the generated job
 script are kept on the result for provenance (Principles 4 and 5).
+
+Resilience (DESIGN.md section 6): :func:`run_case` is *total* -- no
+exception short of a deliberate :class:`~repro.runner.resilience.CampaignAborted`
+escapes it.  Hook crashes, scheduler errors, build flakes and injected
+faults all become structured stage failures, classified transient or
+permanent; transient ones are retried under a
+:class:`~repro.runner.resilience.RetryPolicy` with deterministic backoff
+slept on the virtual :class:`~repro.faults.FaultClock`.  The attempt
+count, backoff schedule and fault history land on the result for
+provenance.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.faults import FaultClock, FaultPlan, InjectedFault, SchedulerFaultInjector
 from repro.machine.progmodel import UnsupportedModelError
 from repro.pkgmgr.concretizer import ConcretizationError, Concretizer
 from repro.pkgmgr.installer import BuildFailure, Installer
@@ -29,11 +40,19 @@ from repro.runner.benchmark import (
 )
 from repro.runner.config import PartitionConfig, SystemConfig
 from repro.runner.launcher import launcher_for
+from repro.runner.resilience import RetryPolicy, is_transient
 from repro.runner.sanity import SanityError
 from repro.scheduler import Job, JobState, make_scheduler
 from repro.systems.registry import system_environment
 
-__all__ = ["TestCase", "CaseResult", "PipelineError", "run_case", "STAGES"]
+__all__ = [
+    "TestCase",
+    "CaseResult",
+    "PipelineError",
+    "infra_failure",
+    "run_case",
+    "STAGES",
+]
 
 STAGES = ("setup", "build", "run", "sanity", "performance")
 
@@ -67,6 +86,11 @@ class CaseResult:
     passed: bool = False
     failing_stage: Optional[str] = None
     failure_reason: str = ""
+    #: explicit skip marker, set at setup time when the case does not
+    #: apply to the platform/environment.  Never inferred from the
+    #: failure message: an unrelated failure whose text happens to say
+    #: "not valid" must not be misclassified as a skip.
+    skipped: bool = False
     stdout: str = ""
     perfvars: Dict[str, Tuple[float, str]] = field(default_factory=dict)
     #: energy/system-state capture (the paper's Section 4 future work)
@@ -83,17 +107,91 @@ class CaseResult:
     queue_seconds: float = 0.0
     build_seconds: float = 0.0
     timestamp: float = field(default_factory=time.time)
+    # ---- resilience provenance (DESIGN.md section 6) ----
+    #: pipeline attempts this result took (1 = first try)
+    attempts: int = 1
+    #: virtual seconds slept between attempts (deterministic backoff)
+    backoff_schedule: List[float] = field(default_factory=list)
+    #: descriptions of every injected fault this case absorbed
+    fault_log: List[str] = field(default_factory=list)
+    #: replayed from a campaign journal by --resume (not re-run)
+    resumed: bool = False
+    #: a retryable failure exhausted its retry budget (or the case was
+    #: barred by the executor's quarantine ledger)
+    quarantined: bool = False
+    #: whether the recorded failure is worth retrying (retry taxonomy)
+    retryable: bool = field(default=False, repr=False)
+    #: progress marker for the blanket exception guard
+    _stage: str = field(default="setup", repr=False)
 
-    @property
-    def skipped(self) -> bool:
-        return self.failing_stage == "setup" and "not valid" in self.failure_reason
 
-
-def _fail(result: CaseResult, stage: str, reason: str) -> CaseResult:
+def _fail(
+    result: CaseResult,
+    stage: str,
+    reason: str,
+    retryable: bool = False,
+    skipped: bool = False,
+) -> CaseResult:
     result.passed = False
     result.failing_stage = stage
     result.failure_reason = reason
+    result.retryable = retryable
+    result.skipped = skipped
     return result
+
+
+def infra_failure(case: TestCase, exc: BaseException,
+                  stage: str = "internal") -> CaseResult:
+    """A structured result for an exception that escaped the pipeline.
+
+    The last line of defence (used by :func:`repro.runner.parallel.run_waves`):
+    whatever blew up, the campaign records a FAILED case and keeps going
+    instead of dying -- the difference between an unattended campaign
+    losing one case and losing a night of allocation.
+    """
+    result = CaseResult(case=case)
+    return _fail(
+        result, stage,
+        f"unexpected {type(exc).__name__}: {exc}",
+        retryable=is_transient(exc),
+    )
+
+
+def _run_hooks(
+    test: RegressionTest,
+    when: str,
+    stage: str,
+    result: CaseResult,
+    faults: Optional[FaultPlan],
+    target: str,
+) -> Optional[CaseResult]:
+    """Run the (when, stage) hooks; a raising hook is a *stage* failure.
+
+    Hooks are user code: an exception must degrade to a structured
+    failure naming the hook (never abort the campaign), and injected
+    ``hook`` faults fire here -- transient ones are retryable.
+    """
+    for hook in test.hooks(when, stage):
+        name = getattr(hook, "__name__", repr(hook))
+        try:
+            if faults is not None:
+                faults.fire("hook", target)
+            hook()
+        except InjectedFault as exc:
+            return _fail(
+                result, stage,
+                f"hook {name!r} ({when} {stage}) raised "
+                f"InjectedFault: {exc}",
+                retryable=exc.transient,
+            )
+        except Exception as exc:
+            return _fail(
+                result, stage,
+                f"hook {name!r} ({when} {stage}) raised "
+                f"{type(exc).__name__}: {exc}",
+                retryable=is_transient(exc),
+            )
+    return None
 
 
 def dry_run_case(case: TestCase) -> str:
@@ -146,8 +244,8 @@ def dry_run_case(case: TestCase) -> str:
         num_tasks_per_node=test.num_tasks_per_node,
         num_cpus_per_task=test.num_cpus_per_task,
         time_limit=float(test.time_limit),
-        account=case.account,
-        qos=case.qos,
+        account=case.account or case.system.default_account,
+        qos=case.qos or case.system.default_qos,
         partition=case.partition.name,
     )
     script = scheduler.render_script(job, command)
@@ -159,29 +257,106 @@ def run_case(
     case: TestCase,
     installer: Optional[Installer] = None,
     concretizer_cache: Optional[ConcretizationCache] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    clock: Optional[FaultClock] = None,
 ) -> CaseResult:
-    """Drive one test case through the whole pipeline.
+    """Drive one test case through the whole pipeline, with retries.
 
     ``concretizer_cache``, when given, memoizes the concretizer *solve*
     across cases (see :mod:`repro.pkgmgr.memo`); whether this case hit the
     cache is recorded on the result for provenance.  The build stage still
     always rebuilds the root (Principle 3).
+
+    ``retry`` bounds how often a *transient* failure (scheduler error,
+    build flake, job timeout/node failure, transient injected fault) is
+    re-attempted; the default is a single attempt, the executor passes
+    its campaign policy.  Backoff between attempts is slept on ``clock``
+    (virtual time -- the campaign never sleeps for real), and ``faults``
+    is the optional chaos plan consulted at every injection site.
+
+    This function is *total*: any exception short of
+    :class:`~repro.runner.resilience.CampaignAborted` becomes a
+    structured FAILED result.
     """
-    test = case.test
-    result = CaseResult(case=case)
+    policy = retry or RetryPolicy.single()
+    if clock is None:
+        clock = faults.clock if faults is not None else FaultClock()
     installer = installer or Installer()
+    target = case.display_name
+    backoffs: List[float] = []
+    result = CaseResult(case=case)
+
+    for attempt in range(1, policy.max_attempts + 1):
+        result = _attempt_case(case, installer, concretizer_cache, faults)
+        result.attempts = attempt
+        result.backoff_schedule = list(backoffs)
+        if faults is not None:
+            result.fault_log = [
+                f.describe() for f in faults.faults_for(target)
+            ]
+        if result.passed or not result.retryable:
+            break
+        if attempt == policy.max_attempts:
+            # retry budget exhausted: degrade to FAILED without sinking
+            # the wavefront (the executor's quarantine ledger counts it)
+            if policy.max_attempts > 1:
+                result.quarantined = True
+            break
+        delay = policy.backoff(attempt, key=target)
+        clock.sleep(delay)
+        backoffs.append(delay)
+    return result
+
+
+def _attempt_case(
+    case: TestCase,
+    installer: Installer,
+    concretizer_cache: Optional[ConcretizationCache],
+    faults: Optional[FaultPlan],
+) -> CaseResult:
+    """One pipeline pass; never raises (except deliberate aborts)."""
+    result = CaseResult(case=case)
+    try:
+        return _attempt_stages(case, result, installer,
+                               concretizer_cache, faults)
+    except InjectedFault as exc:
+        return _fail(result, result._stage, str(exc),
+                     retryable=exc.transient)
+    except Exception as exc:
+        # the hardening contract: an unexpected exception in *any* stage
+        # (user code included) is one failed case, not a dead campaign
+        return _fail(
+            result, result._stage,
+            f"unexpected {type(exc).__name__}: {exc}",
+            retryable=is_transient(exc),
+        )
+
+
+def _attempt_stages(
+    case: TestCase,
+    result: CaseResult,
+    installer: Installer,
+    concretizer_cache: Optional[ConcretizationCache],
+    faults: Optional[FaultPlan],
+) -> CaseResult:
+    test = case.test
+    target = case.display_name
 
     # ---------------------------------------------------------------- setup --
+    result._stage = "setup"
     if not test.supports_platform(case.system.name, case.partition.name):
         return _fail(
             result, "setup",
             f"platform {case.platform} not valid for {test.name} "
             f"(valid_systems={test.valid_systems})",
+            skipped=True,
         )
     if not test.supports_environ(case.environ_name):
         return _fail(
             result, "setup",
             f"environment {case.environ_name} not valid for {test.name}",
+            skipped=True,
         )
     try:
         environ = case.partition.environ(case.environ_name)
@@ -191,13 +366,22 @@ def run_case(
     test.current_system = case.system
     test.current_partition = case.partition
     test.current_environ = environ
-    for hook in test.hooks("after", "setup"):
-        hook()
+    failure = _run_hooks(test, "after", "setup", result, faults, target)
+    if failure is not None:
+        return failure
 
     # ---------------------------------------------------------------- build --
+    result._stage = "build"
     concrete = None
-    for hook in test.hooks("before", "build"):
-        hook()
+    failure = _run_hooks(test, "before", "build", result, faults, target)
+    if failure is not None:
+        return failure
+    if faults is not None:
+        # a transient build failure (compiler node hiccup, fetch error);
+        # every benchmark rebuilds each run (Principle 3), so every case
+        # has a build stage to flake -- Spack-managed or not.  The blanket
+        # guard converts the raise into a retryable 'build' failure.
+        faults.fire("build", target)
     if isinstance(test, SpackTest):
         pkg_env = system_environment(case.platform)
         spec_text = test.effective_spec()
@@ -211,17 +395,20 @@ def run_case(
         try:
             concrete = concretizer.concretize(spec)
             records = installer.install(concrete, rebuild=test.rebuild)
-        except (ConcretizationError, BuildFailure) as exc:
+        except (ConcretizationError, BuildFailure, InjectedFault) as exc:
             result.concretize_cache_hit = concretizer.last_cache_hit
-            return _fail(result, "build", str(exc))
+            return _fail(result, "build", str(exc),
+                         retryable=is_transient(exc))
         result.concrete_spec = concrete
         result.concretize_cache_hit = concretizer.last_cache_hit
         result.build_log = [line for r in records for line in r.log]
         result.build_seconds = sum(r.build_seconds for r in records)
 
     # ------------------------------------------------------------------ run --
-    for hook in test.hooks("before", "run"):
-        hook()
+    result._stage = "run"
+    failure = _run_hooks(test, "before", "run", result, faults, target)
+    if failure is not None:
+        return failure
     node = case.partition.node
     ctx = ProgramContext(
         system=case.system.name,
@@ -239,13 +426,19 @@ def run_case(
     def payload(job_ctx):
         return test.program(ctx)
 
+    injector = (
+        SchedulerFaultInjector(faults, target) if faults is not None else None
+    )
     scheduler = make_scheduler(
         case.partition.scheduler,
         num_nodes=case.partition.num_nodes,
         cores_per_node=max(case.partition.cores_per_node, 1),
         require_account=case.system.requires_account,
         require_qos=case.system.requires_qos,
-    ) if case.partition.scheduler != "local" else make_scheduler("local")
+        fault_injector=injector,
+    ) if case.partition.scheduler != "local" else make_scheduler(
+        "local", fault_injector=injector
+    )
 
     job = Job(
         name=test.name,
@@ -254,8 +447,12 @@ def run_case(
         num_tasks_per_node=test.num_tasks_per_node,
         num_cpus_per_task=test.num_cpus_per_task,
         time_limit=float(test.time_limit),
-        account=case.account or ("z19" if case.system.requires_account else None),
-        qos=case.qos or ("standard" if case.system.requires_qos else None),
+        # accounting defaults are *configuration* (Principle 5): the
+        # system config says what jobs are billed to when the command
+        # line does not; a required-but-unconfigured account is a clean
+        # admission-control failure, not a runner-invented fallback
+        account=case.account or case.system.default_account,
+        qos=case.qos or case.system.default_qos,
         partition=case.partition.name,
         extra_options=tuple(case.partition.access),
     )
@@ -273,7 +470,8 @@ def run_case(
         scheduler.wait_all()
         job_result = scheduler.result(job_id)
     except Exception as exc:
-        return _fail(result, "run", f"scheduler error: {exc}")
+        return _fail(result, "run", f"scheduler error: {exc}",
+                     retryable=is_transient(exc))
 
     result.stdout = job_result.stdout
     result.job_seconds = job_result.run_seconds
@@ -298,17 +496,25 @@ def run_case(
         # a model refusing to run is the Figure 2 '*' box, keep it precise
         if UnsupportedModelError.__name__ in reason:
             return _fail(result, "run", reason)
-        return _fail(result, "run", f"job {job_result.state.value}: {reason}")
-    for hook in test.hooks("after", "run"):
-        hook()
+        return _fail(
+            result, "run", f"job {job_result.state.value}: {reason}",
+            # timeouts and node failures blame the machine, not the
+            # program: worth retrying.  A FAILED job is a program crash.
+            retryable=job_result.state.transient_failure,
+        )
+    failure = _run_hooks(test, "after", "run", result, faults, target)
+    if failure is not None:
+        return failure
 
     # --------------------------------------------------------------- sanity --
+    result._stage = "sanity"
     try:
         test.check_sanity(result.stdout)
     except SanityError as exc:
         return _fail(result, "sanity", str(exc))
 
     # ---------------------------------------------------------- performance --
+    result._stage = "performance"
     try:
         result.perfvars = test.extract_performance(result.stdout)
         test.check_references(case.platform, result.perfvars)

@@ -1,0 +1,413 @@
+"""Campaign resilience: retry, quarantine, circuit breaking, crash-safe resume.
+
+The paper wants *automated, unattended* benchmarking (Principles 4-6);
+exaCB and the continuous-benchmarking literature add that long campaigns
+only stay unattended if they survive partial infrastructure failure.
+This module is that survival layer:
+
+* :class:`RetryPolicy` -- bounded retries with exponential backoff and
+  *deterministic* jitter, slept on the virtual
+  :class:`~repro.faults.FaultClock` (a campaign never sleeps wall-clock
+  time, and its backoff schedule is reproducible provenance);
+* :func:`is_transient` -- the retry taxonomy: which failures blame the
+  infrastructure (scheduler submit errors, build flakes, job timeouts,
+  node failures, transient injected faults) and which blame the
+  experiment (concretization conflicts, sanity failures, admission
+  control) and must never be retried;
+* :class:`CircuitBreaker` -- the campaign-wide failure budget behind
+  ``repro-bench --max-failures``: once too many cases have failed, the
+  rest of the campaign is declined instead of burning allocation;
+* :class:`Quarantine` -- a per-case failure ledger (persisted through the
+  journal) so a case that keeps failing across resume cycles degrades to
+  an immediate FAILED result without sinking its wavefront;
+* :class:`CampaignJournal` -- an append-only JSONL journal keyed by a
+  stable :func:`case_fingerprint`, written as results land; with
+  ``repro-bench --journal PATH --resume`` completed cases are replayed
+  from the journal and only failed/interrupted ones re-run.
+
+Every knob here preserves the determinism contract: with transient-only
+faults and enough attempts, a retried campaign's perflogs are
+byte-identical to a fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.faults import FaultClock, InjectedFault, unit_hash
+from repro.pkgmgr.concretizer import ConcretizationError
+from repro.pkgmgr.installer import BuildFailure
+from repro.runner.sanity import SanityError
+from repro.scheduler.base import AdmissionError, SchedulerError
+
+__all__ = [
+    "CampaignAborted",
+    "CampaignJournal",
+    "CircuitBreaker",
+    "Quarantine",
+    "RetryPolicy",
+    "case_fingerprint",
+    "is_transient",
+    "result_from_record",
+]
+
+
+class CampaignAborted(BaseException):
+    """A deliberate campaign kill (operator abort / simulated crash).
+
+    Derives from :class:`BaseException` on purpose: the hardening layers
+    convert every *unexpected* ``Exception`` into a structured case
+    failure, but an abort must cut straight through them -- exactly like
+    ``KeyboardInterrupt``.  The executor's ``finally`` blocks still flush
+    perflogs and leave the journal consistent, which is what makes
+    ``--resume`` after a kill work.
+    """
+
+
+# --------------------------------------------------------------------------
+# retry taxonomy
+# --------------------------------------------------------------------------
+
+#: exception families whose failures are worth retrying (infrastructure)
+TRANSIENT_TYPES = (SchedulerError, BuildFailure, OSError)
+
+#: exception families that no retry can fix (experiment/configuration);
+#: checked *before* TRANSIENT_TYPES so subclasses override
+PERMANENT_TYPES = (AdmissionError, ConcretizationError, SanityError,
+                   ValueError, KeyError, TypeError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether retrying the failed stage could plausibly succeed.
+
+    The taxonomy (DESIGN.md section 6): injected faults carry their own
+    transience; admission control, concretization conflicts and sanity
+    errors are permanent; scheduler errors, build failures and I/O errors
+    are transient.  Anything unknown is treated as permanent -- an
+    unattended campaign must not burn its allocation retrying a bug.
+    """
+    if isinstance(exc, InjectedFault):
+        return exc.transient
+    if isinstance(exc, PERMANENT_TYPES):
+        return False
+    return isinstance(exc, TRANSIENT_TYPES)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-stage retry with deterministic exponential backoff.
+
+    ``backoff(attempt, key)`` returns
+    ``min(base * factor**(attempt-1), max) * (1 + jitter * u)`` where
+    ``u`` is a deterministic draw in [-1, 1) from ``(seed, key,
+    attempt)`` -- the same case backs off identically in every run and
+    under every execution policy, so the recorded backoff schedule is
+    itself reproducible provenance.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 60.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    @classmethod
+    def single(cls) -> "RetryPolicy":
+        """No retries: one attempt, the historical run_case behaviour."""
+        return cls(max_attempts=1)
+
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Seconds of (virtual) backoff after failed attempt *attempt*."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        spread = 2.0 * unit_hash(self.seed, "backoff", key, str(attempt)) - 1.0
+        return raw * (1.0 + self.jitter * spread)
+
+    def schedule(self, key: str = "") -> List[float]:
+        """The full backoff schedule this policy would sleep for *key*."""
+        return [self.backoff(a, key) for a in range(1, self.max_attempts)]
+
+
+# --------------------------------------------------------------------------
+# circuit breaker & quarantine
+# --------------------------------------------------------------------------
+
+class CircuitBreaker:
+    """Campaign-wide failure budget (``--max-failures``).
+
+    Failures are recorded by the executor in deterministic result order
+    (the same order the serial policy produces), so whether -- and where
+    -- the breaker trips is identical under serial and async execution.
+    Once open, remaining cases are declined with a structured failure
+    instead of being run.
+    """
+
+    def __init__(self, max_failures: Optional[int] = None):
+        if max_failures is not None and max_failures < 1:
+            raise ValueError("max_failures must be >= 1 (or None)")
+        self.max_failures = max_failures
+        self._failures = 0
+        self._lock = threading.Lock()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    @property
+    def tripped(self) -> bool:
+        if self.max_failures is None:
+            return False
+        with self._lock:
+            return self._failures >= self.max_failures
+
+    def describe(self) -> str:
+        return (
+            f"circuit breaker open: {self.failures} case failure(s) "
+            f">= --max-failures={self.max_failures}"
+        )
+
+
+class Quarantine:
+    """Per-case failure ledger: repeatedly failing cases stop running.
+
+    Counts are keyed by :func:`case_fingerprint` and seeded from the
+    journal on ``--resume``, so a case that has already failed (retries
+    included) in ``threshold`` earlier campaigns degrades straight to a
+    FAILED result -- its wavefront, and the rest of the campaign, keep
+    going.  ``threshold=None`` disables quarantine.
+    """
+
+    def __init__(self, threshold: Optional[int] = 3):
+        if threshold is not None and threshold < 1:
+            raise ValueError("quarantine threshold must be >= 1 (or None)")
+        self.threshold = threshold
+        self._failures: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def seed(self, counts: Dict[str, int]) -> None:
+        with self._lock:
+            for fingerprint, count in counts.items():
+                self._failures[fingerprint] = max(
+                    self._failures.get(fingerprint, 0), int(count)
+                )
+
+    def record_failure(self, fingerprint: str) -> int:
+        with self._lock:
+            count = self._failures.get(fingerprint, 0) + 1
+            self._failures[fingerprint] = count
+            return count
+
+    def failures(self, fingerprint: str) -> int:
+        with self._lock:
+            return self._failures.get(fingerprint, 0)
+
+    def is_quarantined(self, fingerprint: str) -> bool:
+        if self.threshold is None:
+            return False
+        with self._lock:
+            return self._failures.get(fingerprint, 0) >= self.threshold
+
+
+# --------------------------------------------------------------------------
+# fingerprints & the campaign journal
+# --------------------------------------------------------------------------
+
+def case_fingerprint(case: Any) -> str:
+    """A stable identity for one (test, platform, environment) case.
+
+    Built from declarative case coordinates only -- never from runtime
+    state -- so the same campaign expansion yields the same fingerprints
+    across processes, which is what lets a resumed run match journal
+    records written before a crash.
+    """
+    parts = [
+        case.test.name,
+        case.platform,
+        case.environ_name,
+        str(case.test.num_tasks),
+        str(getattr(case.test, "spack_spec", "") or ""),
+    ]
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+#: journal statuses that mean "do not re-run this case on --resume"
+COMPLETED_STATUSES = ("passed", "skipped")
+
+
+def _status_of(result: Any) -> str:
+    if result.passed:
+        return "passed"
+    if result.skipped:
+        return "skipped"
+    return "failed"
+
+
+class CampaignJournal:
+    """Append-only JSONL campaign journal (crash-safe resume).
+
+    One JSON object per line, one line per finished case, appended (and
+    fsynced) the moment the result lands -- after its perflog rows were
+    flushed, so a journal entry implies durable perflog data.  Lines are
+    written with a single ``write`` call each, so a reader never observes
+    an interleaved record; a torn trailing line (the crash case) is
+    detected and ignored by :meth:`load`.
+    """
+
+    def __init__(self, path: str, sync: bool = True):
+        self.path = path
+        self.sync = sync
+        self._lock = threading.Lock()
+
+    # -- writing -------------------------------------------------------------
+    def record(
+        self,
+        result: Any,
+        fingerprint: Optional[str] = None,
+        failures: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Append one case result; returns the record written."""
+        fingerprint = fingerprint or case_fingerprint(result.case)
+        record = {
+            "fingerprint": fingerprint,
+            "case": result.case.display_name,
+            "test": result.case.test.name,
+            "platform": result.case.platform,
+            "environ": result.case.environ_name,
+            "status": _status_of(result),
+            "failing_stage": result.failing_stage,
+            "failure_reason": result.failure_reason,
+            "attempts": result.attempts,
+            "backoff_schedule": list(result.backoff_schedule),
+            "faults": list(result.fault_log),
+            "quarantined": result.quarantined,
+            "failures": (
+                failures if failures is not None
+                else (0 if result.passed else 1)
+            ),
+            "perfvars": {
+                var: [value, unit]
+                for var, (value, unit) in sorted(result.perfvars.items())
+            },
+            "build_seconds": result.build_seconds,
+            "job_seconds": result.job_seconds,
+            "queue_seconds": result.queue_seconds,
+        }
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)  # one write: no interleaved partial lines
+                fh.flush()
+                if self.sync:
+                    os.fsync(fh.fileno())
+        return record
+
+    # -- reading -------------------------------------------------------------
+    def entries(self) -> Iterable[Dict[str, Any]]:
+        """Every intact record, oldest first (torn tail skipped)."""
+        if not os.path.exists(self.path):
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            raw = fh.read()
+        lines = raw.split("\n")
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                # a torn line can only be the unterminated tail (records
+                # are single-write, newline-terminated appends); anything
+                # else is corruption worth surfacing
+                if i == len(lines) - 1 and not raw.endswith("\n"):
+                    break
+                raise
+        return out
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Latest record per fingerprint (the resume state)."""
+        state: Dict[str, Dict[str, Any]] = {}
+        for record in self.entries():
+            state[record["fingerprint"]] = record
+        return state
+
+    def failure_counts(self) -> Dict[str, int]:
+        """Cumulative failure count per fingerprint (quarantine seed)."""
+        counts: Dict[str, int] = {}
+        for record in self.entries():
+            if record.get("status") == "failed":
+                counts[record["fingerprint"]] = max(
+                    counts.get(record["fingerprint"], 0),
+                    int(record.get("failures", 1)),
+                )
+        return counts
+
+
+JournalLike = Union[str, CampaignJournal]
+
+
+def as_journal(journal: Optional[JournalLike]) -> Optional[CampaignJournal]:
+    if journal is None or isinstance(journal, CampaignJournal):
+        return journal
+    return CampaignJournal(str(journal))
+
+
+def result_from_record(case: Any, record: Dict[str, Any]) -> Any:
+    """Reconstruct a completed CaseResult from its journal record.
+
+    Used by ``--resume``: the case is *not* re-run; the replayed result
+    is marked ``resumed=True`` so the executor neither re-emits its
+    perflog rows nor re-journals it, and provenance shows exactly which
+    results came from the journal.
+    """
+    from repro.runner.pipeline import CaseResult
+
+    result = CaseResult(case=case)
+    status = record.get("status", "failed")
+    result.passed = status == "passed"
+    result.skipped = status == "skipped"
+    result.failing_stage = record.get("failing_stage")
+    result.failure_reason = record.get("failure_reason", "")
+    result.attempts = int(record.get("attempts", 1))
+    result.backoff_schedule = [float(x) for x in
+                               record.get("backoff_schedule", [])]
+    result.fault_log = list(record.get("faults", []))
+    result.quarantined = bool(record.get("quarantined", False))
+    result.perfvars = {
+        var: (float(value), str(unit))
+        for var, (value, unit) in record.get("perfvars", {}).items()
+    }
+    result.build_seconds = float(record.get("build_seconds", 0.0))
+    result.job_seconds = float(record.get("job_seconds", 0.0))
+    result.queue_seconds = float(record.get("queue_seconds", 0.0))
+    result.resumed = True
+    return result

@@ -13,7 +13,7 @@ sbatch/qsub scripts, recorded for provenance.
 from repro.scheduler.events import SimClock, EventQueue
 from repro.scheduler.job import Job, JobState, JobResult
 from repro.scheduler.allocation import NodePool, AllocationError
-from repro.scheduler.base import SchedulerError, BatchScheduler
+from repro.scheduler.base import AdmissionError, SchedulerError, BatchScheduler
 from repro.scheduler.slurm import SlurmScheduler
 from repro.scheduler.pbs import PbsScheduler
 from repro.scheduler.local import LocalScheduler
@@ -26,6 +26,7 @@ __all__ = [
     "JobResult",
     "NodePool",
     "AllocationError",
+    "AdmissionError",
     "SchedulerError",
     "BatchScheduler",
     "SlurmScheduler",

@@ -14,11 +14,41 @@ from repro.scheduler.allocation import NodePool
 from repro.scheduler.events import EventQueue, SimClock
 from repro.scheduler.job import Job, JobContext, JobResult, JobState
 
-__all__ = ["BatchScheduler", "SchedulerError"]
+__all__ = ["AdmissionError", "BatchScheduler", "SchedulerError"]
 
 
 class SchedulerError(Exception):
-    """Submission-time or runtime scheduler errors."""
+    """Submission-time or runtime scheduler errors.
+
+    The resilience layer treats plain scheduler errors as *transient*
+    (submit hiccups, dispatch trouble: retry with backoff) -- except for
+    :class:`AdmissionError`, which is a configuration problem that no
+    amount of retrying fixes.
+    """
+
+
+class AdmissionError(SchedulerError):
+    """Admission control rejected the job (missing account/QoS, too big).
+
+    Deliberately *permanent*: resubmitting an unchanged job cannot
+    succeed, so retry policies classify this as a hard failure."""
+
+
+def _partial_stdout(stdout: str, fraction: float) -> str:
+    """The prefix of *stdout* a killed job would have flushed.
+
+    Cut at a line boundary when possible -- schedulers deliver whole
+    flushed lines, then silence -- falling back to a raw byte cut for
+    single-line output.
+    """
+    if not stdout:
+        return stdout
+    fraction = min(max(fraction, 0.0), 1.0)
+    cut = int(len(stdout) * fraction)
+    boundary = stdout.rfind("\n", 0, cut)
+    if boundary > 0:
+        return stdout[: boundary + 1]
+    return stdout[:cut]
 
 
 class BatchScheduler:
@@ -36,12 +66,18 @@ class BatchScheduler:
         node_prefix: str = "nid",
         require_account: bool = False,
         require_qos: bool = False,
+        fault_injector: Optional[object] = None,
     ):
         self.clock = SimClock()
         self.events = EventQueue(self.clock)
         self.pool = NodePool(node_prefix, num_nodes, cores_per_node)
         self.require_account = require_account
         self.require_qos = require_qos
+        #: optional chaos hook (see repro.faults.SchedulerFaultInjector):
+        #: duck-typed object with on_submit(job) (raising aborts the
+        #: submission) and on_start(job) -> Optional[fault] (the job dies
+        #: as NODE_FAIL with partial stdout)
+        self.fault_injector = fault_injector
         self._next_id = 1000
         self._queue: List[Job] = []
         self._jobs: Dict[int, Job] = {}
@@ -50,24 +86,30 @@ class BatchScheduler:
     def validate(self, job: Job) -> None:
         """System-specific admission control (the appendix's accounting note)."""
         if self.require_account and not job.account:
-            raise SchedulerError(
+            raise AdmissionError(
                 f"{self.kind}: job {job.name!r} rejected: no account given "
-                f"(pass -J'--account=...' as on the real system)"
+                f"(pass -J'--account=...' or set the system's "
+                f"default_account, as on the real system)"
             )
         if self.require_qos and not job.qos:
-            raise SchedulerError(
+            raise AdmissionError(
                 f"{self.kind}: job {job.name!r} rejected: no QoS given "
                 f"(ARCHER2 needs -J'--qos=standard')"
             )
         needed = job.nodes_needed(self.pool.cores_per_node)
         if not self.pool.fits_at_all(needed):
-            raise SchedulerError(
+            raise AdmissionError(
                 f"{self.kind}: job {job.name!r} needs {needed} nodes, "
                 f"system has {self.pool.num_nodes}"
             )
 
     def submit(self, job: Job) -> int:
         self.validate(job)
+        if self.fault_injector is not None:
+            # a transient submit failure (the sbatch/qsub call erroring
+            # out), injected *after* admission control: real systems
+            # validate the request before the RPC can flake
+            self.fault_injector.on_submit(job)
         job.job_id = self._next_id
         self._next_id += 1
         job.state = JobState.PENDING
@@ -115,8 +157,29 @@ class BatchScheduler:
             stderr = f"{type(exc).__name__}: {exc}"
             failed = True
 
-        if duration > job.time_limit:
+        node_fault = (
+            self.fault_injector.on_start(job)
+            if self.fault_injector is not None
+            else None
+        )
+        if node_fault is not None:
+            # the allocation dies mid-run: whatever the program printed
+            # before the node went away survives (half, here), the rest
+            # is lost -- exactly what sacct shows after a NODE_FAIL
+            end_state = JobState.NODE_FAIL
+            stdout = _partial_stdout(stdout, 0.5)
+            duration = max(min(duration, job.time_limit) * 0.5, 1e-6)
+            stderr = (
+                f"{self.kind.upper()}: job {job.job_id} lost node "
+                f"{nodes[0] if nodes else '?'} ({node_fault.describe()})"
+            )
+        elif duration > job.time_limit:
             end_state = JobState.TIMEOUT
+            # keep the *partial* stdout: the fraction of output the
+            # program managed to write before the walltime kill -- real
+            # schedulers deliver truncated logs, and sanity checking
+            # against them must fail cleanly rather than crash
+            stdout = _partial_stdout(stdout, job.time_limit / duration)
             duration = job.time_limit
             stderr = (
                 f"{self.kind.upper()}: job {job.job_id} exceeded time limit "
@@ -148,8 +211,25 @@ class BatchScheduler:
 
     # -- polling ------------------------------------------------------------------
     def wait_all(self) -> None:
-        """Drive the simulation until every submitted job finishes."""
-        self.events.run_until_idle()
+        """Drive the simulation until every submitted job finishes.
+
+        An exception escaping an event callback leaves the discrete-event
+        schedule referencing half-updated jobs; the queue is cleared and
+        the error re-raised as a :class:`SchedulerError` so callers
+        (the pipeline's retry layer) see one classified, transient
+        failure instead of a corrupted simulation.
+        """
+        try:
+            self.events.run_until_idle()
+        except SchedulerError:
+            self.events.clear()
+            raise
+        except Exception as exc:
+            self.events.clear()
+            raise SchedulerError(
+                f"{self.kind}: event loop failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         stuck = [j for j in self._jobs.values() if not j.state.finished]
         if stuck:
             raise SchedulerError(

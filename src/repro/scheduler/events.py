@@ -61,6 +61,19 @@ class EventQueue:
     def pending(self) -> int:
         return len(self._heap)
 
+    def clear(self) -> int:
+        """Drop every pending event; returns how many were dropped.
+
+        Used by the scheduler's failure path: after an event callback
+        raises, the remaining schedule references jobs whose bookkeeping
+        may be inconsistent, so the queue is abandoned wholesale rather
+        than replayed (the resilience layer then retries the whole case
+        on a fresh scheduler instance).
+        """
+        dropped = len(self._heap)
+        self._heap.clear()
+        return dropped
+
     def step(self) -> bool:
         """Run the next event; False when the queue is empty."""
         if not self._heap:

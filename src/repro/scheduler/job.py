@@ -24,6 +24,11 @@ class JobState(enum.Enum):
     COMPLETED = "COMPLETED"
     FAILED = "FAILED"
     TIMEOUT = "TIMEOUT"
+    #: the allocation died under the job (Slurm's NODE_FAIL): the job is
+    #: finished but its outcome says nothing about the program -- the
+    #: archetypal *transient* infrastructure failure the resilience layer
+    #: retries
+    NODE_FAIL = "NODE_FAIL"
     CANCELLED = "CANCELLED"
 
     @property
@@ -32,8 +37,14 @@ class JobState(enum.Enum):
             JobState.COMPLETED,
             JobState.FAILED,
             JobState.TIMEOUT,
+            JobState.NODE_FAIL,
             JobState.CANCELLED,
         )
+
+    @property
+    def transient_failure(self) -> bool:
+        """Failure states that blame the infrastructure, not the program."""
+        return self in (JobState.TIMEOUT, JobState.NODE_FAIL)
 
 
 @dataclass

@@ -189,6 +189,14 @@ class SystemDescription:
     scheduler: str = "slurm"
     requires_account: bool = True
     requires_qos: bool = False
+    #: the project/budget code jobs are billed to when the user passes no
+    #: -J'--account=...'.  Per-system knowledge belongs *here* (Principle
+    #: 5: "capture all the steps"), never hardcoded in the pipeline; a
+    #: system that requires an account but configures no default fails
+    #: admission control cleanly instead.
+    default_account: Optional[str] = None
+    #: likewise for the default QoS (ARCHER2's '--qos=standard')
+    default_qos: Optional[str] = None
     hostname_patterns: Tuple[str, ...] = ()
     env_factory: Optional[Callable[[], Environment]] = None
 
@@ -357,6 +365,8 @@ SYSTEMS: Dict[str, SystemDescription] = {
             )
         },
         requires_qos=True,
+        default_account="z19",
+        default_qos="standard",
         hostname_patterns=("ln0*", "uan0*"),
         env_factory=_env_archer2,
     ),
@@ -374,6 +384,7 @@ SYSTEMS: Dict[str, SystemDescription] = {
                 access_options=("--partition=cosma8",),
             )
         },
+        default_account="dp004",
         hostname_patterns=("login8*",),
         env_factory=_env_cosma8,
     ),
@@ -391,6 +402,7 @@ SYSTEMS: Dict[str, SystemDescription] = {
                 access_options=("--partition=cclake",),
             )
         },
+        default_account="support-cpu",
         hostname_patterns=("login-e-*",),
         env_factory=_env_csd3,
     ),
@@ -407,6 +419,7 @@ SYSTEMS: Dict[str, SystemDescription] = {
                 launcher="aprun",
             )
         },
+        default_account="br-proj",
         hostname_patterns=("xcil0*",),
         env_factory=_env_isambard_xci,
     ),
@@ -438,6 +451,7 @@ SYSTEMS: Dict[str, SystemDescription] = {
                 access_options=("-q voltaq",),
             ),
         },
+        default_account="br-proj",
         hostname_patterns=("login-0*",),
         env_factory=_env_isambard_macs,
     ),
@@ -455,6 +469,7 @@ SYSTEMS: Dict[str, SystemDescription] = {
                 access_options=("--partition=normal",),
             )
         },
+        default_account="hpc-prf-repro",
         hostname_patterns=("n2login*",),
         env_factory=_env_noctua2,
     ),

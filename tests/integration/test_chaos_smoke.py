@@ -1,0 +1,159 @@
+"""Chaos smoke test: a seeded fault storm must converge to the clean run.
+
+The resilience stack's headline property (ISSUE: campaign resilience):
+with *transient-only* injected faults, a fixed seed and enough retry
+budget, a chaos campaign -- including one simulated mid-campaign crash
+plus ``--resume`` -- produces byte-identical perflogs and the same
+pass/fail outcome as a fault-free serial run.  Determinism makes chaos
+testing itself a reproducible experiment (Principle 6 applied to the
+framework's own testing).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest, run_before
+from repro.runner.executor import Executor
+from repro.runner.fields import parameter, variable
+from repro.runner.resilience import CampaignAborted, CampaignJournal, RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+PINNED_TS = "2026-01-01T00:00:00"
+
+#: ~30% transient fault probability at every injection layer
+CHAOS_SPEC = "build:0.3,submit:0.3,timeout:0.3,hook:0.3"
+
+#: worst case a single target draws all four kinds, each burning one
+#: attempt, so five attempts always suffice; six adds slack
+RETRY = RetryPolicy(max_attempts=6, jitter=0.0)
+
+
+class ChaosBench(RegressionTest):
+    """Six deterministic cases with a (retry-idempotent) user hook."""
+
+    size = parameter([1, 2, 3, 4, 5, 6])
+    tuned = variable(bool, value=False)
+    #: simulated crash switch: program invocation that raises
+    kill_at = None
+    invocations = 0
+
+    @run_before("run")
+    def tune(self):
+        self.tuned = True  # assignment: safe to re-run on retry
+
+    def program(self, ctx):
+        cls = ChaosBench
+        if cls.kill_at is not None and cls.invocations >= cls.kill_at:
+            raise CampaignAborted("simulated crash")
+        cls.invocations += 1
+        assert self.tuned
+        return f"bw {self.size}: {self.size * 100.0}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"bw", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r": ([\d.]+)", stdout, 1, float)
+        return {"bandwidth": (v, "MB/s")}
+
+
+@pytest.fixture(autouse=True)
+def _reset():
+    ChaosBench.kill_at = None
+    ChaosBench.invocations = 0
+    yield
+    ChaosBench.kill_at = None
+    ChaosBench.invocations = 0
+
+
+def campaign(tmp_path, tag, seed=None, policy="serial", workers=1,
+             journal=None, resume=False, spec=CHAOS_SPEC):
+    """One campaign run -> (observable outcome, report, perflog bytes)."""
+    prefix = str(tmp_path / f"perflogs-{tag}")
+    ex = Executor(perflog_prefix=prefix, perflog_timestamp=PINNED_TS)
+    cases = ex.expand_cases([ChaosBench], "archer2")
+    faults = FaultPlan.parse(spec, seed=seed) if seed is not None else None
+    report = ex.run_cases(cases, policy=policy, workers=workers,
+                          retry=RETRY, faults=faults,
+                          journal=journal, resume=resume)
+    logs = {}
+    for root, _, files in os.walk(prefix):
+        for fname in files:
+            path = os.path.join(root, fname)
+            with open(path, "rb") as fh:
+                logs[os.path.relpath(path, prefix)] = fh.read()
+    outcome = [
+        (r.case.display_name, r.passed, sorted(r.perfvars.items()))
+        for r in report.results
+    ]
+    return outcome, report, logs
+
+
+def test_seed_42_actually_injects_faults(tmp_path):
+    """Guard: the chaos rate is high enough to matter, or this file lies."""
+    _, report, _ = campaign(tmp_path, "guard", seed=42)
+    assert report.faults_injected > 0
+    assert report.retried
+
+
+def test_chaos_converges_to_fault_free_run(tmp_path):
+    clean_outcome, clean_report, clean_logs = campaign(tmp_path, "clean")
+    chaos_outcome, chaos_report, chaos_logs = campaign(tmp_path, "chaos",
+                                                      seed=42)
+    assert clean_report.success and chaos_report.success
+    assert chaos_outcome == clean_outcome
+    assert chaos_logs == clean_logs  # byte-identical perflogs
+
+
+def test_chaos_is_deterministic_across_policies(tmp_path):
+    serial = campaign(tmp_path, "ser", seed=42, policy="serial")
+    parallel = campaign(tmp_path, "par", seed=42, policy="async", workers=4)
+    assert parallel[0] == serial[0]
+    assert parallel[2] == serial[2]
+    # even the retry accounting is identical
+    assert ([(r.attempts, r.backoff_schedule, r.fault_log)
+             for r in parallel[1].results] ==
+            [(r.attempts, r.backoff_schedule, r.fault_log)
+             for r in serial[1].results])
+
+
+def test_chaos_with_crash_and_resume_matches_clean_run(tmp_path):
+    """The full gauntlet: fault storm + power loss + --resume."""
+    clean_outcome, _, clean_logs = campaign(tmp_path, "clean")
+
+    journal = str(tmp_path / "journal.jsonl")
+    ChaosBench.invocations = 0  # the clean run above also counted
+    ChaosBench.kill_at = 3  # die mid-campaign, mid-fault-storm
+    _, crashed, _ = campaign(tmp_path, "merged", seed=42, journal=journal)
+    assert crashed.aborted == "simulated crash"
+    completed_before_crash = len(CampaignJournal(journal).load())
+    assert 1 <= completed_before_crash < 6
+
+    ChaosBench.kill_at = None
+    _, resumed, merged_logs = campaign(tmp_path, "merged", seed=42,
+                                       journal=journal, resume=True)
+    assert resumed.success
+    assert len(resumed.resumed) == completed_before_crash  # skipped, not re-run
+    outcome = [(r.case.display_name, r.passed, sorted(r.perfvars.items()))
+               for r in resumed.results]
+    assert outcome == clean_outcome
+    assert merged_logs == clean_logs
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_convergence_holds_for_any_seed(tmp_path_factory, seed):
+    """Property: transient-only chaos converges regardless of the seed."""
+    tmp_path = tmp_path_factory.mktemp(f"chaos-{seed}")
+    ChaosBench.kill_at = None
+    clean = campaign(tmp_path, "clean")
+    chaos = campaign(tmp_path, "chaos", seed=seed)
+    assert chaos[1].success
+    assert chaos[0] == clean[0]
+    assert chaos[2] == clean[2]

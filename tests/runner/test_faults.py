@@ -1,0 +1,187 @@
+"""Tests for the deterministic fault-injection harness (repro.faults)."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultClock,
+    FaultPlan,
+    FaultSpecError,
+    InjectedFault,
+    parse_fault_spec,
+    unit_hash,
+)
+
+
+class TestUnitHash:
+    def test_deterministic(self):
+        assert unit_hash(7, "build", "case-a") == unit_hash(7, "build", "case-a")
+
+    def test_in_unit_interval(self):
+        for i in range(50):
+            assert 0.0 <= unit_hash(i, "x", str(i)) < 1.0
+
+    def test_seed_changes_draw(self):
+        draws = {unit_hash(seed, "build", "case-a") for seed in range(20)}
+        assert len(draws) == 20
+
+    def test_parts_are_delimited(self):
+        # ("ab", "c") must not collide with ("a", "bc")
+        assert unit_hash(0, "ab", "c") != unit_hash(0, "a", "bc")
+
+
+class TestFaultSpecGrammar:
+    def test_rate_clause(self):
+        (clause,) = parse_fault_spec("build:0.3")
+        assert clause.kind == "build"
+        assert clause.rate == 0.3
+        assert clause.count == 1
+        assert clause.transient
+
+    def test_rate_with_count(self):
+        (clause,) = parse_fault_spec("submit:0.2x2")
+        assert clause.count == 2
+
+    def test_glob_clause(self):
+        (clause,) = parse_fault_spec("hook@HPCG_*")
+        assert clause.glob == "HPCG_*"
+        assert clause.count == 1
+
+    def test_glob_with_star_count_is_permanent(self):
+        (clause,) = parse_fault_spec("perflog@*#*")
+        assert clause.count is None
+        assert not clause.transient
+
+    def test_multiple_clauses(self):
+        clauses = parse_fault_spec("build:0.3,submit:0.2x2,timeout@*hpcg*#1")
+        assert [c.kind for c in clauses] == ["build", "submit", "timeout"]
+
+    def test_roundtrip_format(self):
+        spec = "build:0.3,submit:0.2x2,timeout@*hpcg*#1,perflog@*#*"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.format()).format() == plan.format()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode:0.3",          # unknown kind
+            "build:1.5",            # rate out of range
+            "build:abc",            # unparsable rate
+            "build:0.3x0",          # zero count
+            "build",                # no separator
+            "hook@",                # empty glob
+            "",                     # empty spec
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+
+class TestFaultClock:
+    def test_attempts_count_per_site(self):
+        clock = FaultClock()
+        assert clock.next_attempt(("build", "a")) == 1
+        assert clock.next_attempt(("build", "a")) == 2
+        assert clock.next_attempt(("build", "b")) == 1
+        assert clock.attempts(("build", "a")) == 2
+
+    def test_virtual_sleep(self):
+        clock = FaultClock()
+        clock.sleep(1.5)
+        clock.sleep(2.5)
+        assert clock.now == 4.0
+        assert clock.slept_seconds == 4.0
+        with pytest.raises(ValueError):
+            clock.sleep(-1)
+
+    def test_reset(self):
+        clock = FaultClock()
+        clock.sleep(3.0)
+        clock.next_attempt(("x",))
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.attempts(("x",)) == 0
+
+    def test_thread_safety_of_attempt_counter(self):
+        clock = FaultClock()
+
+        def bump():
+            for _ in range(500):
+                clock.next_attempt(("k", "t"))
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.attempts(("k", "t")) == 2000
+
+
+class TestFaultPlan:
+    def test_explicit_fault_fires_once_then_clears(self):
+        plan = FaultPlan.at("build", glob="case-*", attempts=1)
+        fault = plan.check("build", "case-a")
+        assert fault == Fault("build", "case-a", attempt=1, transient=True)
+        assert plan.check("build", "case-a") is None  # attempt 2: cleared
+        assert plan.fired == 1
+
+    def test_permanent_fault_never_clears(self):
+        plan = FaultPlan.at("submit", attempts=None)
+        for _ in range(5):
+            with pytest.raises(InjectedFault) as err:
+                plan.fire("submit", "case-a")
+            assert not err.value.transient
+
+    def test_kind_mismatch_does_not_fire(self):
+        plan = FaultPlan.at("build")
+        assert plan.check("submit", "case-a") is None
+
+    def test_rate_zero_never_rate_one_always(self):
+        never = FaultPlan.parse("build:0.0")
+        always = FaultPlan.parse("build:1.0")
+        for i in range(25):
+            assert never.check("build", f"case-{i}") is None
+            assert always.check("build", f"case-{i}") is not None
+
+    def test_selection_is_order_independent(self):
+        targets = [f"case-{i}" for i in range(40)]
+        forward = FaultPlan.parse("build:0.5", seed=3)
+        backward = FaultPlan.parse("build:0.5", seed=3)
+        hit_fwd = {t for t in targets if forward.check("build", t)}
+        hit_bwd = {t for t in reversed(targets) if backward.check("build", t)}
+        assert hit_fwd == hit_bwd
+        assert 0 < len(hit_fwd) < len(targets)  # seed 3 splits the set
+
+    def test_faults_for_filters_by_target(self):
+        plan = FaultPlan.parse("build:1.0,submit:1.0")
+        plan.check("build", "a")
+        plan.check("submit", "a")
+        plan.check("build", "b")
+        assert len(plan.faults_for("a")) == 2
+        assert [f.kind for f in plan.faults_for("b")] == ["build"]
+
+    def test_describe_mentions_coordinates(self):
+        plan = FaultPlan.at("timeout", attempts=None)
+        fault = plan.check("timeout", "case-a")
+        assert fault.describe() == "injected:timeout@case-a#1:permanent"
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.floats(min_value=0.0, max_value=1.0),
+        kind=st.sampled_from(FAULT_KINDS),
+    )
+    def test_same_seed_same_schedule(self, seed, rate, kind):
+        """Property: fault selection is a pure function of (seed, spec)."""
+        targets = [f"case-{i}" for i in range(12)]
+        a = FaultPlan([next(iter(parse_fault_spec(f"{kind}:{rate}")))], seed=seed)
+        b = FaultPlan.parse(f"{kind}:{rate}", seed=seed)
+        hits_a = [bool(a.check(kind, t)) for t in targets]
+        hits_b = [bool(b.check(kind, t)) for t in targets]
+        assert hits_a == hits_b

@@ -1,0 +1,269 @@
+"""Crash-safe campaign journal + --resume semantics + perflog durability."""
+
+import json
+import os
+
+import pytest
+
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest
+from repro.runner.executor import Executor
+from repro.runner.fields import parameter, variable
+from repro.runner.perflog import PERFLOG_FIELDS
+from repro.runner.resilience import (
+    CampaignAborted,
+    CampaignJournal,
+    case_fingerprint,
+    result_from_record,
+)
+from repro.runner.sanity import SanityError
+
+PINNED_TS = "2026-01-01T00:00:00"
+
+
+class Member(RegressionTest):
+    """Four independent cases -- the campaign the crash tests interrupt."""
+
+    size = parameter([1, 2, 3, 4])
+    #: class-level kill switch: crash the campaign once `ran` reaches it
+    kill_at = None
+    ran = 0
+
+    def program(self, ctx):
+        cls = Member
+        if cls.kill_at is not None and cls.ran >= cls.kill_at:
+            raise CampaignAborted("simulated crash (power loss)")
+        cls.ran += 1
+        return f"size {self.size}: {self.size * 1.5}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"size", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r": ([\d.]+)", stdout, 1, float)
+        return {"value": (v, "units")}
+
+
+class Hopeless(RegressionTest):
+    """Fails every run -- the quarantine candidate."""
+
+    runs = 0
+
+    def program(self, ctx):
+        Hopeless.runs += 1
+        return "bad\n", 1.0
+
+    def check_sanity(self, stdout):
+        raise SanityError("always wrong")
+
+
+@pytest.fixture(autouse=True)
+def _reset_kill_switch():
+    Member.kill_at = None
+    Member.ran = 0
+    Hopeless.runs = 0
+    yield
+    Member.kill_at = None
+    Member.ran = 0
+
+
+def make_executor(tmp_path, tag):
+    prefix = str(tmp_path / f"perflogs-{tag}")
+    return Executor(perflog_prefix=prefix, perflog_timestamp=PINNED_TS), prefix
+
+
+def read_logs(prefix):
+    logs = {}
+    for root, _, files in os.walk(prefix):
+        for fname in files:
+            path = os.path.join(root, fname)
+            with open(path, "rb") as fh:
+                logs[os.path.relpath(path, prefix)] = fh.read()
+    return logs
+
+
+class TestFingerprint:
+    def test_stable_across_expansions(self):
+        a = Executor().expand_cases([Member], "archer2")
+        b = Executor().expand_cases([Member], "archer2")
+        assert [case_fingerprint(c) for c in a] == \
+               [case_fingerprint(c) for c in b]
+
+    def test_distinct_per_coordinate(self):
+        ex = Executor()
+        cases = ex.expand_cases([Member], "archer2",
+                                environs=["default", "gcc@11.2.0"])
+        prints = {case_fingerprint(c) for c in cases}
+        assert len(prints) == len(cases) == 8
+
+
+class TestJournalFile:
+    def test_record_roundtrip(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        ex, _ = make_executor(tmp_path, "rt")
+        cases = ex.expand_cases([Member], "archer2")
+        report = ex.run_cases(cases, journal=journal)
+        assert report.success
+        state = journal.load()
+        assert len(state) == 4
+        for case in cases:
+            record = state[case_fingerprint(case)]
+            assert record["status"] == "passed"
+            replayed = result_from_record(case, record)
+            assert replayed.passed and replayed.resumed
+            assert replayed.perfvars == \
+                {"value": (case.test.size * 1.5, "units")}
+
+    def test_lines_are_whole_json_records(self, tmp_path):
+        """Satellite: single-write appends -- never a partial line."""
+        path = tmp_path / "j.jsonl"
+        ex, _ = make_executor(tmp_path, "whole")
+        ex.run_cases(ex.expand_cases([Member], "archer2"), journal=str(path))
+        raw = path.read_text()
+        assert raw.endswith("\n")
+        for line in raw.splitlines():
+            json.loads(line)  # every line parses on its own
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(str(path))
+        ex, _ = make_executor(tmp_path, "torn")
+        ex.run_cases(ex.expand_cases([Member], "archer2"), journal=journal)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"fingerprint": "deadbeef", "status"')  # torn write
+        assert len(list(journal.entries())) == 4  # tail ignored
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('not json at all\n{"fingerprint": "ok"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            list(CampaignJournal(str(path)).entries())
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "absent.jsonl"))
+        assert list(journal.entries()) == []
+        assert journal.load() == {}
+
+
+class TestCrashResume:
+    def test_resume_skips_completed_cases(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        # --- the uninterrupted reference run -----------------------------
+        ref_ex, ref_prefix = make_executor(tmp_path, "ref")
+        ref = ref_ex.run_cases(ref_ex.expand_cases([Member], "archer2"))
+        assert len(ref.passed) == 4
+
+        # --- campaign killed after two cases -----------------------------
+        Member.ran = 0
+        Member.kill_at = 2
+        ex1, prefix = make_executor(tmp_path, "crash")
+        crashed = ex1.run_cases(ex1.expand_cases([Member], "archer2"),
+                                journal=path)
+        assert crashed.aborted == "simulated crash (power loss)"
+        assert len(crashed.passed) == 2
+        assert len(CampaignJournal(path).load()) == 2  # proof of progress
+
+        # --- resumed in a fresh process (fresh executor) ------------------
+        Member.kill_at = None
+        ran_before_resume = Member.ran
+        ex2, _ = make_executor(tmp_path, "crash")  # same perflog prefix
+        resumed = ex2.run_cases(ex2.expand_cases([Member], "archer2"),
+                                journal=path, resume=True)
+        assert resumed.success
+        assert len(resumed.passed) == 4
+        # the journal proves >= 1 case was skipped, not re-run
+        assert len(resumed.resumed) == 2
+        # only the two incomplete cases executed again
+        assert Member.ran == ran_before_resume + 2
+
+        # merged observable output == the uninterrupted run's
+        assert read_logs(prefix) == read_logs(ref_prefix)
+        ref_vars = [(r.case.display_name, sorted(r.perfvars.items()))
+                    for r in ref.results]
+        res_vars = [(r.case.display_name, sorted(r.perfvars.items()))
+                    for r in resumed.results]
+        assert res_vars == ref_vars
+        assert "Resumed 2 case(s)" in resumed.summary()
+
+    def test_resume_without_prior_journal_runs_everything(self, tmp_path):
+        ex, _ = make_executor(tmp_path, "noprior")
+        report = ex.run_cases(ex.expand_cases([Member], "archer2"),
+                              journal=str(tmp_path / "new.jsonl"),
+                              resume=True)
+        assert len(report.passed) == 4
+        assert not report.resumed
+
+    def test_failed_cases_rerun_on_resume(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        ex1, _ = make_executor(tmp_path, "failrerun")
+        cases = ex1.expand_cases([Hopeless], "archer2")
+        ex1.run_cases(cases, journal=path)
+        assert Hopeless.runs == 1
+        ex2, _ = make_executor(tmp_path, "failrerun")
+        report = ex2.run_cases(ex2.expand_cases([Hopeless], "archer2"),
+                               journal=path, resume=True)
+        assert Hopeless.runs == 2  # failed != completed: it re-ran
+        assert not report.resumed
+
+    def test_repeated_failures_quarantine_across_cycles(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        for cycle in range(2):
+            ex, _ = make_executor(tmp_path, f"q{cycle}")
+            ex.run_cases(ex.expand_cases([Hopeless], "archer2"),
+                         journal=path, resume=True,
+                         quarantine_threshold=2)
+        assert Hopeless.runs == 2
+        ex, _ = make_executor(tmp_path, "q-final")
+        report = ex.run_cases(ex.expand_cases([Hopeless], "archer2"),
+                              journal=path, resume=True,
+                              quarantine_threshold=2)
+        assert Hopeless.runs == 2  # quarantined: never executed
+        (result,) = report.results
+        assert result.quarantined
+        assert "quarantined" in result.failure_reason
+        assert "Quarantined 1 case(s)" in report.summary()
+
+
+class TestPerflogDurability:
+    def test_finally_flush_persists_rows_on_crash(self, tmp_path):
+        """Satellite: a huge batch still hits disk when the campaign dies."""
+        prefix = str(tmp_path / "perflogs")
+        ex = Executor(perflog_prefix=prefix, perflog_batch=10_000,
+                      perflog_timestamp=PINNED_TS)
+        Member.kill_at = 2
+        report = ex.run_cases(ex.expand_cases([Member], "archer2"))
+        assert report.aborted
+        logs = read_logs(prefix)
+        rows = [line for body in logs.values()
+                for line in body.decode().splitlines()
+                if not line.startswith("timestamp|")]
+        assert len(rows) == 2  # both completed cases' rows survived
+
+    def test_no_partial_lines_ever(self, tmp_path):
+        """Satellite: every perflog line is whole and well-formed."""
+        prefix = str(tmp_path / "perflogs")
+        ex = Executor(perflog_prefix=prefix, perflog_batch=3,
+                      perflog_timestamp=PINNED_TS)
+        ex.run_cases(ex.expand_cases([Member], "archer2"),
+                     journal=str(tmp_path / "j.jsonl"))
+        for body in read_logs(prefix).values():
+            text = body.decode()
+            assert text.endswith("\n")
+            for line in text.splitlines():
+                assert len(line.split("|")) == len(PERFLOG_FIELDS)
+
+    def test_journal_entry_implies_durable_perflog_rows(self, tmp_path):
+        """The ordering invariant: journal line => rows already on disk."""
+        prefix = str(tmp_path / "perflogs")
+        path = str(tmp_path / "j.jsonl")
+        ex = Executor(perflog_prefix=prefix, perflog_batch=10_000,
+                      perflog_timestamp=PINNED_TS)
+        Member.kill_at = 3
+        ex.run_cases(ex.expand_cases([Member], "archer2"), journal=path)
+        journaled = {r["test"] for r in CampaignJournal(path).entries()}
+        on_disk = set()
+        for body in read_logs(prefix).values():
+            for line in body.decode().splitlines()[1:]:
+                on_disk.add(line.split("|")[2])
+        assert journaled <= on_disk
+        assert len(journaled) == 3

@@ -1,0 +1,362 @@
+"""Tests for the retry/quarantine/circuit-breaker resilience layer."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultClock, FaultPlan, InjectedFault
+from repro.pkgmgr.concretizer import ConcretizationError
+from repro.pkgmgr.installer import BuildFailure
+from repro.pkgmgr.spec import Spec
+
+
+def build_failure(reason):
+    return BuildFailure(Spec("demo@1.0"), [], reason)
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest, run_after, run_before
+from repro.runner.executor import Executor
+from repro.runner.fields import variable
+from repro.runner.pipeline import infra_failure, run_case
+from repro.runner.resilience import (
+    CampaignAborted,
+    CircuitBreaker,
+    Quarantine,
+    RetryPolicy,
+    is_transient,
+)
+from repro.runner.sanity import SanityError
+from repro.scheduler.base import AdmissionError, SchedulerError
+
+
+class Echo(RegressionTest):
+    message = variable(str, value="value 42.0")
+
+    def program(self, ctx):
+        return f"OUT: {self.message}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"OUT:", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r"([\d.]+)", stdout, 1, float)
+        return {"value": (v, "units")}
+
+
+class BadHook(Echo):
+    """A benchmark whose user hook crashes (satellite regression)."""
+
+    @run_after("setup")
+    def explode(self):
+        raise RuntimeError("user hook bug")
+
+
+class BadRunHook(Echo):
+    @run_before("run")
+    def explode_late(self):
+        raise KeyError("missing key")
+
+
+def one_case(cls, system="archer2"):
+    ex = Executor()
+    cases = ex.expand_cases([cls], system)
+    assert len(cases) == 1
+    return cases[0]
+
+
+class TestRetryTaxonomy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchedulerError("submit flake"),
+            build_failure("compiler node hiccup"),
+            OSError("disk glitch"),
+        ],
+    )
+    def test_transient(self, exc):
+        assert is_transient(exc)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AdmissionError("account required"),   # SchedulerError subclass!
+            ConcretizationError("conflict"),
+            SanityError("pattern not found"),
+            ValueError("bad config"),
+            KeyError("oops"),
+            TypeError("wrong type"),
+            RuntimeError("unknown bug"),          # unknown -> permanent
+        ],
+    )
+    def test_permanent(self, exc):
+        assert not is_transient(exc)
+
+    def test_injected_fault_carries_its_own_transience(self):
+        plan = FaultPlan.at("build", attempts=1)
+        plan_perm = FaultPlan.at("build", attempts=None)
+        with pytest.raises(InjectedFault) as t:
+            plan.fire("build", "a")
+        with pytest.raises(InjectedFault) as p:
+            plan_perm.fire("build", "a")
+        assert is_transient(t.value)
+        assert not is_transient(p.value)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_max=4.0, jitter=0.0, max_attempts=6)
+        assert policy.schedule("case") == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(jitter=0.25, seed=9)
+        a = policy.backoff(1, "case-a")
+        assert a == RetryPolicy(jitter=0.25, seed=9).backoff(1, "case-a")
+        assert 0.75 <= a <= 1.25
+
+    def test_single_is_one_attempt(self):
+        assert RetryPolicy.single().max_attempts == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           attempt=st.integers(min_value=1, max_value=10))
+    def test_backoff_never_negative(self, seed, attempt):
+        policy = RetryPolicy(jitter=0.5, seed=seed, max_attempts=11)
+        assert policy.backoff(attempt, "k") >= 0.0
+
+
+class TestCircuitBreaker:
+    def test_unlimited_never_trips(self):
+        breaker = CircuitBreaker(None)
+        for _ in range(100):
+            breaker.record_failure()
+        assert not breaker.tripped
+
+    def test_trips_at_budget(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_failure()
+        assert not breaker.tripped
+        breaker.record_failure()
+        assert breaker.tripped
+        assert "max-failures=2" in breaker.describe()
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0)
+
+
+class TestQuarantine:
+    def test_threshold_and_seed(self):
+        q = Quarantine(threshold=2)
+        assert not q.is_quarantined("fp")
+        q.record_failure("fp")
+        assert not q.is_quarantined("fp")
+        q.record_failure("fp")
+        assert q.is_quarantined("fp")
+        q2 = Quarantine(threshold=2)
+        q2.seed({"fp": 2})
+        assert q2.is_quarantined("fp")
+
+    def test_disabled(self):
+        q = Quarantine(threshold=None)
+        for _ in range(10):
+            q.record_failure("fp")
+        assert not q.is_quarantined("fp")
+
+
+class TestHookHardening:
+    """Satellite: a raising hook fails the *case*, not the campaign."""
+
+    def test_setup_hook_exception_is_stage_failure(self):
+        result = run_case(one_case(BadHook))
+        assert not result.passed
+        assert result.failing_stage == "setup"
+        assert "explode" in result.failure_reason
+        assert "RuntimeError" in result.failure_reason
+        assert "user hook bug" in result.failure_reason
+        assert not result.retryable  # unknown exception -> permanent
+
+    def test_run_hook_exception_names_hook_and_stage(self):
+        result = run_case(one_case(BadRunHook))
+        assert result.failing_stage == "run"
+        assert "explode_late" in result.failure_reason
+
+    def test_campaign_survives_hook_crash(self):
+        ex = Executor()
+        cases = ex.expand_cases([BadHook, Echo], "archer2")
+        report = ex.run_cases(cases)
+        assert len(report.failed) == 1
+        assert len(report.passed) == 1
+        assert "hook" in report.failed[0].failure_reason
+
+
+class TestExplicitSkipFlag:
+    """Satellite: skips are an explicit field, never substring inference."""
+
+    def test_invalid_platform_is_skip(self):
+        class Picky(Echo):
+            valid_systems = ["csd3:*"]
+
+        result = run_case(one_case(Picky, system="archer2"))
+        assert result.skipped
+        assert not result.passed
+
+    def test_failure_text_mentioning_not_valid_is_not_a_skip(self):
+        class Liar(Echo):
+            def check_sanity(self, stdout):
+                raise SanityError("output not valid for this check")
+
+        result = run_case(one_case(Liar))
+        assert not result.skipped
+        assert result.failing_stage == "sanity"
+
+
+class TestAccountDefaults:
+    """Satellite: account/QoS fallbacks live in system config, not code."""
+
+    def test_shipped_systems_declare_defaults(self):
+        from repro.runner.config import default_site_config
+
+        site = default_site_config()
+        for name, system in site.systems.items():
+            if system.requires_account:
+                assert system.default_account, name
+
+    def test_archer2_keeps_paper_accounting(self):
+        case = one_case(Echo)
+        result = run_case(case)
+        assert result.passed
+        assert "--account=z19" in result.job_script
+        assert "--qos=standard" in result.job_script
+
+    def test_explicit_account_overrides_default(self):
+        case = one_case(Echo)
+        case.account = "t01"
+        result = run_case(case)
+        assert "--account=t01" in result.job_script
+
+    def test_missing_account_fails_admission_cleanly(self):
+        case = one_case(Echo)
+        case.system = dataclasses.replace(case.system, default_account=None)
+        result = run_case(case, retry=RetryPolicy(max_attempts=3))
+        assert not result.passed
+        assert result.failing_stage == "run"
+        assert "account" in result.failure_reason
+        assert result.attempts == 1  # AdmissionError is permanent: no retry
+
+
+class TestRunCaseRetry:
+    def test_transient_build_fault_retried_to_success(self):
+        case = one_case(Echo)
+        faults = FaultPlan.at("build", attempts=2)
+        result = run_case(case, retry=RetryPolicy(max_attempts=4, jitter=0.0),
+                          faults=faults)
+        assert result.passed
+        assert result.attempts == 3
+        assert result.backoff_schedule == [1.0, 2.0]
+        assert len(result.fault_log) == 2
+        assert all(f.startswith("injected:build@") for f in result.fault_log)
+
+    def test_backoff_sleeps_virtual_clock_only(self):
+        case = one_case(Echo)
+        faults = FaultPlan.at("submit", attempts=1)
+        clock = FaultClock()
+        result = run_case(case, retry=RetryPolicy(max_attempts=2, jitter=0.0),
+                          faults=faults, clock=clock)
+        assert result.passed
+        assert clock.slept_seconds == 1.0
+
+    def test_permanent_fault_exhausts_budget_and_quarantines(self):
+        case = one_case(Echo)
+        faults = FaultPlan.at("submit", attempts=None)
+        result = run_case(case, retry=RetryPolicy(max_attempts=3), faults=faults)
+        assert not result.passed
+        assert result.attempts == 1   # permanent: not worth retrying
+        assert not result.quarantined
+
+    def test_timeout_fault_is_node_failure_with_partial_stdout(self):
+        case = one_case(Echo)
+        faults = FaultPlan.at("timeout", attempts=1)
+        result = run_case(case, faults=faults)  # single attempt
+        assert not result.passed
+        assert result.failing_stage == "run"
+        assert "NODE_FAIL" in result.failure_reason
+        assert result.retryable
+
+    def test_timeout_fault_recovered_on_retry(self):
+        case = one_case(Echo)
+        faults = FaultPlan.at("timeout", attempts=1)
+        result = run_case(case, retry=RetryPolicy(max_attempts=2, jitter=0.0),
+                          faults=faults)
+        assert result.passed
+        assert result.attempts == 2
+
+    def test_retry_budget_exhaustion_marks_quarantined(self):
+        case = one_case(Echo)
+        faults = FaultPlan.at("submit", attempts=10)  # outlasts the budget
+        result = run_case(case, retry=RetryPolicy(max_attempts=3), faults=faults)
+        assert not result.passed
+        assert result.attempts == 3
+        assert result.quarantined
+        assert result.retryable
+
+    def test_infra_failure_is_structured(self):
+        case = one_case(Echo)
+        result = infra_failure(case, OSError("filesystem went away"))
+        assert not result.passed
+        assert result.failing_stage == "internal"
+        assert "filesystem went away" in result.failure_reason
+        assert result.retryable
+
+
+class TestCircuitBreakerInCampaign:
+    def test_max_failures_stops_campaign(self):
+        class AlwaysFails(Echo):
+            def check_sanity(self, stdout):
+                raise SanityError("never right")
+
+        ex = Executor()
+        cases = ex.expand_cases([AlwaysFails], "archer2",
+                                environs=["default", "gcc@11.2.0"])
+        assert len(cases) == 2
+        report = ex.run_cases(cases, max_failures=1)
+        assert report.aborted is not None
+        assert "circuit breaker" in report.aborted
+        assert len(report.results) == 1  # second case never ran
+        assert "ABORTED" in report.summary()
+        assert not report.success
+
+    def test_breaker_trip_point_is_policy_independent(self):
+        class Flaky(Echo):
+            def check_sanity(self, stdout):
+                raise SanityError("no")
+
+        def trip(policy, workers):
+            ex = Executor()
+            cases = ex.expand_cases([Flaky, Echo], "archer2")
+            report = ex.run_cases(cases, policy=policy, workers=workers,
+                                  max_failures=1)
+            return [r.case.display_name for r in report.results], report.aborted
+
+        assert trip("serial", 1) == trip("async", 4)
+
+    def test_campaign_aborted_passes_the_guards(self):
+        # CampaignAborted is a BaseException: neither run_case's blanket
+        # guard nor run_waves' infra guard may swallow it
+        with pytest.raises(CampaignAborted):
+            raise CampaignAborted("deliberate")
+        assert not isinstance(CampaignAborted("x"), Exception)
