@@ -41,6 +41,10 @@ class RunProvenance:
     #: from a journal, and the circuit-breaker outcome.  A retried or
     #: resumed campaign that is not *recorded* as such is archaeology.
     resilience: Optional[Dict[str, Any]] = None
+    #: node-health ledger (``HealthTracker.as_dict()``): which nodes the
+    #: campaign drained, their scores/strikes -- a result obtained while
+    #: steering around a sick node must say so (DESIGN.md section 6.4)
+    health: Optional[Dict[str, Any]] = None
 
     def attach_ingest_cache(self, stats: Any) -> None:
         """Record perflog-store accounting (a ``StoreStats`` or dict)."""
@@ -79,7 +83,25 @@ class RunProvenance:
             info["cases_retried"] = len(report.retried)
             info["cases_resumed"] = len(report.resumed)
             info["cases_quarantined"] = len(report.quarantined)
+            # slow-fault accounting (watchdog / speculation / drains)
+            if getattr(report, "watchdog", None) is not None:
+                info["watchdog"] = report.watchdog
+            if getattr(report, "hung_attempts", 0):
+                info["hung_attempts"] = report.hung_attempts
+            speculated = getattr(report, "speculated", None)
+            if speculated:
+                info["cases_speculated"] = len(speculated)
+                info["speculation_wins"] = len(report.speculation_wins)
+            if getattr(report, "drained_nodes", None):
+                info["drained_nodes"] = list(report.drained_nodes)
         self.resilience = info
+
+    def attach_health(self, tracker: Any) -> None:
+        """Record the node-health ledger (a ``HealthTracker`` or dict)."""
+        self.health = (
+            tracker.as_dict() if hasattr(tracker, "as_dict")
+            else dict(tracker)
+        )
 
     def add_case(self, result: CaseResult) -> None:
         case = result.case
@@ -129,6 +151,9 @@ class RunProvenance:
                 "faults": list(result.fault_log),
                 "resumed": result.resumed,
                 "quarantined": result.quarantined,
+                "speculated": result.speculated,
+                "speculation_won": result.speculation_won,
+                "hung_attempts": result.hung_attempts,
             }
         )
 
@@ -142,6 +167,7 @@ class RunProvenance:
                 "cases": self.entries,
                 "ingest_cache": self.ingest_cache,
                 "resilience": self.resilience,
+                "health": self.health,
             },
             indent=2,
             sort_keys=True,
@@ -154,6 +180,7 @@ class RunProvenance:
         prov.entries = doc.get("cases", [])
         prov.ingest_cache = doc.get("ingest_cache")
         prov.resilience = doc.get("resilience")
+        prov.health = doc.get("health")
         return prov
 
     def spec_hashes(self) -> List[str]:

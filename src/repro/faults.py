@@ -16,6 +16,7 @@ Fault-spec grammar (``--inject-faults``)::
     CLAUSE  := KIND ':' RATE ['x' COUNT]     probabilistic over cases
              | KIND '@' GLOB ['#' COUNT]     explicit case coordinates
     KIND    := build | submit | timeout | hook | perflog
+             | hang | slow | sicknode
     RATE    := float in [0, 1]   fraction of (kind, case) coordinates hit
     COUNT   := positive int | '*'   attempts that fault (default 1;
                                     '*' = every attempt, i.e. *permanent*)
@@ -26,6 +27,19 @@ Examples::
     submit:0.2x2              20% of cases fail the first two submits
     hook@HPCG_*               every HPCG variant's first hook call raises
     perflog@*#*               every perflog write fails, forever
+    hang:0.2                  20% of cases hang their first job (watchdog food)
+    slow@HPCG_*               every HPCG variant's first job straggles
+    sicknode@nid0002#*        node nid0002 is permanently degraded
+
+The *slow-fault* kinds (DESIGN.md section 6.4) differ from the fail-fast
+ones in how they manifest: ``hang`` makes the job stop progressing (the
+payload's simulated duration becomes effectively unbounded -- without a
+watchdog it devolves into the job's walltime TIMEOUT; with one it is
+cancelled as HUNG at the deadline), ``slow`` multiplies the job's
+duration by :data:`SLOW_FACTOR` (straggler food for speculative
+execution), and ``sicknode`` targets a *node name* rather than a case:
+every job allocated onto a selected node is degraded by
+:data:`SICK_FACTOR` until node-health tracking drains it.
 
 Selection is a pure function of ``(seed, kind, case)`` -- a SHA-256 hash
 mapped to [0, 1) and compared against the rate -- so whether a coordinate
@@ -45,17 +59,40 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "FAULT_KINDS",
+    "SLOW_FACTOR",
+    "SICK_FACTOR",
+    "HANG_FACTOR",
     "Fault",
     "FaultClock",
     "FaultPlan",
     "FaultSpecError",
     "InjectedFault",
+    "JobEffects",
     "parse_fault_spec",
     "unit_hash",
 ]
 
-#: the injectable failure categories, one per resilience-relevant layer
-FAULT_KINDS = ("build", "submit", "timeout", "hook", "perflog")
+#: the injectable failure categories, one per resilience-relevant layer.
+#: ``hang``/``slow``/``sicknode`` are the *slow-fault* kinds: they do not
+#: raise at an injection site but degrade a job's simulated execution
+#: (see :meth:`SchedulerFaultInjector.job_effects`)
+FAULT_KINDS = (
+    "build", "submit", "timeout", "hook", "perflog",
+    "hang", "slow", "sicknode",
+)
+
+#: duration multiplier for a job hit by a ``slow`` fault (a straggler:
+#: well past any sane --straggler-factor, well short of a hang)
+SLOW_FACTOR = 8.0
+
+#: duration multiplier for a job placed on a ``sicknode`` (degraded, not
+#: dead: the node completes work, slowly, poisoning whatever lands on it)
+SICK_FACTOR = 6.0
+
+#: duration multiplier for a ``hang`` fault: makes the job overshoot any
+#: watchdog deadline *and* its own walltime, so an undetected hang still
+#: terminates (as TIMEOUT) instead of wedging the simulation
+HANG_FACTOR = 1e6
 
 
 class FaultSpecError(ValueError):
@@ -332,6 +369,35 @@ class FaultPlan:
         return f"FaultPlan({self.format()!r}, seed={self.seed})"
 
 
+@dataclass
+class JobEffects:
+    """Slow-fault degradations applied to one starting job.
+
+    Computed once per job start by :meth:`SchedulerFaultInjector.job_effects`
+    and consumed by :meth:`repro.scheduler.base.BatchScheduler._start`:
+    the job's simulated duration is multiplied by :attr:`slowdown`
+    (compounding ``slow`` and ``sicknode`` hits), and :attr:`hung` marks
+    a job that stopped progressing entirely.  :attr:`sick_nodes` names
+    the degraded allocation members so node-health tracking can
+    attribute the slowdown to the machine, not the program.
+    """
+
+    hung: bool = False
+    slowdown: float = 1.0
+    sick_nodes: List[str] = None  # type: ignore[assignment]
+    faults: List[Fault] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.sick_nodes is None:
+            self.sick_nodes = []
+        if self.faults is None:
+            self.faults = []
+
+    @property
+    def degraded(self) -> bool:
+        return self.hung or self.slowdown > 1.0
+
+
 class SchedulerFaultInjector:
     """Adapter binding a :class:`FaultPlan` to one case for the scheduler.
 
@@ -342,7 +408,10 @@ class SchedulerFaultInjector:
       submission (the pipeline sees a scheduler error);
     * :meth:`on_start` -- called when a job starts; returning a
       :class:`Fault` makes the job die as a node failure with partial
-      stdout.
+      stdout;
+    * :meth:`job_effects` -- called when a job starts with its node
+      allocation; returns the :class:`JobEffects` degradations (hang /
+      slowdown) the slow-fault kinds impose on this job.
     """
 
     def __init__(self, plan: FaultPlan, target: str):
@@ -354,3 +423,29 @@ class SchedulerFaultInjector:
 
     def on_start(self, job: object) -> Optional[Fault]:
         return self.plan.check("timeout", self.target)
+
+    def job_effects(self, job: object, nodes: Sequence[str]) -> JobEffects:
+        """Slow-fault consultation for one starting job.
+
+        ``hang`` and ``slow`` are keyed by the case target (application-
+        or placement-level pathology); ``sicknode`` is keyed by *node
+        name*, so the same degraded node poisons every case allocated
+        onto it -- which is exactly the signal node-health scoring needs.
+        """
+        effects = JobEffects()
+        hang = self.plan.check("hang", self.target)
+        if hang is not None:
+            effects.hung = True
+            effects.slowdown = max(effects.slowdown, HANG_FACTOR)
+            effects.faults.append(hang)
+        slow = self.plan.check("slow", self.target)
+        if slow is not None:
+            effects.slowdown *= SLOW_FACTOR
+            effects.faults.append(slow)
+        for node in nodes:
+            sick = self.plan.check("sicknode", node)
+            if sick is not None:
+                effects.slowdown *= SICK_FACTOR
+                effects.sick_nodes.append(node)
+                effects.faults.append(sick)
+        return effects

@@ -128,10 +128,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="deterministic chaos testing: inject faults "
                              "per SPEC, e.g. 'build:0.3,submit:0.2x2,"
                              "timeout@*hpcg*#1' (kinds: build, submit, "
-                             "timeout, hook, perflog)")
+                             "timeout, hook, perflog, hang, slow, "
+                             "sicknode)")
     parser.add_argument("--fault-seed", type=int, default=0, metavar="N",
                         help="seed for --inject-faults selection and "
                              "backoff jitter (default: 0)")
+    # ---- slow faults (DESIGN.md section 6.4) ----------------------------
+    parser.add_argument("--watchdog", default=None, metavar="SPEC",
+                        help="per-stage deadlines on the simulated clock: "
+                             "SECONDS (run deadline) or "
+                             "'run=S,build=S[,heartbeat=S]'; a job past "
+                             "its run budget is killed as HUNG "
+                             "(transient, hence retried)")
+    parser.add_argument("--speculate", action="store_true",
+                        help="straggler mitigation: launch one "
+                             "speculative duplicate for cases slower "
+                             "than --straggler-factor x the running "
+                             "median of completed peers; first completion "
+                             "wins, only the winner is perflogged")
+    parser.add_argument("--straggler-factor", type=float, default=2.0,
+                        metavar="F",
+                        help="speculation threshold multiplier over the "
+                             "running median case duration (default: 2.0)")
+    parser.add_argument("--drain-after", type=int, default=None,
+                        metavar="N",
+                        help="node health: softly drain a node after N "
+                             "attributed fault events (hangs, failures, "
+                             "degradations); state is journaled and "
+                             "survives --resume (default: off)")
     return parser
 
 
@@ -250,6 +274,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     retry = RetryPolicy(
         max_attempts=args.max_retries + 1, seed=args.fault_seed
     )
+    watchdog = None
+    if args.watchdog:
+        from repro.runner.watchdog import WatchdogSpecError, as_watchdog
+
+        try:
+            watchdog = as_watchdog(args.watchdog)
+        except WatchdogSpecError as exc:
+            print(f"error: --watchdog: {exc}", file=sys.stderr)
+            return 1
+    if args.straggler_factor <= 1.0:
+        print("error: --straggler-factor must be > 1", file=sys.stderr)
+        return 1
+    if args.drain_after is not None and args.drain_after < 1:
+        print("error: --drain-after must be >= 1", file=sys.stderr)
+        return 1
     report = executor.run_cases(
         cases,
         policy=args.policy,
@@ -259,6 +298,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_failures=args.max_failures,
         journal=args.journal,
         resume=args.resume,
+        watchdog=watchdog,
+        speculation=args.speculate,
+        straggler_factor=args.straggler_factor,
+        drain_after=args.drain_after,
     )
     print(report.summary(), end="")
     if args.performance_report:

@@ -45,7 +45,12 @@ from repro.pkgmgr.memo import ConcretizationCache
 from repro.runner.benchmark import RegressionTest
 from repro.runner.config import SiteConfig, default_site_config
 from repro.runner.fields import class_variables, parameter_space
-from repro.runner.parallel import order_by_dependencies, run_waves
+from repro.runner.health import HealthTracker
+from repro.runner.parallel import (
+    SpeculationPolicy,
+    order_by_dependencies,
+    run_waves,
+)
 from repro.runner.perflog import PerflogHandler
 from repro.runner.pipeline import CaseResult, TestCase, run_case
 from repro.runner.resilience import (
@@ -59,6 +64,7 @@ from repro.runner.resilience import (
     case_fingerprint,
     result_from_record,
 )
+from repro.runner.watchdog import Watchdog, WatchdogSpec, as_watchdog
 
 __all__ = ["Executor", "RunReport", "POLICIES"]
 
@@ -71,6 +77,12 @@ class RunReport:
     results: List[CaseResult] = field(default_factory=list)
     #: circuit-breaker trip message when the campaign stopped early
     aborted: Optional[str] = None
+    #: nodes the health tracker drained during the campaign
+    drained_nodes: List[str] = field(default_factory=list)
+    #: watchdog accounting (``Watchdog.as_dict()``) when one was armed
+    watchdog: Optional[Dict[str, Any]] = None
+    #: node-health ledger (``HealthTracker.as_dict()``) when one ran
+    health: Optional[Dict[str, Any]] = None
 
     @property
     def num_cases(self) -> int:
@@ -103,6 +115,18 @@ class RunReport:
     @property
     def faults_injected(self) -> int:
         return sum(len(r.fault_log) for r in self.results)
+
+    @property
+    def speculated(self) -> List[CaseResult]:
+        return [r for r in self.results if r.speculated]
+
+    @property
+    def speculation_wins(self) -> List[CaseResult]:
+        return [r for r in self.results if r.speculation_won]
+
+    @property
+    def hung_attempts(self) -> int:
+        return sum(r.hung_attempts for r in self.results)
 
     @property
     def success(self) -> bool:
@@ -141,6 +165,21 @@ class RunReport:
             out.write(f"Quarantined {len(self.quarantined)} case(s)\n")
         if self.faults_injected:
             out.write(f"Absorbed {self.faults_injected} injected fault(s)\n")
+        if self.hung_attempts:
+            out.write(
+                f"Hung: {self.hung_attempts} attempt(s) killed by the "
+                f"watchdog\n"
+            )
+        if self.speculated:
+            out.write(
+                f"Speculated {len(self.speculated)} straggler case(s) "
+                f"({len(self.speculation_wins)} duplicate(s) won)\n"
+            )
+        if self.drained_nodes:
+            out.write(
+                f"Drained {len(self.drained_nodes)} node(s): "
+                f"{', '.join(self.drained_nodes)}\n"
+            )
         if self.aborted:
             out.write(f"ABORTED: {self.aborted}\n")
         return out.getvalue()
@@ -307,6 +346,11 @@ class Executor:
         journal: Optional[Union[str, CampaignJournal]] = None,
         resume: bool = False,
         quarantine_threshold: Optional[int] = 3,
+        watchdog: Optional[Union[str, WatchdogSpec, Watchdog]] = None,
+        speculation: Optional[Union[bool, SpeculationPolicy]] = None,
+        straggler_factor: float = 2.0,
+        drain_after: Optional[int] = None,
+        health: Optional[HealthTracker] = None,
     ) -> RunReport:
         """Run a campaign under the chosen execution policy.
 
@@ -331,6 +375,27 @@ class Executor:
           ``resume=True`` completed cases found in the journal are
           replayed instead of re-run, and cases that failed in
           ``quarantine_threshold`` earlier cycles are quarantined.
+
+        Slow faults (DESIGN.md section 6.4):
+
+        * ``watchdog`` (a spec string, :class:`WatchdogSpec` or armed
+          :class:`Watchdog`) enforces per-stage deadlines on the
+          simulated clock -- a job still running past its ``run`` budget
+          is cancelled as HUNG (transient, hence retried), a build over
+          its ``build`` budget fails the build stage;
+        * ``speculation`` (``True`` or a :class:`SpeculationPolicy`)
+          launches one speculative duplicate for any case slower than
+          ``straggler_factor x`` the running median of completed peers;
+          the accepted attempt is the only one perflogged/journaled;
+        * ``drain_after`` arms a campaign-wide
+          :class:`~repro.runner.health.HealthTracker`: nodes blamed for
+          ``drain_after`` fault events are (softly) drained from
+          allocation; state is journaled and restored on ``resume``.
+          Pass a ``health`` tracker explicitly to share or pre-seed one.
+
+        None of these are armed by default, and the default path runs
+        byte-identically to earlier releases.  On successful completion
+        the journal (if any) is compacted in place.
         """
         if policy not in POLICIES:
             raise ValueError(
@@ -345,10 +410,23 @@ class Executor:
         breaker = CircuitBreaker(max_failures)
         quarantine = Quarantine(quarantine_threshold)
         journal = as_journal(journal)
+        watchdog = as_watchdog(watchdog)
+        if health is None and drain_after is not None:
+            health = HealthTracker(drain_after=drain_after)
+        if isinstance(speculation, bool):
+            speculation = (
+                SpeculationPolicy(straggler_factor=straggler_factor)
+                if speculation
+                else None
+            )
         completed: Dict[str, Dict[str, Any]] = {}
         if journal is not None and resume:
             completed = journal.load()
             quarantine.seed(journal.failure_counts())
+            if health is not None:
+                snapshot = journal.health_snapshot()
+                if snapshot is not None:
+                    health.restore(snapshot)
         if self.perflog is not None and faults is not None:
             self.perflog.faults = faults
 
@@ -375,6 +453,8 @@ class Executor:
                 retry=retry_policy,
                 faults=faults,
                 clock=clock,
+                watchdog=watchdog,
+                health=health,
             )
 
         collected: List[CaseResult] = []
@@ -391,7 +471,8 @@ class Executor:
             if failed and not result.resumed:
                 failures = quarantine.record_failure(fingerprint)
             if not result.resumed:
-                self._persist(result, journal, fingerprint, failures)
+                self._persist(result, journal, fingerprint, failures,
+                              health=health)
             if failed:
                 breaker.record_failure()
                 if breaker.tripped:
@@ -404,6 +485,7 @@ class Executor:
                 case_runner,
                 workers=effective_workers,
                 on_result=on_result,
+                speculation=speculation,
             )
         except CampaignAborted as exc:
             aborted = str(exc)
@@ -411,7 +493,20 @@ class Executor:
         finally:
             if self.perflog is not None:
                 self.perflog.flush()
-        return RunReport(results=list(results), aborted=aborted)
+            # journal any health mutations the final cases produced
+            if journal is not None and health is not None and health.dirty:
+                journal.record_health(health.snapshot())
+        report = RunReport(
+            results=list(results),
+            aborted=aborted,
+            drained_nodes=health.drained if health is not None else [],
+            watchdog=watchdog.as_dict() if watchdog is not None else None,
+            health=health.as_dict() if health is not None else None,
+        )
+        if journal is not None and report.success:
+            # a finished campaign's journal only needs its latest state
+            journal.compact()
+        return report
 
     def _persist(
         self,
@@ -419,6 +514,7 @@ class Executor:
         journal: Optional[CampaignJournal],
         fingerprint: str,
         failures: Optional[int],
+        health: Optional[HealthTracker] = None,
     ) -> None:
         """Emit one result's perflog rows, then journal it.
 
@@ -451,6 +547,10 @@ class Executor:
                     raise last
         if journal is not None:
             journal.record(result, fingerprint=fingerprint, failures=failures)
+            if health is not None and health.dirty:
+                # snapshot *after* the case record: a resumed campaign
+                # restores at least the health state this case produced
+                journal.record_health(health.snapshot())
 
     def run(
         self,

@@ -1,0 +1,206 @@
+"""Node-health scoring and drain decisions (DESIGN.md section 6.4).
+
+A degraded node does not fail loudly -- it completes work slowly,
+poisoning every case the scheduler places on it.  Production fleets
+handle this with health scoring and drain lists; this module is that
+layer for the simulated platforms:
+
+* every finished job *attributes* its outcome to the nodes it ran on
+  (:meth:`~repro.scheduler.base.BatchScheduler._attribute_health`):
+  hangs, node failures, sicknode degradations and straggles are faults,
+  clean completions are credits;
+* each node keeps an EWMA health score in ``[0, 1]``
+  (``score' = (1 - alpha) * score + alpha * outcome`` with outcome 1 for
+  a credit, 0 for a fault) plus a cumulative *strike* count;
+* a node whose strikes reach ``--drain-after N`` is **drained**: the
+  allocation layer (:class:`~repro.scheduler.allocation.NodePool`) stops
+  placing work on it except as a last resort (soft drain -- a mostly-
+  drained pool still completes campaigns rather than deadlocking);
+* the whole tracker snapshots to/from JSON, is persisted in the campaign
+  journal whenever it changes, and is restored on ``--resume`` -- a
+  node drained before a crash stays drained after it -- and lands in the
+  run provenance.
+
+Determinism: scores and strikes change only in response to simulated-
+scheduler events, which are themselves deterministic; the tracker is
+lock-protected because async campaigns drive schedulers from worker
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = ["HealthTracker", "NodeHealth"]
+
+#: EWMA smoothing factor: one fault drops a pristine node to 0.7, three
+#: consecutive faults to ~0.34 -- fast enough to react within a handful
+#: of jobs, slow enough that one unlucky straggle does not condemn a node
+DEFAULT_ALPHA = 0.3
+
+
+@dataclass
+class NodeHealth:
+    """Per-node fault/straggler history."""
+
+    node: str
+    #: EWMA health score in [0, 1]; 1.0 = pristine
+    score: float = 1.0
+    #: cumulative fault events (hang/fail/sick/slow) -- the drain counter
+    strikes: int = 0
+    #: cumulative clean completions
+    credits: int = 0
+    #: the most recent fault kind observed ('' if none)
+    last_fault: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "score": round(self.score, 6),
+            "strikes": self.strikes,
+            "credits": self.credits,
+            "last_fault": self.last_fault,
+        }
+
+
+class HealthTracker:
+    """Campaign-wide node-health ledger with an optional drain threshold.
+
+    ``drain_after=None`` scores but never drains (observability only);
+    ``drain_after=N`` drains a node on its N-th strike.  The tracker is
+    shared across every per-case scheduler instance in a campaign --
+    node *names* are stable per partition, so history accumulates even
+    though each case simulates a fresh queue.
+    """
+
+    def __init__(
+        self,
+        drain_after: Optional[int] = None,
+        alpha: float = DEFAULT_ALPHA,
+    ):
+        if drain_after is not None and drain_after < 1:
+            raise ValueError("drain_after must be >= 1 (or None)")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.drain_after = drain_after
+        self.alpha = alpha
+        self._nodes: Dict[str, NodeHealth] = {}
+        self._drained: List[str] = []
+        self._lock = threading.Lock()
+        #: set whenever state changes; the executor journals a snapshot
+        #: and clears it (crash-safe persistence without spamming lines)
+        self._dirty = False
+
+    # -- event intake --------------------------------------------------------
+    def _entry(self, node: str) -> NodeHealth:
+        entry = self._nodes.get(node)
+        if entry is None:
+            entry = NodeHealth(node=node)
+            self._nodes[node] = entry
+        return entry
+
+    def record_fault(self, node: str, kind: str) -> None:
+        """One slow/fail event attributed to *node* (EWMA toward 0)."""
+        with self._lock:
+            entry = self._entry(node)
+            entry.score = (1.0 - self.alpha) * entry.score
+            entry.strikes += 1
+            entry.last_fault = kind
+            self._dirty = True
+            if (
+                self.drain_after is not None
+                and entry.strikes >= self.drain_after
+                and node not in self._drained
+            ):
+                self._drained.append(node)
+                self._drained.sort()
+
+    def record_ok(self, node: str) -> None:
+        """One clean completion on *node* (EWMA toward 1)."""
+        with self._lock:
+            entry = self._entry(node)
+            entry.score = (1.0 - self.alpha) * entry.score + self.alpha
+            entry.credits += 1
+            self._dirty = True
+
+    # -- queries -------------------------------------------------------------
+    def is_drained(self, node: str) -> bool:
+        with self._lock:
+            return node in self._drained
+
+    @property
+    def drained(self) -> List[str]:
+        with self._lock:
+            return list(self._drained)
+
+    def score(self, node: str) -> float:
+        with self._lock:
+            entry = self._nodes.get(node)
+            return 1.0 if entry is None else entry.score
+
+    def strikes(self, node: str) -> int:
+        with self._lock:
+            entry = self._nodes.get(node)
+            return 0 if entry is None else entry.strikes
+
+    @property
+    def dirty(self) -> bool:
+        with self._lock:
+            return self._dirty
+
+    # -- persistence ---------------------------------------------------------
+    def snapshot(self, clear_dirty: bool = True) -> Dict[str, Any]:
+        """JSON-able state (journal / provenance payload)."""
+        with self._lock:
+            snap = {
+                "drain_after": self.drain_after,
+                "alpha": self.alpha,
+                "drained": list(self._drained),
+                "nodes": {
+                    name: entry.as_dict()
+                    for name, entry in sorted(self._nodes.items())
+                },
+            }
+            if clear_dirty:
+                self._dirty = False
+            return snap
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Merge a journal snapshot back in (``--resume``).
+
+        Restored state *merges* with (rather than replaces) anything
+        already recorded, keeping the worse view of each node: max
+        strikes, min score -- a node drained before the crash stays
+        drained after it.
+        """
+        with self._lock:
+            for name, payload in (snapshot.get("nodes") or {}).items():
+                entry = self._entry(name)
+                entry.score = min(entry.score,
+                                  float(payload.get("score", 1.0)))
+                entry.strikes = max(entry.strikes,
+                                    int(payload.get("strikes", 0)))
+                entry.credits = max(entry.credits,
+                                    int(payload.get("credits", 0)))
+                entry.last_fault = (
+                    str(payload.get("last_fault", "")) or entry.last_fault
+                )
+            for node in snapshot.get("drained") or []:
+                if node not in self._drained:
+                    self._drained.append(node)
+            self._drained.sort()
+            # re-derive drains the snapshot predates (e.g. a lowered
+            # --drain-after on the resumed invocation)
+            if self.drain_after is not None:
+                for name, entry in self._nodes.items():
+                    if (
+                        entry.strikes >= self.drain_after
+                        and name not in self._drained
+                    ):
+                        self._drained.append(name)
+                self._drained.sort()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Provenance payload (never clears the dirty flag)."""
+        return self.snapshot(clear_dirty=False)

@@ -28,12 +28,16 @@ pinned perflog timestamp, serial and async runs therefore produce
 
 from __future__ import annotations
 
+import statistics
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.pipeline import CaseResult, TestCase, infra_failure
 
 __all__ = [
+    "SpeculationPolicy",
     "order_by_dependencies",
     "dependency_waves",
     "resolve_dependencies",
@@ -137,11 +141,109 @@ def resolve_dependencies(
     return None
 
 
+def _case_duration(result: CaseResult) -> float:
+    """The simulated seconds one finished case spent doing work."""
+    return float(result.job_seconds) + float(result.build_seconds)
+
+
+@dataclass
+class SpeculationPolicy:
+    """Straggler mitigation: speculative duplicates for slow cases.
+
+    When a case's duration exceeds ``straggler_factor x`` the running
+    median duration of its completed peers (and at least ``min_peers``
+    peers have completed -- a median of one case is noise), one
+    speculative duplicate attempt is launched.  *First completion wins*
+    on the simulated timeline -- i.e. the attempt with the smaller
+    duration -- with a deterministic tie-break preferring the original,
+    and a failing duplicate never displaces a passing original.  Only
+    the accepted attempt is ever streamed to ``on_result``, so perflog
+    rows and journal entries stay single-writer and the output is
+    byte-identical to a serial, speculation-free run.
+
+    Why a duplicate can be faster: transient ``slow`` faults clear on
+    the next attempt, and health-aware allocation steers the duplicate
+    away from nodes that have since been drained.
+    """
+
+    straggler_factor: float = 2.0
+    #: completed peers needed before the median is trusted
+    min_peers: int = 3
+    #: simulated duration of a finished case
+    duration_of: Callable[[CaseResult], float] = _case_duration
+
+    def __post_init__(self) -> None:
+        if self.straggler_factor <= 1.0:
+            raise ValueError(
+                f"straggler_factor must be > 1, got {self.straggler_factor}"
+            )
+        if self.min_peers < 1:
+            raise ValueError("min_peers must be >= 1")
+
+    # runtime state (campaign-scoped, lock-protected: the consuming loop
+    # is single-threaded but shared policies may outlive one run_waves)
+    _durations: List[float] = field(default_factory=list, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def note_completed(self, result: CaseResult) -> None:
+        """Feed one *accepted* result into the running median."""
+        if result.resumed or (not result.passed and not result.skipped):
+            return  # replayed/failed cases say nothing about healthy pace
+        if result.skipped:
+            return
+        with self._lock:
+            self._durations.append(self.duration_of(result))
+
+    def is_straggler(self, result: CaseResult) -> bool:
+        """Whether *result* ran suspiciously slower than its peers."""
+        if result.resumed or not result.passed:
+            return False  # failures go through the retry path instead
+        with self._lock:
+            if len(self._durations) < self.min_peers:
+                return False
+            median = statistics.median(self._durations)
+        if median <= 0:
+            return False
+        return self.duration_of(result) > self.straggler_factor * median
+
+    def choose(
+        self, original: CaseResult, duplicate: CaseResult
+    ) -> CaseResult:
+        """First completion wins; ties (and failures) keep the original."""
+        if not duplicate.passed:
+            return original
+        if self.duration_of(duplicate) < self.duration_of(original):
+            return duplicate
+        return original
+
+
+def _speculate(
+    case: TestCase,
+    original: CaseResult,
+    runner: Callable[[TestCase], CaseResult],
+    policy: SpeculationPolicy,
+) -> CaseResult:
+    """Run one speculative duplicate and return the accepted attempt.
+
+    Exactly one of the two attempts is returned (and thus perflogged /
+    journaled); the loser is dropped on the floor, mirroring how a real
+    speculative executor cancels the slower clone.  The accepted result
+    is annotated for provenance either way.
+    """
+    duplicate = runner(case)
+    winner = policy.choose(original, duplicate)
+    winner.speculated = True
+    winner.speculation_won = winner is duplicate
+    return winner
+
+
 def run_waves(
     ordered: Sequence[TestCase],
     case_runner: Callable[[TestCase], CaseResult],
     workers: int = 1,
     on_result: Optional[Callable[[CaseResult], None]] = None,
+    speculation: Optional[SpeculationPolicy] = None,
 ) -> List[CaseResult]:
     """Execute a topologically-ordered campaign wave by wave.
 
@@ -162,6 +264,15 @@ def run_waves(
     the whole campaign.  :class:`~repro.runner.resilience.CampaignAborted`
     is a ``BaseException`` precisely so it cuts through this guard --
     it is the circuit breaker's deliberate stop signal.
+
+    Straggler mitigation: with a ``speculation`` policy, a case whose
+    duration exceeds ``straggler_factor x`` the running median of its
+    completed peers gets one speculative duplicate; the accepted attempt
+    (first simulated completion, original preferred on ties) is the
+    *only* one published to results/``on_result``, so downstream
+    perflog/journal writers never see a double write.  Speculation
+    decisions are made in the deterministic consumption order, so serial
+    and async campaigns speculate identically.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -175,6 +286,10 @@ def run_waves(
             return case_runner(case)
         except Exception as exc:  # CampaignAborted passes through
             return infra_failure(case, exc)
+
+    def guarded_case(i: int) -> Callable[[TestCase], CaseResult]:
+        """The guarded runner re-bound for a speculative duplicate."""
+        return lambda _case: guarded(i)
 
     pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
     try:
@@ -203,12 +318,25 @@ def run_waves(
                     result = results[i]
                 else:
                     result = next(result_iter)
+                    if speculation is not None and speculation.is_straggler(
+                        result  # type: ignore[arg-type]
+                    ):
+                        result = _speculate(
+                            ordered[i],
+                            result,  # type: ignore[arg-type]
+                            guarded_case(i),
+                            speculation,
+                        )
                     results[i] = result
                     key = (
                         ordered[i].platform,
                         type(ordered[i].test).base_name(),
                     )
                     finished[key] = result  # last duplicate key wins
+                    if speculation is not None:
+                        speculation.note_completed(
+                            result  # type: ignore[arg-type]
+                        )
                 if on_result is not None:
                     on_result(result)  # type: ignore[arg-type]
     finally:

@@ -119,6 +119,13 @@ class CaseResult:
     #: a retryable failure exhausted its retry budget (or the case was
     #: barred by the executor's quarantine ledger)
     quarantined: bool = False
+    # ---- slow-fault provenance (DESIGN.md section 6.4) ----
+    #: a speculative duplicate was launched for this case (straggler)
+    speculated: bool = False
+    #: the accepted attempt was the speculative duplicate, not the original
+    speculation_won: bool = False
+    #: attempts on which the watchdog killed a hung job/build for this case
+    hung_attempts: int = 0
     #: whether the recorded failure is worth retrying (retry taxonomy)
     retryable: bool = field(default=False, repr=False)
     #: progress marker for the blanket exception guard
@@ -260,6 +267,8 @@ def run_case(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     clock: Optional[FaultClock] = None,
+    watchdog: Optional[object] = None,
+    health: Optional[object] = None,
 ) -> CaseResult:
     """Drive one test case through the whole pipeline, with retries.
 
@@ -275,6 +284,14 @@ def run_case(
     (virtual time -- the campaign never sleeps for real), and ``faults``
     is the optional chaos plan consulted at every injection site.
 
+    ``watchdog`` (:class:`~repro.runner.watchdog.Watchdog`) enforces the
+    slow-fault deadlines: it is armed on the per-case scheduler at every
+    job start (run-stage hang kill) and consulted after the build stage
+    (build budget); a watchdog kill is a *transient* HUNG failure, so it
+    feeds the same retry loop.  ``health``
+    (:class:`~repro.runner.health.HealthTracker`) receives per-node
+    outcome attribution and steers allocation away from drained nodes.
+
     This function is *total*: any exception short of
     :class:`~repro.runner.resilience.CampaignAborted` becomes a
     structured FAILED result.
@@ -286,9 +303,13 @@ def run_case(
     target = case.display_name
     backoffs: List[float] = []
     result = CaseResult(case=case)
+    hung_attempts = 0
 
     for attempt in range(1, policy.max_attempts + 1):
-        result = _attempt_case(case, installer, concretizer_cache, faults)
+        result = _attempt_case(case, installer, concretizer_cache, faults,
+                               watchdog, health)
+        hung_attempts += result.hung_attempts
+        result.hung_attempts = hung_attempts
         result.attempts = attempt
         result.backoff_schedule = list(backoffs)
         if faults is not None:
@@ -314,12 +335,15 @@ def _attempt_case(
     installer: Installer,
     concretizer_cache: Optional[ConcretizationCache],
     faults: Optional[FaultPlan],
+    watchdog: Optional[object] = None,
+    health: Optional[object] = None,
 ) -> CaseResult:
     """One pipeline pass; never raises (except deliberate aborts)."""
     result = CaseResult(case=case)
     try:
         return _attempt_stages(case, result, installer,
-                               concretizer_cache, faults)
+                               concretizer_cache, faults,
+                               watchdog, health)
     except InjectedFault as exc:
         return _fail(result, result._stage, str(exc),
                      retryable=exc.transient)
@@ -339,6 +363,8 @@ def _attempt_stages(
     installer: Installer,
     concretizer_cache: Optional[ConcretizationCache],
     faults: Optional[FaultPlan],
+    watchdog: Optional[object] = None,
+    health: Optional[object] = None,
 ) -> CaseResult:
     test = case.test
     target = case.display_name
@@ -404,6 +430,16 @@ def _attempt_stages(
         result.build_log = [line for r in records for line in r.log]
         result.build_seconds = sum(r.build_seconds for r in records)
 
+    # watchdog build budget (DESIGN.md section 6.4): a build that blows
+    # its deadline is treated like a hung build node -- transient, so the
+    # retry loop re-attempts it (a wedged compiler node is as retryable
+    # as a wedged compute node)
+    if watchdog is not None:
+        violation = watchdog.check_build(target, result.build_seconds)
+        if violation is not None:
+            result.hung_attempts = 1
+            return _fail(result, "build", violation, retryable=True)
+
     # ------------------------------------------------------------------ run --
     result._stage = "run"
     failure = _run_hooks(test, "before", "run", result, faults, target)
@@ -436,8 +472,10 @@ def _attempt_stages(
         require_account=case.system.requires_account,
         require_qos=case.system.requires_qos,
         fault_injector=injector,
+        watchdog=watchdog,
+        health=health,
     ) if case.partition.scheduler != "local" else make_scheduler(
-        "local", fault_injector=injector
+        "local", fault_injector=injector, watchdog=watchdog, health=health
     )
 
     job = Job(
@@ -496,10 +534,14 @@ def _attempt_stages(
         # a model refusing to run is the Figure 2 '*' box, keep it precise
         if UnsupportedModelError.__name__ in reason:
             return _fail(result, "run", reason)
+        if job_result.state is JobState.HUNG:
+            # the watchdog killed a hung job: count it for provenance
+            result.hung_attempts = 1
         return _fail(
             result, "run", f"job {job_result.state.value}: {reason}",
-            # timeouts and node failures blame the machine, not the
-            # program: worth retrying.  A FAILED job is a program crash.
+            # timeouts, node failures and watchdog kills blame the
+            # machine, not the program: worth retrying.  A FAILED job
+            # is a program crash.
             retryable=job_result.state.transient_failure,
         )
     failure = _run_hooks(test, "after", "run", result, faults, target)

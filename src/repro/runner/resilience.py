@@ -317,7 +317,27 @@ class CampaignJournal:
             "build_seconds": result.build_seconds,
             "job_seconds": result.job_seconds,
             "queue_seconds": result.queue_seconds,
+            "speculated": result.speculated,
+            "speculation_won": result.speculation_won,
+            "hung_attempts": result.hung_attempts,
         }
+        self._append(record)
+        return record
+
+    def record_health(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        """Append a node-health snapshot (``kind='health'`` meta record).
+
+        Written whenever the tracker changed since the last journal
+        write, so a resumed campaign restores the drain/score state the
+        crashed one had accumulated.  Case-record readers
+        (:meth:`load`, :meth:`failure_counts`) skip meta records; the
+        *last* health record wins on restore.
+        """
+        record = {"kind": "health", "health": snapshot}
+        self._append(record)
+        return record
+
+    def _append(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
             directory = os.path.dirname(self.path)
@@ -328,11 +348,13 @@ class CampaignJournal:
                 fh.flush()
                 if self.sync:
                     os.fsync(fh.fileno())
-        return record
 
     # -- reading -------------------------------------------------------------
     def entries(self) -> Iterable[Dict[str, Any]]:
         """Every intact record, oldest first (torn tail skipped)."""
+        return self._entries_unlocked()
+
+    def _entries_unlocked(self) -> List[Dict[str, Any]]:
         if not os.path.exists(self.path):
             return []
         out: List[Dict[str, Any]] = []
@@ -354,22 +376,79 @@ class CampaignJournal:
         return out
 
     def load(self) -> Dict[str, Dict[str, Any]]:
-        """Latest record per fingerprint (the resume state)."""
+        """Latest case record per fingerprint (the resume state)."""
         state: Dict[str, Dict[str, Any]] = {}
         for record in self.entries():
-            state[record["fingerprint"]] = record
+            fingerprint = record.get("fingerprint")
+            if fingerprint is None:
+                continue  # meta record (health snapshot etc.)
+            state[fingerprint] = record
         return state
 
     def failure_counts(self) -> Dict[str, int]:
         """Cumulative failure count per fingerprint (quarantine seed)."""
         counts: Dict[str, int] = {}
         for record in self.entries():
-            if record.get("status") == "failed":
+            if record.get("status") == "failed" and "fingerprint" in record:
                 counts[record["fingerprint"]] = max(
                     counts.get(record["fingerprint"], 0),
                     int(record.get("failures", 1)),
                 )
         return counts
+
+    def health_snapshot(self) -> Optional[Dict[str, Any]]:
+        """The latest node-health snapshot, if any was journaled."""
+        latest: Optional[Dict[str, Any]] = None
+        for record in self.entries():
+            if record.get("kind") == "health":
+                latest = record.get("health")
+        return latest
+
+    # -- maintenance ---------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the journal keeping only the *latest* record per key.
+
+        An append-only journal grows without bound across retries and
+        resume cycles (every re-run of a case appends another line).
+        Compaction keeps the last case record per fingerprint -- exactly
+        what :meth:`load` would reconstruct -- plus the last health
+        snapshot, preserving their relative order, and replaces the file
+        atomically (write temp + fsync + rename), so a crash mid-compact
+        leaves either the old journal or the new one, never a torn mix.
+        The executor runs this automatically when a campaign completes
+        successfully.  Returns the number of records dropped.
+        """
+        with self._lock:
+            records = list(self._entries_unlocked())
+            keep_index: Dict[str, int] = {}
+            last_health = -1
+            for i, record in enumerate(records):
+                if record.get("kind") == "health":
+                    last_health = i
+                elif "fingerprint" in record:
+                    keep_index[record["fingerprint"]] = i
+            keep = set(keep_index.values())
+            if last_health >= 0:
+                keep.add(last_health)
+            # unknown record shapes are preserved: compaction must never
+            # destroy data a newer writer understood and we do not
+            keep.update(
+                i for i, r in enumerate(records)
+                if "fingerprint" not in r and r.get("kind") != "health"
+            )
+            kept = [records[i] for i in sorted(keep)]
+            dropped = len(records) - len(kept)
+            if dropped <= 0:
+                return 0
+            tmp = self.path + ".compact"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for record in kept:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                if self.sync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            return dropped
 
 
 JournalLike = Union[str, CampaignJournal]
@@ -409,5 +488,8 @@ def result_from_record(case: Any, record: Dict[str, Any]) -> Any:
     result.build_seconds = float(record.get("build_seconds", 0.0))
     result.job_seconds = float(record.get("job_seconds", 0.0))
     result.queue_seconds = float(record.get("queue_seconds", 0.0))
+    result.speculated = bool(record.get("speculated", False))
+    result.speculation_won = bool(record.get("speculation_won", False))
+    result.hung_attempts = int(record.get("hung_attempts", 0))
     result.resumed = True
     return result

@@ -116,9 +116,25 @@ def assert_reference(
     lower_frac: float = -0.05,
     upper_frac: float = 0.05,
 ) -> bool:
-    """ReFrame-style reference check: value within (1+lower, 1+upper)*ref."""
+    """ReFrame-style reference check: value within (1+lower, 1+upper)*ref.
+
+    Works for references of either sign: multiplying a *negative*
+    reference by ``(1 + frac)`` swaps the endpoints (e.g. ref=-100 with
+    a +/-5% window gives raw bounds [-95, -105]), so the bounds are
+    ordered before checking -- otherwise every correct value would fail.
+    A zero reference makes a relative window degenerate (it admits only
+    exactly 0.0) and raises a clear error instead.
+    """
+    if reference == 0:
+        raise SanityError(
+            "assert_reference: reference value is 0, so a relative "
+            "window is degenerate; use assert_bounded with absolute "
+            "bounds instead"
+        )
     lo = reference * (1 + lower_frac)
     hi = reference * (1 + upper_frac)
+    if lo > hi:  # negative reference: the multiplication inverted them
+        lo, hi = hi, lo
     return assert_bounded(
         value, lo, hi,
         msg=f"value {value:.4g} outside reference window [{lo:.4g}, {hi:.4g}]",

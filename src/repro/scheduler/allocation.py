@@ -1,8 +1,17 @@
-"""Node allocation tracking with a no-oversubscription invariant."""
+"""Node allocation tracking with a no-oversubscription invariant.
+
+Health-aware placement (DESIGN.md section 6.4): the pool accepts an
+optional ``avoid`` predicate -- typically
+:meth:`repro.runner.health.HealthTracker.is_drained` -- and fills
+requests from non-avoided (healthy) free nodes first, falling back to
+drained nodes only when the request cannot otherwise be satisfied.
+Draining is *soft*: a sick node stops attracting work but a campaign
+whose pool is mostly drained still completes rather than deadlocking.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Callable, Dict, List, Optional, Set
 
 __all__ = ["NodePool", "AllocationError"]
 
@@ -19,7 +28,13 @@ class NodePool:
     local scheduler, which does not allocate at all.
     """
 
-    def __init__(self, name_prefix: str, num_nodes: int, cores_per_node: int):
+    def __init__(
+        self,
+        name_prefix: str,
+        num_nodes: int,
+        cores_per_node: int,
+        avoid: Optional[Callable[[str], bool]] = None,
+    ):
         if num_nodes < 1:
             raise AllocationError("a pool needs at least one node")
         self.cores_per_node = cores_per_node
@@ -28,6 +43,9 @@ class NodePool:
         ]
         self.free: List[str] = list(self.all_nodes)
         self.busy: Dict[str, int] = {}  # node -> job id
+        #: health predicate: ``avoid(node) -> True`` means the node is
+        #: drained -- allocate it only as a last resort
+        self.avoid = avoid
 
     @property
     def num_nodes(self) -> int:
@@ -53,8 +71,17 @@ class NodePool:
             raise AllocationError(
                 f"request for {count} nodes, only {self.num_free} free"
             )
-        taken = self.free[:count]
-        self.free = self.free[count:]
+        if self.avoid is not None:
+            # health-aware placement: healthy free nodes first (in name
+            # order -- deterministic), drained nodes only if unavoidable
+            healthy = [n for n in self.free if not self.avoid(n)]
+            drained = [n for n in self.free if self.avoid(n)]
+            candidates = healthy + drained
+        else:
+            candidates = self.free
+        taken = candidates[:count]
+        taken_set = set(taken)
+        self.free = [n for n in self.free if n not in taken_set]
         for node in taken:
             self.busy[node] = job_id
         return taken

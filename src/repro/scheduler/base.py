@@ -4,10 +4,21 @@ FIFO-with-backfill over a :class:`~repro.scheduler.allocation.NodePool`,
 driven by the discrete-event queue.  Subclasses only differ in the job
 script dialect they render and the option spellings they accept -- exactly
 the per-system variation Principle 5 says must be captured, not retyped.
+
+Slow-fault robustness (DESIGN.md section 6.4): running jobs keep live
+bookkeeping (:class:`_RunningJob`) so they can be *cancelled mid-run* --
+their nodes freed, their partial stdout preserved -- which is what the
+watchdog's hang kill and a user ``scancel`` both need.  An optional
+``watchdog`` is armed at every job start (it schedules heartbeat /
+progress events plus a deadline kill on the same discrete-event queue),
+and an optional ``health`` tracker receives per-node outcome attribution
+when jobs finish, feeding drain decisions back into the pool's
+health-aware placement.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.scheduler.allocation import NodePool
@@ -51,6 +62,33 @@ def _partial_stdout(stdout: str, fraction: float) -> str:
     return stdout[:cut]
 
 
+@dataclass
+class _RunningJob:
+    """Live bookkeeping for one dispatched job (until it finishes).
+
+    Keeping the precomputed outcome *out* of the finish closure is what
+    makes mid-run cancellation possible: ``cancel`` can drop the record,
+    release the nodes and synthesize a partial result, and the pending
+    finish event then sees the record gone and no-ops.
+    """
+
+    job: Job
+    ctx: JobContext
+    nodes: List[str]
+    #: outcome the job is heading for if nothing cancels it
+    end_state: JobState
+    stdout: str
+    stderr: str
+    #: duration the program *would* take (post-degradation, pre-clamp);
+    #: the denominator for progress/partial-stdout fractions
+    full_duration: float
+    #: scheduled sim-time until the finish event (clamped to walltime)
+    run_duration: float
+    #: slow-fault degradations applied at start (duck-typed JobEffects)
+    effects: Optional[object] = None
+    sick_nodes: List[str] = field(default_factory=list)
+
+
 class BatchScheduler:
     """Simulated batch system over one node pool."""
 
@@ -67,20 +105,38 @@ class BatchScheduler:
         require_account: bool = False,
         require_qos: bool = False,
         fault_injector: Optional[object] = None,
+        watchdog: Optional[object] = None,
+        health: Optional[object] = None,
     ):
         self.clock = SimClock()
         self.events = EventQueue(self.clock)
-        self.pool = NodePool(node_prefix, num_nodes, cores_per_node)
+        #: optional node-health tracker (repro.runner.health.HealthTracker):
+        #: duck-typed object with is_drained(node), record_fault(node, kind)
+        #: and record_ok(node); drained nodes are avoided by allocation
+        self.health = health
+        self.pool = NodePool(
+            node_prefix,
+            num_nodes,
+            cores_per_node,
+            avoid=health.is_drained if health is not None else None,
+        )
         self.require_account = require_account
         self.require_qos = require_qos
         #: optional chaos hook (see repro.faults.SchedulerFaultInjector):
         #: duck-typed object with on_submit(job) (raising aborts the
-        #: submission) and on_start(job) -> Optional[fault] (the job dies
-        #: as NODE_FAIL with partial stdout)
+        #: submission), on_start(job) -> Optional[fault] (the job dies
+        #: as NODE_FAIL with partial stdout) and job_effects(job, nodes)
+        #: -> JobEffects (hang/slow/sicknode degradations)
         self.fault_injector = fault_injector
+        #: optional hang watchdog (repro.runner.watchdog.Watchdog):
+        #: duck-typed object with arm(scheduler, job_id) called at every
+        #: job start; it schedules heartbeat/deadline events on *this*
+        #: scheduler's event queue and kills hung jobs via cancel()
+        self.watchdog = watchdog
         self._next_id = 1000
         self._queue: List[Job] = []
         self._jobs: Dict[int, Job] = {}
+        self._running: Dict[int, _RunningJob] = {}
 
     # -- submission ---------------------------------------------------------
     def validate(self, job: Job) -> None:
@@ -157,6 +213,18 @@ class BatchScheduler:
             stderr = f"{type(exc).__name__}: {exc}"
             failed = True
 
+        # slow faults first: a hang / straggle / sick node stretches the
+        # program's duration *before* walltime policing, so an undetected
+        # hang still terminates as TIMEOUT rather than wedging the queue
+        effects = None
+        if self.fault_injector is not None and hasattr(
+            self.fault_injector, "job_effects"
+        ):
+            effects = self.fault_injector.job_effects(job, nodes)
+            if not failed and effects.degraded:
+                duration = max(duration, 1e-6) * effects.slowdown
+
+        full_duration = duration
         node_fault = (
             self.fault_injector.on_start(job)
             if self.fault_injector is not None
@@ -190,24 +258,97 @@ class BatchScheduler:
         else:
             end_state = JobState.COMPLETED
 
-        def finish() -> None:
-            self.pool.release(nodes, job.job_id)
-            self.pool.check_invariants()
-            job.state = end_state
-            job.result = JobResult(
-                job_id=job.job_id,
-                state=end_state,
-                stdout=stdout,
-                stderr=stderr,
-                exit_code=0 if end_state is JobState.COMPLETED else 1,
-                submit_time=ctx.submit_time,
-                start_time=ctx.start_time,
-                end_time=self.clock.now,
-                nodes=nodes,
-            )
-            self._try_dispatch()
+        self._running[job.job_id] = _RunningJob(
+            job=job,
+            ctx=ctx,
+            nodes=nodes,
+            end_state=end_state,
+            stdout=stdout,
+            stderr=stderr,
+            full_duration=full_duration,
+            run_duration=max(duration, 1e-6),
+            effects=effects,
+            sick_nodes=list(effects.sick_nodes) if effects is not None else [],
+        )
+        job_id = job.job_id
+        self.events.schedule_in(
+            max(duration, 1e-6), lambda: self._finish(job_id)
+        )
+        if self.watchdog is not None:
+            # the watchdog schedules its own heartbeat/progress events
+            # and the deadline kill on this scheduler's event queue
+            self.watchdog.arm(self, job_id)
 
-        self.events.schedule_in(max(duration, 1e-6), finish)
+    def _finish(self, job_id: int) -> None:
+        rec = self._running.pop(job_id, None)
+        if rec is None:
+            return  # cancelled mid-run; the cancel already cleaned up
+        job = rec.job
+        self.pool.release(rec.nodes, job_id)
+        self.pool.check_invariants()
+        job.state = rec.end_state
+        job.result = JobResult(
+            job_id=job_id,
+            state=rec.end_state,
+            stdout=rec.stdout,
+            stderr=rec.stderr,
+            exit_code=0 if rec.end_state is JobState.COMPLETED else 1,
+            submit_time=rec.ctx.submit_time,
+            start_time=rec.ctx.start_time,
+            end_time=self.clock.now,
+            nodes=rec.nodes,
+        )
+        self._attribute_health(rec, rec.end_state)
+        self._try_dispatch()
+
+    # -- watchdog/health support ------------------------------------------------
+    def is_running(self, job_id: int) -> bool:
+        return job_id in self._running
+
+    def job_progress(self, job_id: int) -> Optional[float]:
+        """Fraction of the program's work done so far (None: not running).
+
+        The heartbeat/progress signal the watchdog reads: a healthy job's
+        progress tracks elapsed/duration, a hung job's stays pinned near
+        zero because its effective duration exploded.
+        """
+        rec = self._running.get(job_id)
+        if rec is None:
+            return None
+        elapsed = self.clock.now - rec.ctx.start_time
+        if rec.full_duration <= 0:
+            return 1.0
+        return min(elapsed / rec.full_duration, 1.0)
+
+    def _attribute_health(self, rec: _RunningJob, end_state: JobState) -> None:
+        """Credit or blame each allocated node for this job's outcome.
+
+        HUNG and NODE_FAIL blame every node in the allocation (the
+        sacct-level signal gives no finer attribution); a sicknode fault
+        blames exactly the degraded node(s); a plain ``slow`` straggle
+        blames the whole allocation (indistinguishable from a degraded
+        node in real telemetry).  A program crash (FAILED) is *not* a
+        node's fault, and TIMEOUT is ambiguous -- neither credits nor
+        blames.
+        """
+        if self.health is None:
+            return
+        slowed = (
+            rec.effects is not None
+            and getattr(rec.effects, "slowdown", 1.0) > 1.0
+        )
+        sick = set(rec.sick_nodes)
+        for node in rec.nodes:
+            if end_state is JobState.HUNG:
+                self.health.record_fault(node, "hang")
+            elif end_state is JobState.NODE_FAIL:
+                self.health.record_fault(node, "fail")
+            elif node in sick:
+                self.health.record_fault(node, "sick")
+            elif slowed:
+                self.health.record_fault(node, "slow")
+            elif end_state is JobState.COMPLETED:
+                self.health.record_ok(node)
 
     # -- polling ------------------------------------------------------------------
     def wait_all(self) -> None:
@@ -237,14 +378,69 @@ class BatchScheduler:
                 f"{[j.name for j in stuck]} (insufficient nodes?)"
             )
 
-    def cancel(self, job_id: int) -> None:
+    def cancel(
+        self,
+        job_id: int,
+        state: JobState = JobState.CANCELLED,
+        reason: str = "",
+    ) -> bool:
+        """Cancel a queued or *running* job; returns whether it acted.
+
+        A queued job is simply removed.  A running job is terminated:
+        its nodes are released back to the pool (waking the dispatch
+        loop), its pending finish event is disarmed, and its result
+        carries the stdout prefix the program had flushed by now --
+        exactly the ``scancel`` contract.  Cancelling an already-finished
+        job is a no-op (returns False), matching real schedulers.
+
+        ``state`` lets the watchdog classify its kills as
+        :attr:`JobState.HUNG` instead of plain CANCELLED.
+        """
         job = self._jobs.get(job_id)
         if job is None:
             raise SchedulerError(f"no such job {job_id}")
         if job in self._queue:
             self._queue.remove(job)
-            job.state = JobState.CANCELLED
-            job.result = JobResult(job_id=job_id, state=JobState.CANCELLED)
+            job.state = state
+            job.result = JobResult(
+                job_id=job_id,
+                state=state,
+                stderr=reason,
+                exit_code=1,
+                submit_time=self.clock.now,
+                start_time=self.clock.now,
+                end_time=self.clock.now,
+            )
+            return True
+        rec = self._running.pop(job_id, None)
+        if rec is not None:
+            elapsed = self.clock.now - rec.ctx.start_time
+            fraction = (
+                min(elapsed / rec.full_duration, 1.0)
+                if rec.full_duration > 0
+                else 1.0
+            )
+            self.pool.release(rec.nodes, job_id)
+            self.pool.check_invariants()
+            job.state = state
+            job.result = JobResult(
+                job_id=job_id,
+                state=state,
+                # the prefix of output the program managed to flush
+                # before the kill signal landed
+                stdout=_partial_stdout(rec.stdout, fraction),
+                stderr=reason
+                or f"{self.kind.upper()}: job {job_id} cancelled",
+                exit_code=1,
+                submit_time=rec.ctx.submit_time,
+                start_time=rec.ctx.start_time,
+                end_time=self.clock.now,
+                nodes=rec.nodes,
+            )
+            self._attribute_health(rec, state)
+            self._try_dispatch()
+            return True
+        return False  # already finished: scancel semantics, no-op
 
     def job(self, job_id: int) -> Job:
         if job_id not in self._jobs:

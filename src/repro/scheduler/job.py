@@ -30,6 +30,12 @@ class JobState(enum.Enum):
     #: retries
     NODE_FAIL = "NODE_FAIL"
     CANCELLED = "CANCELLED"
+    #: the watchdog killed a job that stopped making progress (a *slow*
+    #: fault: hung build node, dead MPI rank, wedged filesystem).  Like
+    #: NODE_FAIL this blames the infrastructure, not the program, so the
+    #: retry taxonomy classifies it transient -- but it is kept distinct
+    #: because hang detection has its own deadline provenance
+    HUNG = "HUNG"
 
     @property
     def finished(self) -> bool:
@@ -39,12 +45,13 @@ class JobState(enum.Enum):
             JobState.TIMEOUT,
             JobState.NODE_FAIL,
             JobState.CANCELLED,
+            JobState.HUNG,
         )
 
     @property
     def transient_failure(self) -> bool:
         """Failure states that blame the infrastructure, not the program."""
-        return self in (JobState.TIMEOUT, JobState.NODE_FAIL)
+        return self in (JobState.TIMEOUT, JobState.NODE_FAIL, JobState.HUNG)
 
 
 @dataclass

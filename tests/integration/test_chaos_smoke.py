@@ -73,7 +73,7 @@ def _reset():
 
 
 def campaign(tmp_path, tag, seed=None, policy="serial", workers=1,
-             journal=None, resume=False, spec=CHAOS_SPEC):
+             journal=None, resume=False, spec=CHAOS_SPEC, **run_kwargs):
     """One campaign run -> (observable outcome, report, perflog bytes)."""
     prefix = str(tmp_path / f"perflogs-{tag}")
     ex = Executor(perflog_prefix=prefix, perflog_timestamp=PINNED_TS)
@@ -81,7 +81,7 @@ def campaign(tmp_path, tag, seed=None, policy="serial", workers=1,
     faults = FaultPlan.parse(spec, seed=seed) if seed is not None else None
     report = ex.run_cases(cases, policy=policy, workers=workers,
                           retry=RETRY, faults=faults,
-                          journal=journal, resume=resume)
+                          journal=journal, resume=resume, **run_kwargs)
     logs = {}
     for root, _, files in os.walk(prefix):
         for fname in files:
@@ -144,6 +144,132 @@ def test_chaos_with_crash_and_resume_matches_clean_run(tmp_path):
                for r in resumed.results]
     assert outcome == clean_outcome
     assert merged_logs == clean_logs
+
+
+#: the slow-fault storm (DESIGN.md section 6.4): hangs, stragglers and
+#: degraded nodes rather than fail-fast errors
+SLOW_SPEC = "hang:0.4,slow:0.5,sicknode:0.6"
+
+#: the full mitigation stack the storm is run under
+SLOW_KWARGS = dict(
+    watchdog="run=50,heartbeat=5",
+    speculation=True,
+    straggler_factor=1.5,
+    drain_after=2,
+)
+
+
+def test_slow_storm_seed_7_actually_bites(tmp_path):
+    """Guard: seed 7 produces hangs, stragglers AND drains -- the
+    mitigation tests below exercise all three paths, or this file lies."""
+    _, report, _ = campaign(tmp_path, "guard", seed=7, spec=SLOW_SPEC,
+                            **SLOW_KWARGS)
+    assert report.hung_attempts > 0
+    assert report.speculated
+    assert report.drained_nodes
+    assert report.watchdog is not None and report.watchdog["hung_jobs"]
+
+
+def test_slow_storm_converges_with_zero_hung_forever_cases(tmp_path):
+    """The tentpole acceptance run: hang/slow/sicknode chaos under
+    --watchdog --speculate --drain-after completes (nothing wedges),
+    drains the sick nodes, and the perflogs are byte-identical to a
+    fault-free serial run."""
+    import time
+
+    clean_outcome, clean_report, clean_logs = campaign(tmp_path, "clean")
+    t0 = time.monotonic()
+    storm_outcome, storm_report, storm_logs = campaign(
+        tmp_path, "storm", seed=7, spec=SLOW_SPEC, **SLOW_KWARGS
+    )
+    wall = time.monotonic() - t0
+    assert storm_report.success  # zero hung-forever cases
+    assert storm_outcome == clean_outcome
+    assert storm_logs == clean_logs  # byte-identical perflogs
+    assert storm_report.drained_nodes  # the sick node was drained
+    assert "Hung:" in storm_report.summary()
+    assert "Drained" in storm_report.summary()
+    # a simulated hang must never consume real time: everything above
+    # (including 1e6-second hangs) runs on the virtual clock
+    assert wall < 60.0
+
+
+def test_undetected_hang_devolves_to_timeout_not_wedge(tmp_path):
+    """Without a watchdog a hang still terminates (as walltime TIMEOUT on
+    the simulated clock) and the retry path recovers it."""
+    outcome, report, logs = campaign(tmp_path, "nodog", seed=7,
+                                     spec="hang@*_2*")
+    assert report.success
+    (hung_case,) = [r for r in report.results if r.attempts > 1]
+    assert hung_case.case.test.size == 2
+    assert hung_case.hung_attempts == 0  # TIMEOUT, not a watchdog kill
+    assert any("hang" in f for f in hung_case.fault_log)
+
+
+def test_watchdog_kills_hang_early_and_retry_recovers(tmp_path):
+    outcome, report, _ = campaign(tmp_path, "dog", seed=7,
+                                  spec="hang@*_2*",
+                                  watchdog="run=50,heartbeat=10")
+    assert report.success
+    (hung_case,) = [r for r in report.results if r.hung_attempts]
+    assert hung_case.case.test.size == 2
+    assert hung_case.passed and hung_case.attempts == 2
+    assert report.watchdog["hung_jobs"]  # forensics recorded
+
+
+def test_health_state_survives_crash_and_resume(tmp_path):
+    """Tentpole acceptance: a node drained before the crash stays
+    drained after --resume, restored from the journal's health records."""
+    from repro.runner.resilience import CampaignJournal
+
+    journal = str(tmp_path / "journal.jsonl")
+    # permanent degradation of one named node; drain on first strike
+    ChaosBench.kill_at = 3  # power loss mid-campaign
+    _, crashed, _ = campaign(tmp_path, "hcrash", seed=7,
+                             spec="sicknode@nid0001#*", journal=journal,
+                             drain_after=1)
+    assert crashed.aborted == "simulated crash"
+    assert "nid0001" in crashed.drained_nodes
+    snapshot = CampaignJournal(journal).health_snapshot()
+    assert snapshot is not None and "nid0001" in snapshot["drained"]
+
+    # resume WITHOUT any faults: the drain can only come from the journal
+    ChaosBench.kill_at = None
+    _, resumed, _ = campaign(tmp_path, "hresume", journal=journal,
+                             resume=True, drain_after=1)
+    assert resumed.success
+    assert "nid0001" in resumed.drained_nodes
+    assert resumed.health["nodes"]["nid0001"]["strikes"] >= 1
+
+
+def test_mitigation_machinery_is_inert_without_faults(tmp_path):
+    """Tier-1 guard: arming watchdog + speculation + drain on a healthy
+    campaign changes nothing -- outcome, summary counters and perflog
+    bytes all match the plain default-path run."""
+    clean_outcome, clean_report, clean_logs = campaign(tmp_path, "plain")
+    armed_outcome, armed_report, armed_logs = campaign(
+        tmp_path, "armed", **SLOW_KWARGS
+    )
+    assert armed_outcome == clean_outcome
+    assert armed_logs == clean_logs
+    assert armed_report.hung_attempts == 0
+    assert not armed_report.speculated
+    assert not armed_report.drained_nodes
+    assert armed_report.summary() == clean_report.summary()
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_slow_storm_convergence_holds_for_any_seed(tmp_path_factory, seed):
+    """Property: the slow-fault storm converges for every seed."""
+    tmp_path = tmp_path_factory.mktemp(f"slow-{seed}")
+    ChaosBench.kill_at = None
+    clean = campaign(tmp_path, "clean")
+    storm = campaign(tmp_path, "storm", seed=seed, spec=SLOW_SPEC,
+                     **SLOW_KWARGS)
+    assert storm[1].success
+    assert storm[0] == clean[0]
+    assert storm[2] == clean[2]
 
 
 @settings(max_examples=6, deadline=None)

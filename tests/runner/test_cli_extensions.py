@@ -45,6 +45,54 @@ class TestDryRun:
         assert "#PBS" in out and "aprun" in out
 
 
+class TestSlowFaultFlags:
+    """repro-bench --watchdog / --speculate / --drain-after plumbing."""
+
+    def _run(self, tmp_path, *extra):
+        return bench_main([
+            "-c", "stream", "-r", "--system", "archer2",
+            "--perflog-dir", str(tmp_path / "pl"), *extra,
+        ])
+
+    def test_quiet_run_with_all_flags(self, capsys, tmp_path):
+        rc = self._run(
+            tmp_path,
+            "--watchdog", "run=600,build=300,heartbeat=10",
+            "--speculate", "--straggler-factor", "3.0",
+            "--drain-after", "2",
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        # a healthy campaign: the machinery stays silent in the summary
+        assert "Hung" not in out
+        assert "Drained" not in out
+
+    def test_watchdog_with_chaos_reports_hung(self, capsys, tmp_path):
+        rc = self._run(
+            tmp_path,
+            "--inject-faults", "hang@*", "--fault-seed", "7",
+            "--watchdog", "run=100", "--max-retries", "3",
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # the watchdog + retry recovered the hang
+        assert "Hung:" in out
+
+    def test_bad_watchdog_spec_rejected(self, capsys, tmp_path):
+        rc = self._run(tmp_path, "--watchdog", "run=abc")
+        assert rc == 1
+        assert "--watchdog" in capsys.readouterr().err
+
+    def test_bad_straggler_factor_rejected(self, capsys, tmp_path):
+        rc = self._run(tmp_path, "--speculate", "--straggler-factor", "0.5")
+        assert rc == 1
+        assert "--straggler-factor" in capsys.readouterr().err
+
+    def test_bad_drain_after_rejected(self, capsys, tmp_path):
+        rc = self._run(tmp_path, "--drain-after", "0")
+        assert rc == 1
+        assert "--drain-after" in capsys.readouterr().err
+
+
 class TestPlotCiGate:
     def _populate(self, tmp_path, runs=4):
         for _ in range(runs):

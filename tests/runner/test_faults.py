@@ -8,11 +8,15 @@ from hypothesis import strategies as st
 
 from repro.faults import (
     FAULT_KINDS,
+    HANG_FACTOR,
+    SICK_FACTOR,
+    SLOW_FACTOR,
     Fault,
     FaultClock,
     FaultPlan,
     FaultSpecError,
     InjectedFault,
+    SchedulerFaultInjector,
     parse_fault_spec,
     unit_hash,
 )
@@ -170,6 +174,49 @@ class TestFaultPlan:
         plan = FaultPlan.at("timeout", attempts=None)
         fault = plan.check("timeout", "case-a")
         assert fault.describe() == "injected:timeout@case-a#1:permanent"
+
+    def test_slow_kinds_in_grammar(self):
+        clauses = parse_fault_spec("hang:0.2,slow@*_3*,sicknode@nid0001#*")
+        assert [c.kind for c in clauses] == ["hang", "slow", "sicknode"]
+        assert not clauses[2].transient  # permanently sick node
+
+
+class TestJobEffects:
+    """The slow-fault consultation the scheduler makes at job start."""
+
+    def _effects(self, spec, target="case-a", nodes=("nid0001", "nid0002")):
+        plan = FaultPlan.parse(spec)
+        injector = SchedulerFaultInjector(plan, target)
+        return injector.job_effects(job=None, nodes=list(nodes))
+
+    def test_no_faults_no_degradation(self):
+        fx = self._effects("build:1.0")  # wrong kind: inert here
+        assert not fx.degraded
+        assert fx.slowdown == 1.0
+        assert not fx.hung and not fx.sick_nodes
+
+    def test_hang_explodes_duration(self):
+        fx = self._effects("hang@case-a")
+        assert fx.hung and fx.degraded
+        assert fx.slowdown >= HANG_FACTOR
+
+    def test_slow_multiplies(self):
+        fx = self._effects("slow@case-a")
+        assert fx.degraded and not fx.hung
+        assert fx.slowdown == pytest.approx(SLOW_FACTOR)
+
+    def test_sicknode_keys_on_node_names_not_case(self):
+        fx = self._effects("sicknode@nid0002#*")
+        assert fx.sick_nodes == ["nid0002"]
+        assert fx.slowdown == pytest.approx(SICK_FACTOR)
+        # a job placed elsewhere is untouched by the same plan
+        fx2 = self._effects("sicknode@nid0002#*", nodes=("nid0003",))
+        assert not fx2.degraded
+
+    def test_degradations_compound(self):
+        fx = self._effects("slow@case-a,sicknode@nid0001#*")
+        assert fx.slowdown == pytest.approx(SLOW_FACTOR * SICK_FACTOR)
+        assert len(fx.faults) == 2
 
     @settings(max_examples=20, deadline=None)
     @given(

@@ -267,3 +267,92 @@ class TestPerflogDurability:
                 on_disk.add(line.split("|")[2])
         assert journaled <= on_disk
         assert len(journaled) == 3
+
+
+class TestCompaction:
+    """Satellite: journal compaction keeps only the latest state."""
+
+    def _bloat(self, tmp_path, cycles=3):
+        """Re-run the same campaign into one journal, without --resume,
+        so every cycle appends four more case records."""
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        for cycle in range(cycles):
+            ex, _ = make_executor(tmp_path, f"cycle{cycle}")
+            # no auto-compact interference: abort-free runs compact, so
+            # bloat via the journal API directly on later cycles
+            report = ex.run_cases(ex.expand_cases([Member], "archer2"))
+            for result in report.results:
+                journal.record(result)
+        return journal, path
+
+    def test_compact_keeps_latest_record_per_fingerprint(self, tmp_path):
+        journal, _ = self._bloat(tmp_path, cycles=3)
+        assert len(list(journal.entries())) == 12
+        before = journal.load()  # what --resume would reconstruct
+        dropped = journal.compact()
+        assert dropped == 8
+        assert len(list(journal.entries())) == 4
+        assert journal.load() == before  # resume state unchanged
+
+    def test_compact_is_idempotent(self, tmp_path):
+        journal, _ = self._bloat(tmp_path, cycles=2)
+        assert journal.compact() == 4
+        assert journal.compact() == 0  # nothing left to drop
+
+    def test_compact_keeps_last_health_snapshot(self, tmp_path):
+        journal, _ = self._bloat(tmp_path, cycles=2)
+        journal.record_health({"drained": ["nid0001"], "nodes": {}})
+        journal.record_health({"drained": ["nid0001", "nid0002"],
+                               "nodes": {}})
+        journal.compact()
+        assert journal.health_snapshot() == {
+            "drained": ["nid0001", "nid0002"], "nodes": {},
+        }
+        healths = [r for r in journal.entries() if r.get("kind") == "health"]
+        assert len(healths) == 1  # older snapshots dropped
+
+    def test_compact_preserves_unknown_record_shapes(self, tmp_path):
+        journal, path = self._bloat(tmp_path, cycles=2)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "from-the-future", "x": 1}\n')
+        journal.compact()
+        assert {"kind": "from-the-future", "x": 1} in list(journal.entries())
+
+    def test_compacted_file_is_atomic_and_whole(self, tmp_path):
+        journal, path = self._bloat(tmp_path, cycles=3)
+        journal.compact()
+        raw = open(path, encoding="utf-8").read()
+        assert raw.endswith("\n")
+        for line in raw.splitlines():
+            json.loads(line)
+        assert not os.path.exists(path + ".compact")  # temp cleaned up
+
+    def test_successful_campaign_auto_compacts(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        # crash once (journal keeps failed/partial records, no compact)...
+        Member.kill_at = 2
+        ex1, _ = make_executor(tmp_path, "auto1")
+        crashed = ex1.run_cases(ex1.expand_cases([Member], "archer2"),
+                                journal=path)
+        assert crashed.aborted
+        # ...then resume to completion: the journal is compacted in place
+        Member.kill_at = None
+        ex2, _ = make_executor(tmp_path, "auto2")
+        resumed = ex2.run_cases(ex2.expand_cases([Member], "archer2"),
+                                journal=path, resume=True)
+        assert resumed.success
+        records = list(CampaignJournal(path).entries())
+        case_records = [r for r in records if "fingerprint" in r]
+        assert len(case_records) == len({r["fingerprint"]
+                                         for r in case_records}) == 4
+
+    def test_failed_campaign_is_not_compacted(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        for _ in range(2):
+            ex, _ = make_executor(tmp_path, "keep")
+            report = ex.run_cases(ex.expand_cases([Hopeless], "archer2"),
+                                  journal=path, quarantine_threshold=None)
+            assert not report.success
+        # two failing cycles, two records: failure history is evidence
+        assert len(list(CampaignJournal(path).entries())) == 2

@@ -1,0 +1,206 @@
+"""Straggler mitigation: speculative duplicates never corrupt output.
+
+The tentpole's determinism rule under test: with speculation enabled,
+exactly one attempt per case is ever published -- perflog rows and
+journal records stay single-writer, byte-identical to a serial,
+speculation-free run -- and the accepted attempt is chosen by simulated
+first-completion with a deterministic tie-break (original preferred).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest
+from repro.runner.executor import Executor
+from repro.runner.fields import parameter
+from repro.runner.parallel import SpeculationPolicy
+from repro.runner.pipeline import CaseResult
+from repro.runner.resilience import CampaignJournal, RetryPolicy
+
+pytestmark = pytest.mark.speculative
+
+PINNED_TS = "2026-01-01T00:00:00"
+RETRY = RetryPolicy(max_attempts=6, jitter=0.0)
+
+
+class SpecBench(RegressionTest):
+    """Six deterministic cases, equal pace unless a fault slows one."""
+
+    size = parameter([1, 2, 3, 4, 5, 6])
+
+    def program(self, ctx):
+        return f"bw {self.size}: {self.size * 100.0}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"bw", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r": ([\d.]+)", stdout, 1, float)
+        return {"bandwidth": (v, "MB/s")}
+
+
+class NaturalStraggler(RegressionTest):
+    """The last case is *genuinely* slow: re-running it cannot help."""
+
+    size = parameter([1, 2, 3, 4, 5, 6])
+
+    def program(self, ctx):
+        dur = 10.0 if self.size == 6 else 1.0
+        return f"bw {self.size}: {self.size * 100.0}\n", dur
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"bw", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r": ([\d.]+)", stdout, 1, float)
+        return {"bandwidth": (v, "MB/s")}
+
+
+def campaign(tmp_path, tag, cls=SpecBench, faults=None, journal=None,
+             policy="serial", workers=1, **kwargs):
+    prefix = str(tmp_path / f"perflogs-{tag}")
+    ex = Executor(perflog_prefix=prefix, perflog_timestamp=PINNED_TS)
+    cases = ex.expand_cases([cls], "archer2")
+    report = ex.run_cases(cases, retry=RETRY, faults=faults, journal=journal,
+                          policy=policy, workers=workers, **kwargs)
+    logs = {}
+    for root, _, files in os.walk(prefix):
+        for fname in files:
+            path = os.path.join(root, fname)
+            with open(path, "rb") as fh:
+                logs[os.path.relpath(path, prefix)] = fh.read()
+    return report, logs
+
+
+class TestPolicyUnit:
+    def result(self, duration, passed=True):
+        r = CaseResult(case=None)
+        r.passed = passed
+        r.job_seconds = duration
+        return r
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeculationPolicy(straggler_factor=1.0)
+        with pytest.raises(ValueError):
+            SpeculationPolicy(min_peers=0)
+
+    def test_needs_min_peers_before_flagging(self):
+        pol = SpeculationPolicy(straggler_factor=2.0, min_peers=3)
+        slow = self.result(100.0)
+        assert not pol.is_straggler(slow)  # no peers yet: median is noise
+        for _ in range(3):
+            pol.note_completed(self.result(1.0))
+        assert pol.is_straggler(slow)
+        assert not pol.is_straggler(self.result(1.5))  # under 2x median
+
+    def test_failed_results_do_not_feed_the_median(self):
+        pol = SpeculationPolicy(min_peers=2)
+        for _ in range(5):
+            pol.note_completed(self.result(100.0, passed=False))
+        # only failures seen: still not enough *trusted* peers
+        assert not pol.is_straggler(self.result(500.0))
+
+    def test_choose_first_completion_wins(self):
+        pol = SpeculationPolicy()
+        orig, dup = self.result(8.0), self.result(1.0)
+        assert pol.choose(orig, dup) is dup
+
+    def test_choose_tie_prefers_original(self):
+        pol = SpeculationPolicy()
+        orig, dup = self.result(8.0), self.result(8.0)
+        assert pol.choose(orig, dup) is orig
+
+    def test_choose_failed_duplicate_never_displaces(self):
+        pol = SpeculationPolicy()
+        orig, dup = self.result(8.0), self.result(1.0, passed=False)
+        assert pol.choose(orig, dup) is orig
+
+
+class TestCampaignSpeculation:
+    def test_transient_straggle_is_rescued_by_the_duplicate(self, tmp_path):
+        # slow@...: one case-targeted transient degradation (x8); the
+        # duplicate attempt runs fault-free and wins
+        faults = FaultPlan.parse("slow@*_6*", seed=1)
+        report, logs = campaign(tmp_path, "spec", faults=faults,
+                                speculation=True, straggler_factor=2.0)
+        assert report.success
+        winners = [r for r in report.results if r.speculated]
+        assert len(winners) == 1
+        assert winners[0].speculation_won
+        assert winners[0].case.test.size == 6
+        # the accepted attempt ran at healthy pace
+        assert winners[0].job_seconds == pytest.approx(1.0)
+        clean_report, clean_logs = campaign(tmp_path, "clean")
+        assert logs == clean_logs  # byte-identical output
+
+    def test_natural_straggler_keeps_original_on_tie(self, tmp_path):
+        # a genuinely slow case: the duplicate is exactly as slow, so the
+        # deterministic tie-break keeps the original attempt
+        report, logs = campaign(tmp_path, "nat", cls=NaturalStraggler,
+                                speculation=True, straggler_factor=2.0)
+        assert report.success
+        flagged = [r for r in report.results if r.speculated]
+        assert len(flagged) == 1
+        assert not flagged[0].speculation_won
+        assert flagged[0].job_seconds == pytest.approx(10.0)
+        clean_report, clean_logs = campaign(tmp_path, "natclean",
+                                            cls=NaturalStraggler)
+        assert logs == clean_logs
+
+    def test_disabled_by_default(self, tmp_path):
+        report, _ = campaign(tmp_path, "off", cls=NaturalStraggler)
+        assert not any(r.speculated for r in report.results)
+
+    def test_summary_counts_speculation(self, tmp_path):
+        faults = FaultPlan.parse("slow@*_6*", seed=1)
+        report, _ = campaign(tmp_path, "sum", faults=faults,
+                             speculation=True)
+        assert "Speculated 1 straggler case(s) (1 duplicate(s) won)" in (
+            report.summary()
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_no_double_writes_for_any_seed(self, tmp_path_factory, seed):
+        """Property: whatever the seed slows down, each case lands in
+        the journal exactly once and the perflogs match the clean run."""
+        tmp_path = tmp_path_factory.mktemp(f"spec-{seed}")
+        clean_report, clean_logs = campaign(tmp_path, "clean")
+        journal_path = str(tmp_path / "journal.jsonl")
+        faults = FaultPlan.parse("slow:0.5,sicknode:0.3", seed=seed)
+        report, logs = campaign(tmp_path, "chaos", faults=faults,
+                                journal=journal_path,
+                                speculation=True, straggler_factor=1.5,
+                                drain_after=2)
+        assert report.success
+        assert logs == clean_logs  # single-writer perflogs, byte-identical
+        fingerprints = [
+            rec["fingerprint"]
+            for rec in CampaignJournal(journal_path).entries()
+            if "fingerprint" in rec
+        ]
+        assert len(fingerprints) == len(set(fingerprints)) == 6
+
+    def test_deterministic_across_policies(self, tmp_path):
+        faults_a = FaultPlan.parse("slow:0.6", seed=11)
+        faults_b = FaultPlan.parse("slow:0.6", seed=11)
+        ser_report, ser_logs = campaign(tmp_path, "ser", faults=faults_a,
+                                        speculation=True,
+                                        straggler_factor=1.5)
+        par_report, par_logs = campaign(tmp_path, "par", faults=faults_b,
+                                        speculation=True,
+                                        straggler_factor=1.5,
+                                        policy="async", workers=4)
+        assert ser_logs == par_logs
+        assert (
+            [(r.case.display_name, r.speculated, r.speculation_won)
+             for r in ser_report.results]
+            == [(r.case.display_name, r.speculated, r.speculation_won)
+                for r in par_report.results]
+        )

@@ -1,0 +1,277 @@
+"""Slow-fault robustness units: watchdog deadlines and node health.
+
+The tentpole's two new subsystems (DESIGN.md section 6.4) in isolation:
+
+* :mod:`repro.runner.watchdog` -- spec parsing, heartbeat observability,
+  the deadline kill (a wedged job ends HUNG with its allocation freed);
+* :mod:`repro.runner.health` -- EWMA scoring, strike-based draining,
+  snapshot/restore merging, and the pool's drain-aware placement.
+"""
+
+import pytest
+
+from repro.runner import sanity as sn
+from repro.runner.health import HealthTracker
+from repro.runner.watchdog import (
+    Watchdog,
+    WatchdogSpec,
+    WatchdogSpecError,
+    as_watchdog,
+)
+from repro.scheduler import Job, JobState, NodePool, SlurmScheduler
+from repro.scheduler.job import JobResult
+
+
+def payload(seconds, text="out\n" * 50):
+    return lambda ctx: (text, seconds)
+
+
+class TestWatchdogSpec:
+    def test_bare_seconds_is_run_deadline(self):
+        spec = WatchdogSpec.parse("600")
+        assert spec.run == 600.0
+        assert spec.build is None
+
+    def test_clause_grammar(self):
+        spec = WatchdogSpec.parse("run=600,build=300,heartbeat=10")
+        assert (spec.run, spec.build, spec.heartbeat) == (600.0, 300.0, 10.0)
+
+    def test_format_roundtrip(self):
+        spec = WatchdogSpec.parse("run=600,build=300,heartbeat=10")
+        assert WatchdogSpec.parse(spec.format()) == spec
+
+    @pytest.mark.parametrize(
+        "bad", ["", "abc", "run=abc", "walltime=5", "run=0", "heartbeat=-1"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(WatchdogSpecError):
+            WatchdogSpec.parse(bad)
+
+    def test_as_watchdog_coercions(self):
+        assert as_watchdog(None) is None
+        dog = as_watchdog("120")
+        assert isinstance(dog, Watchdog) and dog.spec.run == 120.0
+        assert as_watchdog(dog) is dog
+        assert as_watchdog(WatchdogSpec(run=5.0)).spec.run == 5.0
+
+
+class TestWatchdogKill:
+    def test_hung_job_is_killed_at_deadline(self):
+        dog = Watchdog(WatchdogSpec(run=100.0, heartbeat=10.0))
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16, watchdog=dog)
+        wedged = sched.submit(Job("wedged", payload(1e6), num_tasks=16))
+        succ = sched.submit(Job("succ", payload(10.0), num_tasks=16))
+        sched.wait_all()
+        res = sched.result(wedged)
+        assert res.state is JobState.HUNG
+        assert res.state.transient_failure
+        assert "watchdog" in res.stderr
+        # the kill fired at start + deadline, not at the 1e6s "finish"
+        assert res.end_time == pytest.approx(res.start_time + 100.0)
+        # allocation recycled: the successor completed on the freed node
+        assert sched.result(succ).state is JobState.COMPLETED
+        assert sched.pool.num_free == sched.pool.num_nodes
+        assert dog.hung_count == 1
+        assert dog.hung_jobs == [f"wedged#{wedged}"]
+
+    def test_healthy_job_is_untouched(self):
+        dog = Watchdog(WatchdogSpec(run=100.0, heartbeat=10.0))
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16, watchdog=dog)
+        jid = sched.submit(Job("fine", payload(50.0, "hello")))
+        sched.wait_all()
+        res = sched.result(jid)
+        assert res.state is JobState.COMPLETED
+        assert res.stdout == "hello"
+        assert dog.hung_count == 0
+
+    def test_heartbeats_record_progress(self):
+        dog = Watchdog(WatchdogSpec(run=1000.0, heartbeat=10.0))
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16, watchdog=dog)
+        sched.submit(Job("j", payload(35.0)))
+        sched.wait_all()
+        # beats at +10, +20, +30 into a 35s job; the +40 one sees it done
+        assert [round(b.elapsed) for b in dog.heartbeats] == [10, 20, 30]
+        fracs = [b.progress for b in dog.heartbeats]
+        assert fracs == sorted(fracs)  # monotone progress
+        assert all(0.0 < f <= 1.0 for f in fracs)
+
+    def test_no_deadline_means_no_kill(self):
+        dog = Watchdog(WatchdogSpec(run=None, heartbeat=50.0))
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16, watchdog=dog)
+        jid = sched.submit(Job("slowpoke", payload(400.0)))
+        sched.wait_all()
+        assert sched.result(jid).state is JobState.COMPLETED
+        assert dog.hung_count == 0
+
+    def test_build_budget(self):
+        dog = Watchdog(WatchdogSpec(build=300.0))
+        assert dog.check_build("case-a", 299.0) is None
+        violation = dog.check_build("case-b", 301.0)
+        assert violation is not None and "build hung" in violation
+        assert dog.hung_builds == ["case-b"]
+        assert dog.hung_count == 1
+
+    def test_as_dict_is_json_ready(self):
+        dog = Watchdog(WatchdogSpec(run=60.0))
+        info = dog.as_dict()
+        assert info["spec"] == "run=60,heartbeat=30"
+        assert info["hung_jobs"] == []
+
+
+class TestHealthTracker:
+    def test_ewma_score_and_strikes(self):
+        h = HealthTracker(alpha=0.3)
+        h.record_fault("nid0001", "hang")
+        assert h.score("nid0001") == pytest.approx(0.7)
+        assert h.strikes("nid0001") == 1
+        h.record_ok("nid0001")
+        assert h.score("nid0001") == pytest.approx(0.7 * 0.7 + 0.3)
+        assert h.strikes("nid0001") == 1  # credits never erase strikes
+
+    def test_unknown_node_is_pristine(self):
+        h = HealthTracker()
+        assert h.score("nid9999") == 1.0
+        assert h.strikes("nid9999") == 0
+        assert not h.is_drained("nid9999")
+
+    def test_drain_at_threshold(self):
+        h = HealthTracker(drain_after=2)
+        h.record_fault("nid0002", "slow")
+        assert not h.is_drained("nid0002")
+        h.record_fault("nid0002", "sick")
+        assert h.is_drained("nid0002")
+        assert h.drained == ["nid0002"]
+
+    def test_no_threshold_never_drains(self):
+        h = HealthTracker(drain_after=None)
+        for _ in range(10):
+            h.record_fault("nid0001", "hang")
+        assert not h.is_drained("nid0001")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthTracker(drain_after=0)
+        with pytest.raises(ValueError):
+            HealthTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            HealthTracker(alpha=1.5)
+
+    def test_snapshot_restore_merges_worse_view(self):
+        before = HealthTracker(drain_after=2)
+        before.record_fault("nid0001", "hang")
+        before.record_fault("nid0001", "hang")  # drained
+        before.record_ok("nid0002")
+        snap = before.snapshot()
+
+        after = HealthTracker(drain_after=2)
+        after.record_fault("nid0002", "slow")  # fresh local knowledge
+        after.restore(snap)
+        # a node drained before the crash stays drained after it
+        assert after.is_drained("nid0001")
+        assert after.strikes("nid0001") == 2
+        # merge keeps the worse view of each node
+        assert after.strikes("nid0002") == 1
+        assert after.score("nid0002") == pytest.approx(0.7)
+
+    def test_restore_rederives_drains_for_lowered_threshold(self):
+        lax = HealthTracker(drain_after=5)
+        lax.record_fault("nid0001", "hang")
+        lax.record_fault("nid0001", "hang")
+        snap = lax.snapshot()
+        assert snap["drained"] == []
+
+        strict = HealthTracker(drain_after=2)
+        strict.restore(snap)
+        assert strict.is_drained("nid0001")
+
+    def test_dirty_flag_lifecycle(self):
+        h = HealthTracker()
+        assert not h.dirty
+        h.record_ok("nid0001")
+        assert h.dirty
+        h.snapshot()  # journaling clears it
+        assert not h.dirty
+        h.as_dict()  # provenance read must NOT clear it
+        h.record_fault("nid0001", "hang")
+        assert h.dirty
+        h.as_dict()
+        assert h.dirty
+
+
+class TestDrainAwareAllocation:
+    def test_healthy_nodes_preferred(self):
+        pool = NodePool("nid", 4, 16, avoid=lambda n: n == "nid0001")
+        taken = pool.allocate(3, job_id=1)
+        assert "nid0001" not in taken
+
+    def test_drained_nodes_are_last_resort(self):
+        # soft drain: a fully-drained pool still serves rather than wedge
+        pool = NodePool("nid", 2, 16, avoid=lambda n: True)
+        taken = pool.allocate(2, job_id=1)
+        assert sorted(taken) == ["nid0001", "nid0002"]
+
+    def test_scheduler_attributes_hang_to_nodes(self):
+        health = HealthTracker(drain_after=1)
+        dog = Watchdog(WatchdogSpec(run=50.0))
+        sched = SlurmScheduler(num_nodes=2, cores_per_node=16,
+                               watchdog=dog, health=health)
+        wedged = sched.submit(Job("wedged", payload(1e6), num_tasks=16))
+        sched.wait_all()
+        assert sched.result(wedged).state is JobState.HUNG
+        # every node of the hung allocation took a strike and drained
+        assert health.strikes("nid0001") == 1
+        assert health.is_drained("nid0001")
+        # the untouched node is pristine
+        assert health.strikes("nid0002") == 0
+
+    def test_scheduler_credits_clean_completion(self):
+        health = HealthTracker()
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16, health=health)
+        sched.submit(Job("fine", payload(10.0)))
+        sched.wait_all()
+        assert health.score("nid0001") == 1.0  # EWMA toward 1 from 1
+        snap = health.as_dict()
+        assert snap["nodes"]["nid0001"]["credits"] == 1
+
+
+class TestAssertReference:
+    """Satellite: negative references must not invert the window."""
+
+    def test_positive_reference(self):
+        assert sn.assert_reference(100.0, 100.0)
+        assert sn.assert_reference(96.0, 100.0)
+        with pytest.raises(sn.SanityError):
+            sn.assert_reference(90.0, 100.0)
+
+    def test_negative_reference_window_is_ordered(self):
+        # ref=-100 with -/+5%: raw bounds are [-95, -105] -- backwards;
+        # they must be reordered so the correct value passes
+        assert sn.assert_reference(-100.0, -100.0)
+        assert sn.assert_reference(-96.0, -100.0)
+        assert sn.assert_reference(-104.0, -100.0)
+        with pytest.raises(sn.SanityError):
+            sn.assert_reference(-110.0, -100.0)
+        with pytest.raises(sn.SanityError):
+            sn.assert_reference(-90.0, -100.0)
+
+    def test_zero_reference_raises_clearly(self):
+        with pytest.raises(sn.SanityError, match="assert_bounded"):
+            sn.assert_reference(0.1, 0.0)
+
+    def test_asymmetric_window(self):
+        assert sn.assert_reference(119.0, 100.0, -0.02, 0.2)
+        with pytest.raises(sn.SanityError):
+            sn.assert_reference(97.0, 100.0, -0.02, 0.2)
+
+
+def test_cancelled_job_result_is_complete():
+    """A HUNG result carries times/nodes, usable by the pipeline."""
+    dog = Watchdog(WatchdogSpec(run=25.0))
+    sched = SlurmScheduler(num_nodes=1, cores_per_node=16, watchdog=dog)
+    jid = sched.submit(Job("wedged", payload(1e6, "x\n" * 10)))
+    sched.wait_all()
+    res = sched.result(jid)
+    assert isinstance(res, JobResult)
+    assert res.nodes == ["nid0001"]
+    assert res.exit_code != 0
+    assert res.end_time > res.start_time >= res.submit_time

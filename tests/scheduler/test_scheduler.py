@@ -182,6 +182,125 @@ class TestSchedulerLifecycle:
             make_scheduler("loadleveler")
 
 
+class _OneShotNodeFail:
+    """Minimal fault-injector stub: first job start loses its node."""
+
+    class _Fault:
+        transient = True
+
+        def describe(self):
+            return "injected node failure"
+
+    def __init__(self):
+        self.armed = True
+
+    def on_submit(self, job):
+        pass
+
+    def on_start(self, job):
+        if self.armed:
+            self.armed = False
+            return self._Fault()
+        return None
+
+
+class TestCancel:
+    """The scancel contract: queued, running, and finished jobs."""
+
+    def test_cancel_queued_sets_result(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        blocker = sched.submit(Job("a", ok_payload(100.0), num_tasks=16))
+        queued = sched.submit(Job("b", ok_payload(100.0), num_tasks=16))
+        # let 'a' dispatch so 'b' is genuinely queued, then cancel 'b'
+        sched.events.schedule_in(5.0, lambda: sched.cancel(queued))
+        sched.wait_all()
+        res = sched.result(queued)
+        assert res.state is JobState.CANCELLED
+        assert res.exit_code != 0
+        # the blocker is untouched and the pool drains clean
+        assert sched.result(blocker).state is JobState.COMPLETED
+        assert sched.pool.num_free == sched.pool.num_nodes
+
+    def test_cancel_running_terminates_and_frees_nodes(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        stdout = "line1\nline2\nline3\nline4\n"
+        victim = sched.submit(
+            Job("victim", ok_payload(100.0, stdout), num_tasks=16)
+        )
+        waiter = sched.submit(Job("waiter", ok_payload(10.0), num_tasks=16))
+        # dispatch_latency=1.0, so the victim runs [1, 101); kill at 51
+        acted = []
+        sched.events.schedule_in(51.0, lambda: acted.append(
+            sched.cancel(victim, reason="scancel by test")))
+        sched.wait_all()
+        assert acted == [True]
+        res = sched.result(victim)
+        assert res.state is JobState.CANCELLED
+        assert res.exit_code != 0
+        assert "scancel by test" in res.stderr
+        # partial stdout: a strict prefix, cut at a line boundary
+        assert res.stdout and stdout.startswith(res.stdout)
+        assert len(res.stdout) < len(stdout)
+        assert res.stdout.endswith("\n")
+        # the allocation was released and the waiter reused it promptly:
+        # it finishes long before the victim's original 100s would allow
+        wres = sched.result(waiter)
+        assert wres.state is JobState.COMPLETED
+        assert wres.end_time < 101.0
+        assert sched.pool.num_free == sched.pool.num_nodes
+        sched.pool.check_invariants()
+
+    def test_cancel_finished_is_noop(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        jid = sched.submit(Job("j", ok_payload(10.0, "done")))
+        sched.wait_all()
+        assert sched.cancel(jid) is False  # scancel semantics
+        res = sched.result(jid)
+        assert res.state is JobState.COMPLETED
+        assert res.stdout == "done"
+
+    def test_cancel_unknown_job_raises(self):
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        with pytest.raises(SchedulerError, match="no such job"):
+            sched.cancel(424242)
+
+    def test_cancel_as_hung_is_transient(self):
+        """The watchdog's kill path: HUNG, with partial output."""
+        sched = SlurmScheduler(num_nodes=1, cores_per_node=16)
+        jid = sched.submit(Job("wedged", ok_payload(1e6, "tick\n" * 100)))
+        sched.events.schedule_in(
+            100.0,
+            lambda: sched.cancel(jid, state=JobState.HUNG,
+                                 reason="watchdog: no progress"),
+        )
+        sched.wait_all()
+        res = sched.result(jid)
+        assert res.state is JobState.HUNG
+        assert res.state.transient_failure  # the retry taxonomy re-runs it
+        assert "watchdog" in res.stderr
+        assert sched.pool.num_free == sched.pool.num_nodes
+
+    def test_node_fail_mid_run_releases_allocation(self):
+        sched = SlurmScheduler(
+            num_nodes=1, cores_per_node=16,
+            fault_injector=_OneShotNodeFail(),
+        )
+        dead = sched.submit(
+            Job("dead", ok_payload(100.0, "a\nb\nc\nd\n"), num_tasks=16)
+        )
+        succ = sched.submit(Job("succ", ok_payload(10.0), num_tasks=16))
+        sched.wait_all()
+        dres = sched.result(dead)
+        assert dres.state is JobState.NODE_FAIL
+        assert dres.state.transient_failure
+        assert "lost node" in dres.stderr
+        assert len(dres.stdout) < len("a\nb\nc\nd\n")  # truncated log
+        # the successor ran on the recycled allocation
+        assert sched.result(succ).state is JobState.COMPLETED
+        assert sched.pool.num_free == sched.pool.num_nodes
+        sched.pool.check_invariants()
+
+
 class TestScripts:
     def test_sbatch_script(self):
         sched = SlurmScheduler(num_nodes=8, cores_per_node=128)
