@@ -66,7 +66,8 @@ class ThroughputProbe(SpackTest):
         return {"value": (v, "MB/s")}
 
 
-def _run_policy(policy, workers, tmpdir, classes=None, platforms=None):
+def _run_policy(policy, workers, tmpdir, classes=None, platforms=None,
+                **run_kwargs):
     """Run one probe campaign under a policy; also reused (at reduced
     size) by the tier-1 smoke gate in
     ``tests/postprocess/test_throughput_smoke.py``."""
@@ -77,7 +78,8 @@ def _run_policy(policy, workers, tmpdir, classes=None, platforms=None):
         cases.extend(ex.expand_cases(classes or [ThroughputProbe],
                                      platform))
     start = time.perf_counter()
-    report = ex.run_cases(cases, policy=policy, workers=workers)
+    report = ex.run_cases(cases, policy=policy, workers=workers,
+                          **run_kwargs)
     elapsed = time.perf_counter() - start
     logs = {}
     for root, _, files in os.walk(tmpdir):
@@ -94,6 +96,7 @@ def _run_policy(policy, workers, tmpdir, classes=None, platforms=None):
         "foms": foms,
         "logs": logs,
         "cache": ex.concretizer_cache.stats.as_dict(),
+        "trace_path": report.trace_path,
     }
 
 
@@ -149,6 +152,71 @@ def test_async_speedup_with_identical_output(once, tmp_path):
         serial_cases_per_second=round(serial_rate, 2),
         async_cases_per_second=round(async_rate, 2),
         speedup=round(speedup, 2),
+    )
+
+
+#: repetitions per arm of the tracing-overhead measurement; the min
+#: filters scheduler jitter out of a sub-second wall-clock comparison
+OVERHEAD_REPS = 3
+OVERHEAD_BUDGET = 0.05  # the ISSUE's <= 5% acceptance bound
+
+
+def regenerate_trace_overhead(tmpdir):
+    """Same 44-case campaign, with and without full observability."""
+
+    def best_of(tag, trace=False):
+        runs = []
+        for rep in range(OVERHEAD_REPS):
+            # perflogs in a sub dir; the trace alongside, never inside,
+            # so the perflog-byte comparison stays apples to apples
+            sub = os.path.join(tmpdir, f"{tag}-{rep}")
+            kwargs = {}
+            if trace:
+                kwargs = {"trace": sub + "-trace.jsonl", "metrics": True}
+            runs.append(_run_policy("serial", 1, sub, **kwargs))
+        return min(runs, key=lambda r: r["elapsed"])
+
+    untraced = best_of("plain")
+    traced = best_of("traced", trace=True)
+    return untraced, traced
+
+
+def test_tracing_overhead_within_budget(once, tmp_path):
+    """Satellite (f): full tracing + metrics on the 44-case campaign
+    costs <= 5% wall clock and changes no observable output."""
+    from repro.obs.trace import load_trace, validate_nesting
+
+    untraced, traced = once(regenerate_trace_overhead, str(tmp_path))
+    overhead = traced["elapsed"] / untraced["elapsed"] - 1.0
+    emit(
+        "Tracing overhead: instrumented vs plain campaign (serial)",
+        f"campaign : {untraced['n_cases']} cases x "
+        f"{CASE_LATENCY * 1e3:.0f} ms job latency\n"
+        f"plain    : {untraced['elapsed']:.3f} s\n"
+        f"traced   : {traced['elapsed']:.3f} s (spans + metrics + "
+        f"crash-safe JSONL)\n"
+        f"overhead : {overhead:+.2%} (budget {OVERHEAD_BUDGET:.0%})",
+    )
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"tracing overhead {overhead:+.2%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} budget")
+    # observability must be a pure observer: identical perflog bytes
+    assert traced["foms"] == untraced["foms"]
+    assert traced["logs"] == untraced["logs"]
+    # ... while the trace artifact itself is complete and well-formed
+    trace_path = traced["trace_path"]
+    assert trace_path is not None
+    _, spans, metrics = load_trace(trace_path)
+    assert validate_nesting(spans) == []
+    assert metrics["counters"]["cases.total"] == traced["n_cases"]
+    assert len(spans) > 5 * traced["n_cases"]  # staged, not skeletal
+
+    _update_baseline(
+        trace_overhead_fraction=round(overhead, 4),
+        trace_overhead_budget=OVERHEAD_BUDGET,
+        traced_seconds=round(traced["elapsed"], 4),
+        untraced_seconds=round(untraced["elapsed"], 4),
+        trace_spans=len(spans),
     )
 
 

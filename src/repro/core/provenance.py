@@ -45,6 +45,15 @@ class RunProvenance:
     #: campaign drained, their scores/strikes -- a result obtained while
     #: steering around a sick node must say so (DESIGN.md section 6.4)
     health: Optional[Dict[str, Any]] = None
+    #: end-of-campaign metrics snapshot
+    #: (``MetricsRegistry.snapshot()``, DESIGN.md section 7): the same
+    #: counters/histograms the trace file's final record carries, so an
+    #: auditor can cross-check provenance against the trace byte stream
+    metrics: Optional[Dict[str, Any]] = None
+    #: path of the JSONL span trace streamed during the campaign, when
+    #: ``--trace`` was armed (the pointer, not the spans: traces can be
+    #: large and live next to the perflogs they describe)
+    trace_file: Optional[str] = None
 
     def attach_ingest_cache(self, stats: Any) -> None:
         """Record perflog-store accounting (a ``StoreStats`` or dict)."""
@@ -96,6 +105,25 @@ class RunProvenance:
                 info["drained_nodes"] = list(report.drained_nodes)
         self.resilience = info
 
+    def attach_metrics(
+        self, snapshot: Any, trace_path: Optional[str] = None
+    ) -> None:
+        """Record the campaign metrics snapshot (and the trace pointer).
+
+        Accepts a :class:`~repro.obs.metrics.MetricsRegistry`, anything
+        with ``snapshot()``/``as_dict()``, or a plain dict -- typically
+        ``report.metrics`` straight off the :class:`RunReport`, with
+        ``report.trace_path`` as *trace_path*.
+        """
+        if hasattr(snapshot, "snapshot"):
+            self.metrics = snapshot.snapshot()
+        elif hasattr(snapshot, "as_dict"):
+            self.metrics = snapshot.as_dict()
+        elif snapshot is not None:
+            self.metrics = dict(snapshot)
+        if trace_path is not None:
+            self.trace_file = str(trace_path)
+
     def attach_health(self, tracker: Any) -> None:
         """Record the node-health ledger (a ``HealthTracker`` or dict)."""
         self.health = (
@@ -145,6 +173,15 @@ class RunProvenance:
                     result.energy.as_dict() if result.energy is not None
                     else None
                 ),
+                # efficiency provenance: each FOM normalized by the
+                # case's mean power draw (None without telemetry)
+                "perfvars_per_watt": (
+                    {
+                        k: result.energy.fom_per_watt(v)
+                        for k, (v, _u) in result.perfvars.items()
+                    }
+                    if result.energy is not None else None
+                ),
                 # resilience provenance: how hard this result was to get
                 "attempts": result.attempts,
                 "backoff_schedule": list(result.backoff_schedule),
@@ -168,6 +205,8 @@ class RunProvenance:
                 "ingest_cache": self.ingest_cache,
                 "resilience": self.resilience,
                 "health": self.health,
+                "metrics": self.metrics,
+                "trace_file": self.trace_file,
             },
             indent=2,
             sort_keys=True,
@@ -181,6 +220,9 @@ class RunProvenance:
         prov.ingest_cache = doc.get("ingest_cache")
         prov.resilience = doc.get("resilience")
         prov.health = doc.get("health")
+        # observability fields arrived later; .get keeps old files loading
+        prov.metrics = doc.get("metrics")
+        prov.trace_file = doc.get("trace_file")
         return prov
 
     def spec_hashes(self) -> List[str]:

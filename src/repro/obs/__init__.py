@@ -1,0 +1,63 @@
+"""Observability: structured spans, metrics, and the trace file.
+
+The paper's Principles 4-5 require capturing *all* run metadata next to
+the FOM.  :mod:`repro.core.provenance` records outcomes; this package
+records where the campaign's (simulated) time and retries went --
+pipeline stages, queue waits, backoff sleeps, watchdog events,
+speculative duplicates -- plus a unified metrics namespace replacing the
+summary counters that used to be scattered over four objects.
+
+Three modules, zero dependencies:
+
+* :mod:`repro.obs.jsonl` -- the crash-safe JSONL primitives shared with
+  the campaign journal (single-write appends, fsync, torn-tail repair);
+* :mod:`repro.obs.trace` -- ``Tracer``/``Span``/``SpanRecorder``/
+  ``CaseTimeline``, plus ``load_trace``/``validate_nesting``/
+  ``chrome_trace`` for the analysis side;
+* :mod:`repro.obs.metrics` -- ``MetricsRegistry`` with counters, gauges
+  and fixed-bucket histograms whose snapshots are deterministic.
+
+``repro-trace`` (:mod:`repro.obs.cli`) renders timelines, slowest-span
+tables and metrics summaries from the trace file and exports Chrome
+``chrome://tracing`` JSON.
+"""
+
+from repro.obs.jsonl import JsonlAppender, read_jsonl, write_jsonl_atomic
+from repro.obs.metrics import (
+    Counter,
+    DURATION_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    CaseTimeline,
+    Span,
+    SpanRecorder,
+    TraceError,
+    Tracer,
+    as_tracer,
+    chrome_trace,
+    load_trace,
+    validate_nesting,
+)
+
+__all__ = [
+    "CaseTimeline",
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlAppender",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "TraceError",
+    "Tracer",
+    "as_tracer",
+    "chrome_trace",
+    "load_trace",
+    "read_jsonl",
+    "validate_nesting",
+    "write_jsonl_atomic",
+]

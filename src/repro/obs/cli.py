@@ -1,0 +1,240 @@
+"""``repro-trace``: render and export campaign trace files.
+
+Reads the crash-safe JSONL trace that ``repro-bench --trace PATH``
+streams during a campaign and turns it into something a human (or
+Chrome) can look at:
+
+* the default view -- a per-track ASCII timeline: one lane per span
+  nesting depth, bars scaled to the track's extent in simulated
+  seconds;
+* ``--slowest N`` -- the N longest spans across the whole trace,
+  a flat table (where did the time actually go?);
+* ``--metrics`` -- the end-of-campaign metrics snapshot embedded in the
+  trace's final record (counters, gauges, histogram percentiles);
+* ``--chrome OUT.json`` -- Chrome trace-event JSON for
+  ``chrome://tracing`` / Perfetto;
+* ``--validate`` -- structural nesting checks (exit 1 on violations).
+
+Everything renders from the file alone; no campaign state is needed,
+so traces can be inspected long after (or on a different machine than)
+the run that produced them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import (
+    TraceError,
+    chrome_trace,
+    load_trace,
+    validate_nesting,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+# --------------------------------------------------------------------------
+# formatting helpers
+# --------------------------------------------------------------------------
+
+def _fmt_seconds(value: float) -> str:
+    """Compact human duration (simulated seconds)."""
+    if value >= 3600:
+        return f"{value / 3600:.2f}h"
+    if value >= 60:
+        return f"{value / 60:.2f}m"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def _depths(spans: List[Dict[str, Any]]) -> Dict[int, int]:
+    """Nesting depth per span id (roots at 0)."""
+    depth: Dict[int, int] = {}
+    for span in spans:
+        parent = span.get("parent")
+        depth[span["id"]] = depth.get(parent, -1) + 1 if parent else 0
+    return depth
+
+
+def _group_tracks(spans: List[Dict[str, Any]]) -> "Dict[str, List[Dict[str, Any]]]":
+    tracks: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        tracks.setdefault(span.get("track") or "campaign", []).append(span)
+    return tracks
+
+
+# --------------------------------------------------------------------------
+# views
+# --------------------------------------------------------------------------
+
+def render_timeline(spans: List[Dict[str, Any]], width: int = 72,
+                    only_track: Optional[str] = None) -> str:
+    """Per-track ASCII timeline, one row per span, indented by depth."""
+    out: List[str] = []
+    depth = _depths(spans)
+    for track, track_spans in _group_tracks(spans).items():
+        if only_track is not None and track != only_track:
+            continue
+        t_lo = min(s["t0"] for s in track_spans)
+        t_hi = max(s["t1"] for s in track_spans)
+        extent = max(t_hi - t_lo, 1e-12)
+        out.append(f"== {track}  [{_fmt_seconds(t_hi - t_lo)}] ==")
+        for span in track_spans:
+            lo = int((span["t0"] - t_lo) / extent * width)
+            hi = int((span["t1"] - t_lo) / extent * width)
+            lo = min(lo, width - 1)
+            hi = min(max(hi, lo), width)
+            if hi > lo:
+                bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
+            else:  # instant event
+                bar = " " * lo + "|" + " " * (width - lo - 1)
+            indent = "  " * depth.get(span["id"], 0)
+            label = f"{indent}{span['name']}"
+            dur = span["t1"] - span["t0"]
+            out.append(
+                f"  [{bar}] {label:<30.30} {_fmt_seconds(dur):>9}"
+            )
+        out.append("")
+    return "\n".join(out).rstrip("\n")
+
+
+def render_slowest(spans: List[Dict[str, Any]], limit: int = 10) -> str:
+    """The *limit* longest spans, as a flat table."""
+    timed = [s for s in spans if s["t1"] > s["t0"]]
+    timed.sort(key=lambda s: (-(s["t1"] - s["t0"]), s["id"]))
+    out = [f"{'duration':>10}  {'cat':<9} {'track':<28.28} name"]
+    for span in timed[:limit]:
+        out.append(
+            f"{_fmt_seconds(span['t1'] - span['t0']):>10}  "
+            f"{(span.get('cat') or '-'):<9} "
+            f"{(span.get('track') or 'campaign'):<28.28} "
+            f"{span['name']}"
+        )
+    return "\n".join(out)
+
+
+def render_metrics(metrics: Optional[Dict[str, Any]]) -> str:
+    """The embedded metrics snapshot, flattened for the terminal."""
+    if not metrics:
+        return "(no metrics record in trace -- run with --metrics?)"
+    out: List[str] = []
+    counters = metrics.get("counters") or {}
+    if counters:
+        out.append("counters:")
+        for name in sorted(counters):
+            out.append(f"  {name:<36} {counters[name]}")
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        out.append("gauges:")
+        for name in sorted(gauges):
+            out.append(f"  {name:<36} {gauges[name]:g}")
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        out.append("histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            out.append(
+                f"  {name:<36} n={h['count']} sum={_fmt_seconds(h['sum'])} "
+                f"p50={_fmt_seconds(h['p50'])} p90={_fmt_seconds(h['p90'])} "
+                f"p99={_fmt_seconds(h['p99'])}"
+            )
+    return "\n".join(out) if out else "(metrics snapshot is empty)"
+
+
+def render_summary(meta: Dict[str, Any], spans: List[Dict[str, Any]],
+                   metrics: Optional[Dict[str, Any]]) -> str:
+    tracks = _group_tracks(spans)
+    total = sum(s["t1"] - s["t0"] for s in spans if not s.get("parent"))
+    return (
+        f"trace: {meta.get('format')} v{meta.get('version')} "
+        f"(clock: {meta.get('clock')})\n"
+        f"spans: {len(spans)} on {len(tracks)} tracks, "
+        f"root-span time {_fmt_seconds(total)}"
+        + ("" if metrics is None else ", metrics snapshot present")
+    )
+
+
+# --------------------------------------------------------------------------
+# entry point
+# --------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render and export repro-bench trace files.",
+    )
+    parser.add_argument("trace", help="trace JSONL file (from --trace PATH)")
+    parser.add_argument(
+        "--timeline", action="store_true",
+        help="per-track ASCII timeline (default view)",
+    )
+    parser.add_argument(
+        "--track", default=None, metavar="NAME",
+        help="restrict the timeline to one track (e.g. a case fingerprint)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=72,
+        help="timeline bar width in characters (default 72)",
+    )
+    parser.add_argument(
+        "--slowest", type=int, default=None, metavar="N",
+        help="show the N longest spans as a table",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="show the end-of-campaign metrics snapshot",
+    )
+    parser.add_argument(
+        "--chrome", default=None, metavar="OUT.json",
+        help="export Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="check span nesting; exit 1 and list violations if broken",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        meta, spans, metrics = load_trace(args.trace)
+    except (TraceError, json.JSONDecodeError) as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 2
+
+    if args.validate:
+        problems = validate_nesting(spans)
+        if problems:
+            for problem in problems:
+                print(f"repro-trace: {problem}", file=sys.stderr)
+            return 1
+        print(f"ok: {len(spans)} spans nest correctly")
+
+    did_something = args.validate
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(spans), fh, indent=1, sort_keys=True)
+        print(f"wrote Chrome trace: {args.chrome} ({len(spans)} spans)")
+        did_something = True
+    if args.slowest is not None:
+        print(render_slowest(spans, args.slowest))
+        did_something = True
+    if args.metrics:
+        print(render_metrics(metrics))
+        did_something = True
+    if args.timeline or not did_something:
+        print(render_summary(meta, spans, metrics))
+        print()
+        print(render_timeline(spans, width=args.width,
+                              only_track=args.track))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

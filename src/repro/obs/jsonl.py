@@ -1,0 +1,152 @@
+"""Crash-safe JSONL append/read, shared by the journal and the trace file.
+
+PR 3 gave the campaign journal its durability contract: every record is
+appended with a *single* ``write`` call (readers never observe an
+interleaved partial record), flushed and fsynced before the writer moves
+on, and a torn trailing line -- the signature a crash leaves -- is
+detected and skipped on read instead of poisoning the whole file.
+
+This PR adds a second crash-safe JSONL artifact (the span trace), so the
+fsync/torn-tail machinery moves here, into one shared module, instead of
+being duplicated:
+
+* :class:`JsonlAppender` -- the write side.  One JSON object per line,
+  one line per ``append``; parent directories are created on demand;
+  ``sync=True`` (the default) fsyncs after every append so a journal or
+  trace entry on disk survives power loss;
+* :func:`read_jsonl` -- the read side.  Returns every *intact* record,
+  oldest first.  A torn trailing line (no terminating newline, invalid
+  JSON) is silently dropped -- it can only be the record that was being
+  appended when the process died.  Corruption anywhere *else* is an
+  error worth surfacing, because single-write appends cannot produce it;
+* :func:`write_jsonl_atomic` -- whole-file replacement (write temp +
+  fsync + rename) for compaction-style rewrites: a crash mid-rewrite
+  leaves either the old file or the new one, never a torn mix.
+
+Both the :class:`~repro.runner.resilience.CampaignJournal` and the
+:class:`~repro.obs.trace.TraceWriter` are thin layers over these
+primitives, which is what makes ``--resume`` treat the two files
+identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["JsonlAppender", "read_jsonl", "write_jsonl_atomic"]
+
+
+class JsonlAppender:
+    """Append-only JSONL writer with the crash-safety contract.
+
+    Each :meth:`append` serializes one record (``sort_keys=True``: the
+    byte layout is deterministic), writes it in a single call, flushes,
+    and -- unless ``sync=False`` -- fsyncs.  A lock serializes appends
+    from worker threads.
+    """
+
+    def __init__(self, path: str, sync: bool = True):
+        self.path = path
+        self.sync = sync
+        self._lock = threading.Lock()
+        self._checked_tail = False
+
+    def _prepare(self) -> None:
+        """Pre-append housekeeping (call with the lock held).
+
+        Creates parent directories, and -- once per appender -- repairs
+        a torn tail left by a crash: appending *after* an unterminated
+        line would glue two records into one undecodable middle line,
+        which readers rightly treat as corruption.  Truncating back to
+        the last complete record keeps resumed journals and traces
+        parseable; the dropped fragment was never readable anyway.
+        """
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if self._checked_tail:
+            return
+        self._checked_tail = True
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb+") as fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return
+            keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+            fh.truncate(keep)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._prepare()
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)  # one write: no interleaved partial lines
+                fh.flush()
+                if self.sync:
+                    os.fsync(fh.fileno())
+
+    def append_many(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Append a batch in one open/write/fsync cycle; returns count.
+
+        The batch goes down as one ``write`` of newline-terminated
+        lines, so a crash tears at most the *final* record of the batch
+        -- exactly the invariant :func:`read_jsonl` recovers from.
+        """
+        lines = [json.dumps(r, sort_keys=True) + "\n" for r in records]
+        if not lines:
+            return 0
+        with self._lock:
+            self._prepare()
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write("".join(lines))
+                fh.flush()
+                if self.sync:
+                    os.fsync(fh.fileno())
+        return len(lines)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Every intact record in *path*, oldest first (torn tail skipped).
+
+    Raises ``json.JSONDecodeError`` for corruption that *cannot* be a
+    torn tail: records are single-write, newline-terminated appends, so
+    an undecodable line anywhere but the unterminated end of the file
+    means something other than a crash damaged it.
+    """
+    if not os.path.exists(path):
+        return []
+    out: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = fh.read()
+    lines = raw.split("\n")
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1 and not raw.endswith("\n"):
+                break  # the torn tail a crash leaves
+            raise
+    return out
+
+
+def write_jsonl_atomic(
+    path: str, records: Iterable[Dict[str, Any]], sync: bool = True
+) -> None:
+    """Replace *path* wholesale with *records* (temp + fsync + rename)."""
+    tmp = path + ".tmp"
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(tmp, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+        if sync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,512 @@
+"""Structured spans: where a campaign's (simulated) time actually went.
+
+Principles 4-5 demand that *all* run metadata be captured alongside the
+FOM; the provenance layer records outcomes, this module records the
+*shape of the work*: pipeline stages, queue waits, retries, backoff
+sleeps, watchdog events, speculative duplicates.  Continuous-benchmarking
+systems (exaCB) treat this telemetry as what makes unattended campaigns
+debuggable at scale.
+
+Model
+-----
+
+* A :class:`Span` is a named interval ``[t0, t1]`` on a **track** (one
+  track per case, plus the ``campaign`` track), with a parent span, a
+  category and free-form attributes.  Instant events are zero-duration
+  spans.
+* Timestamps are **simulated seconds** -- the same deterministic
+  quantities the discrete-event scheduler produces -- so a trace for a
+  given seed is *byte-identical* across serial, async and speculative
+  execution (the trace is itself a reproducibility artifact).  Each case
+  track starts at its own ``t=0``; the campaign track lays cases
+  end-to-end in the deterministic serial consumption order.  Optional
+  *wall-clock* timestamps (``Tracer(wall=True)``) ride along as ``w0`` /
+  ``w1`` for profiling the framework itself -- they are excluded by
+  default precisely because wall time is not reproducible.
+* A :class:`SpanRecorder` collects one case's spans in memory (a
+  nesting stack assigns parents); the :class:`Tracer` flushes whole
+  recorders to the crash-safe JSONL trace file in the deterministic
+  result order, assigning global span ids at flush time.  Under
+  speculative execution only the *accepted* attempt's recorder is ever
+  flushed -- the loser's spans vanish with it, exactly like its perflog
+  rows.
+
+Trace-file records (one JSON object per line, via
+:mod:`repro.obs.jsonl` -- same torn-tail tolerance as the campaign
+journal)::
+
+    {"kind": "meta",    "format": "repro-trace", "version": 1, ...}
+    {"kind": "span",    "id": 7, "parent": 5, "track": "...", "name": "...",
+     "cat": "stage", "t0": 1.0, "t1": 31.0, "attrs": {...}}
+    {"kind": "metrics", "metrics": {...}}        # final snapshot
+
+``repro-trace`` renders timelines and Chrome ``chrome://tracing`` JSON
+from these records (:mod:`repro.obs.cli`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.jsonl import JsonlAppender, read_jsonl
+
+__all__ = [
+    "CaseTimeline",
+    "Span",
+    "SpanRecorder",
+    "TraceError",
+    "Tracer",
+    "as_tracer",
+    "chrome_trace",
+    "load_trace",
+    "validate_nesting",
+]
+
+#: trace-file format marker (bumped on incompatible record changes)
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: span categories used by the built-in instrumentation (the taxonomy
+#: table in DESIGN.md section 7); free-form strings are also accepted
+CATEGORIES = (
+    "case",        # one whole case on the campaign track
+    "attempt",     # one pipeline pass
+    "stage",       # setup/build/run/sanity/performance
+    "pkg",         # concretize/install
+    "sched",       # submit/queue-wait/job-run/cancel
+    "retry",       # backoff sleeps
+    "watchdog",    # heartbeats and kills
+    "spec",        # speculation decisions
+    "io",          # perflog flushes, journal writes
+    "wave",        # dependency wavefront boundaries
+)
+
+
+class TraceError(ValueError):
+    """A malformed or inconsistent trace file."""
+
+
+@dataclass
+class Span:
+    """One named interval on a track (instant events have ``t0 == t1``)."""
+
+    name: str
+    t0: float
+    t1: float
+    cat: str = ""
+    track: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    #: recorder-local id / parent id (remapped to global ids at flush)
+    local_id: int = 0
+    parent_id: Optional[int] = None
+    #: optional wall-clock timestamps (Tracer(wall=True) only)
+    w0: Optional[float] = None
+    w1: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def as_record(self, span_id: int, parent: Optional[int]) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "kind": "span",
+            "id": span_id,
+            "parent": parent,
+            "track": self.track,
+            "name": self.name,
+            "cat": self.cat,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": self.attrs,
+        }
+        if self.w0 is not None:
+            record["w0"] = self.w0
+            record["w1"] = self.w1
+        return record
+
+
+class SpanRecorder:
+    """Collects one track's spans; a nesting stack assigns parents.
+
+    A recorder is used by exactly one thread at a time (each case runs
+    its pipeline on one worker), so it needs no locking; the *tracer*
+    serializes flushes.  ``at_offset`` returns a view shifted by a
+    constant -- how scheduler-clock times (which restart at 0 per case)
+    are mapped onto the case timeline.
+    """
+
+    def __init__(self, track: str, wall: bool = False):
+        self.track = track
+        self.wall = wall
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_local = 1
+
+    # -- recording -----------------------------------------------------------
+    def _new(self, name: str, t0: float, t1: float, cat: str,
+             attrs: Dict[str, Any]) -> Span:
+        span = Span(
+            name=name, t0=float(t0), t1=float(t1), cat=cat,
+            track=self.track, attrs=attrs,
+            local_id=self._next_local,
+            parent_id=self._stack[-1].local_id if self._stack else None,
+        )
+        if self.wall:
+            span.w0 = span.w1 = _time.time()
+        self._next_local += 1
+        self.spans.append(span)
+        return span
+
+    def record(self, name: str, t0: float, t1: float, cat: str = "",
+               **attrs: Any) -> Span:
+        """A complete interval under the current nesting parent."""
+        if t1 < t0:
+            raise TraceError(f"span {name!r} ends before it starts")
+        return self._new(name, t0, t1, cat, attrs)
+
+    def event(self, name: str, t: float, cat: str = "", **attrs: Any) -> Span:
+        """An instant (zero-duration span)."""
+        return self._new(name, t, t, cat, attrs)
+
+    def start(self, name: str, t0: float, cat: str = "",
+              **attrs: Any) -> Span:
+        """Open a span and push it as the nesting parent."""
+        span = self._new(name, t0, t0, cat, attrs)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, t1: float) -> Span:
+        """Close *span* (popping it and anything left open inside it)."""
+        if t1 < span.t0:
+            raise TraceError(f"span {span.name!r} ends before it starts")
+        span.t1 = float(t1)
+        if self.wall:
+            span.w1 = _time.time()
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            # a child left open by an early return (failure paths bail
+            # out of the pipeline mid-stage): close it where its parent
+            # closes, so nesting containment survives every exit path
+            if top.t1 < span.t1:
+                top.t1 = span.t1
+                if self.wall:
+                    top.w1 = span.w1
+        return span
+
+    def at_offset(self, offset: float) -> "_OffsetRecorder":
+        """A view whose timestamps are shifted by *offset* seconds."""
+        return _OffsetRecorder(self, float(offset))
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def end_time(self) -> float:
+        """The track's extent (max ``t1`` over recorded spans)."""
+        return max((s.t1 for s in self.spans), default=0.0)
+
+
+class _OffsetRecorder:
+    """A :class:`SpanRecorder` proxy adding a constant time offset.
+
+    Shares the underlying recorder's span list *and* nesting stack, so
+    offset spans (scheduler events) nest correctly under pipeline-stage
+    spans recorded on the base timeline.
+    """
+
+    def __init__(self, base: SpanRecorder, offset: float):
+        self._base = base
+        self.offset = offset
+
+    def record(self, name: str, t0: float, t1: float, cat: str = "",
+               **attrs: Any) -> Span:
+        return self._base.record(name, t0 + self.offset, t1 + self.offset,
+                                 cat, **attrs)
+
+    def event(self, name: str, t: float, cat: str = "", **attrs: Any) -> Span:
+        return self._base.event(name, t + self.offset, cat, **attrs)
+
+    def start(self, name: str, t0: float, cat: str = "",
+              **attrs: Any) -> Span:
+        return self._base.start(name, t0 + self.offset, cat, **attrs)
+
+    def finish(self, span: Span, t1: float) -> Span:
+        return self._base.finish(span, t1 + self.offset)
+
+    def at_offset(self, offset: float) -> "_OffsetRecorder":
+        return _OffsetRecorder(self._base, self.offset + offset)
+
+
+class CaseTimeline:
+    """A per-case virtual-time cursor for pipeline instrumentation.
+
+    The pipeline's stages have no shared clock -- build and job
+    durations are produced by independent deterministic simulations --
+    so the timeline lays them end-to-end: ``advance(d)`` moves the
+    cursor, ``span(name, d)`` records ``[t, t+d]`` and advances.  The
+    final cursor value is the case's total simulated cost.
+    """
+
+    def __init__(self, recorder: Optional[SpanRecorder], start: float = 0.0):
+        self.rec = recorder
+        self.t = float(start)
+
+    @property
+    def active(self) -> bool:
+        return self.rec is not None
+
+    def advance(self, seconds: float) -> float:
+        self.t += max(float(seconds), 0.0)
+        return self.t
+
+    def instant(self, name: str, cat: str = "stage", **attrs: Any) -> None:
+        if self.rec is not None:
+            self.rec.event(name, self.t, cat, **attrs)
+
+    def span(self, name: str, seconds: float, cat: str = "stage",
+             **attrs: Any) -> None:
+        """Record ``[t, t + seconds]`` and advance the cursor."""
+        seconds = max(float(seconds), 0.0)
+        if self.rec is not None:
+            self.rec.record(name, self.t, self.t + seconds, cat, **attrs)
+        self.t += seconds
+
+    def start(self, name: str, cat: str = "stage", **attrs: Any) -> Optional[Span]:
+        if self.rec is None:
+            return None
+        return self.rec.start(name, self.t, cat, **attrs)
+
+    def finish(self, span: Optional[Span]) -> None:
+        if self.rec is not None and span is not None:
+            self.rec.finish(span, self.t)
+
+
+class Tracer:
+    """Campaign-wide span collection + crash-safe JSONL export.
+
+    ``path`` (or an explicit :class:`~repro.obs.jsonl.JsonlAppender`)
+    enables on-disk streaming: each flushed recorder's spans go down as
+    one append batch, so a campaign killed mid-run leaves a readable
+    trace of everything consumed so far (at most the final record torn
+    -- which :func:`load_trace` skips, like the journal).  Without a
+    path the tracer collects in memory only (tests, API users).
+
+    Global span ids are assigned *at flush time*, in flush order --
+    flushes happen in the executor's deterministic result-consumption
+    order, which is what makes the file byte-identical across execution
+    policies.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, JsonlAppender]] = None,
+        wall: bool = False,
+        sync: bool = True,
+    ):
+        if isinstance(path, JsonlAppender):
+            self._appender: Optional[JsonlAppender] = path
+            self.path: Optional[str] = path.path
+        elif path is not None:
+            self._appender = JsonlAppender(str(path), sync=sync)
+            self.path = str(path)
+        else:
+            self._appender = None
+            self.path = None
+        self.wall = wall
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._wrote_meta = False
+        #: flushed spans, in flush (= global id) order
+        self.flushed: List[Span] = []
+        #: spans written to disk so far
+        self.spans_written = 0
+
+    # -- recorders -----------------------------------------------------------
+    def recorder(self, track: str) -> SpanRecorder:
+        """A fresh recorder for one track (no shared state touched)."""
+        return SpanRecorder(track, wall=self.wall)
+
+    # -- flushing ------------------------------------------------------------
+    def _meta_record(self) -> Dict[str, Any]:
+        return {
+            "kind": "meta",
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "clock": "simulated-seconds",
+            "wall": self.wall,
+        }
+
+    def flush(self, recorder: SpanRecorder) -> List[Dict[str, Any]]:
+        """Assign global ids to *recorder*'s spans and append them.
+
+        Returns the records written (tests introspect them).  Safe to
+        call from the executor's single consumption thread; the lock
+        guards id assignment for API users who flush concurrently.
+        """
+        with self._lock:
+            records: List[Dict[str, Any]] = []
+            if not self._wrote_meta:
+                records.append(self._meta_record())
+                self._wrote_meta = True
+            mapping: Dict[int, int] = {}
+            for span in recorder.spans:
+                span_id = self._next_id
+                self._next_id += 1
+                mapping[span.local_id] = span_id
+                parent = (
+                    mapping.get(span.parent_id)
+                    if span.parent_id is not None else None
+                )
+                records.append(span.as_record(span_id, parent))
+                self.flushed.append(span)
+            if self._appender is not None and records:
+                self._appender.append_many(records)
+                self.spans_written += len(recorder.spans)
+            return records
+
+    def write_metrics(self, snapshot: Dict[str, Any]) -> None:
+        """Append the end-of-campaign metrics snapshot record."""
+        with self._lock:
+            records: List[Dict[str, Any]] = []
+            if not self._wrote_meta:
+                records.append(self._meta_record())
+                self._wrote_meta = True
+            records.append({"kind": "metrics", "metrics": snapshot})
+            if self._appender is not None:
+                self._appender.append_many(records)
+
+
+def as_tracer(value: Any, wall: bool = False) -> Optional[Tracer]:
+    """Coerce CLI/API input (path | Tracer | None) to a Tracer."""
+    if value is None or isinstance(value, Tracer):
+        return value
+    return Tracer(value, wall=wall)
+
+
+# --------------------------------------------------------------------------
+# reading & analysis
+# --------------------------------------------------------------------------
+
+def load_trace(
+    path: str,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """Parse a trace file -> (meta, span records, metrics snapshot).
+
+    Torn trailing records (a crashed campaign) are skipped by the shared
+    JSONL reader; an empty or meta-less file raises :class:`TraceError`.
+    """
+    records = read_jsonl(path)
+    if not records:
+        raise TraceError(f"{path}: empty trace file")
+    meta: Optional[Dict[str, Any]] = None
+    spans: List[Dict[str, Any]] = []
+    metrics: Optional[Dict[str, Any]] = None
+    for record in records:
+        kind = record.get("kind")
+        if kind == "meta" and meta is None:
+            meta = record
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "metrics":
+            metrics = record.get("metrics")
+    if meta is None:
+        raise TraceError(f"{path}: no meta record (not a repro trace?)")
+    if meta.get("format") != TRACE_FORMAT:
+        raise TraceError(
+            f"{path}: unknown trace format {meta.get('format')!r}"
+        )
+    return meta, spans, metrics
+
+
+def validate_nesting(spans: List[Dict[str, Any]],
+                     epsilon: float = 1e-9) -> List[str]:
+    """Structural checks on span records; returns a list of violations.
+
+    * every ``parent`` id references an earlier span on the same track;
+    * every child interval lies within its parent's (to *epsilon*);
+    * no span ends before it starts.
+
+    An empty list means the trace nests correctly -- what the tier-1
+    smoke test asserts for chaos campaigns.
+    """
+    by_id: Dict[int, Dict[str, Any]] = {}
+    problems: List[str] = []
+    for span in spans:
+        sid = span["id"]
+        if span["t1"] < span["t0"] - epsilon:
+            problems.append(
+                f"span {sid} ({span['name']}): ends before it starts"
+            )
+        parent_id = span.get("parent")
+        if parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                problems.append(
+                    f"span {sid} ({span['name']}): parent {parent_id} "
+                    f"not seen before it"
+                )
+            else:
+                if parent["track"] != span["track"]:
+                    problems.append(
+                        f"span {sid} ({span['name']}): parent on a "
+                        f"different track"
+                    )
+                if (span["t0"] < parent["t0"] - epsilon
+                        or span["t1"] > parent["t1"] + epsilon):
+                    problems.append(
+                        f"span {sid} ({span['name']}): "
+                        f"[{span['t0']:g}, {span['t1']:g}] outside parent "
+                        f"{parent_id} [{parent['t0']:g}, {parent['t1']:g}]"
+                    )
+        by_id[sid] = span
+    return problems
+
+
+def chrome_trace(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert span records to Chrome trace-event JSON (``chrome://tracing``).
+
+    Tracks map to thread ids (with ``thread_name`` metadata events);
+    simulated seconds map to microseconds.  Complete events (``ph: X``)
+    carry the span attributes in ``args``.
+    """
+    tracks: List[str] = []
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        track = span["track"] or "campaign"
+        if track not in tids:
+            tids[track] = len(tids)
+            tracks.append(track)
+    for i, track in enumerate(tracks):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": i,
+            "args": {"name": track},
+        })
+    for span in spans:
+        track = span["track"] or "campaign"
+        duration_us = (span["t1"] - span["t0"]) * 1e6
+        event = {
+            "name": span["name"],
+            "cat": span.get("cat") or "span",
+            "ph": "X" if duration_us > 0 else "i",
+            "ts": span["t0"] * 1e6,
+            "pid": 1,
+            "tid": tids[track],
+            "args": dict(span.get("attrs") or {}),
+        }
+        if duration_us > 0:
+            event["dur"] = duration_us
+        else:
+            event["s"] = "t"  # instant scope: thread
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"format": TRACE_FORMAT, "clock": "simulated-seconds"},
+    }

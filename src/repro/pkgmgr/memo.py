@@ -97,6 +97,15 @@ class CacheStats:
             "hit_rate": round(self.hit_rate, 4),
         }
 
+    def publish(self, registry, prefix: str = "concretize") -> None:
+        """Fold these counts into a ``MetricsRegistry`` as ``prefix.*``.
+
+        The unified metrics namespace (DESIGN.md section 7): the memo's
+        integer counts become additive counters; ``hit_rate`` is skipped
+        by ``merge_counts`` -- it is derivable and would not merge.
+        """
+        registry.merge_counts(prefix, self.as_dict())
+
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "

@@ -57,7 +57,52 @@ def build_parser() -> argparse.ArgumentParser:
                              "to stderr")
     parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                         help="read perflog files on N parallel threads")
+    parser.add_argument("--energy", metavar="PROVENANCE.json",
+                        help="join per-case energy telemetry from a "
+                             "provenance file: adds 'mean_watts' and "
+                             "'perf_per_watt' columns (use e.g. "
+                             "'value: perf_per_watt' in the plot config "
+                             "for FOM-per-watt charts)")
     return parser
+
+
+def _attach_energy(frame: "DataFrame", provenance_path: str) -> "DataFrame":
+    """Join provenance energy onto the perflog frame by case identity.
+
+    Each provenance case entry carries an ``energy`` dict (mean watts,
+    joules) captured during the run stage; perflog rows have no power
+    column of their own, so efficiency analysis joins the two artifacts
+    on ``(test, system:partition, environ)``.  Rows without telemetry
+    get NaN -- they simply drop out of numeric aggregation.
+    """
+    from repro.core.provenance import RunProvenance
+
+    with open(provenance_path, encoding="utf-8") as fh:
+        prov = RunProvenance.from_json(fh.read())
+    watts: dict = {}
+    for entry in prov.entries:
+        energy = entry.get("energy")
+        if not energy:
+            continue
+        key = (entry.get("test"), entry.get("platform"),
+               entry.get("environ"))
+        watts[key] = float(energy.get("mean_watts", 0.0))
+    records = frame.to_records()
+    col_watts = np.empty(len(records), dtype=float)
+    col_per_watt = np.empty(len(records), dtype=float)
+    for i, row in enumerate(records):
+        platform = f"{row.get('system')}:{row.get('partition')}"
+        w = watts.get((row.get("test"), platform, row.get("environ")))
+        col_watts[i] = w if w else np.nan
+        value = row.get("perf_value")
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            value = np.nan
+        col_per_watt[i] = value / w if w else np.nan
+    frame["mean_watts"] = col_watts
+    frame["perf_per_watt"] = col_per_watt
+    return frame
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -72,6 +117,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.energy:
+        try:
+            frame = _attach_energy(frame, args.energy)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: --energy: {exc}", file=sys.stderr)
+            return 1
     if args.cache_stats and store is not None:
         s = store.stats
         print(

@@ -122,6 +122,15 @@ class StoreStats:
             "byte_reuse_rate": round(self.byte_reuse_rate, 4),
         }
 
+    def publish(self, registry, prefix: str = "ingest") -> None:
+        """Fold these counts into a ``MetricsRegistry`` as ``prefix.*``.
+
+        Mirrors ``CacheStats.publish`` (DESIGN.md section 7): integer
+        counts become additive counters; the derived rates are skipped
+        by ``merge_counts``.
+        """
+        registry.merge_counts(prefix, self.as_dict())
+
     def __repr__(self) -> str:
         return (
             f"StoreStats(hits={self.hits} (full={self.full_hits}, "

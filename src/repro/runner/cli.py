@@ -156,6 +156,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "attributed fault events (hangs, failures, "
                              "degradations); state is journaled and "
                              "survives --resume (default: off)")
+    # ---- observability (DESIGN.md section 7) ----------------------------
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="stream structured spans (pipeline stages, "
+                             "scheduler lifecycle, retries, watchdog "
+                             "events) to a crash-safe JSONL trace at PATH; "
+                             "inspect with repro-trace.  Timestamps are "
+                             "simulated seconds, so the file is "
+                             "byte-identical across execution policies")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect campaign counters and duration "
+                             "histograms and print the breakdown after "
+                             "the summary (implied by --trace)")
     return parser
 
 
@@ -302,10 +314,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         speculation=args.speculate,
         straggler_factor=args.straggler_factor,
         drain_after=args.drain_after,
+        trace=args.trace,
+        metrics=args.metrics,
     )
     print(report.summary(), end="")
     if args.performance_report:
         print(report.performance_report(), end="")
+    if args.metrics and report.metrics is not None:
+        from repro.obs.cli import render_metrics
+
+        print(render_metrics(report.metrics))
+    if report.trace_path is not None:
+        print(f"trace: {report.trace_path}")
     if executor.perflog and executor.perflog.written:
         print("perflogs:")
         for path in executor.perflog.written:

@@ -40,6 +40,8 @@ from typing import (
 )
 
 from repro.faults import FaultClock, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, as_tracer
 from repro.pkgmgr.installer import Installer
 from repro.pkgmgr.memo import ConcretizationCache
 from repro.runner.benchmark import RegressionTest
@@ -83,6 +85,12 @@ class RunReport:
     watchdog: Optional[Dict[str, Any]] = None
     #: node-health ledger (``HealthTracker.as_dict()``) when one ran
     health: Optional[Dict[str, Any]] = None
+    #: end-of-campaign metrics snapshot (``MetricsRegistry.snapshot()``)
+    #: when tracing or metrics collection was enabled -- the same dict
+    #: the trace file's final record and ``attach_metrics`` carry
+    metrics: Optional[Dict[str, Any]] = None
+    #: the JSONL trace file spans were streamed to (None: not traced)
+    trace_path: Optional[str] = None
 
     @property
     def num_cases(self) -> int:
@@ -351,6 +359,8 @@ class Executor:
         straggler_factor: float = 2.0,
         drain_after: Optional[int] = None,
         health: Optional[HealthTracker] = None,
+        trace: Optional[Union[str, Tracer]] = None,
+        metrics: Optional[Union[bool, MetricsRegistry]] = None,
     ) -> RunReport:
         """Run a campaign under the chosen execution policy.
 
@@ -393,6 +403,21 @@ class Executor:
           allocation; state is journaled and restored on ``resume``.
           Pass a ``health`` tracker explicitly to share or pre-seed one.
 
+        Observability (DESIGN.md section 7):
+
+        * ``trace`` (a path or :class:`~repro.obs.trace.Tracer`) streams
+          structured spans -- pipeline stages, scheduler job lifecycle,
+          retries, watchdog events -- to a crash-safe JSONL trace file,
+          flushed per case in the deterministic result order.  All
+          timestamps are simulated seconds, so the trace for a given
+          seed is *byte-identical* across execution policies;
+        * ``metrics`` (``True`` or a shared
+          :class:`~repro.obs.metrics.MetricsRegistry`) collects the
+          campaign's counters and duration histograms; the snapshot
+          lands on :attr:`RunReport.metrics`, in the trace file's final
+          record, and (via ``RunProvenance.attach_metrics``) in
+          provenance.  Tracing implies metrics.
+
         None of these are armed by default, and the default path runs
         byte-identically to earlier releases.  On successful completion
         the journal (if any) is compacted in place.
@@ -419,6 +444,19 @@ class Executor:
                 if speculation
                 else None
             )
+        tracer = as_tracer(trace)
+        if isinstance(metrics, MetricsRegistry):
+            registry: Optional[MetricsRegistry] = metrics
+        elif metrics or tracer is not None:
+            registry = MetricsRegistry()
+        else:
+            registry = None
+        # the campaign track lays accepted cases end-to-end in the
+        # deterministic consumption order; flushed once, at the end
+        campaign_rec = (
+            tracer.recorder("campaign") if tracer is not None else None
+        )
+        campaign_cursor = [0.0]
         completed: Dict[str, Dict[str, Any]] = {}
         if journal is not None and resume:
             completed = journal.load()
@@ -431,11 +469,21 @@ class Executor:
             self.perflog.faults = faults
 
         def case_runner(case: TestCase) -> CaseResult:
+            # a fresh recorder per invocation: a speculative duplicate
+            # gets its own, and only the accepted attempt's is flushed
+            recorder = (
+                tracer.recorder(case.display_name)
+                if tracer is not None else None
+            )
             fingerprint = case_fingerprint(case)
             record = completed.get(fingerprint)
             if record is not None and record.get("status") in COMPLETED_STATUSES:
                 # crash-safe resume: replay, don't re-run
-                return result_from_record(case, record)
+                result = result_from_record(case, record)
+                if recorder is not None:
+                    recorder.event("resumed", 0.0, "case")
+                    result._trace = recorder
+                return result
             if quarantine.is_quarantined(fingerprint):
                 result = CaseResult(case=case)
                 result.failing_stage = "setup"
@@ -445,6 +493,9 @@ class Executor:
                     f"{quarantine.threshold}"
                 )
                 result.quarantined = True
+                if recorder is not None:
+                    recorder.event("quarantined", 0.0, "case")
+                    result._trace = recorder
                 return result
             return run_case(
                 case,
@@ -455,6 +506,7 @@ class Executor:
                 clock=clock,
                 watchdog=watchdog,
                 health=health,
+                trace=recorder,
             )
 
         collected: List[CaseResult] = []
@@ -473,10 +525,47 @@ class Executor:
             if not result.resumed:
                 self._persist(result, journal, fingerprint, failures,
                               health=health)
+            if registry is not None and not result.skipped:
+                self._observe_result(registry, result)
+            if tracer is not None:
+                # flush the case's spans (in this deterministic order --
+                # which is what makes the file byte-identical across
+                # policies) and extend the campaign track
+                recorder = getattr(result, "_trace", None)
+                extent = (
+                    recorder.end_time if recorder is not None else 0.0
+                )
+                t0 = campaign_cursor[0]
+                if campaign_rec is not None:
+                    campaign_rec.record(
+                        result.case.display_name, t0, t0 + extent,
+                        "case",
+                        status=(
+                            "passed" if result.passed else
+                            ("skipped" if result.skipped else "failed")
+                        ),
+                        attempts=result.attempts,
+                        resumed=result.resumed,
+                        speculated=result.speculated,
+                    )
+                campaign_cursor[0] = t0 + extent
+                if recorder is not None:
+                    tracer.flush(recorder)
+                if (campaign_rec is not None and self.perflog is not None
+                        and not result.resumed):
+                    campaign_rec.event(
+                        "perflog-flush", campaign_cursor[0], "io",
+                        case=result.case.display_name,
+                    )
             if failed:
                 breaker.record_failure()
                 if breaker.tripped:
                     raise CampaignAborted(breaker.describe())
+
+        def on_wave(index: int, size: int) -> None:
+            if campaign_rec is not None:
+                campaign_rec.event("wave", campaign_cursor[0], "wave",
+                                   index=index, cases=size)
 
         aborted: Optional[str] = None
         try:
@@ -486,6 +575,7 @@ class Executor:
                 workers=effective_workers,
                 on_result=on_result,
                 speculation=speculation,
+                on_wave=on_wave if tracer is not None else None,
             )
         except CampaignAborted as exc:
             aborted = str(exc)
@@ -502,11 +592,81 @@ class Executor:
             drained_nodes=health.drained if health is not None else [],
             watchdog=watchdog.as_dict() if watchdog is not None else None,
             health=health.as_dict() if health is not None else None,
+            trace_path=tracer.path if tracer is not None else None,
         )
+        if registry is not None:
+            # campaign counters are derived from the final report, so the
+            # snapshot's totals equal the journal-derived counts by
+            # construction (the trace smoke test locks this in)
+            self._populate_metrics(registry, report)
+            report.metrics = registry.snapshot()
+        if tracer is not None:
+            if campaign_rec is not None:
+                tracer.flush(campaign_rec)
+            if report.metrics is not None:
+                tracer.write_metrics(report.metrics)
         if journal is not None and report.success:
             # a finished campaign's journal only needs its latest state
             journal.compact()
         return report
+
+    @staticmethod
+    def _observe_result(registry: MetricsRegistry, result: CaseResult) -> None:
+        """Feed one finished case's durations into the histograms.
+
+        Called per result in the deterministic consumption order, so the
+        histogram contents -- and thus the snapshot -- are identical
+        across execution policies.  Skipped cases are filtered by the
+        caller (a skip has no meaningful duration).
+        """
+        registry.histogram("build.seconds").observe(result.build_seconds)
+        registry.histogram("sched.queue_seconds").observe(
+            result.queue_seconds
+        )
+        registry.histogram("sched.job_seconds").observe(result.job_seconds)
+        case_seconds = (
+            result.build_seconds
+            + result.queue_seconds
+            + result.job_seconds
+            + sum(result.backoff_schedule)
+        )
+        registry.histogram("case.seconds").observe(case_seconds)
+
+    def _populate_metrics(
+        self, registry: MetricsRegistry, report: RunReport
+    ) -> None:
+        """Fold the campaign's outcome counters into *registry*.
+
+        The counter values mirror :meth:`RunReport.summary` exactly --
+        every number a human reads in the ``[ PASSED ]`` epilogue has a
+        machine-readable ``cases.*`` / ``retry.*`` twin in the snapshot.
+        """
+        registry.counter("cases.total").add(report.num_cases)
+        registry.counter("cases.passed").add(len(report.passed))
+        registry.counter("cases.failed").add(len(report.failed))
+        registry.counter("cases.skipped").add(len(report.skipped))
+        registry.counter("cases.resumed").add(len(report.resumed))
+        registry.counter("cases.retried").add(len(report.retried))
+        registry.counter("cases.quarantined").add(len(report.quarantined))
+        registry.counter("retry.attempts_extra").add(
+            sum(r.attempts - 1 for r in report.retried)
+        )
+        registry.counter("faults.injected").add(report.faults_injected)
+        registry.counter("watchdog.hung_attempts").add(report.hung_attempts)
+        if report.watchdog is not None:
+            registry.counter("watchdog.heartbeats").add(
+                int(report.watchdog.get("heartbeats_observed", 0))
+            )
+        registry.counter("spec.speculated").add(len(report.speculated))
+        registry.counter("spec.wins").add(len(report.speculation_wins))
+        registry.counter("health.drained_nodes").add(
+            len(report.drained_nodes)
+        )
+        registry.gauge("campaign.aborted").set(
+            1.0 if report.aborted else 0.0
+        )
+        # subsystem caches publish their own namespaces
+        self.concretizer_cache.stats.publish(registry, "concretize")
 
     def _persist(
         self,

@@ -244,6 +244,7 @@ def run_waves(
     workers: int = 1,
     on_result: Optional[Callable[[CaseResult], None]] = None,
     speculation: Optional[SpeculationPolicy] = None,
+    on_wave: Optional[Callable[[int, int], None]] = None,
 ) -> List[CaseResult]:
     """Execute a topologically-ordered campaign wave by wave.
 
@@ -273,6 +274,10 @@ def run_waves(
     perflog/journal writers never see a double write.  Speculation
     decisions are made in the deterministic consumption order, so serial
     and async campaigns speculate identically.
+
+    Observability: ``on_wave(index, size)`` fires once per wavefront,
+    before any of its cases is dispatched, in deterministic wave order
+    (the tracer's campaign track marks wave boundaries with it).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -293,7 +298,9 @@ def run_waves(
 
     pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
     try:
-        for wave in dependency_waves(ordered):
+        for wave_index, wave in enumerate(dependency_waves(ordered)):
+            if on_wave is not None:
+                on_wave(wave_index, len(wave))
             runnable: List[int] = []
             for i in wave:
                 failure = resolve_dependencies(ordered[i], finished)

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.faults import FaultClock, FaultPlan, InjectedFault, SchedulerFaultInjector
 from repro.machine.progmodel import UnsupportedModelError
+from repro.obs.trace import CaseTimeline, SpanRecorder
 from repro.pkgmgr.concretizer import ConcretizationError, Concretizer
 from repro.pkgmgr.installer import BuildFailure, Installer
 from repro.pkgmgr.memo import ConcretizationCache
@@ -130,6 +131,12 @@ class CaseResult:
     retryable: bool = field(default=False, repr=False)
     #: progress marker for the blanket exception guard
     _stage: str = field(default="setup", repr=False)
+    # ---- observability (DESIGN.md section 7) ----
+    #: the SpanRecorder holding this case's trace, attached by run_case
+    #: when tracing is enabled.  The executor flushes it in deterministic
+    #: result order; under speculation only the *accepted* attempt's
+    #: recorder survives (the loser's spans vanish with its perflog rows).
+    _trace: Optional[object] = field(default=None, repr=False, compare=False)
 
 
 def _fail(
@@ -269,6 +276,7 @@ def run_case(
     clock: Optional[FaultClock] = None,
     watchdog: Optional[object] = None,
     health: Optional[object] = None,
+    trace: Optional[SpanRecorder] = None,
 ) -> CaseResult:
     """Drive one test case through the whole pipeline, with retries.
 
@@ -304,10 +312,16 @@ def run_case(
     backoffs: List[float] = []
     result = CaseResult(case=case)
     hung_attempts = 0
+    # the per-case simulated timeline (DESIGN.md section 7): attempt
+    # spans with stage children laid end-to-end, backoff spans between
+    # attempts, scheduler sub-spans mapped on via at_offset.  Inert
+    # (zero-cost no-ops) when trace is None.
+    tl = CaseTimeline(trace)
 
     for attempt in range(1, policy.max_attempts + 1):
+        attempt_span = tl.start("attempt", cat="attempt", n=attempt)
         result = _attempt_case(case, installer, concretizer_cache, faults,
-                               watchdog, health)
+                               watchdog, health, tl)
         hung_attempts += result.hung_attempts
         result.hung_attempts = hung_attempts
         result.attempts = attempt
@@ -316,6 +330,14 @@ def run_case(
             result.fault_log = [
                 f.describe() for f in faults.faults_for(target)
             ]
+        if attempt_span is not None:
+            attempt_span.attrs["status"] = (
+                "passed" if result.passed
+                else ("skipped" if result.skipped else "failed")
+            )
+            if result.failing_stage:
+                attempt_span.attrs["stage"] = result.failing_stage
+        tl.finish(attempt_span)
         if result.passed or not result.retryable:
             break
         if attempt == policy.max_attempts:
@@ -327,6 +349,8 @@ def run_case(
         delay = policy.backoff(attempt, key=target)
         clock.sleep(delay)
         backoffs.append(delay)
+        tl.span("backoff", delay, cat="retry", after_attempt=attempt)
+    result._trace = trace
     return result
 
 
@@ -337,13 +361,16 @@ def _attempt_case(
     faults: Optional[FaultPlan],
     watchdog: Optional[object] = None,
     health: Optional[object] = None,
+    tl: Optional[CaseTimeline] = None,
 ) -> CaseResult:
     """One pipeline pass; never raises (except deliberate aborts)."""
     result = CaseResult(case=case)
+    if tl is None:
+        tl = CaseTimeline(None)
     try:
         return _attempt_stages(case, result, installer,
                                concretizer_cache, faults,
-                               watchdog, health)
+                               watchdog, health, tl)
     except InjectedFault as exc:
         return _fail(result, result._stage, str(exc),
                      retryable=exc.transient)
@@ -365,12 +392,16 @@ def _attempt_stages(
     faults: Optional[FaultPlan],
     watchdog: Optional[object] = None,
     health: Optional[object] = None,
+    tl: Optional[CaseTimeline] = None,
 ) -> CaseResult:
     test = case.test
     target = case.display_name
+    if tl is None:
+        tl = CaseTimeline(None)
 
     # ---------------------------------------------------------------- setup --
     result._stage = "setup"
+    tl.instant("setup", cat="stage")
     if not test.supports_platform(case.system.name, case.partition.name):
         return _fail(
             result, "setup",
@@ -398,6 +429,7 @@ def _attempt_stages(
 
     # ---------------------------------------------------------------- build --
     result._stage = "build"
+    build_span = tl.start("build", cat="stage")
     concrete = None
     failure = _run_hooks(test, "before", "build", result, faults, target)
     if failure is not None:
@@ -420,6 +452,8 @@ def _attempt_stages(
         concretizer = Concretizer(env=pkg_env, cache=concretizer_cache)
         try:
             concrete = concretizer.concretize(spec)
+            tl.instant("concretize", cat="pkg",
+                       cache_hit=bool(concretizer.last_cache_hit))
             records = installer.install(concrete, rebuild=test.rebuild)
         except (ConcretizationError, BuildFailure, InjectedFault) as exc:
             result.concretize_cache_hit = concretizer.last_cache_hit
@@ -429,6 +463,9 @@ def _attempt_stages(
         result.concretize_cache_hit = concretizer.last_cache_hit
         result.build_log = [line for r in records for line in r.log]
         result.build_seconds = sum(r.build_seconds for r in records)
+        tl.instant("install", cat="pkg", packages=len(records))
+        tl.advance(result.build_seconds)
+    tl.finish(build_span)
 
     # watchdog build budget (DESIGN.md section 6.4): a build that blows
     # its deadline is treated like a hung build node -- transient, so the
@@ -438,6 +475,7 @@ def _attempt_stages(
         violation = watchdog.check_build(target, result.build_seconds)
         if violation is not None:
             result.hung_attempts = 1
+            tl.instant("build-budget-kill", cat="watchdog")
             return _fail(result, "build", violation, retryable=True)
 
     # ------------------------------------------------------------------ run --
@@ -445,6 +483,11 @@ def _attempt_stages(
     failure = _run_hooks(test, "before", "run", result, faults, target)
     if failure is not None:
         return failure
+    run_span = tl.start("run", cat="stage")
+    # the scheduler's SimClock restarts at 0 for every case; its spans
+    # (submit, queue-wait, job-run, watchdog beats) are mapped onto the
+    # case timeline by the cursor offset at scheduler construction
+    sched_trace = tl.rec.at_offset(tl.t) if tl.active else None
     node = case.partition.node
     ctx = ProgramContext(
         system=case.system.name,
@@ -474,8 +517,10 @@ def _attempt_stages(
         fault_injector=injector,
         watchdog=watchdog,
         health=health,
+        trace=sched_trace,
     ) if case.partition.scheduler != "local" else make_scheduler(
-        "local", fault_injector=injector, watchdog=watchdog, health=health
+        "local", fault_injector=injector, watchdog=watchdog, health=health,
+        trace=sched_trace,
     )
 
     job = Job(
@@ -508,8 +553,13 @@ def _attempt_stages(
         scheduler.wait_all()
         job_result = scheduler.result(job_id)
     except Exception as exc:
+        # however far the simulation got, the cursor moves with it so
+        # any scheduler spans already recorded stay inside the run span
+        tl.advance(scheduler.clock.now)
         return _fail(result, "run", f"scheduler error: {exc}",
                      retryable=is_transient(exc))
+    tl.advance(scheduler.clock.now)
+    tl.finish(run_span)
 
     result.stdout = job_result.stdout
     result.job_seconds = job_result.run_seconds
@@ -550,6 +600,7 @@ def _attempt_stages(
 
     # --------------------------------------------------------------- sanity --
     result._stage = "sanity"
+    tl.instant("sanity", cat="stage")
     try:
         test.check_sanity(result.stdout)
     except SanityError as exc:
@@ -557,6 +608,7 @@ def _attempt_stages(
 
     # ---------------------------------------------------------- performance --
     result._stage = "performance"
+    tl.instant("performance", cat="stage")
     try:
         result.perfvars = test.extract_performance(result.stdout)
         test.check_references(case.platform, result.perfvars)

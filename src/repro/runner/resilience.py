@@ -33,13 +33,12 @@ byte-identical to a fault-free serial run.
 from __future__ import annotations
 
 import hashlib
-import json
-import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.faults import FaultClock, InjectedFault, unit_hash
+from repro.obs.jsonl import JsonlAppender, read_jsonl, write_jsonl_atomic
 from repro.pkgmgr.concretizer import ConcretizationError
 from repro.pkgmgr.installer import BuildFailure
 from repro.runner.sanity import SanityError
@@ -273,15 +272,19 @@ class CampaignJournal:
 
     One JSON object per line, one line per finished case, appended (and
     fsynced) the moment the result lands -- after its perflog rows were
-    flushed, so a journal entry implies durable perflog data.  Lines are
-    written with a single ``write`` call each, so a reader never observes
-    an interleaved record; a torn trailing line (the crash case) is
-    detected and ignored by :meth:`load`.
+    flushed, so a journal entry implies durable perflog data.  The
+    durability machinery (single-write appends, fsync, torn-tail
+    tolerance, atomic rewrites) lives in :mod:`repro.obs.jsonl` and is
+    shared with the span trace file, so both artifacts survive a crash
+    the same way -- and a post-crash ``--resume`` can append after a
+    torn tail without gluing two records together (the appender repairs
+    the tail before its first write).
     """
 
     def __init__(self, path: str, sync: bool = True):
         self.path = path
         self.sync = sync
+        self._appender = JsonlAppender(path, sync=sync)
         self._lock = threading.Lock()
 
     # -- writing -------------------------------------------------------------
@@ -320,6 +323,12 @@ class CampaignJournal:
             "speculated": result.speculated,
             "speculation_won": result.speculation_won,
             "hung_attempts": result.hung_attempts,
+            # energy provenance (satellite: a resumed campaign must not
+            # lose the joules its crashed predecessor measured)
+            "energy": (
+                result.energy.as_dict()
+                if getattr(result, "energy", None) is not None else None
+            ),
         }
         self._append(record)
         return record
@@ -338,16 +347,10 @@ class CampaignJournal:
         return record
 
     def _append(self, record: Dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True) + "\n"
+        # the journal-level lock additionally serializes appends against
+        # compact(): an append never races the atomic rewrite
         with self._lock:
-            directory = os.path.dirname(self.path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(line)  # one write: no interleaved partial lines
-                fh.flush()
-                if self.sync:
-                    os.fsync(fh.fileno())
+            self._appender.append(record)
 
     # -- reading -------------------------------------------------------------
     def entries(self) -> Iterable[Dict[str, Any]]:
@@ -355,25 +358,7 @@ class CampaignJournal:
         return self._entries_unlocked()
 
     def _entries_unlocked(self) -> List[Dict[str, Any]]:
-        if not os.path.exists(self.path):
-            return []
-        out: List[Dict[str, Any]] = []
-        with open(self.path, "r", encoding="utf-8") as fh:
-            raw = fh.read()
-        lines = raw.split("\n")
-        for i, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                out.append(json.loads(line))
-            except json.JSONDecodeError:
-                # a torn line can only be the unterminated tail (records
-                # are single-write, newline-terminated appends); anything
-                # else is corruption worth surfacing
-                if i == len(lines) - 1 and not raw.endswith("\n"):
-                    break
-                raise
-        return out
+        return read_jsonl(self.path)
 
     def load(self) -> Dict[str, Dict[str, Any]]:
         """Latest case record per fingerprint (the resume state)."""
@@ -440,14 +425,7 @@ class CampaignJournal:
             dropped = len(records) - len(kept)
             if dropped <= 0:
                 return 0
-            tmp = self.path + ".compact"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                for record in kept:
-                    fh.write(json.dumps(record, sort_keys=True) + "\n")
-                fh.flush()
-                if self.sync:
-                    os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
+            write_jsonl_atomic(self.path, kept, sync=self.sync)
             return dropped
 
 
@@ -491,5 +469,22 @@ def result_from_record(case: Any, record: Dict[str, Any]) -> Any:
     result.speculated = bool(record.get("speculated", False))
     result.speculation_won = bool(record.get("speculation_won", False))
     result.hung_attempts = int(record.get("hung_attempts", 0))
+    energy = record.get("energy")
+    if energy:
+        # journals written before the energy field simply lack the key
+        # (back-compat: .get returns None and the result stays None)
+        from repro.machine.telemetry import EnergyReport
+
+        result.energy = EnergyReport(
+            joules=float(energy.get("joules", 0.0)),
+            mean_watts=float(energy.get("mean_watts", 0.0)),
+            duration_s=float(energy.get("duration_s", 0.0)),
+            nodes=int(energy.get("nodes", 1)),
+            mean_mem_util=float(energy.get("mean_mem_util", 0.0)),
+            mean_network_util=float(energy.get("mean_network_util", 0.0)),
+            mean_filesystem_util=float(
+                energy.get("mean_filesystem_util", 0.0)
+            ),
+        )
     result.resumed = True
     return result

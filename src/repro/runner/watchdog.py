@@ -179,6 +179,7 @@ class Watchdog:
         job = scheduler.job(job_id)
         name = job.name
         interval = self.spec.heartbeat
+        trace = getattr(scheduler, "trace", None)
 
         def beat() -> None:
             progress = scheduler.job_progress(job_id)
@@ -190,6 +191,9 @@ class Watchdog:
                     HeartbeatEvent(job=name, elapsed=elapsed,
                                    progress=progress)
                 )
+            if trace is not None:
+                trace.event("heartbeat", scheduler.clock.now, "watchdog",
+                            job=name, progress=round(progress, 6))
             scheduler.events.schedule_in(interval, beat)
 
         scheduler.events.schedule_in(interval, beat)
@@ -213,6 +217,10 @@ class Watchdog:
             if cancelled:
                 with self._lock:
                     self.hung_jobs.append(f"{name}#{job_id}")
+                if trace is not None:
+                    trace.event("watchdog-kill", scheduler.clock.now,
+                                "watchdog", job=name,
+                                deadline=float(deadline))
 
         scheduler.events.schedule_in(deadline, kill)
 

@@ -107,6 +107,7 @@ class BatchScheduler:
         fault_injector: Optional[object] = None,
         watchdog: Optional[object] = None,
         health: Optional[object] = None,
+        trace: Optional[object] = None,
     ):
         self.clock = SimClock()
         self.events = EventQueue(self.clock)
@@ -133,10 +134,19 @@ class BatchScheduler:
         #: job start; it schedules heartbeat/deadline events on *this*
         #: scheduler's event queue and kills hung jobs via cancel()
         self.watchdog = watchdog
+        #: optional span recorder view (repro.obs.trace, offset onto the
+        #: case timeline): duck-typed object with record(name, t0, t1,
+        #: cat, **attrs) and event(name, t, cat, **attrs).  Receives the
+        #: job lifecycle -- submit events, queue-wait and job-run spans,
+        #: cancellations -- in this scheduler's simulated clock.
+        self.trace = trace
         self._next_id = 1000
         self._queue: List[Job] = []
         self._jobs: Dict[int, Job] = {}
         self._running: Dict[int, _RunningJob] = {}
+        #: true submission instants (ctx.submit_time is set at dispatch
+        #: for historical reasons; the queue-wait span wants submit time)
+        self._submit_times: Dict[int, float] = {}
 
     # -- submission ---------------------------------------------------------
     def validate(self, job: Job) -> None:
@@ -171,6 +181,10 @@ class BatchScheduler:
         job.state = JobState.PENDING
         self._jobs[job.job_id] = job
         self._queue.append(job)
+        self._submit_times[job.job_id] = self.clock.now
+        if self.trace is not None:
+            self.trace.event("submit", self.clock.now, "sched",
+                             job=job.name, job_id=job.job_id)
         self.events.schedule_in(self.dispatch_latency, self._try_dispatch)
         return job.job_id
 
@@ -196,6 +210,12 @@ class BatchScheduler:
     def _start(self, job: Job, needed: int) -> None:
         nodes = self.pool.allocate(needed, job.job_id)
         job.state = JobState.RUNNING
+        if self.trace is not None:
+            self.trace.record(
+                "queue-wait",
+                self._submit_times.get(job.job_id, self.clock.now),
+                self.clock.now, "sched", job=job.name, job_id=job.job_id,
+            )
         ctx = JobContext(
             job_id=job.job_id,
             nodes=nodes,
@@ -298,6 +318,11 @@ class BatchScheduler:
             end_time=self.clock.now,
             nodes=rec.nodes,
         )
+        if self.trace is not None:
+            self.trace.record(
+                "job-run", rec.ctx.start_time, self.clock.now, "sched",
+                job=job.name, job_id=job_id, state=rec.end_state.value,
+            )
         self._attribute_health(rec, rec.end_state)
         self._try_dispatch()
 
@@ -402,6 +427,10 @@ class BatchScheduler:
         if job in self._queue:
             self._queue.remove(job)
             job.state = state
+            if self.trace is not None:
+                self.trace.event("cancel", self.clock.now, "sched",
+                                 job=job.name, job_id=job_id,
+                                 state=state.value, queued=True)
             job.result = JobResult(
                 job_id=job_id,
                 state=state,
@@ -437,6 +466,12 @@ class BatchScheduler:
                 end_time=self.clock.now,
                 nodes=rec.nodes,
             )
+            if self.trace is not None:
+                self.trace.record(
+                    "job-run", rec.ctx.start_time, self.clock.now, "sched",
+                    job=job.name, job_id=job_id, state=state.value,
+                    cancelled=True,
+                )
             self._attribute_health(rec, state)
             self._try_dispatch()
             return True

@@ -1,0 +1,138 @@
+"""Trace smoke test (tier-1): observability under a chaos campaign.
+
+The observability tentpole's acceptance run: a seeded fault-injection
+campaign recorded with ``--trace`` must produce a trace file that
+parses, whose spans nest correctly, and whose embedded metrics totals
+agree with the counts an auditor would derive from the campaign
+journal.  And because every timestamp is simulated, the trace bytes
+are identical whether the campaign ran serially or on four worker
+threads -- the timeline is part of the reproducible artifact.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.obs.trace import load_trace, validate_nesting
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest
+from repro.runner.executor import Executor
+from repro.runner.fields import parameter
+from repro.runner.resilience import CampaignJournal, RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SPEC = "build:0.3,submit:0.3,timeout:0.3,hook:0.3"
+RETRY = RetryPolicy(max_attempts=6, jitter=0.0)
+
+
+class TraceBench(RegressionTest):
+    """Six deterministic cases, enough to make a fault storm interesting."""
+
+    size = parameter([1, 2, 3, 4, 5, 6])
+
+    def program(self, ctx):
+        return f"bw {self.size}: {self.size * 100.0}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"bw", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r": ([\d.]+)", stdout, 1, float)
+        return {"bandwidth": (v, "MB/s")}
+
+
+def campaign(tmp_path, tag, seed=None, policy="serial", workers=1,
+             **run_kwargs):
+    ex = Executor()
+    cases = ex.expand_cases([TraceBench], "archer2")
+    faults = FaultPlan.parse(CHAOS_SPEC, seed=seed) if seed is not None \
+        else None
+    trace = str(tmp_path / f"trace-{tag}.jsonl")
+    report = ex.run_cases(cases, policy=policy, workers=workers,
+                          retry=RETRY, faults=faults, trace=trace,
+                          metrics=True, **run_kwargs)
+    return report, trace
+
+
+class TestChaosTraceSmoke:
+    def test_trace_parses_nests_and_matches_journal(self, tmp_path):
+        journal_path = str(tmp_path / "journal.jsonl")
+        report, trace = campaign(tmp_path, "chaos", seed=42,
+                                 journal=journal_path)
+        assert report.success and report.faults_injected > 0
+
+        meta, spans, metrics = load_trace(trace)
+        assert meta["format"] == "repro-trace" and meta["version"] == 1
+        assert validate_nesting(spans) == []
+        assert metrics == report.metrics  # trace embeds the same snapshot
+
+        # the metrics totals agree with journal-derived counts
+        journal = CampaignJournal(journal_path)
+        records = journal.load().values()
+        counters = metrics["counters"]
+        assert counters["cases.total"] == len(records) == 6
+        assert counters["cases.passed"] == sum(
+            1 for r in records if r["status"] == "passed")
+        assert counters["cases.failed"] == sum(
+            1 for r in records if r["status"] == "failed")
+        # ... and with the retry accounting
+        assert counters["retry.attempts_extra"] == sum(
+            r["attempts"] - 1 for r in records)
+        assert counters["faults.injected"] == report.faults_injected
+
+    def test_every_case_has_a_track_with_staged_attempts(self, tmp_path):
+        report, trace = campaign(tmp_path, "clean")
+        _, spans, _ = load_trace(trace)
+        tracks = {s["track"] for s in spans}
+        for result in report.results:
+            assert result.case.display_name in tracks
+        assert "campaign" in tracks
+        # each clean case shows the canonical stage ladder under one attempt
+        case_spans = [s for s in spans
+                      if s["track"] == report.results[0].case.display_name]
+        names = [s["name"] for s in case_spans]
+        assert names[0] == "attempt"
+        for stage in ("build", "run", "sanity", "performance"):
+            assert stage in names
+        # campaign track lays cases end to end in consumption order
+        bars = [s for s in spans
+                if s["track"] == "campaign" and s["name"] != "wave"]
+        assert [b["attrs"]["status"] for b in bars] == ["passed"] * 6
+        for prev, cur in zip(bars, bars[1:]):
+            assert cur["t0"] == pytest.approx(prev["t1"])
+
+    def test_trace_bytes_identical_across_policies(self, tmp_path):
+        _, serial = campaign(tmp_path, "ser", seed=42, policy="serial")
+        _, threaded = campaign(tmp_path, "par", seed=42, policy="async",
+                               workers=4)
+        with open(serial, "rb") as a, open(threaded, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_repro_trace_cli_reads_the_real_artifact(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        _, trace = campaign(tmp_path, "cli", seed=42)
+        assert main([trace]) == 0
+        out = capsys.readouterr().out
+        assert "repro-trace v1" in out and "== campaign" in out
+        assert main([trace, "--validate"]) == 0
+        chrome = str(tmp_path / "chrome.json")
+        assert main([trace, "--chrome", chrome]) == 0
+        doc = json.load(open(chrome))
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_provenance_carries_metrics_and_trace_pointer(self, tmp_path):
+        from repro.core.provenance import RunProvenance
+
+        report, trace = campaign(tmp_path, "prov", seed=42)
+        prov = RunProvenance(system="archer2")
+        for result in report.results:
+            prov.add_case(result)
+        prov.attach_metrics(report.metrics,
+                            trace_path=os.path.basename(trace))
+        loaded = RunProvenance.from_json(prov.to_json())
+        assert loaded.metrics["counters"]["cases.total"] == 6
+        assert loaded.trace_file == os.path.basename(trace)

@@ -1,0 +1,90 @@
+"""Tests for the shared crash-safe JSONL helper (repro.obs.jsonl)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.jsonl import JsonlAppender, read_jsonl, write_jsonl_atomic
+
+
+class TestAppender:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        appender = JsonlAppender(path)
+        appender.append({"a": 1})
+        appender.append({"b": [1, 2], "c": "x"})
+        assert read_jsonl(path) == [{"a": 1}, {"b": [1, 2], "c": "x"}]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "er" / "log.jsonl")
+        JsonlAppender(path).append({"ok": True})
+        assert read_jsonl(path) == [{"ok": True}]
+
+    def test_sorted_keys_deterministic_bytes(self, tmp_path):
+        p1 = str(tmp_path / "a.jsonl")
+        p2 = str(tmp_path / "b.jsonl")
+        JsonlAppender(p1).append({"z": 1, "a": 2})
+        JsonlAppender(p2).append({"a": 2, "z": 1})
+        assert open(p1, "rb").read() == open(p2, "rb").read()
+
+    def test_append_many_batches(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        n = JsonlAppender(path).append_many([{"i": i} for i in range(5)])
+        assert n == 5
+        assert [r["i"] for r in read_jsonl(path)] == list(range(5))
+
+    def test_append_many_empty_is_noop(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        assert JsonlAppender(path).append_many([]) == 0
+        assert not os.path.exists(path)
+
+
+class TestTornTail:
+    def test_read_skips_torn_tail(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        JsonlAppender(path).append_many([{"i": 0}, {"i": 1}])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"i": 2, "x"')  # the crash signature
+        assert [r["i"] for r in read_jsonl(path)] == [0, 1]
+
+    def test_read_raises_on_mid_file_corruption(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"i": 0}\nnot json\n{"i": 2}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_append_repairs_torn_tail_first(self, tmp_path):
+        """Appending after a crash must not glue two records together."""
+        path = str(tmp_path / "log.jsonl")
+        JsonlAppender(path).append({"i": 0})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"i": 1, "x"')
+        # a *new* appender (fresh process after the crash)
+        JsonlAppender(path).append({"i": 2})
+        assert [r["i"] for r in read_jsonl(path)] == [0, 2]
+
+    def test_repair_of_file_with_no_newline_at_all(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        JsonlAppender(path).append({"i": 0})
+        assert [r["i"] for r in read_jsonl(path)] == [0]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_jsonl(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestAtomicRewrite:
+    def test_write_jsonl_atomic_replaces(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        JsonlAppender(path).append_many([{"i": i} for i in range(4)])
+        write_jsonl_atomic(path, [{"i": 99}])
+        assert read_jsonl(path) == [{"i": 99}]
+        assert not os.path.exists(path + ".tmp")
+
+    def test_write_jsonl_atomic_creates_dirs(self, tmp_path):
+        path = str(tmp_path / "a" / "b.jsonl")
+        write_jsonl_atomic(path, [{"x": 1}])
+        assert read_jsonl(path) == [{"x": 1}]

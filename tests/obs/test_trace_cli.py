@@ -1,0 +1,123 @@
+"""Tests for the repro-trace CLI (repro.obs.cli)."""
+
+import json
+
+from repro.obs.cli import (
+    main,
+    render_metrics,
+    render_slowest,
+    render_timeline,
+)
+from repro.obs.trace import Tracer
+
+
+def make_trace(tmp_path, with_metrics=True):
+    path = str(tmp_path / "trace.jsonl")
+    tracer = Tracer(path)
+    rec = tracer.recorder("Echo_1")
+    attempt = rec.start("attempt", 0.0, "attempt", n=1)
+    rec.record("build", 0.0, 30.0, "stage")
+    run = rec.start("run", 30.0, "stage")
+    rec.record("job-run", 31.0, 45.0, "sched")
+    rec.finish(run, 45.0)
+    rec.finish(attempt, 45.0)
+    tracer.flush(rec)
+    camp = tracer.recorder("campaign")
+    camp.record("Echo_1", 0.0, 45.0, "case", status="passed")
+    tracer.flush(camp)
+    if with_metrics:
+        tracer.write_metrics({
+            "counters": {"cases.total": 1, "cases.passed": 1},
+            "gauges": {"campaign.aborted": 0.0},
+            "histograms": {
+                "build.seconds": {
+                    "count": 1, "sum": 30.0, "min": 30.0, "max": 30.0,
+                    "buckets": {"60": 1}, "p50": 30.0, "p90": 30.0,
+                    "p99": 30.0,
+                },
+            },
+        })
+    return path
+
+
+class TestRenderers:
+    def test_timeline_has_tracks_and_bars(self, tmp_path):
+        from repro.obs.trace import load_trace
+
+        _, spans, _ = load_trace(make_trace(tmp_path))
+        text = render_timeline(spans)
+        assert "== Echo_1" in text and "== campaign" in text
+        assert "#" in text
+        # nesting shows as indentation
+        assert "  build" in text
+
+    def test_timeline_single_track_filter(self, tmp_path):
+        from repro.obs.trace import load_trace
+
+        _, spans, _ = load_trace(make_trace(tmp_path))
+        text = render_timeline(spans, only_track="campaign")
+        assert "Echo_1" in text and "== campaign" in text
+        assert "== Echo_1" not in text
+
+    def test_slowest_sorted_by_duration(self, tmp_path):
+        from repro.obs.trace import load_trace
+
+        _, spans, _ = load_trace(make_trace(tmp_path))
+        lines = render_slowest(spans, limit=3).splitlines()
+        assert "attempt" in lines[1] or "Echo_1" in lines[1]
+
+    def test_metrics_rendering(self):
+        text = render_metrics({"counters": {"cases.total": 2}})
+        assert "cases.total" in text and "2" in text
+        assert "no metrics" in render_metrics(None)
+
+
+class TestMain:
+    def test_default_view(self, tmp_path, capsys):
+        assert main([make_trace(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-trace v1" in out
+        assert "== Echo_1" in out
+
+    def test_validate_ok(self, tmp_path, capsys):
+        assert main([make_trace(tmp_path), "--validate"]) == 0
+        assert "nest correctly" in capsys.readouterr().out
+
+    def test_validate_broken_exits_1(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "meta", "format": "repro-trace",
+                                 "version": 1}) + "\n")
+            fh.write(json.dumps({"kind": "span", "id": 1, "parent": 99,
+                                 "track": "t", "name": "x", "cat": "",
+                                 "t0": 0.0, "t1": 1.0, "attrs": {}}) + "\n")
+        assert main([path, "--validate"]) == 1
+
+    def test_metrics_view(self, tmp_path, capsys):
+        assert main([make_trace(tmp_path), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "cases.passed" in out
+
+    def test_chrome_export(self, tmp_path):
+        out_json = str(tmp_path / "chrome.json")
+        assert main([make_trace(tmp_path), "--chrome", out_json]) == 0
+        doc = json.load(open(out_json))
+        assert doc["metadata"]["format"] == "repro-trace"
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_slowest_view(self, tmp_path, capsys):
+        assert main([make_trace(tmp_path), "--slowest", "2"]) == 0
+        assert "duration" in capsys.readouterr().out
+
+    def test_unreadable_trace_exits_2(self, tmp_path):
+        empty = str(tmp_path / "empty.jsonl")
+        open(empty, "w").close()
+        assert main([empty]) == 2
+
+    def test_console_script_registered(self):
+        import os
+
+        pyproject = os.path.join(os.path.dirname(__file__), "..", "..",
+                                 "pyproject.toml")
+        text = open(pyproject, encoding="utf-8").read()
+        assert 'repro-trace = "repro.obs.cli:main"' in text
