@@ -1,0 +1,229 @@
+"""The scaling tentpole's acceptance run: a fleet-sized synthetic campaign.
+
+ROADMAP item 3 asks for 100k-case / thousand-node campaigns; this module
+generates one -- a 4096-node synthetic system and a parameter sweep of
+non-Spack probe cases -- and measures the simulator hot path end to end:
+
+* **headline**: the 100k-case / 4096-node campaign must run >= 20x the
+  cases/sec a naive extrapolation of the pre-refactor 44-case serial
+  baseline (``serial_cases_per_second`` in ``BENCH_runner.json``,
+  ~31/s -- it was job-latency-bound, but the ISSUE's bar is the raw
+  rate) would predict;
+* **identity**: at 5k cases with the full artifact stack enabled
+  (sharded perflogs, group-committed journal, batched trace), the
+  serial, async and procs policies must produce *byte-identical*
+  artifacts;
+* the measured numbers land in ``BENCH_runner.json``; the tier-1 gate
+  ``tests/postprocess/test_large_campaign_smoke.py`` re-runs the 5k
+  variant against them with a <= 2x regression ceiling.
+
+Scale notes (no silent caps): the procs policy is measured at 10k cases
+rather than 100k -- on a single-CPU runner its per-case IPC overhead
+makes the full sweep pointlessly slow, and its *correctness* at scale is
+what the identity stage locks in.  Wall-clock speedup from procs needs
+actual cores; the per-policy rates are recorded, not gated.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import emit
+from benchmarks.test_runner_throughput import BASELINE_PATH, _update_baseline
+from repro.obs.trace import Tracer
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest
+from repro.runner.config import SiteConfig, default_site_config
+from repro.runner.executor import Executor
+from repro.runner.fields import parameter
+
+PINNED_TS = "2026-01-01T00:00:00"
+FLEET_NODES = 4096
+HEADLINE_CASES = 100_000
+PROCS_CASES = 10_000
+IDENTITY_CASES = 5_000
+WORKERS = 8
+#: group-commit sizes for the artifact stack (journal + trace fsyncs)
+BATCH = 256
+#: the ISSUE's acceptance bar: >= 20x the naive extrapolation of the
+#: pre-refactor serial baseline rate
+SPEEDUP_FLOOR = 20.0
+FALLBACK_BASELINE_RATE = 30.99  # committed serial_cases_per_second
+
+
+def fleet_site() -> SiteConfig:
+    """The shipped systems plus one synthetic 4096-node SLURM fleet."""
+    site = default_site_config()
+    site.merge_yaml(
+        "systems:\n"
+        "  - name: fleet\n"
+        "    description: synthetic 4096-node campaign fleet\n"
+        "    scheduler: slurm\n"
+        f"    num_nodes: {FLEET_NODES}\n"
+    )
+    return site
+
+
+def probe_class(n_cases: int, name: str):
+    """A RegressionTest subclass sweeping ``n_cases`` parameter points.
+
+    Module-level registration (below) keeps the classes picklable for
+    the procs policy's worker processes.  The probe is deliberately
+    minimal and non-Spack: the point is to measure the simulator --
+    event queue, allocator, pipeline, writers -- not package builds.
+    """
+
+    class Probe(RegressionTest):
+        point = parameter(list(range(n_cases)))
+
+        def program(self, ctx):
+            return f"p {self.point}: {100.0 + self.point % 977}\n", 1.0
+
+        def check_sanity(self, stdout):
+            sn.assert_found(r"p", stdout)
+
+        def extract_performance(self, stdout):
+            v = sn.extractsingle(r": ([\d.]+)", stdout, 1, float)
+            return {"value": (v, "MB/s")}
+
+    Probe.__name__ = Probe.__qualname__ = name
+    return Probe
+
+
+HeadlineProbe = probe_class(HEADLINE_CASES, "HeadlineProbe")
+ProcsProbe = probe_class(PROCS_CASES, "ProcsProbe")
+IdentityProbe = probe_class(IDENTITY_CASES, "IdentityProbe")
+SmokeProbe = probe_class(5_000, "SmokeProbe")  # the tier-1 gate's sweep
+
+
+def run_fleet(probe, policy="serial", workers=1, artifact_dir=None,
+              site=None):
+    """One fleet campaign; returns (rate, elapsed, report, artifacts)."""
+    ex = Executor(
+        site=site or fleet_site(),
+        perflog_prefix=(
+            os.path.join(artifact_dir, "perflogs") if artifact_dir else None
+        ),
+        perflog_timestamp=PINNED_TS,
+    )
+    cases = ex.expand_cases([probe], "fleet")
+    kwargs = {}
+    if artifact_dir is not None:
+        kwargs = {
+            "journal": os.path.join(artifact_dir, "journal.jsonl"),
+            "journal_batch": BATCH,
+            "trace": Tracer(os.path.join(artifact_dir, "trace.jsonl"),
+                            batch=BATCH),
+        }
+    start = time.perf_counter()
+    report = ex.run_cases(cases, policy=policy, workers=workers, **kwargs)
+    elapsed = time.perf_counter() - start
+    assert report.success, report.summary()[-500:]
+    artifacts = {}
+    if artifact_dir is not None:
+        for root, _, files in os.walk(artifact_dir):
+            for fname in files:
+                path = os.path.join(root, fname)
+                with open(path, "rb") as fh:
+                    artifacts[os.path.relpath(path, artifact_dir)] = \
+                        fh.read()
+    return len(cases) / elapsed, elapsed, report, artifacts
+
+
+def naive_baseline_rate() -> float:
+    """The pre-refactor serial rate the ISSUE extrapolates from."""
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        return float(doc.get("serial_cases_per_second",
+                             FALLBACK_BASELINE_RATE))
+    return FALLBACK_BASELINE_RATE
+
+
+def regenerate_headline():
+    site = fleet_site()
+    serial_rate, serial_s, _, _ = run_fleet(HeadlineProbe, site=site)
+    async_rate, async_s, _, _ = run_fleet(HeadlineProbe, policy="async",
+                                          workers=WORKERS, site=site)
+    procs_rate, procs_s, _, _ = run_fleet(ProcsProbe, policy="procs",
+                                          workers=WORKERS, site=site)
+    return {
+        "serial": (serial_rate, serial_s),
+        "async": (async_rate, async_s),
+        "procs": (procs_rate, procs_s),
+    }
+
+
+def test_100k_case_campaign_rate(once):
+    rates = once(regenerate_headline)
+    baseline = naive_baseline_rate()
+    speedup = rates["serial"][0] / baseline
+    emit(
+        "Fleet campaign: 100k cases / 4096 nodes (simulator hot path)",
+        f"serial : {rates['serial'][1]:8.2f} s  "
+        f"({rates['serial'][0]:7.0f} cases/s, {HEADLINE_CASES} cases)\n"
+        f"async  : {rates['async'][1]:8.2f} s  "
+        f"({rates['async'][0]:7.0f} cases/s, {HEADLINE_CASES} cases, "
+        f"{WORKERS} threads)\n"
+        f"procs  : {rates['procs'][1]:8.2f} s  "
+        f"({rates['procs'][0]:7.0f} cases/s, {PROCS_CASES} cases, "
+        f"{WORKERS} processes)\n"
+        f"naive extrapolation baseline: {baseline:.2f} cases/s\n"
+        f"speedup vs naive: {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)",
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fleet serial rate {rates['serial'][0]:.0f}/s is only "
+        f"{speedup:.1f}x the naive baseline {baseline:.2f}/s"
+    )
+    _update_baseline(
+        large_campaign_cases=HEADLINE_CASES,
+        large_campaign_nodes=FLEET_NODES,
+        large_campaign_serial_seconds=round(rates["serial"][1], 2),
+        large_campaign_serial_cases_per_second=round(
+            rates["serial"][0], 1),
+        large_campaign_async_cases_per_second=round(rates["async"][0], 1),
+        large_campaign_procs_cases=PROCS_CASES,
+        large_campaign_procs_cases_per_second=round(rates["procs"][0], 1),
+        large_campaign_speedup_vs_naive=round(speedup, 1),
+    )
+
+
+def regenerate_identity(tmpdir):
+    site = fleet_site()
+    out = {}
+    for policy, workers in [("serial", 1), ("async", WORKERS),
+                            ("procs", WORKERS)]:
+        sub = os.path.join(tmpdir, policy)
+        os.makedirs(sub, exist_ok=True)
+        rate, elapsed, report, artifacts = run_fleet(
+            IdentityProbe, policy=policy, workers=workers,
+            artifact_dir=sub, site=site,
+        )
+        out[policy] = (rate, elapsed, report.summary(), artifacts)
+    return out
+
+def test_5k_artifact_identity_across_policies(once, tmp_path):
+    """Perflogs, journal and trace byte-identical for serial/async/procs
+    on the fleet campaign with the batched writers engaged."""
+    runs = once(regenerate_identity, str(tmp_path))
+    serial_rate, serial_s, serial_summary, serial_art = runs["serial"]
+    emit(
+        "Fleet campaign artifacts: 5k cases, full stack, 3 policies",
+        "\n".join(
+            f"{policy:6s}: {elapsed:6.2f} s ({rate:6.0f} cases/s, "
+            f"{len(art)} artifact files)"
+            for policy, (rate, elapsed, _, art) in runs.items()
+        ),
+    )
+    assert len(serial_art) == IDENTITY_CASES + 2  # perflogs+journal+trace
+    for policy in ("async", "procs"):
+        rate, elapsed, summary, artifacts = runs[policy]
+        assert summary == serial_summary
+        assert artifacts == serial_art, (
+            f"{policy} artifacts diverge from serial"
+        )
+    _update_baseline(
+        large_campaign_smoke_cases=IDENTITY_CASES,
+        large_campaign_smoke_serial_seconds=round(serial_s, 2),
+        large_campaign_smoke_cases_per_second=round(serial_rate, 1),
+    )

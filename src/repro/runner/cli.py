@@ -27,7 +27,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.runner.benchmark import REGISTRY
-from repro.runner.config import default_site_config
+from repro.runner.config import ConfigError, default_site_config
 from repro.runner.executor import Executor
 from repro.runner.resilience import RetryPolicy
 
@@ -48,6 +48,35 @@ SUITES = {
 def load_suite(name: str) -> List[type]:
     """Import a suite module and return the test classes it registered."""
     import importlib
+
+    # a user's own sweep file, reframe-style: repro-bench -c my_sweep.py
+    if name.endswith(".py"):
+        import importlib.util
+        import os
+
+        if not os.path.exists(name):
+            raise KeyError(f"benchmark file {name!r} does not exist")
+        mod_name = (
+            "repro_suite_" + os.path.splitext(os.path.basename(name))[0]
+        )
+        spec = importlib.util.spec_from_file_location(mod_name, name)
+        module = importlib.util.module_from_spec(spec)
+        # register before exec so --policy=procs workers (forked later,
+        # inheriting sys.modules) can resolve the classes by reference
+        sys.modules[mod_name] = module
+        try:
+            spec.loader.exec_module(module)
+        except Exception as exc:
+            del sys.modules[mod_name]
+            raise KeyError(
+                f"cannot load benchmark file {name!r}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        return [
+            cls
+            for cls in (REGISTRY.get(n) for n in REGISTRY.names())
+            if cls.__module__ == mod_name
+        ]
 
     # tolerate reframe-style paths: benchmarks/apps/babelstream
     key = name.rstrip("/").rsplit("/", 1)[-1]
@@ -77,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list", action="store_true", help="list selected tests")
     parser.add_argument("--system", default=None,
                         help="target 'system[:partition]'; auto-detected otherwise")
+    parser.add_argument("--site", action="append", default=[],
+                        metavar="YAML",
+                        help="merge extra system definitions from a site "
+                             "YAML file (repeatable); lets a campaign "
+                             "target fleets not in the built-in registry")
     parser.add_argument("-S", "--spack-var", action="append", default=[],
                         metavar="VAR=VAL", help="set a test variable (spack_spec=...)")
     parser.add_argument("--setvar", action="append", default=[],
@@ -96,15 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="programming environment(s) to use")
     parser.add_argument("--dry-run", action="store_true",
                         help="concretize and render job scripts, run nothing")
-    parser.add_argument("--policy", choices=["serial", "async"],
+    parser.add_argument("--policy", choices=["serial", "async", "procs"],
                         default="serial",
                         help="execution policy: 'serial' (one case at a "
-                             "time) or 'async' (dependency wavefronts on a "
-                             "worker pool; deterministic, serial-identical "
-                             "output)")
+                             "time), 'async' (dependency wavefronts on a "
+                             "thread pool) or 'procs' (wavefronts on a "
+                             "process pool, for CPU-bound non-Spack "
+                             "campaigns); all deterministic with "
+                             "serial-identical output)")
     parser.add_argument("-j", "--max-workers", type=int, default=4,
                         metavar="N",
-                        help="worker pool size for --policy=async "
+                        help="worker pool size for --policy=async/procs "
                              "(default: 4)")
     # ---- resilience (DESIGN.md section 6) -------------------------------
     parser.add_argument("--max-retries", type=int, default=2, metavar="N",
@@ -120,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--journal", default=None, metavar="PATH",
                         help="append every finished case to a crash-safe "
                              "JSONL campaign journal at PATH")
+    parser.add_argument("--journal-batch", type=int, default=1,
+                        metavar="N",
+                        help="group-commit journal appends in batches of "
+                             "N cases (same bytes, ~N x fewer fsyncs, "
+                             "bounded tail-loss window; default: 1)")
     parser.add_argument("--resume", action="store_true",
                         help="with --journal: skip cases the journal "
                              "records as completed, re-run only "
@@ -168,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="collect campaign counters and duration "
                              "histograms and print the breakdown after "
                              "the summary (implied by --trace)")
+    parser.add_argument("--profile", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="profile the campaign with cProfile; print "
+                             "the top functions by cumulative time, or "
+                             "with PATH also save pstats data there for "
+                             "snakeviz/pstats analysis")
     return parser
 
 
@@ -216,6 +263,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
 
     site = default_site_config()
+    for site_path in args.site:
+        try:
+            with open(site_path, encoding="utf-8") as fh:
+                site.merge_yaml(fh.read())
+        except OSError as exc:
+            print(f"error: cannot read --site {site_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     system = args.system
     if system is None:
         system = site.detect(socket.gethostname())
@@ -301,22 +359,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.drain_after is not None and args.drain_after < 1:
         print("error: --drain-after must be >= 1", file=sys.stderr)
         return 1
-    report = executor.run_cases(
-        cases,
-        policy=args.policy,
-        workers=args.max_workers,
-        retry=retry,
-        faults=faults,
-        max_failures=args.max_failures,
-        journal=args.journal,
-        resume=args.resume,
-        watchdog=watchdog,
-        speculation=args.speculate,
-        straggler_factor=args.straggler_factor,
-        drain_after=args.drain_after,
-        trace=args.trace,
-        metrics=args.metrics,
-    )
+    if args.journal_batch < 1:
+        print("error: --journal-batch must be >= 1", file=sys.stderr)
+        return 1
+
+    def run_campaign():
+        return executor.run_cases(
+            cases,
+            policy=args.policy,
+            workers=args.max_workers,
+            retry=retry,
+            faults=faults,
+            max_failures=args.max_failures,
+            journal=args.journal,
+            resume=args.resume,
+            watchdog=watchdog,
+            speculation=args.speculate,
+            straggler_factor=args.straggler_factor,
+            drain_after=args.drain_after,
+            trace=args.trace,
+            metrics=args.metrics,
+            journal_batch=args.journal_batch,
+        )
+
+    try:
+        if args.profile is not None:
+            # --profile[=PATH]: answer "where did the campaign's wall
+            # time go" without touching the campaign's own output
+            # streams -- the report goes to stderr, and the raw pstats
+            # data to PATH if given
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                report = run_campaign()
+            finally:
+                profiler.disable()
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative")
+                print("== profile (top 25 by cumulative time) ==",
+                      file=sys.stderr)
+                stats.print_stats(25)
+                if args.profile != "-":
+                    stats.dump_stats(args.profile)
+                    print(f"profile data: {args.profile}", file=sys.stderr)
+        else:
+            report = run_campaign()
+    except ValueError as exc:
+        # e.g. a campaign --policy=procs cannot carry (Spack builds,
+        # sicknode faults, --drain-after)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(report.summary(), end="")
     if args.performance_report:
         print(report.performance_report(), end="")

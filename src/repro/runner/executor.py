@@ -6,12 +6,16 @@ through the pipeline, write perflogs, and produce the run summary (the
 ``[ PASSED ]`` / ``[ FAILED ]`` lines and the ``--performance-report``
 table).
 
-Two execution policies are provided (DESIGN.md section 4):
+Three execution policies are provided (DESIGN.md section 4):
 
 * ``serial`` -- one case at a time, in topological dependency order;
 * ``async`` -- dependency wavefronts on a worker pool
   (:mod:`repro.runner.parallel`), with results, reports, and perflogs in
-  the exact serial order (deterministic, bit-identical output).
+  the exact serial order (deterministic, bit-identical output);
+* ``procs`` -- the same wavefronts, but each case's pipeline simulation
+  runs in a worker *process* (:mod:`repro.runner.procs`) while all
+  campaign state and I/O stay in the parent, sidestepping the GIL for
+  CPU-bound campaigns with the same bit-identical output.
 
 Either way one :class:`~repro.pkgmgr.memo.ConcretizationCache` and one
 :class:`~repro.pkgmgr.installer.Installer` are shared across the whole
@@ -55,6 +59,7 @@ from repro.runner.parallel import (
 )
 from repro.runner.perflog import PerflogHandler
 from repro.runner.pipeline import CaseResult, TestCase, run_case
+from repro.runner.procs import ProcsPool, procs_unsupported
 from repro.runner.resilience import (
     COMPLETED_STATUSES,
     CampaignAborted,
@@ -71,7 +76,7 @@ from repro.runner.watchdog import Watchdog, WatchdogSpec, as_watchdog
 __all__ = ["Executor", "RunReport", "POLICIES"]
 
 #: the execution policies run_cases accepts
-POLICIES = ("serial", "async")
+POLICIES = ("serial", "async", "procs")
 
 
 @dataclass
@@ -361,13 +366,25 @@ class Executor:
         health: Optional[HealthTracker] = None,
         trace: Optional[Union[str, Tracer]] = None,
         metrics: Optional[Union[bool, MetricsRegistry]] = None,
+        journal_batch: int = 1,
     ) -> RunReport:
         """Run a campaign under the chosen execution policy.
 
         ``policy='serial'`` processes the topological order one case at a
         time; ``policy='async'`` runs dependency wavefronts on ``workers``
-        threads.  Both produce results (and perflogs) in the identical,
+        threads; ``policy='procs'`` runs them on ``workers`` processes
+        (non-Spack campaigns only -- see :mod:`repro.runner.procs`).
+        All produce results (and perflogs) in the identical,
         deterministic serial order.
+
+        ``journal_batch > 1`` group-commits journal appends: records for
+        up to that many finished cases are formatted as results stream in
+        and written in one durable append (perflog rows are still flushed
+        first, so the crash-safety invariant -- journal entry implies
+        on-disk perflog data -- holds at every batch boundary).  The
+        on-disk byte sequence is identical to per-case appends; the trade
+        is ~batch x fewer fsyncs against a bounded tail-loss window on a
+        crash.
 
         Resilience (DESIGN.md section 6):
 
@@ -427,8 +444,10 @@ class Executor:
                 f"unknown execution policy {policy!r}; known: "
                 f"{', '.join(POLICIES)}"
             )
+        if journal_batch < 1:
+            raise ValueError(f"journal_batch must be >= 1, got {journal_batch}")
         ordered = self._order_by_dependencies(cases)
-        effective_workers = workers if policy == "async" else 1
+        effective_workers = workers if policy in ("async", "procs") else 1
 
         retry_policy = retry or RetryPolicy()
         clock = faults.clock if faults is not None else FaultClock()
@@ -467,20 +486,34 @@ class Executor:
                     health.restore(snapshot)
         if self.perflog is not None and faults is not None:
             self.perflog.faults = faults
-
-        def case_runner(case: TestCase) -> CaseResult:
-            # a fresh recorder per invocation: a speculative duplicate
-            # gets its own, and only the accepted attempt's is flushed
-            recorder = (
-                tracer.recorder(case.display_name)
-                if tracer is not None else None
+        procs_pool: Optional[ProcsPool] = None
+        if policy == "procs":
+            reason = procs_unsupported(faults=faults, health=health,
+                                       cases=ordered)
+            if reason is not None:
+                raise ValueError(f"--policy=procs: {reason}")
+            # eager spawn: workers fork here, before any wavefront thread
+            # exists, and live for the whole campaign
+            procs_pool = ProcsPool(
+                effective_workers,
+                faults=faults,
+                watchdog_spec=(
+                    watchdog.spec if watchdog is not None else None
+                ),
+                retry=retry_policy,
+                trace=tracer is not None,
+                trace_wall=tracer.wall if tracer is not None else False,
             )
+
+        def precheck(case: TestCase) -> Optional[CaseResult]:
+            """Resume replay / quarantine short-circuit (parent-side)."""
             fingerprint = case_fingerprint(case)
             record = completed.get(fingerprint)
             if record is not None and record.get("status") in COMPLETED_STATUSES:
                 # crash-safe resume: replay, don't re-run
                 result = result_from_record(case, record)
-                if recorder is not None:
+                if tracer is not None:
+                    recorder = tracer.recorder(case.display_name)
                     recorder.event("resumed", 0.0, "case")
                     result._trace = recorder
                 return result
@@ -493,10 +526,23 @@ class Executor:
                     f"{quarantine.threshold}"
                 )
                 result.quarantined = True
-                if recorder is not None:
+                if tracer is not None:
+                    recorder = tracer.recorder(case.display_name)
                     recorder.event("quarantined", 0.0, "case")
                     result._trace = recorder
                 return result
+            return None
+
+        def case_runner(case: TestCase) -> CaseResult:
+            pre = precheck(case)
+            if pre is not None:
+                return pre
+            # a fresh recorder per invocation: a speculative duplicate
+            # gets its own, and only the accepted attempt's is flushed
+            recorder = (
+                tracer.recorder(case.display_name)
+                if tracer is not None else None
+            )
             return run_case(
                 case,
                 installer=self.installer,
@@ -509,7 +555,67 @@ class Executor:
                 trace=recorder,
             )
 
+        def procs_runner(case: TestCase) -> CaseResult:
+            pre = precheck(case)
+            if pre is not None:
+                return pre
+            result = procs_pool.run(case)
+            # fold the worker's per-case fault/watchdog state into the
+            # campaign-wide objects *before* this result is consumed, so
+            # a speculative duplicate (run in-process) and the final
+            # report see exactly the state a serial campaign would
+            if faults is not None:
+                delta = getattr(result, "_fault_delta", None)
+                if delta is not None:
+                    faults.absorb(delta)
+            if watchdog is not None:
+                wdelta = getattr(result, "_watchdog_delta", None)
+                if wdelta is not None:
+                    watchdog.absorb(wdelta)
+            return result
+
         collected: List[CaseResult] = []
+        # journal group-commit buffer (journal_batch > 1): records are
+        # formatted per case in consumption order, appended in batches
+        jbuffer: List[Dict[str, Any]] = []
+
+        def flush_journal() -> None:
+            if not jbuffer:
+                return
+            # same perflog-before-journal invariant as _persist, applied
+            # at the batch boundary: every record about to be appended
+            # has its perflog rows durably flushed first
+            if self.perflog is not None:
+                last: Optional[Exception] = None
+                for _ in range(3):
+                    try:
+                        self.perflog.flush()
+                        last = None
+                        break
+                    except Exception as exc:
+                        last = exc
+                if last is not None:
+                    raise last
+            journal.record_many(jbuffer)
+            jbuffer.clear()
+
+        def persist_batched(result: CaseResult, fingerprint: str,
+                            failures: Optional[int]) -> None:
+            if self.perflog is not None:
+                try:
+                    self.perflog.emit(result)  # may auto-flush early: safe
+                except Exception:
+                    pass  # rows stay buffered; flush_journal retries
+            jbuffer.append(
+                journal.make_record(result, fingerprint=fingerprint,
+                                    failures=failures)
+            )
+            if len(jbuffer) >= journal_batch:
+                flush_journal()
+            if health is not None and health.dirty:
+                # health snapshots must not outrun their case records
+                flush_journal()
+                journal.record_health(health.snapshot())
 
         def on_result(result: CaseResult) -> None:
             # fires per case, in deterministic serial order, as soon as
@@ -523,8 +629,11 @@ class Executor:
             if failed and not result.resumed:
                 failures = quarantine.record_failure(fingerprint)
             if not result.resumed:
-                self._persist(result, journal, fingerprint, failures,
-                              health=health)
+                if journal is not None and journal_batch > 1:
+                    persist_batched(result, fingerprint, failures)
+                else:
+                    self._persist(result, journal, fingerprint, failures,
+                                  health=health)
             if registry is not None and not result.skipped:
                 self._observe_result(registry, result)
             if tracer is not None:
@@ -571,16 +680,23 @@ class Executor:
         try:
             results: Sequence[CaseResult] = run_waves(
                 ordered,
-                case_runner,
+                procs_runner if procs_pool is not None else case_runner,
                 workers=effective_workers,
                 on_result=on_result,
                 speculation=speculation,
                 on_wave=on_wave if tracer is not None else None,
+                duplicate_runner=(
+                    case_runner if procs_pool is not None else None
+                ),
             )
         except CampaignAborted as exc:
             aborted = str(exc)
             results = collected  # everything finished before the trip
         finally:
+            if procs_pool is not None:
+                procs_pool.close()
+            if journal is not None:
+                flush_journal()  # group-commit the batched tail first
             if self.perflog is not None:
                 self.perflog.flush()
             # journal any health mutations the final cases produced

@@ -129,6 +129,15 @@ class HealthTracker:
         with self._lock:
             return node in self._drained
 
+    def any_drained(self) -> bool:
+        """O(1) check the allocator uses to skip the health partition.
+
+        On an all-healthy pool (the overwhelmingly common case) no
+        per-node ``is_drained`` calls are needed at all.
+        """
+        with self._lock:
+            return bool(self._drained)
+
     @property
     def drained(self) -> List[str]:
         with self._lock:

@@ -65,12 +65,28 @@ def _dependency_edges(
     return by_key, edges
 
 
+def _has_dependencies(cases: Sequence[TestCase]) -> bool:
+    """Whether any case declares a ``depends_on_tests`` edge.
+
+    The common large campaign is dependency-free; detecting that in one
+    O(n) attribute sweep lets ordering and wave partitioning skip the
+    graph machinery (and the per-case key construction) entirely.
+    """
+    return any(
+        getattr(case.test, "depends_on_tests", ()) for case in cases
+    )
+
+
 def order_by_dependencies(cases: Sequence[TestCase]) -> List[TestCase]:
     """Topologically order cases so test dependencies run first.
 
     Dependencies are matched by *base class name* within the same
     platform (ReFrame semantics).  A cycle is a configuration error.
+    Dependency-free campaigns keep their input order without building a
+    graph at all.
     """
+    if not _has_dependencies(cases):
+        return list(cases)
     import networkx as nx
 
     graph = nx.DiGraph()
@@ -91,8 +107,11 @@ def dependency_waves(ordered: Sequence[TestCase]) -> List[List[int]]:
     Wave of case *i* = 1 + max(wave of its producers), so every producer
     sits in a strictly earlier wave and each wave's members are mutually
     independent.  Within a wave, input order is preserved (determinism).
-    A campaign without dependencies is one single, fully-parallel wave.
+    A campaign without dependencies is one single, fully-parallel wave
+    (computed without touching the edge machinery).
     """
+    if not _has_dependencies(ordered):
+        return [list(range(len(ordered)))] if ordered else []
     _, edges = _dependency_edges(ordered)
     producers: Dict[int, List[int]] = {}
     for j, i in edges:
@@ -245,6 +264,7 @@ def run_waves(
     on_result: Optional[Callable[[CaseResult], None]] = None,
     speculation: Optional[SpeculationPolicy] = None,
     on_wave: Optional[Callable[[int, int], None]] = None,
+    duplicate_runner: Optional[Callable[[TestCase], CaseResult]] = None,
 ) -> List[CaseResult]:
     """Execute a topologically-ordered campaign wave by wave.
 
@@ -278,6 +298,13 @@ def run_waves(
     Observability: ``on_wave(index, size)`` fires once per wavefront,
     before any of its cases is dispatched, in deterministic wave order
     (the tracer's campaign track marks wave boundaries with it).
+
+    ``duplicate_runner``, when given, runs speculative duplicates in
+    place of ``case_runner`` -- the process-pool policy routes original
+    attempts to worker processes but duplicates through an in-process
+    runner that sees the campaign-wide fault/watchdog state (so a
+    duplicate observes exactly the attempt history a serial campaign's
+    would).  Duplicates run in the consumption loop either way.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -292,9 +319,18 @@ def run_waves(
         except Exception as exc:  # CampaignAborted passes through
             return infra_failure(case, exc)
 
+    dup_runner = duplicate_runner or case_runner
+
     def guarded_case(i: int) -> Callable[[TestCase], CaseResult]:
         """The guarded runner re-bound for a speculative duplicate."""
-        return lambda _case: guarded(i)
+
+        def run_duplicate(_case: TestCase) -> CaseResult:
+            try:
+                return dup_runner(ordered[i])
+            except Exception as exc:  # CampaignAborted passes through
+                return infra_failure(ordered[i], exc)
+
+        return run_duplicate
 
     pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
     try:

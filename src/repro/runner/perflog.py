@@ -136,6 +136,11 @@ class PerflogHandler:
         self.store = store
         self.faults = faults
         self.written: List[str] = []
+        #: set twin of ``written`` -- membership checks on the flush hot
+        #: path are O(1) instead of scanning the list per flushed file
+        self._written_set: set = set()
+        #: directories already created (skip repeated makedirs syscalls)
+        self._made_dirs: set = set()
         #: path -> pending lines (insertion-ordered: flush order is
         #: deterministic and equals emission order per file)
         self._buffer: Dict[str, List[str]] = {}
@@ -185,16 +190,21 @@ class PerflogHandler:
             # file's lines stay buffered for the retry
             if self.faults is not None:
                 self.faults.fire("perflog", path)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            new_file = not os.path.exists(path)
+            parent = os.path.dirname(path)
+            if parent not in self._made_dirs:
+                os.makedirs(parent, exist_ok=True)
+                self._made_dirs.add(parent)
+            seen = path in self._written_set
+            new_file = False if seen else not os.path.exists(path)
             with open(path, "a", encoding="utf-8") as fh:
                 if new_file:
                     fh.write("|".join(PERFLOG_FIELDS) + "\n")
                 fh.write("\n".join(lines) + "\n")
             if self.store is not None:
                 self.store.note_append(path, lines, wrote_header=new_file)
-            if path not in self.written:
+            if not seen:
                 self.written.append(path)
+                self._written_set.add(path)
             del self._buffer[path]
             self._pending -= len(lines)
         self._pending = 0

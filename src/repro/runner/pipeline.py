@@ -29,8 +29,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.faults import FaultClock, FaultPlan, InjectedFault, SchedulerFaultInjector
 from repro.machine.progmodel import UnsupportedModelError
+from repro.machine.telemetry import capture_telemetry
 from repro.obs.trace import CaseTimeline, SpanRecorder
 from repro.pkgmgr.concretizer import ConcretizationError, Concretizer
+from repro.pkgmgr.environment import Environment
 from repro.pkgmgr.installer import BuildFailure, Installer
 from repro.pkgmgr.memo import ConcretizationCache
 from repro.pkgmgr.spec import Spec
@@ -44,7 +46,7 @@ from repro.runner.launcher import launcher_for
 from repro.runner.resilience import RetryPolicy, is_transient
 from repro.runner.sanity import SanityError
 from repro.scheduler import Job, JobState, make_scheduler
-from repro.systems.registry import system_environment
+from repro.systems.registry import UnknownSystemError, system_environment
 
 __all__ = [
     "TestCase",
@@ -56,6 +58,20 @@ __all__ = [
 ]
 
 STAGES = ("setup", "build", "run", "sanity", "performance")
+
+
+def _pkg_environment(platform: str) -> Environment:
+    """The package environment for a case's platform.
+
+    Systems absent from the hardware registry -- synthetic fleets merged
+    from a ``--site`` YAML, whose names the site config has already
+    validated -- get the basic environment, matching the paper's
+    behaviour for systems the framework does not support yet.
+    """
+    try:
+        return system_environment(platform)
+    except UnknownSystemError:
+        return Environment.basic(platform.partition(":")[0])
 
 
 class PipelineError(Exception):
@@ -229,7 +245,7 @@ def dry_run_case(case: TestCase) -> str:
     for hook in test.hooks("before", "run"):
         hook()
     if isinstance(test, SpackTest):
-        pkg_env = system_environment(case.platform)
+        pkg_env = _pkg_environment(case.platform)
         spec = Spec(test.effective_spec())
         if spec.compiler is None:
             spec = spec.constrain(Spec(f"%{environ.compiler_spec}"))
@@ -441,7 +457,7 @@ def _attempt_stages(
         # guard converts the raise into a retryable 'build' failure.
         faults.fire("build", target)
     if isinstance(test, SpackTest):
-        pkg_env = system_environment(case.platform)
+        pkg_env = _pkg_environment(case.platform)
         spec_text = test.effective_spec()
         spec = Spec(spec_text)
         # the selected programming environment constrains the compiler,
@@ -565,8 +581,6 @@ def _attempt_stages(
     result.job_seconds = job_result.run_seconds
     result.queue_seconds = job_result.queue_seconds
     # capture system-state telemetry over the (simulated) runtime
-    from repro.machine.telemetry import capture_telemetry
-
     num_nodes = max(
         job.nodes_needed(max(case.partition.cores_per_node, 1)), 1
     )

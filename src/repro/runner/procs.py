@@ -1,0 +1,209 @@
+"""Process-pool case execution: the ``--policy=procs`` backend.
+
+The async policy's worker *threads* contend on the GIL: each case drives
+a pure-Python discrete-event simulation, so threads buy overlap only for
+the (rare) blocking I/O.  This module runs the CPU-bound part -- the
+whole :func:`~repro.runner.pipeline.run_case` pipeline -- in worker
+*processes* instead, while everything that touches shared campaign state
+or disk stays in the parent:
+
+* **parent side** -- dependency ordering, resume/quarantine prechecks,
+  speculation decisions and duplicates, the circuit breaker, perflog
+  emission, journal appends, trace flushing, metrics.  All of it runs in
+  the executor's deterministic consumption order, exactly as for the
+  serial and async policies -- which is why the procs policy's perflogs,
+  journal and trace are *byte-identical* to serial;
+* **worker side** -- one :class:`~repro.pkgmgr.installer.Installer`, one
+  concretization cache and one :class:`~repro.faults.FaultPlan` replica
+  per process (built by the pool initializer), a fresh
+  :class:`~repro.runner.watchdog.Watchdog` and
+  :class:`~repro.obs.trace.SpanRecorder` per case.  Everything a case
+  produces -- the result, its span recorder, its watchdog accounting and
+  its fault-site counters -- ships back with the return value.
+
+Determinism argument: every injection-site key is ``(kind, target)``
+and all pipeline/scheduler targets equal the case display name, which is
+unique per case -- so a case's fault schedule depends only on its own
+visit history, which is wholly contained in its worker task.  The parent
+absorbs each returned delta into the campaign-wide plan/watchdog (merges
+are commutative across distinct targets, so arrival order is
+irrelevant), which is what lets a *speculative duplicate* -- always run
+in the parent via ``duplicate_runner`` -- observe exactly the attempt
+counters a serial campaign's duplicate would.
+
+Three campaign features are inherently cross-process-global and are
+rejected up front rather than silently diverging: node-health draining
+(``--drain-after``: scores accumulate across cases on shared node
+names), ``sicknode`` fault clauses (keyed by node name, not case), and
+Spack-managed tests (dependency reuse makes ``build_seconds`` and
+cache-hit provenance a function of the installer database -- per-worker
+databases would make those fields depend on which worker happened to
+run which case, i.e. nondeterministic run to run).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.faults import FaultClause, FaultPlan
+from repro.obs.trace import SpanRecorder
+from repro.pkgmgr.installer import Installer
+from repro.pkgmgr.memo import ConcretizationCache
+from repro.runner.benchmark import SpackTest
+from repro.runner.pipeline import CaseResult, TestCase, run_case
+from repro.runner.resilience import RetryPolicy
+from repro.runner.watchdog import Watchdog, WatchdogSpec
+
+__all__ = ["ProcsPool", "procs_unsupported"]
+
+#: per-process worker state, populated by :func:`_init_worker`
+_STATE: Dict[str, Any] = {}
+
+
+def _init_worker(
+    fault_clauses: Optional[List[FaultClause]],
+    fault_seed: int,
+    watchdog_spec: Optional[WatchdogSpec],
+    retry: Optional[RetryPolicy],
+    trace: bool,
+    trace_wall: bool,
+) -> None:
+    """Build one worker process's campaign replica (runs in the child)."""
+    _STATE["faults"] = (
+        FaultPlan(fault_clauses, seed=fault_seed)
+        if fault_clauses is not None else None
+    )
+    _STATE["watchdog_spec"] = watchdog_spec
+    _STATE["retry"] = retry
+    _STATE["trace"] = trace
+    _STATE["trace_wall"] = trace_wall
+    # Spack campaigns are rejected under procs (see procs_unsupported),
+    # but run_case would otherwise build a fresh Installer per call --
+    # keep one per worker so the non-Spack hot loop never constructs one
+    _STATE["installer"] = Installer()
+    _STATE["cache"] = ConcretizationCache()
+
+
+def _run_case_task(case: TestCase) -> CaseResult:
+    """One case, end to end, inside a worker process."""
+    faults: Optional[FaultPlan] = _STATE["faults"]
+    spec: Optional[WatchdogSpec] = _STATE["watchdog_spec"]
+    watchdog = Watchdog(spec) if spec is not None else None
+    recorder = (
+        SpanRecorder(case.display_name, wall=_STATE["trace_wall"])
+        if _STATE["trace"] else None
+    )
+    result = run_case(
+        case,
+        installer=_STATE["installer"],
+        concretizer_cache=_STATE["cache"],
+        retry=_STATE["retry"],
+        faults=faults,
+        clock=faults.clock if faults is not None else None,
+        watchdog=watchdog,
+        trace=recorder,
+    )
+    # ship the per-case campaign-state deltas home with the result; the
+    # executor absorbs them so parent-side state stays authoritative
+    if faults is not None:
+        result._fault_delta = faults.delta_for_target(case.display_name)
+    if watchdog is not None:
+        result._watchdog_delta = {
+            "hung_jobs": list(watchdog.hung_jobs),
+            "hung_builds": list(watchdog.hung_builds),
+            "heartbeats": list(watchdog.heartbeats),
+        }
+    return result
+
+
+def procs_unsupported(
+    faults: Optional[FaultPlan] = None,
+    health: Optional[object] = None,
+    cases: Sequence[TestCase] = (),
+) -> Optional[str]:
+    """Why this campaign cannot run under ``--policy=procs`` (or None).
+
+    Returns a human-readable reason for the features whose state is
+    cross-case-global -- replicating them per process would silently
+    diverge from serial (or worse, vary run to run with worker
+    assignment), which is worse than refusing.
+    """
+    if health is not None:
+        return (
+            "node-health draining (--drain-after / health=) accumulates "
+            "state across cases on shared node names and cannot be "
+            "replicated into worker processes; use --policy=async"
+        )
+    if faults is not None and any(
+        clause.kind == "sicknode" for clause in faults.clauses
+    ):
+        return (
+            "sicknode fault clauses are keyed by node name (global "
+            "across cases) and would diverge across worker processes; "
+            "use --policy=async"
+        )
+    for case in cases:
+        if isinstance(case.test, SpackTest):
+            return (
+                f"{case.display_name} is Spack-managed: dependency-reuse "
+                f"provenance (build_seconds, cache hits) follows the "
+                f"campaign-wide installer database, which per-worker "
+                f"replicas would turn into a function of worker "
+                f"assignment; use --policy=async"
+            )
+    return None
+
+
+class ProcsPool:
+    """A campaign-scoped pool of worker processes running cases.
+
+    Workers are spawned eagerly at construction (before the executor's
+    wavefront threads exist -- no fork-under-threads hazards) and each
+    is initialized with its own installer/concretizer-cache/fault-plan
+    replica.  :meth:`run` is thread-safe: the async wavefront machinery
+    calls it from ``workers`` parent threads, each blocking on its own
+    task while the simulation happens in a child process.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        faults: Optional[FaultPlan] = None,
+        watchdog_spec: Optional[WatchdogSpec] = None,
+        retry: Optional[RetryPolicy] = None,
+        trace: bool = False,
+        trace_wall: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        reason = procs_unsupported(faults=faults)
+        if reason is not None:
+            raise ValueError(f"--policy=procs: {reason}")
+        self.workers = workers
+        self._pool = multiprocessing.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(
+                list(faults.clauses) if faults is not None else None,
+                faults.seed if faults is not None else 0,
+                watchdog_spec,
+                retry,
+                trace,
+                trace_wall,
+            ),
+        )
+
+    def run(self, case: TestCase) -> CaseResult:
+        """Run one case in a worker process; blocks until it returns."""
+        return self._pool.apply_async(_run_case_task, (case,)).get()
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "ProcsPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

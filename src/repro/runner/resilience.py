@@ -295,8 +295,26 @@ class CampaignJournal:
         failures: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Append one case result; returns the record written."""
+        record = self.make_record(result, fingerprint=fingerprint,
+                                  failures=failures)
+        self._append(record)
+        return record
+
+    def make_record(
+        self,
+        result: Any,
+        fingerprint: Optional[str] = None,
+        failures: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Build (without writing) the journal record for one result.
+
+        Group-commit support: the executor's ``journal_batch`` mode
+        formats records as results arrive and appends a whole batch in
+        one fsynced write via :meth:`record_many` -- the on-disk byte
+        sequence is identical to per-case appends.
+        """
         fingerprint = fingerprint or case_fingerprint(result.case)
-        record = {
+        return {
             "fingerprint": fingerprint,
             "case": result.case.display_name,
             "test": result.case.test.name,
@@ -330,8 +348,13 @@ class CampaignJournal:
                 if getattr(result, "energy", None) is not None else None
             ),
         }
-        self._append(record)
-        return record
+
+    def record_many(self, records: List[Dict[str, Any]]) -> None:
+        """Append a batch of prebuilt records in one durable write."""
+        if not records:
+            return
+        with self._lock:
+            self._appender.append_many(records)
 
     def record_health(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
         """Append a node-health snapshot (``kind='health'`` meta record).

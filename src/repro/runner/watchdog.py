@@ -180,6 +180,16 @@ class Watchdog:
         name = job.name
         interval = self.spec.heartbeat
         trace = getattr(scheduler, "trace", None)
+        # per-job entry tokens ([beat, kill]) kept on the scheduler, so
+        # disarm() can cancel the pending events in place when the job
+        # finishes -- no no-op events churn the heap, and the queue
+        # drains at the finish instant.  The dict lives on the scheduler
+        # (per-case, single-threaded); only the counters need the lock.
+        armed = getattr(scheduler, "_watchdog_armed", None)
+        if armed is None:
+            armed = scheduler._watchdog_armed = {}
+        holder: List[Any] = [None, None]
+        armed[job_id] = holder
 
         def beat() -> None:
             progress = scheduler.job_progress(job_id)
@@ -194,9 +204,9 @@ class Watchdog:
             if trace is not None:
                 trace.event("heartbeat", scheduler.clock.now, "watchdog",
                             job=name, progress=round(progress, 6))
-            scheduler.events.schedule_in(interval, beat)
+            holder[0] = scheduler.events.schedule_in(interval, beat)
 
-        scheduler.events.schedule_in(interval, beat)
+        holder[0] = scheduler.events.schedule_in(interval, beat)
 
         deadline = self.spec.run
         if deadline is None:
@@ -222,7 +232,38 @@ class Watchdog:
                                 "watchdog", job=name,
                                 deadline=float(deadline))
 
-        scheduler.events.schedule_in(deadline, kill)
+        holder[1] = scheduler.events.schedule_in(deadline, kill)
+
+    def disarm(self, scheduler: Any, job_id: int) -> None:
+        """Cancel the pending heartbeat/deadline events for one job.
+
+        Called by the scheduler when the job finishes or is cancelled;
+        cancelling entries that already ran (including the kill event
+        that triggered a cancel) is a harmless no-op.
+        """
+        armed = getattr(scheduler, "_watchdog_armed", None)
+        if not armed:
+            return
+        holder = armed.pop(job_id, None)
+        if holder is None:
+            return
+        for entry in holder:
+            if entry is not None:
+                scheduler.events.cancel(entry)
+
+    def absorb(self, delta: Dict[str, Any]) -> None:
+        """Merge per-case accounting from a worker-process watchdog.
+
+        The process-pool policy runs each case against a private
+        watchdog in the worker (the campaign instance cannot be shared
+        across processes); the worker ships the accounting back with the
+        result and the executor folds it in here, in the deterministic
+        consumption order.
+        """
+        with self._lock:
+            self.hung_jobs.extend(delta.get("hung_jobs", ()))
+            self.hung_builds.extend(delta.get("hung_builds", ()))
+            self.heartbeats.extend(delta.get("heartbeats", ()))
 
     # -- pipeline side -------------------------------------------------------
     def check_build(self, target: str, build_seconds: float) -> Optional[str]:

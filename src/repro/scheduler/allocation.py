@@ -7,10 +7,34 @@ requests from non-avoided (healthy) free nodes first, falling back to
 drained nodes only when the request cannot otherwise be satisfied.
 Draining is *soft*: a sick node stops attracting work but a campaign
 whose pool is mostly drained still completes rather than deadlocking.
+
+Hot-path design (DESIGN.md "Scaling the simulator"): the original pool
+materialized every node name up front and rebuilt the whole free list on
+each allocate/release -- O(pool) work per request, paid per *case* at
+campaign scale because every case constructs a fresh scheduler.  This
+version keeps a **slotted free-index** instead:
+
+* node names are derived from their integer slot on demand (``nid0001``
+  ...), so constructing a 10k-node pool allocates nothing per node;
+* the free set is ``{virgin slots >= _virgin} | _recycled`` where
+  ``_recycled`` is a min-heap of released slots -- all released slots
+  are numerically below the virgin frontier, so popping
+  ``min(recycled-min, virgin-frontier)`` yields free nodes in exactly
+  the name order the original sorted list produced;
+* health partitioning is evaluated lazily at pop time: a request
+  inspects only the nodes it pops (healthy taken immediately, drained
+  stashed and either used as last resort or pushed back), so an
+  allocation is O(request + drained-scanned), not O(pool).
+
+Placement order is bit-for-bit identical to the reference
+implementation; ``tests/scheduler/test_allocator_property.py`` checks
+that against a reference pool over randomized allocate/release/drain
+sequences.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, List, Optional, Set
 
 __all__ = ["NodePool", "AllocationError"]
@@ -34,75 +58,168 @@ class NodePool:
         num_nodes: int,
         cores_per_node: int,
         avoid: Optional[Callable[[str], bool]] = None,
+        avoid_active: Optional[Callable[[], bool]] = None,
     ):
         if num_nodes < 1:
             raise AllocationError("a pool needs at least one node")
         self.cores_per_node = cores_per_node
-        self.all_nodes: List[str] = [
-            f"{name_prefix}{i:04d}" for i in range(1, num_nodes + 1)
-        ]
-        self.free: List[str] = list(self.all_nodes)
+        self._prefix = name_prefix
+        self._num = num_nodes
+        # four digits up to 9999 nodes (the historical name shape); wider
+        # pools widen the field so lexicographic order stays numeric
+        width = max(4, len(str(num_nodes)))
+        self._fmt = f"{name_prefix}{{:0{width}d}}".format
+        #: slots >= _virgin (and not busy) have never been handed out yet
+        self._virgin = 1
+        #: min-heap of released slots; every entry is below ``_virgin``
+        self._recycled: List[int] = []
         self.busy: Dict[str, int] = {}  # node -> job id
         #: health predicate: ``avoid(node) -> True`` means the node is
         #: drained -- allocate it only as a last resort
         self.avoid = avoid
+        #: optional O(1) short-circuit: when it returns False no node is
+        #: currently drained, so the health partition is skipped entirely
+        #: (typically ``HealthTracker.any_drained``)
+        self.avoid_active = avoid_active
+        self._all_cache: Optional[List[str]] = None
+
+    # -- derived views (compat; not on the hot path) ------------------------
+    @property
+    def all_nodes(self) -> List[str]:
+        """Every node name, in order (materialized on first use)."""
+        if self._all_cache is None:
+            self._all_cache = [
+                self._fmt(i) for i in range(1, self._num + 1)
+            ]
+        return self._all_cache
+
+    @property
+    def free(self) -> List[str]:
+        """The free node names in allocation (name) order."""
+        fmt = self._fmt
+        slots = sorted(self._recycled)
+        slots.extend(range(self._virgin, self._num + 1))
+        return [fmt(i) for i in slots]
 
     @property
     def num_nodes(self) -> int:
-        return len(self.all_nodes)
+        return self._num
 
     @property
     def num_free(self) -> int:
-        return len(self.free)
+        return self._num - len(self.busy)
 
     def can_allocate(self, count: int) -> bool:
         return count <= self.num_free
 
     def fits_at_all(self, count: int) -> bool:
         """Could the request ever run on this pool (even when empty)?"""
-        return count <= self.num_nodes
+        return count <= self._num
 
+    # -- slot plumbing ------------------------------------------------------
+    def _pop_slot(self) -> int:
+        """The lowest free slot (recycled slots are all below virgin)."""
+        if self._recycled:
+            return heapq.heappop(self._recycled)
+        slot = self._virgin
+        self._virgin += 1
+        return slot
+
+    def _slot_of(self, node: str) -> int:
+        try:
+            return int(node[len(self._prefix):])
+        except ValueError:
+            raise AllocationError(f"node {node!r} is not from this pool")
+
+    # -- allocation ---------------------------------------------------------
     def allocate(self, count: int, job_id: int) -> List[str]:
-        if count > self.num_nodes:
+        if count > self._num:
             raise AllocationError(
-                f"request for {count} nodes exceeds pool size {self.num_nodes}"
+                f"request for {count} nodes exceeds pool size {self._num}"
             )
         if count > self.num_free:
             raise AllocationError(
                 f"request for {count} nodes, only {self.num_free} free"
             )
-        if self.avoid is not None:
+        avoid = self.avoid
+        if avoid is not None and (
+            self.avoid_active is None or self.avoid_active()
+        ):
             # health-aware placement: healthy free nodes first (in name
-            # order -- deterministic), drained nodes only if unavoidable
-            healthy = [n for n in self.free if not self.avoid(n)]
-            drained = [n for n in self.free if self.avoid(n)]
-            candidates = healthy + drained
+            # order -- deterministic), drained nodes only if unavoidable.
+            # Evaluated lazily: pop free slots in name order, keep the
+            # healthy ones, stash the drained; unused drained slots go
+            # back on the heap.
+            fmt = self._fmt
+            free_at_start = self.num_free
+            taken: List[str] = []
+            drained: List[int] = []  # popped in name order
+            drained_names: List[str] = []
+            while len(taken) < count and \
+                    len(taken) + len(drained) < free_at_start:
+                slot = self._pop_slot()
+                name = fmt(slot)
+                if avoid(name):
+                    drained.append(slot)
+                    drained_names.append(name)
+                else:
+                    taken.append(name)
+            short = count - len(taken)
+            if short > 0:
+                # not enough healthy nodes: drained as a last resort,
+                # still in name order
+                taken.extend(drained_names[:short])
+                drained = drained[short:]
+            for slot in drained:
+                heapq.heappush(self._recycled, slot)
         else:
-            candidates = self.free
-        taken = candidates[:count]
-        taken_set = set(taken)
-        self.free = [n for n in self.free if n not in taken_set]
+            fmt = self._fmt
+            taken = [fmt(self._pop_slot()) for _ in range(count)]
+        busy = self.busy
         for node in taken:
-            self.busy[node] = job_id
+            busy[node] = job_id
         return taken
 
     def release(self, nodes: List[str], job_id: int) -> None:
+        busy = self.busy
+        recycled = self._recycled
         for node in nodes:
-            owner = self.busy.get(node)
+            owner = busy.get(node)
             if owner != job_id:
                 raise AllocationError(
                     f"job {job_id} releasing node {node} owned by {owner}"
                 )
-            del self.busy[node]
-            self.free.append(node)
-        self.free.sort()
+            del busy[node]
+            heapq.heappush(recycled, self._slot_of(node))
+
+    # -- invariants ---------------------------------------------------------
+    def check_counts(self) -> None:
+        """O(1) accounting check for the per-finish hot path.
+
+        The slot structures (recycled heap + virgin frontier) must agree
+        with the busy map about how many nodes are free; a double release
+        or a leaked slot breaks the equation immediately.
+        """
+        free_slots = len(self._recycled) + (self._num - self._virgin + 1)
+        if free_slots + len(self.busy) != self._num:
+            raise AllocationError(
+                f"slot accounting broken: {free_slots} free slots + "
+                f"{len(self.busy)} busy != {self._num} nodes"
+            )
 
     def check_invariants(self) -> None:
-        """No node is both free and busy; every node is accounted for."""
+        """No node is both free and busy; every node is accounted for.
+
+        The full O(pool) audit -- kept for tests and debugging; the
+        scheduler's per-job path uses :meth:`check_counts`.
+        """
+        self.check_counts()
         free_set: Set[str] = set(self.free)
         busy_set: Set[str] = set(self.busy)
         if free_set & busy_set:
-            raise AllocationError(f"nodes both free and busy: {free_set & busy_set}")
+            raise AllocationError(
+                f"nodes both free and busy: {free_set & busy_set}"
+            )
         if free_set | busy_set != set(self.all_nodes):
             missing = set(self.all_nodes) - (free_set | busy_set)
             raise AllocationError(f"nodes unaccounted for: {missing}")

@@ -87,6 +87,9 @@ class _RunningJob:
     #: slow-fault degradations applied at start (duck-typed JobEffects)
     effects: Optional[object] = None
     sick_nodes: List[str] = field(default_factory=list)
+    #: the scheduled finish event's entry -- cancel disarms it in place
+    #: instead of leaving a no-op to churn through the heap
+    finish_entry: Optional[object] = None
 
 
 class BatchScheduler:
@@ -120,6 +123,11 @@ class BatchScheduler:
             num_nodes,
             cores_per_node,
             avoid=health.is_drained if health is not None else None,
+            # O(1) short-circuit: on an all-healthy pool the allocator
+            # skips the drain partition (and its per-node predicate
+            # calls) entirely
+            avoid_active=getattr(health, "any_drained", None)
+            if health is not None else None,
         )
         self.require_account = require_account
         self.require_qos = require_qos
@@ -278,7 +286,7 @@ class BatchScheduler:
         else:
             end_state = JobState.COMPLETED
 
-        self._running[job.job_id] = _RunningJob(
+        rec = _RunningJob(
             job=job,
             ctx=ctx,
             nodes=nodes,
@@ -291,8 +299,9 @@ class BatchScheduler:
             sick_nodes=list(effects.sick_nodes) if effects is not None else [],
         )
         job_id = job.job_id
-        self.events.schedule_in(
-            max(duration, 1e-6), lambda: self._finish(job_id)
+        self._running[job_id] = rec
+        rec.finish_entry = self.events.schedule_in(
+            max(duration, 1e-6), self._finish, job_id
         )
         if self.watchdog is not None:
             # the watchdog schedules its own heartbeat/progress events
@@ -305,7 +314,7 @@ class BatchScheduler:
             return  # cancelled mid-run; the cancel already cleaned up
         job = rec.job
         self.pool.release(rec.nodes, job_id)
-        self.pool.check_invariants()
+        self.pool.check_counts()
         job.state = rec.end_state
         job.result = JobResult(
             job_id=job_id,
@@ -324,6 +333,12 @@ class BatchScheduler:
                 job=job.name, job_id=job_id, state=rec.end_state.value,
             )
         self._attribute_health(rec, rec.end_state)
+        if self.watchdog is not None:
+            # drop the pending heartbeat/deadline events for this job so
+            # the queue drains at the finish instant (no no-op tail)
+            disarm = getattr(self.watchdog, "disarm", None)
+            if disarm is not None:
+                disarm(self, job_id)
         self._try_dispatch()
 
     # -- watchdog/health support ------------------------------------------------
@@ -384,9 +399,17 @@ class BatchScheduler:
         the error re-raised as a :class:`SchedulerError` so callers
         (the pipeline's retry layer) see one classified, transient
         failure instead of a corrupted simulation.
+
+        The runaway-event ceiling scales with the submitted work: a
+        large campaign legitimately needs more events than the queue's
+        fixed default, while a self-perpetuating event loop (a bug) is
+        still caught within a bounded multiple of the job count.
         """
+        budget = max(
+            self.events.DEFAULT_MAX_EVENTS, 1_000 * len(self._jobs)
+        )
         try:
-            self.events.run_until_idle()
+            self.events.run_until_idle(max_events=budget)
         except SchedulerError:
             self.events.clear()
             raise
@@ -450,7 +473,9 @@ class BatchScheduler:
                 else 1.0
             )
             self.pool.release(rec.nodes, job_id)
-            self.pool.check_invariants()
+            self.pool.check_counts()
+            if rec.finish_entry is not None:
+                self.events.cancel(rec.finish_entry)
             job.state = state
             job.result = JobResult(
                 job_id=job_id,
@@ -473,6 +498,12 @@ class BatchScheduler:
                     cancelled=True,
                 )
             self._attribute_health(rec, state)
+            if self.watchdog is not None:
+                # safe even when the watchdog's own kill triggered this
+                # cancel: cancelling an already-ran entry is a no-op
+                disarm = getattr(self.watchdog, "disarm", None)
+                if disarm is not None:
+                    disarm(self, job_id)
             self._try_dispatch()
             return True
         return False  # already finished: scancel semantics, no-op

@@ -4,13 +4,34 @@ All scheduler time is *simulated* seconds -- a whole benchmarking campaign
 that would occupy a supercomputer for hours replays in milliseconds, which
 is what lets the repository regenerate every table of the paper on a
 laptop.
+
+Hot-path design (DESIGN.md "Scaling the simulator"): at 100k cases the
+event queue processes millions of events, so the per-event cost budget is
+a handful of bytecode operations.  Three choices follow:
+
+* **Entry records, not closures.**  ``schedule`` accepts the callback and
+  its arguments separately (``schedule(at, cb, job_id)``) and stores one
+  small mutable list per event.  Callers that used to build a dedicated
+  ``lambda`` per event (the scheduler's finish events, the watchdog's
+  kill events) pass a bound method plus args instead, eliminating one
+  closure + one cell object per event.
+* **Tombstone cancellation.**  ``schedule`` returns the entry itself as a
+  cancellation token; :meth:`cancel` nulls the callback in place (O(1))
+  and the drain loop discards dead entries as they surface.  Disarming a
+  watchdog deadline or a finish event no longer needs a heap rebuild --
+  and crucially, a discarded tombstone does *not* advance the clock, so
+  cancellation is invisible to the simulated timeline.
+* **Batched drain.**  :meth:`run_until_idle` pops events in a tight loop,
+  advancing the clock once per distinct timestamp rather than once per
+  event; same-timestamp events dispatch back to back with no clock
+  traffic between them.  Semantics are identical to repeated
+  :meth:`step` calls (ties still break by insertion order).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 __all__ = ["SimClock", "EventQueue"]
 
@@ -40,26 +61,65 @@ class SimClock:
 
 
 class EventQueue:
-    """A time-ordered queue of callbacks; ties break by insertion order."""
+    """A time-ordered queue of callbacks; ties break by insertion order.
+
+    Entries are ``[at, seq, callback, args]`` lists; ``seq`` is unique so
+    heap comparisons never reach the callback.  A cancelled entry keeps
+    its heap slot with ``callback = None`` and is skipped (without
+    touching the clock) when it reaches the front.
+    """
+
+    #: default runaway-loop ceiling when no explicit budget is given;
+    #: callers that know their workload (BatchScheduler.wait_all) pass a
+    #: budget scaled to the submitted jobs instead
+    DEFAULT_MAX_EVENTS = 1_000_000
 
     def __init__(self, clock: Optional[SimClock] = None):
         self.clock = clock or SimClock()
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
-        self._counter = itertools.count()
+        self._heap: List[List[Any]] = []
+        self._seq = 0
+        self._live = 0
 
-    def schedule(self, at: float, action: Callable[[], None]) -> None:
+    def schedule(
+        self, at: float, action: Callable[..., None], *args: Any
+    ) -> List[Any]:
+        """Schedule ``action(*args)`` at time ``at``; returns the entry.
+
+        The returned entry is an opaque token for :meth:`cancel`.
+        """
         if at < self.clock.now:
             raise ValueError(
                 f"cannot schedule in the past: {at} < {self.clock.now}"
             )
-        heapq.heappush(self._heap, (at, next(self._counter), action))
+        self._seq += 1
+        entry = [at, self._seq, action, args]
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return entry
 
-    def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
-        self.schedule(self.clock.now + delay, action)
+    def schedule_in(
+        self, delay: float, action: Callable[..., None], *args: Any
+    ) -> List[Any]:
+        return self.schedule(self.clock.now + delay, action, *args)
+
+    def cancel(self, entry: List[Any]) -> bool:
+        """Disarm a scheduled entry in place; returns whether it acted.
+
+        Cancelling an entry that already ran (or was already cancelled)
+        is a no-op returning False, so holders of stale tokens need no
+        bookkeeping of their own.
+        """
+        if entry[2] is None:
+            return False
+        entry[2] = None
+        entry[3] = ()
+        self._live -= 1
+        return True
 
     @property
     def pending(self) -> int:
-        return len(self._heap)
+        """Number of live (non-cancelled) scheduled events."""
+        return self._live
 
     def clear(self) -> int:
         """Drop every pending event; returns how many were dropped.
@@ -70,26 +130,55 @@ class EventQueue:
         than replayed (the resilience layer then retries the whole case
         on a fresh scheduler instance).
         """
-        dropped = len(self._heap)
+        dropped = self._live
         self._heap.clear()
+        self._live = 0
         return dropped
 
     def step(self) -> bool:
-        """Run the next event; False when the queue is empty."""
-        if not self._heap:
-            return False
-        at, _, action = heapq.heappop(self._heap)
-        self.clock.advance_to(at)
-        action()
-        return True
+        """Run the next live event; False when the queue is empty."""
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            action = entry[2]
+            if action is None:
+                continue  # tombstone: skipped, clock untouched
+            entry[2] = None  # late cancel() of a ran entry is a no-op
+            self._live -= 1
+            self.clock.advance_to(entry[0])
+            action(*entry[3])
+            return True
+        return False
 
-    def run_until_idle(self, max_events: int = 1_000_000) -> int:
-        """Drain the queue; returns the number of events processed."""
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue; returns the number of events processed.
+
+        ``max_events`` is the runaway-loop ceiling: ``None`` means the
+        module default (:data:`DEFAULT_MAX_EVENTS`).  Callers whose
+        legitimate workload can exceed the default -- a 100k-job
+        campaign -- pass a budget proportional to the submitted work.
+        """
+        cap = self.DEFAULT_MAX_EVENTS if max_events is None else max_events
+        heap = self._heap
+        clock = self.clock
         count = 0
-        while self.step():
+        while heap:
+            entry = heapq.heappop(heap)
+            action = entry[2]
+            if action is None:
+                continue  # tombstone: skipped, clock untouched
+            entry[2] = None
+            self._live -= 1
+            at = entry[0]
+            if at > clock._now:
+                # heap order guarantees monotonicity; skip advance_to's
+                # backwards check and advance once per distinct timestamp
+                # (same-timestamp events dispatch back to back)
+                clock._now = at
+            action(*entry[3])
             count += 1
-            if count >= max_events:
+            if count >= cap:
                 raise RuntimeError(
-                    f"event queue did not drain after {max_events} events"
+                    f"event queue did not drain after {cap} events"
                 )
         return count

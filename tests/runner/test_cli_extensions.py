@@ -153,3 +153,132 @@ class TestLineChart:
     def test_empty_series(self):
         svg = line_chart_svg({"a": []})
         assert svg.startswith("<svg")
+
+
+class TestScalingFlags:
+    """repro-bench --site / --policy=procs / --journal-batch / --profile."""
+
+    FLEET_YAML = (
+        "systems:\n"
+        "  - name: fleet\n"
+        "    description: synthetic test fleet\n"
+        "    scheduler: slurm\n"
+        "    num_nodes: 512\n"
+    )
+
+    def _run(self, tmp_path, *extra):
+        return bench_main([
+            "-c", "stream", "-r", "--system", "archer2",
+            "--perflog-dir", str(tmp_path / "pl"), *extra,
+        ])
+
+    def test_site_yaml_adds_a_fleet_system(self, capsys, tmp_path):
+        site = tmp_path / "fleet.yaml"
+        site.write_text(self.FLEET_YAML)
+        rc = bench_main([
+            "-c", "stream", "-r", "--system", "fleet",
+            "--site", str(site),
+            "--perflog-dir", str(tmp_path / "pl"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fleet" in out
+
+    def test_missing_site_file_errors(self, capsys, tmp_path):
+        rc = self._run(tmp_path, "--site", str(tmp_path / "nope.yaml"))
+        assert rc == 1
+        assert "--site" in capsys.readouterr().err
+
+    def test_procs_rejects_spack_suites_cleanly(self, capsys, tmp_path):
+        # every built-in suite is Spack-managed, which --policy=procs
+        # refuses (per-worker install databases would break determinism);
+        # the CLI must turn that into a clean error, not a traceback
+        rc = self._run(tmp_path, "--policy=procs", "-j", "2")
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "--policy=procs" in err
+        assert "async" in err
+
+    def test_journal_batch_plumbs_through(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        rc = self._run(tmp_path, "--journal", str(journal),
+                       "--journal-batch", "8")
+        assert rc == 0
+        assert journal.exists()
+
+    def test_bad_journal_batch_rejected(self, capsys, tmp_path):
+        rc = self._run(tmp_path, "--journal-batch", "0")
+        assert rc == 1
+        assert "--journal-batch" in capsys.readouterr().err
+
+    def test_profile_prints_hotspot_table(self, capsys, tmp_path):
+        rc = self._run(tmp_path, "--profile")
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert "profile (top 25" in err
+        assert "cumulative" in err
+
+    def test_profile_dumps_pstats_file(self, capsys, tmp_path):
+        out_path = tmp_path / "prof.pstats"
+        rc = self._run(tmp_path, "--profile", str(out_path))
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert out_path.exists()
+        assert str(out_path) in err
+
+
+class TestSweepFiles:
+    """repro-bench -c my_sweep.py: user sweep files, reframe-style."""
+
+    SWEEP = '''
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest, rfm_test
+from repro.runner.fields import parameter
+
+
+@rfm_test
+class FleetSweep(RegressionTest):
+    point = parameter([1, 2, 3, 4])
+
+    def program(self, ctx):
+        return f"p {self.point}: {self.point * 10.0}\\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"p", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r": ([\\d.]+)", stdout, 1, float)
+        return {"value": (v, "MB/s")}
+'''
+
+    def test_fleet_walkthrough_with_procs(self, capsys, tmp_path):
+        # the README walkthrough end to end: custom sweep file, synthetic
+        # fleet from a --site YAML, process-pool policy, batched journal
+        sweep = tmp_path / "fleet_sweep.py"
+        sweep.write_text(self.SWEEP)
+        site = tmp_path / "fleet.yaml"
+        site.write_text(TestScalingFlags.FLEET_YAML)
+        rc = bench_main([
+            "-c", str(sweep), "-r", "--system", "fleet",
+            "--site", str(site), "--policy=procs", "-j", "2",
+            "--journal", str(tmp_path / "j.jsonl"), "--journal-batch", "8",
+            "--perflog-dir", str(tmp_path / "pl"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 passed" in out
+        assert (tmp_path / "j.jsonl").exists()
+
+    def test_missing_sweep_file_errors(self, capsys, tmp_path):
+        rc = bench_main([
+            "-c", str(tmp_path / "nope.py"), "-r", "--system", "archer2",
+        ])
+        assert rc == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_broken_sweep_file_errors_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        rc = bench_main(["-c", str(bad), "-r", "--system", "archer2"])
+        assert rc == 1
+        assert "SyntaxError" in capsys.readouterr().err

@@ -1,0 +1,191 @@
+"""Process-pool policy: serial-identical artifacts, enforced limits.
+
+The scaling tentpole's correctness contract: ``--policy=procs`` runs
+each case's pipeline simulation in a worker process, yet every campaign
+artifact -- perflog rows, journal records, the span trace -- is
+*byte-identical* to the serial policy's, even under a fault storm with
+watchdog kills and speculative duplicates in play.  The campaign
+features whose state is inherently global across cases (node-health
+draining, ``sicknode`` clauses, Spack install databases) are rejected
+up front instead of silently diverging.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.runner import sanity as sn
+from repro.runner.benchmark import RegressionTest, SpackTest
+from repro.runner.executor import Executor
+from repro.runner.fields import parameter
+from repro.runner.procs import ProcsPool, procs_unsupported
+from repro.runner.resilience import CampaignJournal, RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+PINNED_TS = "2026-01-01T00:00:00"
+RETRY = RetryPolicy(max_attempts=6, jitter=0.0)
+#: every case-targeted fault kind at once: transient stage failures,
+#: degradations (speculation fodder) and hangs (watchdog fodder)
+CHAOS_SPEC = "build:0.3,submit:0.3,timeout:0.3,hook:0.3,slow:0.4,hang:0.2"
+WATCHDOG = "run=40,build=50,heartbeat=10"
+
+
+class ProcsProbe(RegressionTest):
+    """Eight deterministic cases; module-level so workers can unpickle."""
+
+    size = parameter([1, 2, 3, 4, 5, 6, 7, 8])
+
+    def program(self, ctx):
+        return f"bw {self.size}: {self.size * 100.0}\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"bw", stdout)
+
+    def extract_performance(self, stdout):
+        v = sn.extractsingle(r": ([\d.]+)", stdout, 1, float)
+        return {"bandwidth": (v, "MB/s")}
+
+
+class MiniSpack(SpackTest):
+    spack_spec = "zlib@1.2.13"
+
+    def program(self, ctx):
+        return "ok\n", 1.0
+
+    def check_sanity(self, stdout):
+        sn.assert_found(r"ok", stdout)
+
+
+def campaign(tmp_path, tag, seed=None, policy="serial", workers=1,
+             **run_kwargs):
+    """One campaign; returns (report, {artifact name: bytes})."""
+    prefix = str(tmp_path / f"perflogs-{tag}")
+    journal_path = str(tmp_path / f"journal-{tag}.jsonl")
+    trace_path = str(tmp_path / f"trace-{tag}.jsonl")
+    ex = Executor(perflog_prefix=prefix, perflog_timestamp=PINNED_TS)
+    cases = ex.expand_cases([ProcsProbe], "archer2")
+    faults = (
+        FaultPlan.parse(CHAOS_SPEC, seed=seed) if seed is not None else None
+    )
+    report = ex.run_cases(cases, policy=policy, workers=workers,
+                          retry=RETRY, faults=faults, journal=journal_path,
+                          trace=trace_path, **run_kwargs)
+    artifacts = {}
+    for root, _, files in os.walk(prefix):
+        for fname in files:
+            path = os.path.join(root, fname)
+            with open(path, "rb") as fh:
+                artifacts[f"perflog:{os.path.relpath(path, prefix)}"] = \
+                    fh.read()
+    with open(journal_path, "rb") as fh:
+        artifacts["journal"] = fh.read()
+    with open(trace_path, "rb") as fh:
+        artifacts["trace"] = fh.read()
+    return report, artifacts
+
+
+def outcome(report):
+    return [
+        (r.case.display_name, r.passed, r.attempts, r.speculated,
+         r.speculation_won, r.hung_attempts, tuple(r.fault_log))
+        for r in report.results
+    ]
+
+
+class TestProcsEquivalence:
+    def test_clean_campaign_bytes_match_serial(self, tmp_path):
+        ser_report, ser = campaign(tmp_path, "ser")
+        pro_report, pro = campaign(tmp_path, "pro", policy="procs",
+                                   workers=4)
+        assert ser_report.success and pro_report.success
+        assert ser == pro
+        assert outcome(ser_report) == outcome(pro_report)
+
+    def test_chaos_campaign_bytes_match_serial(self, tmp_path):
+        """Fault storm + watchdog + speculation, all at once."""
+        ser_report, ser = campaign(tmp_path, "ser", seed=42,
+                                   watchdog=WATCHDOG, speculation=True,
+                                   straggler_factor=1.5)
+        pro_report, pro = campaign(tmp_path, "pro", seed=42,
+                                   policy="procs", workers=4,
+                                   watchdog=WATCHDOG, speculation=True,
+                                   straggler_factor=1.5)
+        # the storm must actually have done something worth comparing
+        assert ser_report.faults_injected > 0
+        assert ser == pro
+        assert outcome(ser_report) == outcome(pro_report)
+        assert ser_report.summary() == pro_report.summary()
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_chaos_bytes_match_for_any_seed(self, tmp_path_factory, seed):
+        """Property: whatever the seed makes the storm do -- retries,
+        hangs, degradations, duplicates -- procs output is serial's."""
+        tmp_path = tmp_path_factory.mktemp(f"procs-{seed}")
+        ser_report, ser = campaign(tmp_path, "ser", seed=seed,
+                                   watchdog=WATCHDOG, speculation=True,
+                                   straggler_factor=1.5)
+        pro_report, pro = campaign(tmp_path, "pro", seed=seed,
+                                   policy="procs", workers=4,
+                                   watchdog=WATCHDOG, speculation=True,
+                                   straggler_factor=1.5)
+        assert ser == pro
+        assert outcome(ser_report) == outcome(pro_report)
+
+    def test_journal_batching_writes_identical_bytes(self, tmp_path):
+        _, unit = campaign(tmp_path, "unit", seed=7)
+        _, batched = campaign(tmp_path, "batch", seed=7, journal_batch=16)
+        assert unit["journal"] == batched["journal"]
+        _, pro = campaign(tmp_path, "probatch", seed=7, policy="procs",
+                          workers=4, journal_batch=16)
+        assert unit == pro
+
+    def test_resume_and_quarantine_stay_parent_side(self, tmp_path):
+        """A resumed procs campaign replays journaled cases without
+        touching the pool, exactly as serial does."""
+        journal_path = str(tmp_path / "journal-res.jsonl")
+        ex = Executor()
+        cases = ex.expand_cases([ProcsProbe], "archer2")
+        first = ex.run_cases(cases, journal=journal_path)
+        assert first.success
+        again = Executor().run_cases(
+            ex.expand_cases([ProcsProbe], "archer2"),
+            policy="procs", workers=2, journal=journal_path, resume=True,
+        )
+        assert again.success
+        assert all(r.resumed for r in again.results)
+
+
+class TestProcsLimits:
+    def test_rejects_drain_after(self, tmp_path):
+        ex = Executor()
+        cases = ex.expand_cases([ProcsProbe], "archer2")
+        with pytest.raises(ValueError, match="drain"):
+            ex.run_cases(cases, policy="procs", workers=2, drain_after=2)
+
+    def test_rejects_sicknode_clauses(self, tmp_path):
+        ex = Executor()
+        cases = ex.expand_cases([ProcsProbe], "archer2")
+        faults = FaultPlan.parse("sicknode:0.3", seed=1)
+        with pytest.raises(ValueError, match="sicknode"):
+            ex.run_cases(cases, policy="procs", workers=2, faults=faults)
+
+    def test_rejects_spack_campaigns(self, tmp_path):
+        ex = Executor()
+        cases = ex.expand_cases([MiniSpack], "archer2")
+        with pytest.raises(ValueError, match="Spack"):
+            ex.run_cases(cases, policy="procs", workers=2)
+
+    def test_unsupported_reports_nothing_for_clean_campaigns(self):
+        ex = Executor()
+        cases = ex.expand_cases([ProcsProbe], "archer2")
+        faults = FaultPlan.parse("build:0.3,slow:0.2", seed=1)
+        assert procs_unsupported(faults=faults, cases=cases) is None
+
+    def test_pool_validates_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcsPool(0)

@@ -1,0 +1,230 @@
+"""Property tests for the scaled scheduler core (hot-path tentpole).
+
+Two refactors carry exact-equivalence obligations:
+
+* the slotted :class:`~repro.scheduler.allocation.NodePool` replaced a
+  sorted-free-list implementation; placement must stay *identical* --
+  same node names handed out in the same order, for any interleaving of
+  allocate / release / drain operations -- because node names land in
+  job scripts, traces and health ledgers;
+* the tombstone-cancelling, batch-draining
+  :class:`~repro.scheduler.events.EventQueue` must dispatch exactly like
+  the step-at-a-time original, with cancellation invisible to the
+  simulated timeline.
+
+The reference model below *is* the old allocator, kept verbatim (minus
+docstrings) as the oracle.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler.allocation import AllocationError, NodePool
+from repro.scheduler.events import EventQueue, SimClock
+
+
+class ReferencePool:
+    """The pre-slotted NodePool: eager name list, sorted free list."""
+
+    def __init__(self, name_prefix, num_nodes, cores_per_node, avoid=None):
+        self.cores_per_node = cores_per_node
+        self.all_nodes = [
+            f"{name_prefix}{i:04d}" for i in range(1, num_nodes + 1)
+        ]
+        self.free = list(self.all_nodes)
+        self.busy: Dict[str, int] = {}
+        self.avoid = avoid
+
+    @property
+    def num_free(self):
+        return len(self.free)
+
+    def allocate(self, count, job_id):
+        if count > len(self.all_nodes):
+            raise AllocationError("exceeds pool size")
+        if count > self.num_free:
+            raise AllocationError("not enough free nodes")
+        if self.avoid is not None:
+            healthy = [n for n in self.free if not self.avoid(n)]
+            drained = [n for n in self.free if self.avoid(n)]
+            candidates = healthy + drained
+        else:
+            candidates = self.free
+        taken = candidates[:count]
+        taken_set = set(taken)
+        self.free = [n for n in self.free if n not in taken_set]
+        for node in taken:
+            self.busy[node] = job_id
+        return taken
+
+    def release(self, nodes, job_id):
+        for node in nodes:
+            del self.busy[node]
+            self.free.append(node)
+        self.free.sort()
+
+
+def op_sequences():
+    """Random allocate/release/drain walks (values decoded per state)."""
+    op = st.tuples(
+        st.sampled_from(["alloc", "release", "drain", "undrain"]),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    return st.lists(op, min_size=1, max_size=60)
+
+
+class TestSlottedPoolMatchesReference:
+    @settings(max_examples=120, deadline=None)
+    @given(num_nodes=st.integers(min_value=1, max_value=33),
+           ops=op_sequences())
+    def test_same_placement_for_any_walk(self, num_nodes, ops):
+        drained: set = set()
+        ref = ReferencePool("nid", num_nodes, 128,
+                            avoid=lambda n: n in drained)
+        new = NodePool("nid", num_nodes, 128,
+                       avoid=lambda n: n in drained,
+                       avoid_active=lambda: bool(drained))
+        active: Dict[int, List[str]] = {}
+        job_id = 0
+        for kind, magnitude in ops:
+            if kind == "alloc":
+                count = 1 + magnitude % max(1, num_nodes)
+                job_id += 1
+                if count > ref.num_free:
+                    with pytest.raises(AllocationError):
+                        new.allocate(count, job_id)
+                    continue
+                got_ref = ref.allocate(count, job_id)
+                got_new = new.allocate(count, job_id)
+                assert got_new == got_ref  # same nodes, same order
+                active[job_id] = got_new
+            elif kind == "release" and active:
+                victim = sorted(active)[magnitude % len(active)]
+                nodes = active.pop(victim)
+                ref.release(nodes, victim)
+                new.release(nodes, victim)
+            elif kind == "drain":
+                drained.add(f"nid{1 + magnitude % num_nodes:04d}")
+            elif kind == "undrain":
+                drained.discard(f"nid{1 + magnitude % num_nodes:04d}")
+            assert new.free == ref.free
+            assert new.num_free == ref.num_free
+            new.check_invariants()
+
+    def test_names_match_reference_above_9999_nodes(self):
+        # widths beyond {:04d} must stay lexicographically == numerically
+        big = NodePool("nid", 12000, 128)
+        first = big.allocate(3, 1)
+        assert first == ["nid00001", "nid00002", "nid00003"]
+        assert big.all_nodes[-1] == "nid12000"
+        assert sorted(big.all_nodes) == big.all_nodes
+
+    def test_avoid_not_consulted_when_inactive(self):
+        # the any_drained short-circuit: a healthy campaign's allocator
+        # hot path must never pay for per-node drain lookups
+        calls = []
+
+        def avoid(node):
+            calls.append(node)
+            return False
+
+        pool = NodePool("nid", 8, 128, avoid=avoid,
+                        avoid_active=lambda: False)
+        pool.allocate(4, 1)
+        assert calls == []
+
+    def test_release_to_foreign_owner_still_raises(self):
+        pool = NodePool("nid", 4, 128)
+        nodes = pool.allocate(2, 1)
+        with pytest.raises(AllocationError):
+            pool.release(nodes, 2)
+
+
+class TestEventQueueSemantics:
+    def test_batched_drain_matches_stepping(self):
+        def run(drain):
+            queue = EventQueue(SimClock())
+            log = []
+            for at, tag in [(2.0, "a"), (1.0, "b"), (2.0, "c"), (1.0, "d")]:
+                queue.schedule(at, log.append, (at, tag))
+            if drain:
+                queue.run_until_idle()
+            else:
+                while queue.step():
+                    pass
+            return log, queue.clock.now
+
+        assert run(drain=True) == run(drain=False)
+        log, now = run(drain=True)
+        assert log == [(1.0, "b"), (1.0, "d"), (2.0, "a"), (2.0, "c")]
+        assert now == 2.0
+
+    def test_cancellation_is_invisible_to_the_clock(self):
+        queue = EventQueue(SimClock())
+        log = []
+        doomed = queue.schedule(9.0, log.append, "doomed")
+        queue.schedule(3.0, log.append, "kept")
+        assert queue.pending == 2
+        assert queue.cancel(doomed) is True
+        assert queue.cancel(doomed) is False  # idempotent
+        assert queue.pending == 1
+        queue.run_until_idle()
+        assert log == ["kept"]
+        # the tombstone at t=9 was discarded without advancing time
+        assert queue.clock.now == 3.0
+
+    def test_cancel_after_run_is_a_noop(self):
+        queue = EventQueue(SimClock())
+        ran = []
+        entry = queue.schedule(1.0, ran.append, 1)
+        queue.run_until_idle()
+        assert ran == [1]
+        assert queue.cancel(entry) is False
+        assert queue.pending == 0
+
+    def test_runaway_detection_still_trips(self):
+        queue = EventQueue(SimClock())
+
+        def rearm():
+            queue.schedule_in(1.0, rearm)
+
+        queue.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="did not drain"):
+            queue.run_until_idle(max_events=1000)
+
+    def test_budget_scales_past_the_default(self):
+        # a caller with a known-large workload can raise the ceiling
+        queue = EventQueue(SimClock())
+        remaining = [1500]
+
+        def chain():
+            remaining[0] -= 1
+            if remaining[0]:
+                queue.schedule_in(1.0, chain)
+
+        queue.schedule(0.0, chain)
+        with pytest.raises(RuntimeError):
+            queue.run_until_idle(max_events=1000)
+        queue.clear()
+        remaining[0] = 1500
+        queue2 = EventQueue(SimClock())
+        remaining2 = [1500]
+
+        def chain2():
+            remaining2[0] -= 1
+            if remaining2[0]:
+                queue2.schedule_in(1.0, chain2)
+
+        queue2.schedule(0.0, chain2)
+        assert queue2.run_until_idle(max_events=5000) == 1500
+
+    def test_clear_drops_pending_events(self):
+        queue = EventQueue(SimClock())
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.clear() == 2
+        assert queue.pending == 0
+        assert queue.run_until_idle() == 0
