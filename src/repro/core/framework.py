@@ -74,6 +74,8 @@ class BenchmarkingFramework:
             prov = RunProvenance(system=platform)
             for case_result in report.results:
                 prov.add_case(case_result)
+            if getattr(report, "result_cache", None) is not None:
+                prov.attach_result_cache(report.result_cache)
             out[platform] = prov
         return out
 

@@ -54,6 +54,12 @@ class RunProvenance:
     #: ``--trace`` was armed (the pointer, not the spans: traces can be
     #: large and live next to the perflogs they describe)
     trace_file: Optional[str] = None
+    #: result-store accounting (``ResultStoreStats.as_dict()``) when
+    #: ``--result-store`` was armed: how many cases were replayed from
+    #: the content-addressed store vs executed fresh.  An incremental
+    #: campaign whose provenance hides that it replayed is archaeology
+    #: (DESIGN.md section 8)
+    result_cache: Optional[Dict[str, Any]] = None
 
     def attach_ingest_cache(self, stats: Any) -> None:
         """Record perflog-store accounting (a ``StoreStats`` or dict)."""
@@ -124,6 +130,12 @@ class RunProvenance:
         if trace_path is not None:
             self.trace_file = str(trace_path)
 
+    def attach_result_cache(self, stats: Any) -> None:
+        """Record result-store accounting (``ResultStoreStats`` or dict)."""
+        self.result_cache = (
+            stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+        )
+
     def attach_health(self, tracker: Any) -> None:
         """Record the node-health ledger (a ``HealthTracker`` or dict)."""
         self.health = (
@@ -193,6 +205,13 @@ class RunProvenance:
                 "hung_attempts": result.hung_attempts,
             }
         )
+        if result.replayed:
+            # cache annotations only -- a cold run's provenance entry is
+            # byte-identical whether or not a store was armed, and a
+            # warm run's differs from it *only* by these two keys (the
+            # byte-identity gate compares modulo them)
+            self.entries[-1]["replayed"] = True
+            self.entries[-1]["cached_from"] = result.cached_from
 
     def to_json(self) -> str:
         return json.dumps(
@@ -207,6 +226,7 @@ class RunProvenance:
                 "health": self.health,
                 "metrics": self.metrics,
                 "trace_file": self.trace_file,
+                "result_cache": self.result_cache,
             },
             indent=2,
             sort_keys=True,
@@ -223,6 +243,7 @@ class RunProvenance:
         # observability fields arrived later; .get keeps old files loading
         prov.metrics = doc.get("metrics")
         prov.trace_file = doc.get("trace_file")
+        prov.result_cache = doc.get("result_cache")
         return prov
 
     def spec_hashes(self) -> List[str]:

@@ -89,8 +89,15 @@ def render_timeline(spans: List[Dict[str, Any]], width: int = 72,
             hi = int((span["t1"] - t_lo) / extent * width)
             lo = min(lo, width - 1)
             hi = min(max(hi, lo), width)
+            # replayed cases (served from the result store) render with
+            # a lighter fill, so a warm campaign's timeline shows at a
+            # glance which cases actually executed
+            fill = (
+                "▒" if (span.get("attrs") or {}).get("replayed")
+                else "#"
+            )
             if hi > lo:
-                bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
+                bar = " " * lo + fill * (hi - lo) + " " * (width - hi)
             else:  # instant event
                 bar = " " * lo + "|" + " " * (width - lo - 1)
             indent = "  " * depth.get(span["id"], 0)

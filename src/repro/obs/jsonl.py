@@ -108,6 +108,25 @@ class JsonlAppender:
                     os.fsync(fh.fileno())
         return len(lines)
 
+    def append_lines(self, lines: List[str]) -> int:
+        """Append pre-encoded JSON lines (without trailing newlines).
+
+        The replay fast path: lines captured verbatim from a previous
+        ``append_many`` (same ``sort_keys=True`` encoding) go back down
+        without a decode/encode round-trip.  Same single-write batch
+        contract as :meth:`append_many`.
+        """
+        if not lines:
+            return 0
+        with self._lock:
+            self._prepare()
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + "\n")
+                fh.flush()
+                if self.sync:
+                    os.fsync(fh.fileno())
+        return len(lines)
+
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
     """Every intact record in *path*, oldest first (torn tail skipped).

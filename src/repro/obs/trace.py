@@ -46,6 +46,7 @@ from these records (:mod:`repro.obs.cli`).
 
 from __future__ import annotations
 
+import json
 import threading
 import time as _time
 from dataclasses import dataclass, field
@@ -57,11 +58,15 @@ __all__ = [
     "CaseTimeline",
     "Span",
     "SpanRecorder",
+    "ReplayedSpans",
     "TraceError",
     "Tracer",
     "as_tracer",
     "chrome_trace",
     "load_trace",
+    "recorder_from_spans",
+    "serialize_spans",
+    "strip_replay_attrs",
     "validate_nesting",
 ]
 
@@ -284,6 +289,40 @@ class CaseTimeline:
             self.rec.finish(span, self.t)
 
 
+class ReplayedSpans:
+    """A stored trace bundle, flush-ready without ``Span`` rebuilding.
+
+    The result store keeps each case's *final encoded trace lines* --
+    the exact ``sort_keys=True`` JSON the cold run wrote -- plus the
+    global id of the first span and the span count.  On replay,
+    :meth:`Tracer.flush` checks whether its id cursor matches
+    ``first_id``; when it does (the common case: the prefix of the
+    campaign before this case is unchanged) the lines are appended
+    *verbatim*, with zero per-span decode/encode work.  When an edit
+    upstream shifted the id sequence, every id is a dense flush-order
+    counter, so the records are remapped by a constant offset.
+
+    The trade-off (inherited from the earlier document-based replay
+    path): replayed spans are not re-materialized into
+    ``Tracer.flushed``.
+    """
+
+    __slots__ = ("track", "bundle")
+
+    def __init__(self, track: str, bundle: Dict[str, Any]):
+        self.track = track
+        self.bundle = bundle
+
+    @property
+    def count(self) -> int:
+        return int(self.bundle.get("count", 0))
+
+    @property
+    def end_time(self) -> float:
+        """The track's extent (max ``t1``), matching ``SpanRecorder``."""
+        return float(self.bundle.get("end_time", 0.0))
+
+
 class Tracer:
     """Campaign-wide span collection + crash-safe JSONL export.
 
@@ -329,12 +368,18 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_id = 1
         self._wrote_meta = False
-        self._pending_records: List[Dict[str, Any]] = []
+        #: group-commit buffer of *encoded* lines (encoding happens at
+        #: flush time so replayed bundles can blit verbatim bytes in)
+        self._pending_lines: List[str] = []
         self._pending_flushes = 0
         #: flushed spans, in flush (= global id) order
         self.flushed: List[Span] = []
         #: spans written to disk so far
         self.spans_written = 0
+        #: the last *live* flush's storable bundle: first global id,
+        #: span count and the exact encoded lines.  The executor stows
+        #: this in the result store so a warm run can replay the bytes.
+        self.last_flush_bundle: Optional[Dict[str, Any]] = None
 
     # -- recorders -----------------------------------------------------------
     def recorder(self, track: str) -> SpanRecorder:
@@ -351,44 +396,86 @@ class Tracer:
             "wall": self.wall,
         }
 
-    def flush(self, recorder: SpanRecorder) -> List[Dict[str, Any]]:
+    def flush(
+        self, recorder: "Union[SpanRecorder, ReplayedSpans]"
+    ) -> List[Dict[str, Any]]:
         """Assign global ids to *recorder*'s spans and append them.
 
         Returns the records written (tests introspect them).  Safe to
         call from the executor's single consumption thread; the lock
         guards id assignment for API users who flush concurrently.
+
+        Accepts either a live :class:`SpanRecorder` or a
+        :class:`ReplayedSpans` bundle from the result store; the latter
+        appends the stored encoded lines directly -- verbatim when the
+        global-id cursor matches the bundle's ``first_id``, offset by a
+        constant otherwise (ids are a dense flush-order counter, and
+        parents are always within-case).  The blit path returns ``[]``
+        rather than re-parsing what it wrote; only live flushes feed
+        ``Tracer.flushed`` and the returned record list.
         """
         with self._lock:
-            records: List[Dict[str, Any]] = []
+            lines: List[str] = []
+            meta_rec: Optional[Dict[str, Any]] = None
             if not self._wrote_meta:
-                records.append(self._meta_record())
+                meta_rec = self._meta_record()
+                lines.append(json.dumps(meta_rec, sort_keys=True))
                 self._wrote_meta = True
-            mapping: Dict[int, int] = {}
-            for span in recorder.spans:
-                span_id = self._next_id
-                self._next_id += 1
-                mapping[span.local_id] = span_id
-                parent = (
-                    mapping.get(span.parent_id)
-                    if span.parent_id is not None else None
-                )
-                records.append(span.as_record(span_id, parent))
-                self.flushed.append(span)
-            if self._appender is not None and records:
+            if isinstance(recorder, ReplayedSpans):
+                n_spans = recorder.count
+                first_id = int(recorder.bundle.get("first_id", self._next_id))
+                stored = recorder.bundle.get("lines") or []
+                if self._next_id == first_id:
+                    lines.extend(stored)  # verbatim: the common warm path
+                else:
+                    delta = self._next_id - first_id
+                    for line in stored:
+                        rec = json.loads(line)
+                        rec["id"] += delta
+                        if rec.get("parent") is not None:
+                            rec["parent"] += delta
+                        lines.append(json.dumps(rec, sort_keys=True))
+                self._next_id += n_spans
+                records: List[Dict[str, Any]] = []
+            else:
+                n_spans = len(recorder.spans)
+                first_id = self._next_id
+                mapping: Dict[int, int] = {}
+                records = [meta_rec] if meta_rec is not None else []
+                span_lines: List[str] = []
+                for span in recorder.spans:
+                    span_id = self._next_id
+                    self._next_id += 1
+                    mapping[span.local_id] = span_id
+                    parent = (
+                        mapping.get(span.parent_id)
+                        if span.parent_id is not None else None
+                    )
+                    record = span.as_record(span_id, parent)
+                    records.append(record)
+                    span_lines.append(json.dumps(record, sort_keys=True))
+                    self.flushed.append(span)
+                lines.extend(span_lines)
+                self.last_flush_bundle = {
+                    "first_id": first_id,
+                    "count": n_spans,
+                    "lines": span_lines,
+                }
+            if self._appender is not None and lines:
                 if self.batch > 1:
-                    self._pending_records.extend(records)
+                    self._pending_lines.extend(lines)
                     self._pending_flushes += 1
                     if self._pending_flushes >= self.batch:
                         self._drain_locked()
                 else:
-                    self._appender.append_many(records)
-                self.spans_written += len(recorder.spans)
+                    self._appender.append_lines(lines)
+                self.spans_written += n_spans
             return records
 
     def _drain_locked(self) -> None:
-        if self._pending_records:
-            self._appender.append_many(self._pending_records)
-            self._pending_records = []
+        if self._pending_lines:
+            self._appender.append_lines(self._pending_lines)
+            self._pending_lines = []
         self._pending_flushes = 0
 
     def drain(self) -> None:
@@ -406,9 +493,88 @@ class Tracer:
                 self._wrote_meta = True
             records.append({"kind": "metrics", "metrics": snapshot})
             if self._appender is not None:
-                if self._pending_records:
+                if self._pending_lines:
                     self._drain_locked()
                 self._appender.append_many(records)
+
+
+def serialize_spans(recorder: SpanRecorder) -> List[Dict[str, Any]]:
+    """Portable span documents for one recorder (the result store's format).
+
+    Local/parent ids are preserved -- they are recorder-relative, so a
+    recorder rebuilt from these documents flushes to exactly the same
+    trace records as the original (global ids are assigned at flush
+    time either way).  Wall-clock timestamps are dropped on purpose:
+    they are the one non-reproducible field, and a replayed span must
+    not resurrect a stale wall time as if it were fresh.
+    """
+    docs: List[Dict[str, Any]] = []
+    for span in recorder.spans:
+        docs.append({
+            "name": span.name,
+            "t0": span.t0,
+            "t1": span.t1,
+            "cat": span.cat,
+            "attrs": dict(span.attrs),
+            "local_id": span.local_id,
+            "parent_id": span.parent_id,
+        })
+    return docs
+
+
+def recorder_from_spans(
+    track: str, docs: List[Dict[str, Any]]
+) -> SpanRecorder:
+    """Rebuild a flush-ready :class:`SpanRecorder` from stored documents.
+
+    The inverse of :func:`serialize_spans`: a result-store replay hands
+    the rebuilt recorder to the tracer exactly like a freshly executed
+    case, so flush order, span counts and hence global span ids match
+    the cold run's byte for byte.
+    """
+    recorder = SpanRecorder(track)
+    next_local = 1
+    for doc in docs:
+        span = Span(
+            name=str(doc["name"]),
+            t0=float(doc["t0"]),
+            t1=float(doc["t1"]),
+            cat=str(doc.get("cat", "")),
+            track=track,
+            attrs=dict(doc.get("attrs") or {}),
+            local_id=int(doc["local_id"]),
+            parent_id=(
+                int(doc["parent_id"])
+                if doc.get("parent_id") is not None else None
+            ),
+        )
+        recorder.spans.append(span)
+        next_local = max(next_local, span.local_id + 1)
+    recorder._next_local = next_local
+    return recorder
+
+
+def strip_replay_attrs(
+    records: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Copies of span records minus the ``replayed`` cache annotation.
+
+    The byte-identity gate compares a warm run's trace to a cold run's
+    *modulo cache annotations* (same contract as provenance's
+    ``cached_from``): the executor marks replayed cases with a
+    ``replayed=true`` attribute on their campaign-track span, and this
+    strips exactly that, leaving every other byte to the comparison.
+    """
+    out: List[Dict[str, Any]] = []
+    for record in records:
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict) and "replayed" in attrs:
+            record = dict(record)
+            attrs = dict(attrs)
+            attrs.pop("replayed")
+            record["attrs"] = attrs
+        out.append(record)
+    return out
 
 
 def as_tracer(value: Any, wall: bool = False) -> Optional[Tracer]:

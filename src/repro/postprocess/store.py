@@ -41,6 +41,15 @@ thread-safe and shared by the parallel reader
 (``read_perflogs(..., store=..., workers=N)``) and by the perflog
 writer's manifest hook (:class:`repro.runner.perflog.PerflogHandler`
 ``store=``), which keeps entries warm *as the campaign writes them*.
+
+Incremental campaigns (``repro-bench --result-store``, DESIGN.md
+section 8) compose with this cache for free: a replayed case's perflog
+rows are re-emitted through the normal
+:meth:`~repro.runner.perflog.PerflogHandler.flush` path as ordinary
+appends -- verbatim bytes from the cold run -- so the seam/head probes
+see exactly the append-only growth this manifest is built for.  A warm
+campaign therefore extends manifests instead of invalidating them,
+whether a row was executed or replayed.
 """
 
 from __future__ import annotations

@@ -151,7 +151,14 @@ class RegressionTest:
 
     @property
     def name(self) -> str:
-        return type(self).name_for_params(self._param_values)
+        # params are fixed at construction, so the name is computed once;
+        # campaign-scale hot paths (perflog rows, trace tracks, store
+        # keys) all read it per case
+        cached = self.__dict__.get("_name")
+        if cached is None:
+            cached = type(self).name_for_params(self._param_values)
+            self.__dict__["_name"] = cached
+        return cached
 
     @classmethod
     def variants(cls, **fixed: Any) -> List["RegressionTest"]:

@@ -165,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --journal: skip cases the journal "
                              "records as completed, re-run only "
                              "incomplete ones")
+    # ---- incremental campaigns (DESIGN.md section 8) --------------------
+    parser.add_argument("--result-store", default=None, metavar="DIR",
+                        help="content-addressed whole-case result store: "
+                             "cases whose composite address (spec, system, "
+                             "benchmark source, run config) is unchanged "
+                             "since a previous campaign are replayed from "
+                             "DIR -- same perflog rows, spans and energy, "
+                             "byte for byte -- and only the invalidated "
+                             "delta re-executes")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="with --result-store: print hit/miss/"
+                             "invalidation counters after the summary")
     parser.add_argument("--inject-faults", default=None, metavar="SPEC",
                         help="deterministic chaos testing: inject faults "
                              "per SPEC, e.g. 'build:0.3,submit:0.2x2,"
@@ -332,6 +344,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal PATH", file=sys.stderr)
         return 1
+    if args.cache_stats and not args.result_store:
+        print("error: --cache-stats requires --result-store DIR",
+              file=sys.stderr)
+        return 1
     faults = None
     if args.inject_faults:
         from repro.faults import FaultPlan, FaultSpecError
@@ -380,6 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace=args.trace,
             metrics=args.metrics,
             journal_batch=args.journal_batch,
+            result_store=args.result_store,
         )
 
     try:
@@ -413,6 +430,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(report.summary(), end="")
+    if args.cache_stats and report.result_cache is not None:
+        rc = report.result_cache
+        print(
+            "result store: "
+            f"{rc['hits']} hit(s), {rc['misses']} miss(es), "
+            f"{rc['invalidated']} invalidated, "
+            f"{rc['corrupted']} corrupted, {rc['evictions']} evicted "
+            f"(hit rate {100.0 * rc['hit_rate']:.1f}%)",
+            file=sys.stderr,
+        )
     if args.performance_report:
         print(report.performance_report(), end="")
     if args.metrics and report.metrics is not None:

@@ -93,6 +93,50 @@ class SystemConfig:
     default_account: Optional[str] = None
     default_qos: Optional[str] = None
 
+    def fingerprint(self) -> str:
+        """Content hash of everything about this system that shapes results.
+
+        Feeds the result store's composite key (DESIGN.md "Incremental
+        campaigns"): a changed scheduler, node count, hardware spec,
+        programming environment or accounting default must invalidate
+        stored case results for this system.  Cosmetics (``description``,
+        ``hostname_patterns``) are excluded -- renaming a login-node
+        glob must *not* re-run a fleet.  Built from sorted-key JSON over
+        frozen-dataclass reprs, so the hash is stable across processes
+        and dict insertion orders.
+        """
+        import hashlib
+        import json
+
+        doc = {
+            "name": self.name,
+            "requires_account": self.requires_account,
+            "requires_qos": self.requires_qos,
+            "default_account": self.default_account,
+            "default_qos": self.default_qos,
+            "partitions": {
+                pname: {
+                    "node": repr(part.node),
+                    "scheduler": part.scheduler,
+                    "launcher": part.launcher,
+                    "num_nodes": part.num_nodes,
+                    "access": list(part.access),
+                    "environs": [
+                        {
+                            "name": env.name,
+                            "compiler": env.compiler_spec,
+                            "cflags": list(env.cflags),
+                            "modules": list(env.modules),
+                        }
+                        for env in part.environs
+                    ],
+                }
+                for pname, part in sorted(self.partitions.items())
+            },
+        }
+        blob = json.dumps(doc, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     def partition(self, name: Optional[str] = None) -> PartitionConfig:
         if name is None:
             return next(iter(self.partitions.values()))

@@ -27,6 +27,7 @@ run (Principle 3).
 from __future__ import annotations
 
 import fnmatch
+import hashlib
 import io
 import re
 from dataclasses import dataclass, field
@@ -45,7 +46,7 @@ from typing import (
 
 from repro.faults import FaultClock, FaultPlan
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Tracer, as_tracer
+from repro.obs.trace import ReplayedSpans, Tracer, as_tracer
 from repro.pkgmgr.installer import Installer
 from repro.pkgmgr.memo import ConcretizationCache
 from repro.runner.benchmark import RegressionTest
@@ -69,7 +70,15 @@ from repro.runner.resilience import (
     RetryPolicy,
     as_journal,
     case_fingerprint,
+    make_case_record,
     result_from_record,
+    run_config_fingerprint,
+)
+from repro.runner.results import (
+    CaseResultStore,
+    as_result_store,
+    make_entry,
+    replay_result,
 )
 from repro.runner.watchdog import Watchdog, WatchdogSpec, as_watchdog
 
@@ -96,6 +105,10 @@ class RunReport:
     metrics: Optional[Dict[str, Any]] = None
     #: the JSONL trace file spans were streamed to (None: not traced)
     trace_path: Optional[str] = None
+    #: result-store accounting (``ResultStoreStats.as_dict()``) when a
+    #: --result-store was armed -- the ``Replayed:`` summary line and
+    #: ``--cache-stats`` reporting read this
+    result_cache: Optional[Dict[str, Any]] = None
 
     @property
     def num_cases(self) -> int:
@@ -124,6 +137,10 @@ class RunReport:
     @property
     def quarantined(self) -> List[CaseResult]:
         return [r for r in self.results if r.quarantined]
+
+    @property
+    def replayed(self) -> List[CaseResult]:
+        return [r for r in self.results if r.replayed]
 
     @property
     def faults_injected(self) -> int:
@@ -173,6 +190,12 @@ class RunReport:
             out.write(
                 f"Resumed {len(self.resumed)} case(s) from the "
                 f"campaign journal\n"
+            )
+        if self.replayed:
+            rate = 100.0 * len(self.replayed) / max(self.num_cases, 1)
+            out.write(
+                f"Replayed: {len(self.replayed)} case(s) from the "
+                f"result store (hit rate {rate:.1f}%)\n"
             )
         if self.quarantined:
             out.write(f"Quarantined {len(self.quarantined)} case(s)\n")
@@ -328,6 +351,8 @@ class Executor:
 
     @staticmethod
     def _apply_setvars(test: RegressionTest, setvars: Dict[str, Any]) -> None:
+        if not setvars:
+            return  # skip the MRO walk on the expansion hot path
         declared = class_variables(type(test))
         for name, value in setvars.items():
             if name not in declared:
@@ -367,6 +392,7 @@ class Executor:
         trace: Optional[Union[str, Tracer]] = None,
         metrics: Optional[Union[bool, MetricsRegistry]] = None,
         journal_batch: int = 1,
+        result_store: Optional[Union[str, CaseResultStore]] = None,
     ) -> RunReport:
         """Run a campaign under the chosen execution policy.
 
@@ -435,6 +461,21 @@ class Executor:
           record, and (via ``RunProvenance.attach_metrics``) in
           provenance.  Tracing implies metrics.
 
+        Incremental campaigns (DESIGN.md "Incremental campaigns"):
+
+        * ``result_store`` (a directory path or
+          :class:`~repro.runner.results.CaseResultStore`) content-
+          addresses every finished case by its composite fingerprint
+          (case coordinates, concretization problem, system
+          fingerprint, benchmark source, run config).  On the next run,
+          cases whose address is unchanged are **replayed** from the
+          store -- stored perflog rows, spans, energy and provenance
+          re-emitted byte-identically, marked ``cached_from`` -- and
+          only the invalidated delta executes.  Composes with
+          ``--resume``: journal-resumed cases skip the store entirely,
+          and store replays journal as ``kind='replay'`` meta records
+          (no double-counting).
+
         None of these are armed by default, and the default path runs
         byte-identically to earlier releases.  On successful completion
         the journal (if any) is compacted in place.
@@ -463,6 +504,27 @@ class Executor:
                 if speculation
                 else None
             )
+        store = as_result_store(result_store)
+        store_keys: Dict[int, str] = {}
+        run_id = ""
+        if store is not None:
+            config_key = run_config_fingerprint(
+                retry=retry_policy,
+                faults=faults,
+                watchdog_spec=watchdog.spec if watchdog is not None else None,
+                speculation=speculation,
+                drain_after=drain_after,
+            )
+            # composite keys are computed up front (cheap: sha256 over
+            # sorted-key JSON, source hashes memoized per class) so the
+            # campaign's run id -- the ``cached_from`` provenance marker
+            # -- is itself deterministic content: the hash of every
+            # case's content address, independent of policy and order
+            for case in ordered:
+                store_keys[id(case)] = store.key_for(case, config_key)
+            run_id = hashlib.sha256(
+                "\x1f".join(sorted(store_keys.values())).encode("utf-8")
+            ).hexdigest()[:12]
         tracer = as_tracer(trace)
         if isinstance(metrics, MetricsRegistry):
             registry: Optional[MetricsRegistry] = metrics
@@ -531,6 +593,25 @@ class Executor:
                     recorder.event("quarantined", 0.0, "case")
                     result._trace = recorder
                 return result
+            if store is not None:
+                entry = store.lookup(
+                    store_keys[id(case)],
+                    fingerprint=fingerprint,
+                    need_perflog=self.perflog is not None,
+                    need_spans=tracer is not None,
+                )
+                if entry is not None:
+                    result = replay_result(case, entry)
+                    if tracer is not None:
+                        # the stored encoded lines flush through the
+                        # tracer like a fresh case's spans -- same
+                        # bytes, same global-id sequence as the cold
+                        # run -- blitted verbatim (or id-shifted by a
+                        # constant after an upstream edit)
+                        result._trace = ReplayedSpans(
+                            case.display_name, entry.get("trace") or {}
+                        )
+                    return result
             return None
 
         def case_runner(case: TestCase) -> CaseResult:
@@ -582,9 +663,9 @@ class Executor:
         def flush_journal() -> None:
             if not jbuffer:
                 return
-            # same perflog-before-journal invariant as _persist, applied
-            # at the batch boundary: every record about to be appended
-            # has its perflog rows durably flushed first
+            # same perflog-before-journal invariant as persist_now,
+            # applied at the batch boundary: every record about to be
+            # appended has its perflog rows durably flushed first
             if self.perflog is not None:
                 last: Optional[Exception] = None
                 for _ in range(3):
@@ -599,23 +680,130 @@ class Executor:
             journal.record_many(jbuffer)
             jbuffer.clear()
 
+        def emit_rows(result: CaseResult) -> None:
+            """Buffer one result's perflog rows (fresh or replayed)."""
+            if self.perflog is None:
+                return
+            try:
+                if result.replayed:
+                    stored = (result._replay or {}).get("perflog")
+                    if stored:
+                        # the cold run's verbatim bytes, not a re-format
+                        self.perflog.emit_replay(
+                            stored["relpath"], stored["lines"]
+                        )
+                else:
+                    self.perflog.emit(result)  # may auto-flush early: safe
+            except Exception:
+                pass  # rows stay buffered; the next flush retries
+
+        def journal_record(result: CaseResult, fingerprint: str,
+                           failures: Optional[int]) -> Dict[str, Any]:
+            if result.replayed:
+                # meta record: --resume must not double-count replays
+                return journal.make_replay_record(
+                    result,
+                    (result._replay or {}).get("key", ""),
+                    cached_from=result.cached_from,
+                    fingerprint=fingerprint,
+                )
+            return journal.make_record(result, fingerprint=fingerprint,
+                                       failures=failures)
+
         def persist_batched(result: CaseResult, fingerprint: str,
                             failures: Optional[int]) -> None:
-            if self.perflog is not None:
-                try:
-                    self.perflog.emit(result)  # may auto-flush early: safe
-                except Exception:
-                    pass  # rows stay buffered; flush_journal retries
-            jbuffer.append(
-                journal.make_record(result, fingerprint=fingerprint,
-                                    failures=failures)
-            )
+            emit_rows(result)
+            jbuffer.append(journal_record(result, fingerprint, failures))
             if len(jbuffer) >= journal_batch:
                 flush_journal()
             if health is not None and health.dirty:
                 # health snapshots must not outrun their case records
                 flush_journal()
                 journal.record_health(health.snapshot())
+
+        def persist_now(result: CaseResult, fingerprint: str,
+                        failures: Optional[int]) -> None:
+            """Emit one result's perflog rows, then journal it.
+
+            Ordering is the crash-safety invariant: the journal line is
+            appended only after the case's perflog rows are durably
+            flushed, so a journal entry always implies on-disk perflog
+            data and ``--resume`` never loses (or duplicates) rows.
+            Perflog write errors are retried -- the batched writer
+            keeps unwritten files buffered -- and only a persistently
+            failing flush aborts; without a journal, a failed write
+            simply stays buffered for the next (or final) flush.
+            """
+            emit_rows(result)
+            if journal is None:
+                return
+            if self.perflog is not None:
+                last: Optional[Exception] = None
+                for _ in range(3):
+                    try:
+                        self.perflog.flush()
+                        last = None
+                        break
+                    except Exception as exc:
+                        last = exc
+                if last is not None:
+                    # durable perflog data is unattainable: fail loudly
+                    # rather than journal a lie
+                    raise last
+            journal.record_many(
+                [journal_record(result, fingerprint, failures)]
+            )
+            if health is not None and health.dirty:
+                # snapshot *after* the case record: a resumed campaign
+                # restores at least the health state this case produced
+                journal.record_health(health.snapshot())
+
+        def store_entry(result: CaseResult) -> None:
+            """Persist one freshly executed result into the store.
+
+            Called *after* the case's spans flush, so the tracer's
+            ``last_flush_bundle`` holds this case's final encoded trace
+            lines and first global id -- exactly what the warm-path
+            blit replays.  Wall-clock tracing is the one exclusion:
+            stored lines would resurrect stale wall times, so a wall
+            campaign stores no trace (and re-executes on warm runs).
+            """
+            perflog_doc = None
+            if self.perflog is not None and self.perflog.last_emit:
+                path, lines = self.perflog.last_emit
+                perflog_doc = {
+                    "relpath": self.perflog.relpath_for(path),
+                    "lines": lines,
+                }
+            trace_doc = None
+            if tracer is not None and not tracer.wall:
+                recorder = getattr(result, "_trace", None)
+                bundle = tracer.last_flush_bundle
+                if recorder is not None and bundle is not None:
+                    trace_doc = dict(bundle)
+                    trace_doc["end_time"] = recorder.end_time
+            # keys were precomputed per case object, but a procs result
+            # carries a pickle round-tripped *copy* of its case -- same
+            # content, different identity -- so recompute on a miss (the
+            # address is pure content, both spellings agree)
+            key = store_keys.get(id(result.case))
+            if key is None:
+                key = store.key_for(result.case, config_key)
+            store.put(
+                key,
+                make_entry(
+                    result,
+                    key,
+                    run_id,
+                    # the same shape a journal case record carries, so
+                    # replay_result reuses result_from_record verbatim
+                    make_case_record(
+                        result, fingerprint=case_fingerprint(result.case)
+                    ),
+                    perflog=perflog_doc,
+                    trace=trace_doc,
+                ),
+            )
 
         def on_result(result: CaseResult) -> None:
             # fires per case, in deterministic serial order, as soon as
@@ -632,8 +820,7 @@ class Executor:
                 if journal is not None and journal_batch > 1:
                     persist_batched(result, fingerprint, failures)
                 else:
-                    self._persist(result, journal, fingerprint, failures,
-                                  health=health)
+                    persist_now(result, fingerprint, failures)
             if registry is not None and not result.skipped:
                 self._observe_result(registry, result)
             if tracer is not None:
@@ -646,9 +833,7 @@ class Executor:
                 )
                 t0 = campaign_cursor[0]
                 if campaign_rec is not None:
-                    campaign_rec.record(
-                        result.case.display_name, t0, t0 + extent,
-                        "case",
+                    span_attrs: Dict[str, Any] = dict(
                         status=(
                             "passed" if result.passed else
                             ("skipped" if result.skipped else "failed")
@@ -656,6 +841,15 @@ class Executor:
                         attempts=result.attempts,
                         resumed=result.resumed,
                         speculated=result.speculated,
+                    )
+                    if result.replayed:
+                        # cache annotation -- the ONLY campaign-track
+                        # difference between a warm and a cold trace
+                        # (strip_replay_attrs removes it for comparison)
+                        span_attrs["replayed"] = True
+                    campaign_rec.record(
+                        result.case.display_name, t0, t0 + extent,
+                        "case", **span_attrs,
                     )
                 campaign_cursor[0] = t0 + extent
                 if recorder is not None:
@@ -666,6 +860,13 @@ class Executor:
                         "perflog-flush", campaign_cursor[0], "io",
                         case=result.case.display_name,
                     )
+            if (store is not None and not result.resumed
+                    and not result.replayed and not result.quarantined):
+                # quarantine short-circuits are ledger state, not
+                # executed outcomes -- never store them.  Runs after the
+                # trace flush so store_entry can capture the encoded
+                # span lines the tracer just wrote for this case.
+                store_entry(result)
             if failed:
                 breaker.record_failure()
                 if breaker.tripped:
@@ -702,6 +903,8 @@ class Executor:
             # journal any health mutations the final cases produced
             if journal is not None and health is not None and health.dirty:
                 journal.record_health(health.snapshot())
+            if store is not None:
+                store.flush()  # persist the write-behind identity index
         report = RunReport(
             results=list(results),
             aborted=aborted,
@@ -710,11 +913,13 @@ class Executor:
             health=health.as_dict() if health is not None else None,
             trace_path=tracer.path if tracer is not None else None,
         )
+        if store is not None:
+            report.result_cache = store.stats.as_dict()
         if registry is not None:
             # campaign counters are derived from the final report, so the
             # snapshot's totals equal the journal-derived counts by
             # construction (the trace smoke test locks this in)
-            self._populate_metrics(registry, report)
+            self._populate_metrics(registry, report, store=store)
             report.metrics = registry.snapshot()
         if tracer is not None:
             if campaign_rec is not None:
@@ -749,7 +954,10 @@ class Executor:
         registry.histogram("case.seconds").observe(case_seconds)
 
     def _populate_metrics(
-        self, registry: MetricsRegistry, report: RunReport
+        self,
+        registry: MetricsRegistry,
+        report: RunReport,
+        store: Optional[CaseResultStore] = None,
     ) -> None:
         """Fold the campaign's outcome counters into *registry*.
 
@@ -783,50 +991,12 @@ class Executor:
         )
         # subsystem caches publish their own namespaces
         self.concretizer_cache.stats.publish(registry, "concretize")
-
-    def _persist(
-        self,
-        result: CaseResult,
-        journal: Optional[CampaignJournal],
-        fingerprint: str,
-        failures: Optional[int],
-        health: Optional[HealthTracker] = None,
-    ) -> None:
-        """Emit one result's perflog rows, then journal it.
-
-        Ordering is the crash-safety invariant: the journal line is
-        appended only after the case's perflog rows are durably flushed,
-        so a journal entry always implies on-disk perflog data and
-        ``--resume`` never loses (or duplicates) rows.  Perflog write
-        errors are retried -- the batched writer keeps unwritten files
-        buffered -- and only a persistently failing flush aborts; without
-        a journal, a failed write simply stays buffered for the next
-        (or final) flush.
-        """
-        if self.perflog is not None:
-            try:
-                self.perflog.emit(result)  # may auto-flush, hence raise
-            except Exception:
-                pass  # rows stay buffered; the flush below retries
-            if journal is not None:
-                last: Optional[Exception] = None
-                for _ in range(3):
-                    try:
-                        self.perflog.flush()
-                        last = None
-                        break
-                    except Exception as exc:
-                        last = exc
-                if last is not None:
-                    # durable perflog data is unattainable: fail loudly
-                    # rather than journal a lie
-                    raise last
-        if journal is not None:
-            journal.record(result, fingerprint=fingerprint, failures=failures)
-            if health is not None and health.dirty:
-                # snapshot *after* the case record: a resumed campaign
-                # restores at least the health state this case produced
-                journal.record_health(health.snapshot())
+        if store is not None:
+            # only when a result store is armed: cold campaigns keep the
+            # exact metrics namespace (and trace trailer bytes) they had
+            # before incremental mode existed
+            registry.counter("cases.replayed").add(len(report.replayed))
+            store.stats.publish(registry, "resultstore")
 
     def run(
         self,

@@ -145,6 +145,11 @@ class PerflogHandler:
         #: deterministic and equals emission order per file)
         self._buffer: Dict[str, List[str]] = {}
         self._pending = 0
+        #: (path, lines) of the most recent emit/emit_replay -- how the
+        #: result store captures the exact bytes a case contributed
+        #: without re-formatting (re-formatting would consume a callable
+        #: timestamp twice and could stamp a different value)
+        self.last_emit: Optional[tuple] = None
 
     def path_for(self, result: CaseResult) -> str:
         case = result.case
@@ -164,6 +169,29 @@ class PerflogHandler:
         """Buffer one case's record(s); auto-flush at ``batch_size``."""
         path = self.path_for(result)
         lines = format_record(result, timestamp=self._stamp())
+        self.last_emit = (path, list(lines))
+        self._buffer.setdefault(path, []).extend(lines)
+        self._pending += len(lines)
+        if self._pending >= self.batch_size:
+            self.flush()
+        return path
+
+    def relpath_for(self, path: str) -> str:
+        """A portable (``/``-separated) store key for a perflog path."""
+        rel = os.path.relpath(path, self.prefix)
+        return rel.replace(os.sep, "/")
+
+    def emit_replay(self, relpath: str, lines: List[str]) -> str:
+        """Buffer pre-formatted rows a result store replayed for one case.
+
+        The rows were captured verbatim from the cold run's
+        :meth:`emit`, so a warm campaign's perflog byte stream is
+        identical to the cold one -- same lines, same per-file order --
+        and flows through the same flush path (fault sites, manifest
+        ``note_append`` hook, batch coalescing included).
+        """
+        path = os.path.join(self.prefix, *relpath.split("/"))
+        self.last_emit = (path, list(lines))
         self._buffer.setdefault(path, []).extend(lines)
         self._pending += len(lines)
         if self._pending >= self.batch_size:
@@ -195,11 +223,22 @@ class PerflogHandler:
                 os.makedirs(parent, exist_ok=True)
                 self._made_dirs.add(parent)
             seen = path in self._written_set
-            new_file = False if seen else not os.path.exists(path)
-            with open(path, "a", encoding="utf-8") as fh:
+            data = "\n".join(lines) + "\n"
+            # raw os.open/os.write: file creation dominates large
+            # campaigns' flush cost, and the io.open text layer roughly
+            # doubles it.  fstat on the open fd doubles as the new-file
+            # check (header needed iff the file is empty), and header +
+            # batch still go down in ONE write -- readers never observe
+            # a partial line
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                         0o644)
+            try:
+                new_file = False if seen else os.fstat(fd).st_size == 0
                 if new_file:
-                    fh.write("|".join(PERFLOG_FIELDS) + "\n")
-                fh.write("\n".join(lines) + "\n")
+                    data = "|".join(PERFLOG_FIELDS) + "\n" + data
+                os.write(fd, data.encode("utf-8"))
+            finally:
+                os.close(fd)
             if self.store is not None:
                 self.store.note_append(path, lines, wrote_header=new_file)
             if not seen:

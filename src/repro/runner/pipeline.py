@@ -94,7 +94,11 @@ class TestCase:
 
     @property
     def display_name(self) -> str:
-        return f"{self.test.name} @{self.platform}+{self.environ_name}"
+        cached = self.__dict__.get("_display_name")
+        if cached is None:
+            cached = f"{self.test.name} @{self.platform}+{self.environ_name}"
+            self.__dict__["_display_name"] = cached
+        return cached
 
 
 @dataclass
@@ -133,6 +137,16 @@ class CaseResult:
     fault_log: List[str] = field(default_factory=list)
     #: replayed from a campaign journal by --resume (not re-run)
     resumed: bool = False
+    # ---- incremental campaigns (DESIGN.md "Incremental campaigns") ----
+    #: served from the content-addressed result store (not re-run); the
+    #: stored perflog rows/spans are re-emitted byte-identically
+    replayed: bool = False
+    #: run id of the campaign whose execution produced the stored entry
+    #: (provenance: ``cached_from``); None for freshly executed cases
+    cached_from: Optional[str] = None
+    #: the store entry a replay was served from (carries the stored
+    #: perflog lines/spans until the executor persists them)
+    _replay: Optional[dict] = field(default=None, repr=False, compare=False)
     #: a retryable failure exhausted its retry budget (or the case was
     #: barred by the executor's quarantine ledger)
     quarantined: bool = False

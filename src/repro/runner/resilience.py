@@ -33,6 +33,9 @@ byte-identical to a fault-free serial run.
 from __future__ import annotations
 
 import hashlib
+import inspect
+import json
+import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Union
@@ -50,9 +53,13 @@ __all__ = [
     "CircuitBreaker",
     "Quarantine",
     "RetryPolicy",
+    "benchmark_source_hash",
     "case_fingerprint",
+    "content_address",
     "is_transient",
+    "make_case_record",
     "result_from_record",
+    "run_config_fingerprint",
 ]
 
 
@@ -243,7 +250,16 @@ def case_fingerprint(case: Any) -> str:
     state -- so the same campaign expansion yields the same fingerprints
     across processes, which is what lets a resumed run match journal
     records written before a crash.
+
+    Memoized on the case object (same idiom as ``TestCase.display_name``):
+    the coordinates are fixed at expansion time and the runner asks for
+    the fingerprint more than once per case (journal + result store).
     """
+    cache = getattr(case, "__dict__", None)
+    if cache is not None:
+        cached = cache.get("_fingerprint")
+        if cached is not None:
+            return cached
     parts = [
         case.test.name,
         case.platform,
@@ -252,7 +268,168 @@ def case_fingerprint(case: Any) -> str:
         str(getattr(case.test, "spack_spec", "") or ""),
     ]
     digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
-    return digest[:16]
+    fingerprint = digest[:16]
+    if cache is not None:
+        cache["_fingerprint"] = fingerprint
+    return fingerprint
+
+
+#: source-hash memo: a campaign hashes each benchmark class once, not
+#: once per case (the sweep benches expand thousands of cases per class)
+_SOURCE_HASH_CACHE: Dict[type, str] = {}
+
+#: JSON-able class attributes folded into the source hash.  Factory-made
+#: classes (the sweep benches build them with ``type()``/``setattr``)
+#: share their ``inspect.getsource`` text, so a behaviour-bearing class
+#: attribute is the only place an "edit" can show up.
+_PLAIN_ATTR_TYPES = (str, int, float, bool, type(None), list, tuple, dict)
+
+
+def benchmark_source_hash(cls: type) -> str:
+    """Content hash of a benchmark class's *behaviour*.
+
+    Walks the MRO (``object`` excluded) hashing each class's source text
+    -- so editing a test, or the framework base class it inherits, both
+    invalidate -- plus every plain-data class attribute, which is where
+    dynamically built classes (``type(...)`` factories, ``setattr``
+    edits) carry behaviour that ``inspect.getsource`` cannot see.
+    Classes without retrievable source (REPL, exec) hash a stable
+    placeholder; their data attributes still participate.
+    """
+    cached = _SOURCE_HASH_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    parts: List[str] = [f"{cls.__module__}.{cls.__qualname__}"]
+    for klass in cls.__mro__:
+        if klass is object:
+            continue
+        try:
+            parts.append(inspect.getsource(klass))
+        except (OSError, TypeError):
+            parts.append(f"<no-source:{klass.__module__}.{klass.__qualname__}>")
+        for name, value in sorted(vars(klass).items()):
+            if name.startswith("__"):
+                continue
+            if isinstance(value, _PLAIN_ATTR_TYPES):
+                parts.append(f"{klass.__qualname__}.{name}={value!r}")
+    digest = _sha_text("\x1f".join(parts))
+    _SOURCE_HASH_CACHE[cls] = digest
+    return digest
+
+
+def _sha_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def run_config_fingerprint(
+    retry: Optional["RetryPolicy"] = None,
+    faults: Any = None,
+    watchdog_spec: Any = None,
+    speculation: Any = None,
+    drain_after: Optional[int] = None,
+) -> str:
+    """Content hash of the run configuration that shapes case *results*.
+
+    Everything here can change what a case's stored result would have
+    been -- retry budget/backoff seed, the fault plan and its seed, the
+    watchdog's deadlines, speculation's straggler threshold, the drain
+    threshold -- so a change to any of them must invalidate the result
+    store (the ``case_fingerprint`` blind spot this PR closes).
+
+    Deliberately *excluded*: execution policy, worker count, journal /
+    trace / perflog batching.  Those choose *how* the campaign runs, not
+    what its artifacts contain -- the byte-identity contract across
+    serial/async/procs is exactly why they must not invalidate.
+    """
+    doc: Dict[str, Any] = {
+        "retry": (
+            {
+                "max_attempts": retry.max_attempts,
+                "backoff_base": retry.backoff_base,
+                "backoff_factor": retry.backoff_factor,
+                "backoff_max": retry.backoff_max,
+                "jitter": retry.jitter,
+                "seed": retry.seed,
+            }
+            if retry is not None else None
+        ),
+        "faults": (
+            {"spec": faults.format(), "seed": faults.seed}
+            if faults is not None else None
+        ),
+        "watchdog": (
+            watchdog_spec.format() if watchdog_spec is not None else None
+        ),
+        "speculation": (
+            {"straggler_factor": speculation.straggler_factor}
+            if speculation is not None else None
+        ),
+        "drain_after": drain_after,
+    }
+    return _sha_text(json.dumps(doc, sort_keys=True))
+
+
+def content_address(
+    case: Any,
+    *,
+    spec_key: str = "",
+    system_key: str = "",
+    source_key: str = "",
+    config_key: str = "",
+) -> str:
+    """The full content address of one case's *result* (the store key).
+
+    Extends :func:`case_fingerprint` (which only identifies the case)
+    into a key that identifies the case's **outcome**.  Invalidation
+    rules -- a warm run re-executes a case iff any component changed:
+
+    ==================  ====================================================
+    component           invalidated by
+    ==================  ====================================================
+    case coordinates    test/variant name, platform, environment, task
+                        layout (``num_tasks``/``per_node``), ``time_limit``,
+                        executable + options, account/QoS overrides
+    ``spec_key``        the concretization *problem* hash from
+                        ``ConcretizationCache.key_for`` (abstract spec,
+                        package-environment fingerprint, repo inventory)
+    ``system_key``      ``SystemConfig.fingerprint()``: partition layout,
+                        scheduler/launcher, node hardware, environments,
+                        account/QoS requirements and defaults
+    ``source_key``      :func:`benchmark_source_hash` of the test class
+    ``config_key``      :func:`run_config_fingerprint`: retry policy,
+                        fault plan + seed, watchdog, speculation, draining
+    ==================  ====================================================
+
+    All components are hashed through sorted-key JSON -- never Python
+    ``hash()`` -- so the key is stable across process restarts, dict
+    insertion orders and execution policies (hypothesis-tested in
+    ``tests/runner/test_resultstore.py``).
+    """
+    test = case.test
+    blob = json.dumps(
+        {
+            "case": {
+                "test": test.name,
+                "platform": case.platform,
+                "environ": case.environ_name,
+                "num_tasks": test.num_tasks,
+                "num_tasks_per_node": test.num_tasks_per_node,
+                "time_limit": test.time_limit,
+                "executable": getattr(test, "executable", ""),
+                "executable_opts": list(
+                    getattr(test, "executable_opts", ()) or ()
+                ),
+                "account": case.account,
+                "qos": case.qos,
+            },
+            "spec": spec_key,
+            "system": system_key,
+            "source": source_key,
+            "config": config_key,
+        },
+        sort_keys=True,
+    )
+    return _sha_text(blob)
 
 
 #: journal statuses that mean "do not re-run this case on --resume"
@@ -265,6 +442,56 @@ def _status_of(result: Any) -> str:
     if result.skipped:
         return "skipped"
     return "failed"
+
+
+def make_case_record(
+    result: Any,
+    fingerprint: Optional[str] = None,
+    failures: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The journal-record dict for one result (no journal required).
+
+    Shared by :meth:`CampaignJournal.make_record` and the result store
+    (:mod:`repro.runner.results`), which persists the same shape inside
+    each cache entry so a replayed case rebuilds its
+    :class:`~repro.runner.pipeline.CaseResult` through the exact
+    ``result_from_record`` path ``--resume`` already exercises.
+    """
+    fingerprint = fingerprint or case_fingerprint(result.case)
+    return {
+        "fingerprint": fingerprint,
+        "case": result.case.display_name,
+        "test": result.case.test.name,
+        "platform": result.case.platform,
+        "environ": result.case.environ_name,
+        "status": _status_of(result),
+        "failing_stage": result.failing_stage,
+        "failure_reason": result.failure_reason,
+        "attempts": result.attempts,
+        "backoff_schedule": list(result.backoff_schedule),
+        "faults": list(result.fault_log),
+        "quarantined": result.quarantined,
+        "failures": (
+            failures if failures is not None
+            else (0 if result.passed else 1)
+        ),
+        "perfvars": {
+            var: [value, unit]
+            for var, (value, unit) in sorted(result.perfvars.items())
+        },
+        "build_seconds": result.build_seconds,
+        "job_seconds": result.job_seconds,
+        "queue_seconds": result.queue_seconds,
+        "speculated": result.speculated,
+        "speculation_won": result.speculation_won,
+        "hung_attempts": result.hung_attempts,
+        # energy provenance (satellite: a resumed campaign must not
+        # lose the joules its crashed predecessor measured)
+        "energy": (
+            result.energy.as_dict()
+            if getattr(result, "energy", None) is not None else None
+        ),
+    }
 
 
 class CampaignJournal:
@@ -286,6 +513,19 @@ class CampaignJournal:
         self.sync = sync
         self._appender = JsonlAppender(path, sync=sync)
         self._lock = threading.Lock()
+        # compact() fast path: a journal this session created from
+        # scratch, where no fingerprint was appended twice (in either
+        # the case or the replay keyspace) and at most one health
+        # snapshot was written, is compact by construction -- the
+        # end-of-campaign compact() can skip re-parsing every line
+        try:
+            self._preexisting = os.path.getsize(path) > 0
+        except OSError:
+            self._preexisting = False
+        self._seen_case_fps: set = set()
+        self._seen_replay_fps: set = set()
+        self._session_health = 0
+        self._session_compact = True
 
     # -- writing -------------------------------------------------------------
     def record(
@@ -313,48 +553,80 @@ class CampaignJournal:
         one fsynced write via :meth:`record_many` -- the on-disk byte
         sequence is identical to per-case appends.
         """
-        fingerprint = fingerprint or case_fingerprint(result.case)
-        return {
-            "fingerprint": fingerprint,
-            "case": result.case.display_name,
-            "test": result.case.test.name,
-            "platform": result.case.platform,
-            "environ": result.case.environ_name,
-            "status": _status_of(result),
-            "failing_stage": result.failing_stage,
-            "failure_reason": result.failure_reason,
-            "attempts": result.attempts,
-            "backoff_schedule": list(result.backoff_schedule),
-            "faults": list(result.fault_log),
-            "quarantined": result.quarantined,
-            "failures": (
-                failures if failures is not None
-                else (0 if result.passed else 1)
-            ),
-            "perfvars": {
-                var: [value, unit]
-                for var, (value, unit) in sorted(result.perfvars.items())
-            },
-            "build_seconds": result.build_seconds,
-            "job_seconds": result.job_seconds,
-            "queue_seconds": result.queue_seconds,
-            "speculated": result.speculated,
-            "speculation_won": result.speculation_won,
-            "hung_attempts": result.hung_attempts,
-            # energy provenance (satellite: a resumed campaign must not
-            # lose the joules its crashed predecessor measured)
-            "energy": (
-                result.energy.as_dict()
-                if getattr(result, "energy", None) is not None else None
-            ),
-        }
+        return make_case_record(result, fingerprint=fingerprint,
+                                failures=failures)
 
     def record_many(self, records: List[Dict[str, Any]]) -> None:
         """Append a batch of prebuilt records in one durable write."""
         if not records:
             return
         with self._lock:
+            for record in records:
+                self._track_locked(record)
             self._appender.append_many(records)
+
+    def _track_locked(self, record: Dict[str, Any]) -> None:
+        """Maintain the compact-by-construction invariant (see compact)."""
+        if not self._session_compact:
+            return
+        kind = record.get("kind")
+        if kind == "health":
+            self._session_health += 1
+            if self._session_health > 1:
+                self._session_compact = False
+        elif kind == "replay" and "fingerprint" in record:
+            fp = record["fingerprint"]
+            if fp in self._seen_replay_fps:
+                self._session_compact = False
+            else:
+                self._seen_replay_fps.add(fp)
+        elif kind is None and "fingerprint" in record:
+            fp = record["fingerprint"]
+            if fp in self._seen_case_fps:
+                self._session_compact = False
+            else:
+                self._seen_case_fps.add(fp)
+        # unknown shapes are always preserved by compact(): no effect
+
+    def make_replay_record(
+        self,
+        result: Any,
+        key: str,
+        cached_from: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Build a ``kind='replay'`` meta record for a store-replayed case.
+
+        Replayed cases must not journal as ordinary case records: a later
+        ``--resume`` would then double-count them (their perflog rows
+        were re-emitted by the replay, not by a run this journal
+        describes), and ``failure_counts`` would re-learn old failures.
+        The meta record still carries the fingerprint and outcome so
+        ``repro-trace``/auditors can reconcile the store's hit counters
+        against the journal.
+        """
+        return {
+            "kind": "replay",
+            "fingerprint": fingerprint or case_fingerprint(result.case),
+            "case": result.case.display_name,
+            "status": _status_of(result),
+            "key": key,
+            "cached_from": cached_from,
+        }
+
+    def record_replay(
+        self,
+        result: Any,
+        key: str,
+        cached_from: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Append one store-replay meta record; returns it."""
+        record = self.make_replay_record(
+            result, key, cached_from=cached_from, fingerprint=fingerprint
+        )
+        self._append(record)
+        return record
 
     def record_health(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
         """Append a node-health snapshot (``kind='health'`` meta record).
@@ -373,6 +645,7 @@ class CampaignJournal:
         # the journal-level lock additionally serializes appends against
         # compact(): an append never races the atomic rewrite
         with self._lock:
+            self._track_locked(record)
             self._appender.append(record)
 
     # -- reading -------------------------------------------------------------
@@ -388,16 +661,22 @@ class CampaignJournal:
         state: Dict[str, Dict[str, Any]] = {}
         for record in self.entries():
             fingerprint = record.get("fingerprint")
-            if fingerprint is None:
-                continue  # meta record (health snapshot etc.)
+            if fingerprint is None or "kind" in record:
+                continue  # meta record (health snapshot, store replay...)
             state[fingerprint] = record
         return state
 
     def failure_counts(self) -> Dict[str, int]:
-        """Cumulative failure count per fingerprint (quarantine seed)."""
+        """Cumulative failure count per fingerprint (quarantine seed).
+
+        Meta records are skipped: a ``kind='replay'`` line describes a
+        *stored* outcome being served again, not a fresh failure -- the
+        cold run that produced it already journaled the case record.
+        """
         counts: Dict[str, int] = {}
         for record in self.entries():
-            if record.get("status") == "failed" and "fingerprint" in record:
+            if (record.get("status") == "failed"
+                    and "fingerprint" in record and "kind" not in record):
                 counts[record["fingerprint"]] = max(
                     counts.get(record["fingerprint"], 0),
                     int(record.get("failures", 1)),
@@ -427,23 +706,37 @@ class CampaignJournal:
         successfully.  Returns the number of records dropped.
         """
         with self._lock:
+            if not self._preexisting and self._session_compact:
+                # every record this journal holds was appended by this
+                # session, each unique in its keyspace: compact would
+                # keep all of them -- skip the full re-parse
+                return 0
             records = list(self._entries_unlocked())
             keep_index: Dict[str, int] = {}
+            # store replays compact in their own keyspace: the latest
+            # replay record per fingerprint survives alongside the
+            # latest case record (a case can have both -- cold run, then
+            # a warm replay -- and each tells a different story)
+            replay_index: Dict[str, int] = {}
             last_health = -1
-            for i, record in enumerate(records):
-                if record.get("kind") == "health":
-                    last_health = i
-                elif "fingerprint" in record:
-                    keep_index[record["fingerprint"]] = i
-            keep = set(keep_index.values())
-            if last_health >= 0:
-                keep.add(last_health)
             # unknown record shapes are preserved: compaction must never
             # destroy data a newer writer understood and we do not
-            keep.update(
-                i for i, r in enumerate(records)
-                if "fingerprint" not in r and r.get("kind") != "health"
-            )
+            unknown: List[int] = []
+            for i, record in enumerate(records):
+                kind = record.get("kind")
+                if kind == "health":
+                    last_health = i
+                elif kind == "replay" and "fingerprint" in record:
+                    replay_index[record["fingerprint"]] = i
+                elif kind is None and "fingerprint" in record:
+                    keep_index[record["fingerprint"]] = i
+                else:
+                    unknown.append(i)
+            keep = set(keep_index.values())
+            keep.update(replay_index.values())
+            if last_health >= 0:
+                keep.add(last_health)
+            keep.update(unknown)
             kept = [records[i] for i in sorted(keep)]
             dropped = len(records) - len(kept)
             if dropped <= 0:
@@ -461,13 +754,16 @@ def as_journal(journal: Optional[JournalLike]) -> Optional[CampaignJournal]:
     return CampaignJournal(str(journal))
 
 
-def result_from_record(case: Any, record: Dict[str, Any]) -> Any:
+def result_from_record(case: Any, record: Dict[str, Any],
+                       resumed: bool = True) -> Any:
     """Reconstruct a completed CaseResult from its journal record.
 
     Used by ``--resume``: the case is *not* re-run; the replayed result
     is marked ``resumed=True`` so the executor neither re-emits its
     perflog rows nor re-journals it, and provenance shows exactly which
-    results came from the journal.
+    results came from the journal.  The result store reuses this with
+    ``resumed=False``: a store replay *does* re-emit perflog rows (the
+    stored bytes) and journals a replay meta record instead.
     """
     from repro.runner.pipeline import CaseResult
 
@@ -509,5 +805,5 @@ def result_from_record(case: Any, record: Dict[str, Any]) -> Any:
                 energy.get("mean_filesystem_util", 0.0)
             ),
         )
-    result.resumed = True
+    result.resumed = resumed
     return result

@@ -1,0 +1,131 @@
+"""Tier-1 smoke gate for the incremental-campaign (result store) bench.
+
+The full ``benchmarks/test_incremental_campaign.py`` acceptance run
+sweeps the 1%-delta stage over three policies and two fault seeds --
+too long for per-commit CI.  This gate re-runs the cold + zero-edit
+warm stages at the same 5k-case scale and fails when:
+
+* the warm run stops replaying 100% from the store (a correctness
+  regression in the content address or the store itself),
+* the warm replay speedup over the run's own cold stage falls below
+  the bench's enforced floor (``WARM_SPEEDUP_FLOOR``; the aspirational
+  target is recorded separately in ``BENCH_runner.json``), or
+* cold or warm throughput regresses more than 2x against the committed
+  ``incremental_*`` baselines in ``BENCH_runner.json``.
+
+The campaign generator and runner helper are imported from
+``benchmarks/`` so a regression cannot hide in an unexercised path.
+One cold-cache outlier must not fail tier-1, so a run that misses any
+floor earns a single retry (best rates kept); a real regression fails
+both runs.
+"""
+
+import gc
+import os
+
+import pytest
+
+from benchmarks.test_incremental_campaign import (
+    CASES,
+    WARM_SPEEDUP_FLOOR,
+    inc_site,
+    run_incremental,
+)
+from tests.postprocess.test_throughput_smoke import (
+    REGRESSION_ALLOWANCE,
+    _baseline,
+)
+
+
+def _floors():
+    committed = _baseline("runner")
+    cold = committed.get("incremental_cold_cases_per_second")
+    warm = committed.get("incremental_warm_cases_per_second")
+    return (
+        (cold / REGRESSION_ALLOWANCE) if cold else None,
+        (warm / REGRESSION_ALLOWANCE) if warm else None,
+    )
+
+
+class TestIncrementalSmoke:
+    @pytest.fixture(scope="class")
+    def smoke(self, tmp_path_factory):
+        cold_floor, warm_floor = _floors()
+        site = inc_site()
+        best = None
+        for attempt in range(2):
+            tmp = str(tmp_path_factory.mktemp(f"inc-smoke{attempt}"))
+            store = os.path.join(tmp, "store")
+            cold_rate, cold_s, cold_rep = run_incremental(
+                store, os.path.join(tmp, "cold"), site=site
+            )
+            warm_rate, warm_s, warm_rep = run_incremental(
+                store, os.path.join(tmp, "warm"), site=site
+            )
+            run = {
+                "cold_rate": cold_rate,
+                "warm_rate": warm_rate,
+                "speedup": cold_s / warm_s,
+                "cold_report": cold_rep,
+                "warm_report": warm_rep,
+            }
+            if best is None:
+                best = run
+            else:  # keep each metric's best: gates are independent
+                for key in ("cold_rate", "warm_rate", "speedup"):
+                    best[key] = max(best[key], run[key])
+            if (
+                (cold_floor is None or best["cold_rate"] >= cold_floor)
+                and (warm_floor is None or best["warm_rate"] >= warm_floor)
+                and best["speedup"] >= WARM_SPEEDUP_FLOOR
+            ):
+                break
+        # drop the two 5k-case campaigns' state before the
+        # timing-sensitive gates that run after this one
+        gc.collect()
+        return best
+
+    def test_campaign_shape(self, smoke):
+        cold = smoke["cold_report"]
+        assert cold.success
+        assert cold.num_cases == CASES
+        assert cold.result_cache["puts"] == CASES
+
+    def test_zero_edit_warm_hits_everything(self, smoke):
+        stats = smoke["warm_report"].result_cache
+        assert smoke["warm_report"].success
+        assert stats["hits"] == CASES and stats["misses"] == 0
+        assert stats["hit_rate"] == 1.0
+        assert len(smoke["warm_report"].replayed) == CASES
+
+    def test_warm_speedup_floor(self, smoke):
+        assert smoke["speedup"] >= WARM_SPEEDUP_FLOOR, (
+            f"warm replay is only {smoke['speedup']:.1f}x faster than "
+            f"its own cold run (floor {WARM_SPEEDUP_FLOOR:.0f}x)"
+        )
+
+    def test_cold_rate_vs_committed_baseline(self, smoke):
+        committed = _baseline("runner").get(
+            "incremental_cold_cases_per_second"
+        )
+        if not committed:
+            pytest.skip("no committed incremental baseline")
+        floor = committed / REGRESSION_ALLOWANCE
+        assert smoke["cold_rate"] >= floor, (
+            f"incremental cold throughput regressed "
+            f">{REGRESSION_ALLOWANCE}x: {smoke['cold_rate']:.0f} cases/s "
+            f"vs committed {committed:.0f} cases/s"
+        )
+
+    def test_warm_rate_vs_committed_baseline(self, smoke):
+        committed = _baseline("runner").get(
+            "incremental_warm_cases_per_second"
+        )
+        if not committed:
+            pytest.skip("no committed incremental baseline")
+        floor = committed / REGRESSION_ALLOWANCE
+        assert smoke["warm_rate"] >= floor, (
+            f"incremental warm throughput regressed "
+            f">{REGRESSION_ALLOWANCE}x: {smoke['warm_rate']:.0f} cases/s "
+            f"vs committed {committed:.0f} cases/s"
+        )
