@@ -1,5 +1,20 @@
 """Legacy shim: this environment lacks the `wheel` package, so PEP 660
-editable installs fail; `setup.py develop` works offline."""
+editable installs fail; `setup.py develop` works offline.
+
+``pyproject.toml`` ``[project.scripts]`` is the authoritative entry-point
+table; the mirror below keeps the legacy ``setup.py develop`` path
+shipping the same console scripts.  Update both when adding one.
+"""
 from setuptools import setup
 
-setup()
+setup(
+    entry_points={
+        "console_scripts": [
+            "repro-bench = repro.runner.cli:main",
+            "repro-plot = repro.postprocess.cli:main",
+            "repro-pkg = repro.pkgmgr.cli:main",
+            "repro-trace = repro.obs.cli:main",
+            "repro-fsck = repro.runner.fsck:main",
+        ],
+    },
+)

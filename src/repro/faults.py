@@ -14,9 +14,11 @@ Fault-spec grammar (``--inject-faults``)::
 
     SPEC    := CLAUSE (',' CLAUSE)*
     CLAUSE  := KIND ':' RATE ['x' COUNT]     probabilistic over cases
+             | KIND ':' RATE '@' GLOB        probabilistic, target-filtered
              | KIND '@' GLOB ['#' COUNT]     explicit case coordinates
     KIND    := build | submit | timeout | hook | perflog
              | hang | slow | sicknode
+             | enospc | eio | torn | bitrot | fsync-lie
     RATE    := float in [0, 1]   fraction of (kind, case) coordinates hit
     COUNT   := positive int | '*'   attempts that fault (default 1;
                                     '*' = every attempt, i.e. *permanent*)
@@ -30,6 +32,17 @@ Examples::
     hang:0.2                  20% of cases hang their first job (watchdog food)
     slow@HPCG_*               every HPCG variant's first job straggles
     sicknode@nid0002#*        node nid0002 is permanently degraded
+    enospc:0.01               1% of storage operations hit a full disk
+    torn:0.05@journal         5% of journal appends tear mid-batch
+
+The five *I/O* kinds (``enospc``/``eio``/``torn``/``bitrot``/
+``fsync-lie``) target durable-artifact operations instead of cases: the
+target is an artifact label (``journal``, ``perflog``, ``trace``,
+``store``, ``pack``, ``index``, ``ingest``) and selection is drawn *per
+operation* via :meth:`FaultPlan.check_io`, not once per target -- a
+storage device does not remember which files it has already eaten.  They
+are routed through :class:`repro.iofaults.FaultyIO` rather than raised at
+pipeline stages.
 
 The *slow-fault* kinds (DESIGN.md section 6.4) differ from the fail-fast
 ones in how they manifest: ``hang`` makes the job stop progressing (the
@@ -59,6 +72,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "FAULT_KINDS",
+    "IO_FAULT_KINDS",
     "SLOW_FACTOR",
     "SICK_FACTOR",
     "HANG_FACTOR",
@@ -76,10 +90,16 @@ __all__ = [
 #: ``hang``/``slow``/``sicknode`` are the *slow-fault* kinds: they do not
 #: raise at an injection site but degrade a job's simulated execution
 #: (see :meth:`SchedulerFaultInjector.job_effects`)
+#: the storage-fault kinds: consulted per *operation* (not per target)
+#: through :meth:`FaultPlan.check_io` and acted out by
+#: :class:`repro.iofaults.FaultyIO` on the raw os.write/fsync/rename
+#: paths of every durable artifact
+IO_FAULT_KINDS = ("enospc", "eio", "torn", "bitrot", "fsync-lie")
+
 FAULT_KINDS = (
     "build", "submit", "timeout", "hook", "perflog",
     "hang", "slow", "sicknode",
-)
+) + IO_FAULT_KINDS
 
 #: duration multiplier for a job hit by a ``slow`` fault (a straggler:
 #: well past any sane --straggler-factor, well short of a hang)
@@ -223,16 +243,19 @@ class FaultClause:
     """One parsed clause of a fault spec."""
 
     kind: str
-    #: probabilistic selection rate (ignored when ``glob`` is set)
-    rate: float = 0.0
-    #: explicit fnmatch pattern over the target id
+    #: probabilistic selection rate (None = glob-only explicit selection)
+    rate: Optional[float] = None
+    #: fnmatch pattern over the target id; with a rate it *filters* which
+    #: targets are eligible for the probabilistic draw
     glob: Optional[str] = None
     #: attempts on which the fault fires (None = every attempt, permanent)
     count: Optional[int] = 1
 
     def selects(self, seed: int, target: str) -> bool:
-        if self.glob is not None:
-            return fnmatch.fnmatch(target, self.glob)
+        if self.glob is not None and not fnmatch.fnmatch(target, self.glob):
+            return False
+        if self.rate is None:
+            return self.glob is not None
         return unit_hash(seed, self.kind, target) < self.rate
 
     def fires_on(self, attempt: int) -> bool:
@@ -243,13 +266,14 @@ class FaultClause:
         return self.count is not None
 
     def format(self) -> str:
-        if self.glob is not None:
+        if self.rate is None:
             count = "*" if self.count is None else str(self.count)
             return f"{self.kind}@{self.glob}#{count}"
         suffix = "" if self.count == 1 else (
             "x*" if self.count is None else f"x{self.count}"
         )
-        return f"{self.kind}:{self.rate:g}{suffix}"
+        tail = "" if self.glob is None else f"@{self.glob}"
+        return f"{self.kind}:{self.rate:g}{suffix}{tail}"
 
 
 def _parse_count(text: str, clause: str) -> Optional[int]:
@@ -273,15 +297,9 @@ def parse_fault_spec(spec: str) -> List[FaultClause]:
         text = raw.strip()
         if not text:
             continue
-        if "@" in text:
-            kind, _, rest = text.partition("@")
-            glob, _, count_text = rest.partition("#")
-            if not glob:
-                raise FaultSpecError(f"empty case pattern in {text!r}")
-            count = _parse_count(count_text, text) if count_text else 1
-            clause = FaultClause(kind=kind.strip(), glob=glob, count=count)
-        elif ":" in text:
+        if ":" in text and ("@" not in text or text.index(":") < text.index("@")):
             kind, _, rest = text.partition(":")
+            rest, _, glob = rest.partition("@")
             rate_text, _, count_text = rest.partition("x")
             try:
                 rate = float(rate_text)
@@ -292,7 +310,15 @@ def parse_fault_spec(spec: str) -> List[FaultClause]:
             if not 0.0 <= rate <= 1.0:
                 raise FaultSpecError(f"rate must be in [0, 1] in {text!r}")
             count = _parse_count(count_text, text) if count_text else 1
-            clause = FaultClause(kind=kind.strip(), rate=rate, count=count)
+            clause = FaultClause(kind=kind.strip(), rate=rate,
+                                 glob=glob or None, count=count)
+        elif "@" in text:
+            kind, _, rest = text.partition("@")
+            glob, _, count_text = rest.partition("#")
+            if not glob:
+                raise FaultSpecError(f"empty case pattern in {text!r}")
+            count = _parse_count(count_text, text) if count_text else 1
+            clause = FaultClause(kind=kind.strip(), glob=glob, count=count)
         else:
             raise FaultSpecError(
                 f"clause {text!r} is neither KIND:RATE nor KIND@GLOB"
@@ -373,6 +399,40 @@ class FaultPlan:
         fault = self.check(kind, target)
         if fault is not None:
             raise InjectedFault(fault)
+
+    @property
+    def has_io_faults(self) -> bool:
+        """Whether any clause targets the storage plane (arms FaultyIO)."""
+        return any(c.kind in IO_FAULT_KINDS for c in self.clauses)
+
+    def check_io(self, label: str) -> Optional[Fault]:
+        """Visit one storage *operation* against artifact *label*.
+
+        Unlike :meth:`check` -- where a probabilistic clause selects a
+        target once and then replays on every attempt -- storage faults
+        are drawn fresh per operation: the draw is keyed by the
+        operation ordinal on the ``("io", label)`` clock, so an append
+        that failed and is retried faces independent (but still fully
+        deterministic) odds.  Glob-only clauses fire on the first
+        ``count`` operations touching a matching label.
+        """
+        op = self.clock.next_attempt(("io", label))
+        for clause in self.clauses:
+            if clause.kind not in IO_FAULT_KINDS:
+                continue
+            if clause.glob is not None and not fnmatch.fnmatch(label, clause.glob):
+                continue
+            if clause.rate is not None:
+                if unit_hash(self.seed, clause.kind, label, str(op)) >= clause.rate:
+                    continue
+            elif not clause.fires_on(op):
+                continue
+            fault = Fault(kind=clause.kind, target=label, attempt=op,
+                          transient=clause.rate is not None or clause.transient)
+            with self._lock:
+                self.log.append(fault)
+            return fault
+        return None
 
     # -- cross-process accounting --------------------------------------------
     def delta_for_target(self, target: str) -> Dict[str, Any]:

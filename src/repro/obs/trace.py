@@ -52,7 +52,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.obs.jsonl import JsonlAppender, read_jsonl
+from repro.obs.jsonl import JsonlAppender, read_jsonl, seal_line
 
 __all__ = [
     "CaseTimeline",
@@ -386,6 +386,25 @@ class Tracer:
         """A fresh recorder for one track (no shared state touched)."""
         return SpanRecorder(track, wall=self.wall)
 
+    # -- storage-fault plumbing ----------------------------------------------
+    def attach_io(self, io: Any, label: str = "trace") -> None:
+        """Route trace appends through a :class:`FaultyIO` shim."""
+        if self._appender is not None:
+            self._appender.attach_io(io, label)
+
+    def disable_disk(self) -> None:
+        """Demote to in-memory collection (``--durability degrade``).
+
+        Span accounting continues -- ids, ``flushed``, replay bundles --
+        so the campaign's results are unaffected; only the on-disk trace
+        stops growing.  Called when a trace append keeps failing and the
+        durability policy says the campaign matters more than the file.
+        """
+        with self._lock:
+            self._appender = None
+            self._pending_lines = []
+            self._pending_flushes = 0
+
     # -- flushing ------------------------------------------------------------
     def _meta_record(self) -> Dict[str, Any]:
         return {
@@ -419,7 +438,7 @@ class Tracer:
             meta_rec: Optional[Dict[str, Any]] = None
             if not self._wrote_meta:
                 meta_rec = self._meta_record()
-                lines.append(json.dumps(meta_rec, sort_keys=True))
+                lines.append(seal_line(meta_rec))
                 self._wrote_meta = True
             if isinstance(recorder, ReplayedSpans):
                 n_spans = recorder.count
@@ -431,10 +450,11 @@ class Tracer:
                     delta = self._next_id - first_id
                     for line in stored:
                         rec = json.loads(line)
+                        rec.pop("cs", None)  # resealed after the id shift
                         rec["id"] += delta
                         if rec.get("parent") is not None:
                             rec["parent"] += delta
-                        lines.append(json.dumps(rec, sort_keys=True))
+                        lines.append(seal_line(rec))
                 self._next_id += n_spans
                 records: List[Dict[str, Any]] = []
             else:
@@ -453,7 +473,7 @@ class Tracer:
                     )
                     record = span.as_record(span_id, parent)
                     records.append(record)
-                    span_lines.append(json.dumps(record, sort_keys=True))
+                    span_lines.append(seal_line(record))
                     self.flushed.append(span)
                 lines.extend(span_lines)
                 self.last_flush_bundle = {

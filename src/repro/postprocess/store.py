@@ -55,6 +55,7 @@ whether a row was executed or replayed.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import threading
@@ -224,8 +225,15 @@ class PerflogStore:
         self.stats = StoreStats()
         self._table: Dict[str, ManifestEntry] = {}
         self._lock = threading.RLock()
+        #: optional FaultyIO shim the persisted-cache writes go through
+        self._io = None
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
+
+    def attach_io(self, io, label: str = "ingest") -> None:
+        """Route on-disk manifest writes through a :class:`FaultyIO` shim."""
+        self._io = io
+        self._io_label = label
 
     def __len__(self) -> int:
         with self._lock:
@@ -430,6 +438,16 @@ class PerflogStore:
         if not self.cache_dir:
             return
         meta_path, cols_path = self._cache_paths(key)
+        if self._io is not None:
+            buf = io.BytesIO()
+            np.savez(buf, **entry.columns)
+            label = getattr(self, "_io_label", "ingest")
+            self._io.write_atomic(cols_path, buf.getvalue(), label,
+                                  sync=False)
+            meta = json.dumps(entry.meta_dict(), indent=1, sort_keys=True)
+            self._io.write_atomic(meta_path, meta.encode("utf-8"), label,
+                                  sync=False)
+            return
         tmp = cols_path + ".tmp"
         with open(tmp, "wb") as fh:
             np.savez(fh, **entry.columns)

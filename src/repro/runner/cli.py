@@ -180,12 +180,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--inject-faults", default=None, metavar="SPEC",
                         help="deterministic chaos testing: inject faults "
                              "per SPEC, e.g. 'build:0.3,submit:0.2x2,"
-                             "timeout@*hpcg*#1' (kinds: build, submit, "
-                             "timeout, hook, perflog, hang, slow, "
-                             "sicknode)")
+                             "timeout@*hpcg*#1' (case kinds: build, "
+                             "submit, timeout, hook, perflog, hang, slow, "
+                             "sicknode) or storage faults with an "
+                             "artifact glob, e.g. 'torn:0.05@journal,"
+                             "enospc:0.01' (I/O kinds: enospc, eio, torn, "
+                             "bitrot, fsync-lie; targets: journal, trace, "
+                             "perflog, store, pack, index, ingest)")
     parser.add_argument("--fault-seed", type=int, default=0, metavar="N",
                         help="seed for --inject-faults selection and "
                              "backoff jitter (default: 0)")
+    parser.add_argument("--durability", choices=["strict", "degrade"],
+                        default="strict",
+                        help="storage-failure policy (DESIGN.md section "
+                             "6.6): 'strict' fail-stops on any artifact "
+                             "write failure, naming the artifact; "
+                             "'degrade' finishes the campaign without the "
+                             "failing accelerator (result store, ingest "
+                             "cache, trace) and reports what was absorbed "
+                             "-- journals and perflogs always fail-stop "
+                             "(default: strict)")
     # ---- slow faults (DESIGN.md section 6.4) ----------------------------
     parser.add_argument("--watchdog", default=None, metavar="SPEC",
                         help="per-stage deadlines on the simulated clock: "
@@ -228,6 +242,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "with PATH also save pstats data there for "
                              "snakeviz/pstats analysis")
     return parser
+
+
+def _probe_writable_dir(path: str) -> Optional[str]:
+    """``None`` if *path* is (creatable and) writable, else the reason.
+
+    Probes with a real create-write-unlink cycle rather than
+    ``os.access``: access bits lie on read-only mounts and over NFS
+    root-squash, and a campaign must find out *now*, not at its first
+    result commit.
+    """
+    import os
+
+    try:
+        os.makedirs(path, exist_ok=True)
+        probe = os.path.join(path, f".probe-{os.getpid()}")
+        fd = os.open(probe, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            os.write(fd, b"probe")
+        finally:
+            os.close(fd)
+            os.unlink(probe)
+        return None
+    except OSError as exc:
+        return str(exc)
 
 
 def _parse_assignments(pairs: List[str]) -> Dict[str, str]:
@@ -348,6 +386,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --cache-stats requires --result-store DIR",
               file=sys.stderr)
         return 1
+    if args.result_store:
+        # fail at argument-validation time, not hours in at first put()
+        probe_err = _probe_writable_dir(args.result_store)
+        if probe_err is not None:
+            if args.durability == "degrade":
+                print(
+                    f"warning: --result-store {args.result_store} is not "
+                    f"writable ({probe_err}); continuing without the "
+                    f"result store",
+                    file=sys.stderr,
+                )
+                args.result_store = None
+            else:
+                print(
+                    f"error: --result-store directory "
+                    f"{args.result_store} is not writable: {probe_err}",
+                    file=sys.stderr,
+                )
+                return 1
     faults = None
     if args.inject_faults:
         from repro.faults import FaultPlan, FaultSpecError
@@ -397,6 +454,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics=args.metrics,
             journal_batch=args.journal_batch,
             result_store=args.result_store,
+            durability=args.durability,
         )
 
     try:

@@ -66,6 +66,8 @@ from repro.runner.resilience import (
     CampaignAborted,
     CampaignJournal,
     CircuitBreaker,
+    DurabilityError,
+    DurabilityPolicy,
     Quarantine,
     RetryPolicy,
     as_journal,
@@ -109,6 +111,9 @@ class RunReport:
     #: --result-store was armed -- the ``Replayed:`` summary line and
     #: ``--cache-stats`` reporting read this
     result_cache: Optional[Dict[str, Any]] = None
+    #: artifact -> absorbed storage-failure count under ``--durability
+    #: degrade`` (None when nothing degraded: quiet summaries unchanged)
+    degraded: Optional[Dict[str, int]] = None
 
     @property
     def num_cases(self) -> int:
@@ -215,6 +220,15 @@ class RunReport:
             out.write(
                 f"Drained {len(self.drained_nodes)} node(s): "
                 f"{', '.join(self.drained_nodes)}\n"
+            )
+        if self.degraded:
+            detail = ", ".join(
+                f"{artifact}: {count}"
+                for artifact, count in sorted(self.degraded.items())
+            )
+            out.write(
+                f"Degraded: {sum(self.degraded.values())} storage "
+                f"failure(s) absorbed ({detail})\n"
             )
         if self.aborted:
             out.write(f"ABORTED: {self.aborted}\n")
@@ -393,6 +407,7 @@ class Executor:
         metrics: Optional[Union[bool, MetricsRegistry]] = None,
         journal_batch: int = 1,
         result_store: Optional[Union[str, CaseResultStore]] = None,
+        durability: str = "strict",
     ) -> RunReport:
         """Run a campaign under the chosen execution policy.
 
@@ -476,6 +491,21 @@ class Executor:
           and store replays journal as ``kind='replay'`` meta records
           (no double-counting).
 
+        Storage faults (DESIGN.md section 6.6):
+
+        * ``durability`` selects what a durable artifact's write failure
+          does.  ``'strict'`` (default) fail-stops the campaign with a
+          :class:`DurabilityError` naming the artifact; ``'degrade'``
+          demotes *optional* artifacts -- result store, ingest-cache
+          mirror, trace -- to their uncached/untraced path and keeps
+          running (counted in ``io.degraded.*`` and the ``Degraded:``
+          summary line).  The journal fail-stops under either policy,
+          and perflog flushes retry (harder under degrade) before
+          giving up.  When the fault plan carries I/O kinds
+          (``enospc``/``eio``/``torn``/``bitrot``/``fsync-lie``) a
+          :class:`~repro.iofaults.FaultyIO` shim is armed across every
+          artifact writer.
+
         None of these are armed by default, and the default path runs
         byte-identically to earlier releases.  On successful completion
         the journal (if any) is compacted in place.
@@ -548,6 +578,29 @@ class Executor:
                     health.restore(snapshot)
         if self.perflog is not None and faults is not None:
             self.perflog.faults = faults
+        durpolicy = DurabilityPolicy(durability)
+        iofault_shim = None
+        if faults is not None and faults.has_io_faults:
+            from repro.iofaults import FaultyIO
+
+            iofault_shim = FaultyIO(faults)
+            if journal is not None:
+                journal.attach_io(iofault_shim, "journal")
+            if self.perflog is not None:
+                self.perflog.attach_io(iofault_shim)
+            if tracer is not None:
+                tracer.attach_io(iofault_shim, "trace")
+            if store is not None:
+                store.attach_io(iofault_shim)
+        if self.perflog is not None:
+            self.perflog.on_store_error = (
+                lambda path, exc: durpolicy.absorb("ingest", path, exc)
+            )
+        #: perflog flush attempts before giving up: storage faults are
+        #: drawn per operation, so degrade mode retries hard enough that
+        #: a heavy storm still converges (0.34^16 ~ 3e-8), while strict
+        #: keeps the historical 3 tries and then fail-stops
+        flush_tries = 3 if durpolicy.strict else 16
         procs_pool: Optional[ProcsPool] = None
         if policy == "procs":
             reason = procs_unsupported(faults=faults, health=health,
@@ -660,24 +713,48 @@ class Executor:
         # formatted per case in consumption order, appended in batches
         jbuffer: List[Dict[str, Any]] = []
 
+        def flush_perflog_retrying() -> None:
+            """Flush buffered rows, retrying failed files.
+
+            The batched writer keeps exactly the unwritten files
+            buffered, so each retry re-attempts just the remainder
+            (storage faults draw fresh per operation).  Exhaustion is a
+            :class:`DurabilityError`: perflogs are the primary data --
+            there is nothing to degrade *to* -- so both policies
+            fail-stop, degrade just tries much harder first.
+            """
+            if self.perflog is None:
+                return
+            last: Optional[Exception] = None
+            for _ in range(flush_tries):
+                try:
+                    self.perflog.flush()
+                    return
+                except CampaignAborted:
+                    raise
+                except Exception as exc:
+                    last = exc
+            raise DurabilityError("perflog", self.perflog.prefix, last)
+
+        def journal_append(fn: Callable, *args: Any) -> Any:
+            """A journal write; storage failure always fail-stops.
+
+            A campaign whose journal cannot be written must not keep
+            running: resume state would silently diverge from reality.
+            """
+            try:
+                return fn(*args)
+            except OSError as exc:
+                raise DurabilityError("journal", journal.path, exc) from exc
+
         def flush_journal() -> None:
             if not jbuffer:
                 return
             # same perflog-before-journal invariant as persist_now,
             # applied at the batch boundary: every record about to be
             # appended has its perflog rows durably flushed first
-            if self.perflog is not None:
-                last: Optional[Exception] = None
-                for _ in range(3):
-                    try:
-                        self.perflog.flush()
-                        last = None
-                        break
-                    except Exception as exc:
-                        last = exc
-                if last is not None:
-                    raise last
-            journal.record_many(jbuffer)
+            flush_perflog_retrying()
+            journal_append(journal.record_many, jbuffer)
             jbuffer.clear()
 
         def emit_rows(result: CaseResult) -> None:
@@ -719,7 +796,7 @@ class Executor:
             if health is not None and health.dirty:
                 # health snapshots must not outrun their case records
                 flush_journal()
-                journal.record_health(health.snapshot())
+                journal_append(journal.record_health, health.snapshot())
 
         def persist_now(result: CaseResult, fingerprint: str,
                         failures: Optional[int]) -> None:
@@ -737,26 +814,23 @@ class Executor:
             emit_rows(result)
             if journal is None:
                 return
-            if self.perflog is not None:
-                last: Optional[Exception] = None
-                for _ in range(3):
-                    try:
-                        self.perflog.flush()
-                        last = None
-                        break
-                    except Exception as exc:
-                        last = exc
-                if last is not None:
-                    # durable perflog data is unattainable: fail loudly
-                    # rather than journal a lie
-                    raise last
-            journal.record_many(
-                [journal_record(result, fingerprint, failures)]
+            # durable perflog data is unattainable after the retry
+            # budget: fail loudly rather than journal a lie
+            flush_perflog_retrying()
+            journal_append(
+                journal.record_many,
+                [journal_record(result, fingerprint, failures)],
             )
             if health is not None and health.dirty:
                 # snapshot *after* the case record: a resumed campaign
                 # restores at least the health state this case produced
-                journal.record_health(health.snapshot())
+                journal_append(journal.record_health, health.snapshot())
+
+        def drop_store() -> None:
+            # degrade-mode demotion: every later case simply misses the
+            # cache (and skips the write-behind), which only costs time
+            nonlocal store
+            store = None
 
         def store_entry(result: CaseResult) -> None:
             """Persist one freshly executed result into the store.
@@ -789,21 +863,30 @@ class Executor:
             key = store_keys.get(id(result.case))
             if key is None:
                 key = store.key_for(result.case, config_key)
-            store.put(
-                key,
-                make_entry(
-                    result,
+            try:
+                store.put(
                     key,
-                    run_id,
-                    # the same shape a journal case record carries, so
-                    # replay_result reuses result_from_record verbatim
-                    make_case_record(
-                        result, fingerprint=case_fingerprint(result.case)
+                    make_entry(
+                        result,
+                        key,
+                        run_id,
+                        # the same shape a journal case record carries, so
+                        # replay_result reuses result_from_record verbatim
+                        make_case_record(
+                            result, fingerprint=case_fingerprint(result.case)
+                        ),
+                        perflog=perflog_doc,
+                        trace=trace_doc,
                     ),
-                    perflog=perflog_doc,
-                    trace=trace_doc,
-                ),
-            )
+                )
+            except CampaignAborted:
+                raise
+            except Exception as exc:
+                # the store is an accelerator, not the record of truth:
+                # under --durability degrade the campaign drops to
+                # uncached execution instead of dying (strict raises)
+                durpolicy.absorb("store", str(store.root), exc)
+                drop_store()
 
         def on_result(result: CaseResult) -> None:
             # fires per case, in deterministic serial order, as soon as
@@ -853,7 +936,15 @@ class Executor:
                     )
                 campaign_cursor[0] = t0 + extent
                 if recorder is not None:
-                    tracer.flush(recorder)
+                    try:
+                        tracer.flush(recorder)
+                    except CampaignAborted:
+                        raise
+                    except Exception as exc:
+                        # degrade: finish untraced rather than die -- the
+                        # half-written trace file is left for repro-fsck
+                        durpolicy.absorb("trace", tracer.path, exc)
+                        tracer.disable_disk()
                 if (campaign_rec is not None and self.perflog is not None
                         and not result.resumed):
                     campaign_rec.event(
@@ -896,15 +987,30 @@ class Executor:
         finally:
             if procs_pool is not None:
                 procs_pool.close()
-            if journal is not None:
-                flush_journal()  # group-commit the batched tail first
-            if self.perflog is not None:
-                self.perflog.flush()
-            # journal any health mutations the final cases produced
-            if journal is not None and health is not None and health.dirty:
-                journal.record_health(health.snapshot())
+            try:
+                if journal is not None:
+                    flush_journal()  # group-commit the batched tail first
+                flush_perflog_retrying()
+                # journal any health mutations the final cases produced
+                if (journal is not None and health is not None
+                        and health.dirty):
+                    journal_append(journal.record_health, health.snapshot())
+            except CampaignAborted as exc:
+                # the epilogue still runs: report what DID finish, with
+                # the durability failure as the abort diagnostic
+                if aborted is None:
+                    aborted = str(exc)
             if store is not None:
-                store.flush()  # persist the write-behind identity index
+                try:
+                    store.flush()  # persist the write-behind identity index
+                except CampaignAborted:
+                    raise
+                except Exception as exc:
+                    try:
+                        durpolicy.absorb("store", str(store.root), exc)
+                    except CampaignAborted as exc2:
+                        if aborted is None:
+                            aborted = str(exc2)
         report = RunReport(
             results=list(results),
             aborted=aborted,
@@ -915,6 +1021,8 @@ class Executor:
         )
         if store is not None:
             report.result_cache = store.stats.as_dict()
+        if durpolicy.total_degraded:
+            report.degraded = durpolicy.snapshot()
         if registry is not None:
             # campaign counters are derived from the final report, so the
             # snapshot's totals equal the journal-derived counts by
@@ -922,10 +1030,17 @@ class Executor:
             self._populate_metrics(registry, report, store=store)
             report.metrics = registry.snapshot()
         if tracer is not None:
-            if campaign_rec is not None:
-                tracer.flush(campaign_rec)
-            if report.metrics is not None:
-                tracer.write_metrics(report.metrics)
+            try:
+                if campaign_rec is not None:
+                    tracer.flush(campaign_rec)
+                if report.metrics is not None:
+                    tracer.write_metrics(report.metrics)
+            except CampaignAborted:
+                raise
+            except Exception as exc:
+                durpolicy.absorb("trace", tracer.path, exc)
+                tracer.disable_disk()
+                report.degraded = durpolicy.snapshot()
         if journal is not None and report.success:
             # a finished campaign's journal only needs its latest state
             journal.compact()
@@ -997,6 +1112,11 @@ class Executor:
             # before incremental mode existed
             registry.counter("cases.replayed").add(len(report.replayed))
             store.stats.publish(registry, "resultstore")
+        if report.degraded:
+            # only when a storage failure was actually absorbed: quiet
+            # campaigns keep a byte-identical metrics namespace
+            for artifact, count in sorted(report.degraded.items()):
+                registry.counter(f"io.degraded.{artifact}").add(count)
 
     def run(
         self,

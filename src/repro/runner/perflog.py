@@ -34,11 +34,18 @@ from __future__ import annotations
 
 import datetime as _dt
 import os
-from typing import Callable, Dict, List, Optional, Union
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.runner.pipeline import CaseResult
 
-__all__ = ["PerflogHandler", "PERFLOG_FIELDS", "format_record"]
+__all__ = [
+    "PerflogHandler",
+    "PERFLOG_FIELDS",
+    "format_record",
+    "sums_path",
+    "verify_sums",
+]
 
 #: column names, in file order
 PERFLOG_FIELDS = (
@@ -88,6 +95,78 @@ def format_record(result: CaseResult, timestamp: Optional[str] = None) -> List[s
     else:
         lines.append("|".join(base + ["-", "nan", "-", status]))
     return lines
+
+
+def sums_path(path: str) -> str:
+    """The checksum sidecar for perflog *path* (invisible to analytics:
+    ``read_perflogs`` discovers ``*.log`` only)."""
+    return path + ".sums"
+
+
+def _sums_entries(start: int, data: bytes) -> Tuple[List[str], int]:
+    """Per-line checksum entries for a chunk appended at byte *start*.
+
+    Each entry is ``"<start> <length> <crc32>"`` over one newline-
+    terminated line of the chunk.  Entries are self-contained ranges, so
+    two runs that batch the same lines differently (a degraded run
+    retries merge batches) still produce identical sidecars.
+    """
+    entries: List[str] = []
+    offset = start
+    for line in data.split(b"\n")[:-1]:
+        chunk = line + b"\n"
+        crc = zlib.crc32(chunk) & 0xFFFFFFFF
+        entries.append(f"{offset} {len(chunk)} {crc:08x}")
+        offset += len(chunk)
+    return entries, offset
+
+
+def verify_sums(path: str) -> Dict[str, object]:
+    """Check *path* against its ``.sums`` sidecar.
+
+    Returns ``{"covered": n, "valid": n, "invalid": [entry_index...],
+    "uncovered_bytes": n}``.  A file shorter than an entry's range
+    counts that entry invalid (torn tail); bytes past the last entry are
+    *uncovered* (rows appended without a sidecar -- legal, unverifiable).
+    A missing sidecar covers nothing.
+    """
+    report: Dict[str, object] = {
+        "covered": 0, "valid": 0, "invalid": [], "uncovered_bytes": 0,
+    }
+    side = sums_path(path)
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        data = b""
+    if not os.path.exists(side):
+        report["uncovered_bytes"] = len(data)
+        return report
+    end = 0
+    invalid: List[int] = []
+    with open(side, "r", encoding="utf-8") as fh:
+        for i, raw in enumerate(fh):
+            parts = raw.split()
+            if len(parts) != 3:
+                invalid.append(i)
+                continue
+            try:
+                start, length = int(parts[0]), int(parts[1])
+                want = int(parts[2], 16)
+            except ValueError:
+                invalid.append(i)
+                continue
+            report["covered"] = int(report["covered"]) + 1
+            chunk = data[start : start + length]
+            if (len(chunk) == length
+                    and (zlib.crc32(chunk) & 0xFFFFFFFF) == want):
+                report["valid"] = int(report["valid"]) + 1
+            else:
+                invalid.append(i)
+            end = max(end, start + length)
+    report["invalid"] = invalid
+    report["uncovered_bytes"] = max(0, len(data) - end)
+    return report
 
 
 class PerflogHandler:
@@ -150,6 +229,31 @@ class PerflogHandler:
         #: without re-formatting (re-formatting would consume a callable
         #: timestamp twice and could stamp a different value)
         self.last_emit: Optional[tuple] = None
+        #: optional FaultyIO shim the raw append is routed through
+        self._io: Optional[object] = None
+        #: called (path, exc) when the ingest-store mirror hook fails;
+        #: the store is demoted to None first, so the perflog itself is
+        #: never re-appended for a store-side problem
+        self.on_store_error: Optional[Callable[[str, Exception], None]] = None
+        #: sidecars are best-effort: once one fails, stop writing it
+        self._sums_disabled: set = set()
+        #: ``.sums`` sidecars are opt-in (armed with the fault shim or
+        #: :meth:`enable_sums`): a quiet campaign's perflog tree stays
+        #: byte-for-byte what it always was
+        self.sums_enabled = False
+
+    def attach_io(self, io: object) -> None:
+        """Route perflog appends through a :class:`FaultyIO` shim."""
+        self._io = io
+        self.sums_enabled = True
+        if self.store is not None and hasattr(self.store, "attach_io"):
+            # the ingest-cache mirror persists manifests on every append;
+            # those writes are artifacts too and must see the same faults
+            self.store.attach_io(io)
+
+    def enable_sums(self) -> None:
+        """Write ``.sums`` checksum sidecars alongside each perflog."""
+        self.sums_enabled = True
 
     def path_for(self, result: CaseResult) -> str:
         case = result.case
@@ -224,29 +328,76 @@ class PerflogHandler:
                 self._made_dirs.add(parent)
             seen = path in self._written_set
             data = "\n".join(lines) + "\n"
-            # raw os.open/os.write: file creation dominates large
-            # campaigns' flush cost, and the io.open text layer roughly
-            # doubles it.  fstat on the open fd doubles as the new-file
-            # check (header needed iff the file is empty), and header +
-            # batch still go down in ONE write -- readers never observe
-            # a partial line
-            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
-                         0o644)
-            try:
-                new_file = False if seen else os.fstat(fd).st_size == 0
+            if self._io is not None:
+                # fault-injectable path: the shim appends atomically-or-
+                # fails, so a failed file keeps its lines buffered and a
+                # retry lays down byte-identical content
+                pre_size = (0 if not os.path.exists(path)
+                            else os.path.getsize(path))
+                new_file = False if seen else pre_size == 0
                 if new_file:
                     data = "|".join(PERFLOG_FIELDS) + "\n" + data
-                os.write(fd, data.encode("utf-8"))
-            finally:
-                os.close(fd)
+                payload = data.encode("utf-8")
+                self._io.append(path, payload, "perflog", sync=False)
+            else:
+                # raw os.open/os.write: file creation dominates large
+                # campaigns' flush cost, and the io.open text layer
+                # roughly doubles it.  fstat on the open fd doubles as
+                # the new-file check (header needed iff the file is
+                # empty), and header + batch still go down in ONE write
+                # -- readers never observe a partial line
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                             0o644)
+                try:
+                    pre_size = os.fstat(fd).st_size
+                    new_file = False if seen else pre_size == 0
+                    if new_file:
+                        data = "|".join(PERFLOG_FIELDS) + "\n" + data
+                    payload = data.encode("utf-8")
+                    os.write(fd, payload)
+                finally:
+                    os.close(fd)
+            self._write_sums(path, pre_size, payload)
             if self.store is not None:
-                self.store.note_append(path, lines, wrote_header=new_file)
+                try:
+                    self.store.note_append(path, lines,
+                                           wrote_header=new_file)
+                except Exception as exc:
+                    # the rows ARE durable; only the analytics mirror
+                    # failed.  Demote the store before surfacing, so a
+                    # flush retry cannot re-append the same rows.
+                    self.store = None
+                    if self.on_store_error is not None:
+                        self.on_store_error(path, exc)
             if not seen:
                 self.written.append(path)
                 self._written_set.add(path)
             del self._buffer[path]
             self._pending -= len(lines)
         self._pending = 0
+
+    def _write_sums(self, path: str, pre_size: int, payload: bytes) -> None:
+        """Mirror a successful append into the ``.sums`` sidecar.
+
+        Plain os calls on purpose -- never routed through the fault
+        shim, never allowed to fail a flush: the sidecar is a read-time
+        verification aid, and a run that cannot write it degrades to
+        exactly the pre-sidecar verification story.
+        """
+        if not self.sums_enabled or path in self._sums_disabled:
+            return
+        entries, _ = _sums_entries(pre_size, payload)
+        if not entries:
+            return
+        try:
+            fd = os.open(sums_path(path),
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, ("\n".join(entries) + "\n").encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            self._sums_disabled.add(path)
 
     def close(self) -> None:
         self.flush()

@@ -51,6 +51,8 @@ __all__ = [
     "CampaignAborted",
     "CampaignJournal",
     "CircuitBreaker",
+    "DurabilityError",
+    "DurabilityPolicy",
     "Quarantine",
     "RetryPolicy",
     "benchmark_source_hash",
@@ -73,6 +75,78 @@ class CampaignAborted(BaseException):
     perflogs and leave the journal consistent, which is what makes
     ``--resume`` after a kill work.
     """
+
+
+class DurabilityError(CampaignAborted):
+    """A durable artifact could not be written and policy says fail-stop.
+
+    A :class:`CampaignAborted` subclass on purpose: storage failure on a
+    must-be-durable artifact (the journal under any policy; everything
+    under ``--durability strict``) has to cut through the per-case retry
+    and hardening layers the same way an operator abort does -- a
+    campaign whose provenance cannot be recorded must not keep burning
+    allocation.  The message names the artifact and path so the
+    operator's first ``repro-fsck`` target is in the diagnostic.
+    """
+
+    def __init__(self, artifact: str, path: str, cause: BaseException):
+        super().__init__(
+            f"durable artifact {artifact!r} failed at {path}: {cause}"
+        )
+        self.artifact = artifact
+        self.path = path
+        self.cause = cause
+
+
+class DurabilityPolicy:
+    """What happens when a durable artifact's I/O fails (DESIGN.md §6.6).
+
+    ``strict`` (the default): every artifact failure is fail-stop -- the
+    campaign aborts with a :class:`DurabilityError` naming the artifact.
+    ``degrade``: *optional* artifacts (result store, ingest cache,
+    trace) demote to their uncached/untraced execution path and the
+    campaign carries on, counting each demotion; the journal and the
+    perflogs themselves remain fail-stop under either policy, because a
+    campaign that cannot record results has nothing to degrade *to*.
+    """
+
+    MODES = ("strict", "degrade")
+
+    def __init__(self, mode: str = "strict"):
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown durability mode {mode!r}; known: "
+                f"{', '.join(self.MODES)}"
+            )
+        self.mode = mode
+        #: artifact label -> demotion count (feeds ``io.degraded.*``)
+        self.degraded: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def strict(self) -> bool:
+        return self.mode == "strict"
+
+    def absorb(self, artifact: str, path: str, exc: BaseException) -> None:
+        """Record a failed optional-artifact write, or abort under strict.
+
+        Raises :class:`DurabilityError` in strict mode; in degrade mode
+        counts the demotion and returns, leaving the caller to disable
+        the artifact and continue.
+        """
+        if self.strict:
+            raise DurabilityError(artifact, path, exc) from exc
+        with self._lock:
+            self.degraded[artifact] = self.degraded.get(artifact, 0) + 1
+
+    @property
+    def total_degraded(self) -> int:
+        with self._lock:
+            return sum(self.degraded.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.degraded)
 
 
 # --------------------------------------------------------------------------
@@ -526,6 +600,10 @@ class CampaignJournal:
         self._seen_replay_fps: set = set()
         self._session_health = 0
         self._session_compact = True
+
+    def attach_io(self, io: Any, label: str = "journal") -> None:
+        """Route journal appends through a :class:`FaultyIO` shim."""
+        self._appender.attach_io(io, label)
 
     # -- writing -------------------------------------------------------------
     def record(

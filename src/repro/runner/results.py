@@ -35,6 +35,7 @@ import json
 import os
 import threading
 import time
+import zlib
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.runner.resilience import (
@@ -55,6 +56,35 @@ __all__ = [
 #: entry schema version (bumped on incompatible changes; a version
 #: mismatch is treated as a miss, exactly like corruption)
 ENTRY_VERSION = 1
+
+
+def _entry_checksum(entry: Dict[str, Any]) -> str:
+    """CRC32 over the canonical (sort_keys) encoding of *entry*."""
+    payload = json.dumps(entry, sort_keys=True)
+    return f"{zlib.crc32(payload.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def _seal_entry(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of *entry* carrying its ``cs`` self-verification field."""
+    return {"cs": _entry_checksum(entry), **entry}
+
+
+def _verify_entry(doc: Any) -> Optional[Dict[str, Any]]:
+    """Strip + verify a sealed entry; ``None`` when damaged.
+
+    Entries written before sealing existed (no ``cs``) are accepted
+    as-is; a present-but-mismatched checksum means bit rot that plain
+    JSON parsing would have served as plausible garbage.
+    """
+    if not isinstance(doc, dict):
+        return None
+    if "cs" not in doc:
+        return doc
+    doc = dict(doc)
+    cs = doc.pop("cs")
+    if _entry_checksum(doc) != cs:
+        return None
+    return doc
 
 
 class ResultStoreStats:
@@ -277,6 +307,12 @@ class CaseResultStore:
         # package environments are invariant within one process run)
         self._system_keys: Dict[int, Tuple[Any, str]] = {}
         self._env_cache: Dict[str, Tuple[Any, Any]] = {}
+        #: optional FaultyIO shim the write paths are routed through
+        self._io: Optional[Any] = None
+
+    def attach_io(self, io: Any) -> None:
+        """Route object/pack/index writes through a FaultyIO shim."""
+        self._io = io
 
     # -- key computation -----------------------------------------------------
     def _system_key(self, system: Any) -> str:
@@ -330,12 +366,16 @@ class CaseResultStore:
     def _entry_path(self, key: str) -> str:
         return os.path.join(self._objects, f"{key}.json")
 
-    @staticmethod
-    def _write_atomic(path: str, doc: Dict[str, Any]) -> None:
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
+    def _write_atomic(self, path: str, doc: Dict[str, Any],
+                      label: str = "store") -> None:
+        if self._io is not None:
             # compact separators: entries are read back on every warm
             # lookup, and parse time scales with the bytes
+            body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+            self._io.write_atomic(path, body, label, sync=False)
+            return
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, separators=(",", ":"))
         os.replace(tmp, path)
 
@@ -356,7 +396,7 @@ class CaseResultStore:
 
     def _flush_index_locked(self) -> None:
         if self._index is not None and self._index_dirty:
-            self._write_atomic(self._index_file, self._index)
+            self._write_atomic(self._index_file, self._index, label="index")
             self._index_dirty = 0
 
     # -- pack (write-behind entry replica) -----------------------------------
@@ -396,8 +436,16 @@ class CaseResultStore:
     def _flush_pack_locked(self) -> None:
         if not self._pack_pending:
             return
-        with open(self._pack_file, "a", encoding="utf-8") as fh:
-            fh.write("".join(self._pack_pending))
+        if self._io is not None:
+            self._io.append(
+                self._pack_file,
+                "".join(self._pack_pending).encode("utf-8"),
+                "pack",
+                sync=False,
+            )
+        else:
+            with open(self._pack_file, "a", encoding="utf-8") as fh:
+                fh.write("".join(self._pack_pending))
         self._pack_lines += len(self._pack_pending)
         self._pack_pending = []
         # compact when superseded/evicted lines dominate -- needs the
@@ -413,13 +461,19 @@ class CaseResultStore:
             key: entry for key, entry in pack.items()
             if os.path.exists(self._entry_path(key))
         }
-        tmp = f"{self._pack_file}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for key, entry in live.items():
-                fh.write(json.dumps(
-                    {"key": key, "entry": entry}, separators=(",", ":")
-                ) + "\n")
-        os.replace(tmp, self._pack_file)
+        body = "".join(
+            json.dumps({"key": key, "entry": entry},
+                       separators=(",", ":")) + "\n"
+            for key, entry in live.items()
+        )
+        if self._io is not None:
+            self._io.write_atomic(self._pack_file, body.encode("utf-8"),
+                                  "pack", sync=False)
+        else:
+            tmp = f"{self._pack_file}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, self._pack_file)
         self._pack = live
         self._pack_lines = len(live)
 
@@ -470,12 +524,17 @@ class CaseResultStore:
                     or entry.get("version") != ENTRY_VERSION
                 ):
                     entry = None  # skewed replica: fall back to the file
+                if entry is not None:
+                    # self-verification: a rotted pack line falls back to
+                    # the (independently sealed) object file
+                    entry = _verify_entry(entry)
             if entry is None:
                 try:
                     with open(path, encoding="utf-8") as fh:
                         entry = json.load(fh)
-                    if not isinstance(entry, dict):
-                        raise ValueError("entry is not an object")
+                    entry = _verify_entry(entry)
+                    if entry is None:
+                        raise ValueError("entry checksum mismatch")
                     if entry.get("version") != ENTRY_VERSION:
                         raise ValueError(
                             f"entry version {entry.get('version')!r}"
@@ -524,17 +583,18 @@ class CaseResultStore:
     def put(self, key: str, entry: Dict[str, Any]) -> None:
         """Persist one entry (atomic), update the index and pack, evict."""
         path = self._entry_path(key)
+        sealed = _seal_entry(entry)
         with self._lock:
             existed = os.path.exists(path)
-            self._write_atomic(path, entry)
+            self._write_atomic(path, sealed, label="store")
             if not existed:
                 self._count += 1
             self.stats.puts += 1
             self._pack_pending.append(json.dumps(
-                {"key": key, "entry": entry}, separators=(",", ":")
+                {"key": key, "entry": sealed}, separators=(",", ":")
             ) + "\n")
             if self._pack is not None:
-                self._pack[key] = entry
+                self._pack[key] = sealed
             fingerprint = entry.get("fingerprint")
             if fingerprint:
                 index = self._load_index_locked()

@@ -5,7 +5,14 @@ import os
 
 import pytest
 
-from repro.obs.jsonl import JsonlAppender, read_jsonl, write_jsonl_atomic
+from repro.obs.jsonl import (
+    JsonlAppender,
+    read_jsonl,
+    scan_jsonl,
+    seal_line,
+    verify_line,
+    write_jsonl_atomic,
+)
 
 
 class TestAppender:
@@ -88,3 +95,116 @@ class TestAtomicRewrite:
         path = str(tmp_path / "a" / "b.jsonl")
         write_jsonl_atomic(path, [{"x": 1}])
         assert read_jsonl(path) == [{"x": 1}]
+
+
+class TestSealing:
+    def test_seal_verify_round_trip(self):
+        record = {"z": [1, 2], "a": "text"}
+        line = seal_line(record)
+        assert verify_line(line) == record
+
+    def test_sealed_line_is_plain_flat_json(self):
+        """Sealing must stay invisible to naive json.loads consumers."""
+        doc = json.loads(seal_line({"k": 1}))
+        assert doc["k"] == 1 and "cs" in doc
+
+    def test_empty_record_seals(self):
+        assert verify_line(seal_line({})) == {}
+
+    def test_corrupted_payload_detected(self):
+        line = seal_line({"value": 12345})
+        assert verify_line(line.replace("12345", "12346")) is None
+
+    def test_legacy_unsealed_record_accepted(self):
+        assert verify_line('{"old": true}') == {"old": True}
+
+    def test_non_object_line_rejected(self):
+        assert verify_line("[1, 2]") is None
+        assert verify_line("garbage") is None
+
+    def test_appender_seals_by_default(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        JsonlAppender(path).append({"i": 0})
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        assert raw.startswith('{"cs":"')
+        assert read_jsonl(path) == [{"i": 0}]  # cs stripped on read
+
+    def test_read_drops_checksum_failing_tail(self, tmp_path):
+        """The generalized heal: a rotten *suffix*, not just a torn line."""
+        path = str(tmp_path / "log.jsonl")
+        JsonlAppender(path).append_many([{"i": 0}, {"i": 1}])
+        bad = seal_line({"i": 2}).replace('"i": 2', '"i": 3')
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(bad + "\n")
+            fh.write('{"torn')
+        assert [r["i"] for r in read_jsonl(path)] == [0, 1]
+
+    def test_quarantine_skips_mid_file_damage(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(seal_line({"i": 0}) + "\n")
+            fh.write("not json\n")
+            fh.write(seal_line({"i": 2}) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+        assert [r["i"] for r in read_jsonl(path, quarantine=True)] == [0, 2]
+
+    def test_scan_triage_counts(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(seal_line({"i": 0}) + "\n")
+            fh.write("rot\n")
+            fh.write(seal_line({"i": 2}) + "\n")
+            fh.write('{"torn')
+        records, stats = scan_jsonl(path)
+        assert [r["i"] for r in records] == [0, 2]
+        assert stats == {"ok": 2, "bad_mid": 1, "bad_tail": 1}
+
+
+class TestShortWriteRepair:
+    """Satellite: a torn batched append keeps its complete earlier lines."""
+
+    def _short_write(self, monkeypatch, keep_bytes):
+        real_write = os.write
+        fired = []
+
+        def shorting(fd, payload):
+            if not fired and len(payload) > keep_bytes:
+                fired.append(True)
+                return real_write(fd, payload[:keep_bytes])
+            return real_write(fd, payload)
+
+        monkeypatch.setattr(os, "write", shorting)
+        return fired
+
+    def test_mid_batch_short_write_keeps_complete_lines(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "log.jsonl")
+        appender = JsonlAppender(path)
+        appender.append({"i": 0})
+        batch = [{"i": 1}, {"i": 2}, {"i": 3}]
+        lines = [seal_line(r) + "\n" for r in batch]
+        # tear inside the final line of the batch
+        keep = len("".join(lines[:2])) + 4
+        fired = self._short_write(monkeypatch, keep)
+        with pytest.raises(OSError):
+            appender.append_many(batch)
+        assert fired
+        # lines 1 and 2 of the batch survived; only the torn tail dropped
+        assert [r["i"] for r in read_jsonl(path)] == [0, 1, 2]
+        # and the file needs no further repair: the next append just works
+        appender.append({"i": 9})
+        assert [r["i"] for r in read_jsonl(path)] == [0, 1, 2, 9]
+
+    def test_short_write_mid_first_line_drops_whole_batch(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "log.jsonl")
+        appender = JsonlAppender(path)
+        appender.append({"i": 0})
+        self._short_write(monkeypatch, 3)
+        with pytest.raises(OSError):
+            appender.append_many([{"i": 1}, {"i": 2}])
+        assert [r["i"] for r in read_jsonl(path)] == [0]
