@@ -15,6 +15,7 @@ setup(
             "repro-pkg = repro.pkgmgr.cli:main",
             "repro-trace = repro.obs.cli:main",
             "repro-fsck = repro.runner.fsck:main",
+            "repro-fleet = repro.fleet.cli:main",
         ],
     },
 )

@@ -27,7 +27,13 @@ import numpy as np
 from repro.postprocess.dataframe import DataFrame
 from repro.postprocess.perflog_reader import read_perflogs
 
-__all__ = ["RegressionFinding", "RegressionReport", "RegressionTracker"]
+__all__ = [
+    "ChangePoint",
+    "RegressionFinding",
+    "RegressionReport",
+    "RegressionTracker",
+    "detect_change_point",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +90,87 @@ class RegressionReport:
             f"{len(self.findings)} series checked"
         )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """A sustained level shift in a cross-run FOM series.
+
+    ``index`` is the first run of the new regime: runs ``[0, index)``
+    form the before-segment, ``[index, n)`` the after-segment.
+    """
+
+    index: int
+    before_mean: float
+    after_mean: float
+    change_fraction: float
+    zscore: float
+    direction: str  # "regressed" | "improved"
+
+
+def detect_change_point(
+    values: Sequence[float],
+    min_segment: int = 2,
+    threshold: float = 0.05,
+    zscore_gate: float = 2.0,
+    higher_is_better: bool = True,
+    start: int = 0,
+) -> Optional[ChangePoint]:
+    """Find the strongest sustained level shift in a run series.
+
+    Where :meth:`RegressionTracker.assess_series` judges only the
+    *latest* run against a trailing window (the per-run CI gate), this
+    is the cross-run question a fleet timeline asks: *did this series
+    step to a new level at some point, and where?*  Every split with at
+    least ``min_segment`` runs on each side is scored by the
+    standardized mean shift between the segments (pooled within-segment
+    noise); the strongest split wins if it clears both the relative
+    ``threshold`` and the ``zscore_gate``.
+
+    ``start`` is baseline management: runs before that index are
+    accepted history and are excluded from the analysis entirely (not
+    just as split candidates -- an accepted old level left inside the
+    before-segment would keep re-flagging the very shift the operator
+    acknowledged).  Reported indices stay in the full series'
+    coordinates.
+    """
+    series = [float(v) for v in values if not math.isnan(float(v))]
+    start = max(0, int(start))
+    series = series[start:]
+    n = len(series)
+    if n < 2 * min_segment:
+        return None
+    best: Optional[ChangePoint] = None
+    arr = np.array(series)
+    for split in range(min_segment, n - min_segment + 1):
+        before, after = arr[:split], arr[split:]
+        before_mean = float(np.mean(before))
+        after_mean = float(np.mean(after))
+        # pooled within-segment noise; a tiny floor keeps a zero-noise
+        # series (simulated, hence exactly repeatable) from dividing by 0
+        # while still letting any real step register as very significant
+        pooled = math.sqrt(
+            (float(np.var(before)) * len(before)
+             + float(np.var(after)) * len(after)) / n
+        )
+        sigma = max(pooled, 1e-12 * max(abs(before_mean), 1.0))
+        z = (after_mean - before_mean) / sigma
+        change = (
+            (after_mean - before_mean) / before_mean if before_mean else 0.0
+        )
+        if abs(change) < threshold or abs(z) < zscore_gate:
+            continue
+        if best is None or abs(z) > abs(best.zscore):
+            worse = change < 0 if higher_is_better else change > 0
+            best = ChangePoint(
+                index=start + split,
+                before_mean=before_mean,
+                after_mean=after_mean,
+                change_fraction=change,
+                zscore=float(np.clip(z, -999, 999)),
+                direction="regressed" if worse else "improved",
+            )
+    return best
 
 
 class RegressionTracker:

@@ -19,6 +19,7 @@ Fault-spec grammar (``--inject-faults``)::
     KIND    := build | submit | timeout | hook | perflog
              | hang | slow | sicknode
              | enospc | eio | torn | bitrot | fsync-lie
+             | lease-expire | supervisor-crash
     RATE    := float in [0, 1]   fraction of (kind, case) coordinates hit
     COUNT   := positive int | '*'   attempts that fault (default 1;
                                     '*' = every attempt, i.e. *permanent*)
@@ -34,6 +35,17 @@ Examples::
     sicknode@nid0002#*        node nid0002 is permanently degraded
     enospc:0.01               1% of storage operations hit a full disk
     torn:0.05@journal         5% of journal appends tear mid-batch
+    lease-expire:0.3          30% of fleet campaigns lose their lease once
+    supervisor-crash:0.2      20% of campaigns take the supervisor down
+
+The two *fleet* kinds (``lease-expire``/``supervisor-crash``) target the
+:mod:`repro.fleet` supervisor rather than a pipeline stage: the target
+is a *campaign id*, and the supervisor consults the plan once per
+executed campaign slice.  A firing ``lease-expire`` makes the supervisor
+lose its lease on that campaign mid-run (the queue reclaims it after the
+TTL and the next claimant resumes from the campaign journal); a firing
+``supervisor-crash`` kills the whole supervisor process loop after the
+slice, leaving leases dangling for a restarted supervisor to reclaim.
 
 The five *I/O* kinds (``enospc``/``eio``/``torn``/``bitrot``/
 ``fsync-lie``) target durable-artifact operations instead of cases: the
@@ -72,6 +84,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
     "IO_FAULT_KINDS",
     "SLOW_FACTOR",
     "SICK_FACTOR",
@@ -96,10 +109,16 @@ __all__ = [
 #: paths of every durable artifact
 IO_FAULT_KINDS = ("enospc", "eio", "torn", "bitrot", "fsync-lie")
 
+#: the fleet-supervisor kinds: consulted by
+#: :class:`repro.fleet.supervisor.FleetSupervisor` with a *campaign id*
+#: target -- ``lease-expire`` forfeits one campaign's lease mid-run,
+#: ``supervisor-crash`` kills the supervisor loop itself
+FLEET_FAULT_KINDS = ("lease-expire", "supervisor-crash")
+
 FAULT_KINDS = (
     "build", "submit", "timeout", "hook", "perflog",
     "hang", "slow", "sicknode",
-) + IO_FAULT_KINDS
+) + IO_FAULT_KINDS + FLEET_FAULT_KINDS
 
 #: duration multiplier for a job hit by a ``slow`` fault (a straggler:
 #: well past any sane --straggler-factor, well short of a hang)

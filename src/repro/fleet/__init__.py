@@ -1,0 +1,44 @@
+"""``repro.fleet``: a supervised multi-campaign benchmarking service.
+
+The single-campaign engine (``repro-bench``) is crash-safe, incremental
+and chaos-hardened; this package is the next tier the ROADMAP asks for
+-- a *fleet* of campaigns run continuously with robustness as the
+contract:
+
+* :mod:`repro.fleet.queue` -- a durable campaign queue on the sealed
+  JSONL layer: submit/claim/complete records with CRC seals, torn-tail
+  healing and compaction;
+* :mod:`repro.fleet.service` -- the embeddable :class:`CampaignService`
+  API extracted from ``repro-bench`` (the CLI is now one client of it,
+  the fleet supervisor another);
+* :mod:`repro.fleet.supervisor` -- lease-based ownership on the
+  simulated clock, bulkhead isolation between campaigns, per-tenant
+  quotas and graceful drain;
+* :mod:`repro.fleet.timeline` -- the longitudinal results store feeding
+  cross-run regression detection (``repro.core.regression``);
+* :mod:`repro.fleet.cli` -- the ``repro-fleet`` console script
+  (``submit`` / ``run`` / ``status`` / ``drain`` / ``regressions``).
+"""
+
+from repro.fleet.queue import CampaignQueue, CampaignState
+from repro.fleet.service import (
+    CampaignConfigError,
+    CampaignService,
+    CampaignSpec,
+    PreparedCampaign,
+)
+from repro.fleet.supervisor import FleetReport, FleetSupervisor, SupervisorCrash
+from repro.fleet.timeline import ResultsTimeline
+
+__all__ = [
+    "CampaignConfigError",
+    "CampaignQueue",
+    "CampaignService",
+    "CampaignSpec",
+    "CampaignState",
+    "FleetReport",
+    "FleetSupervisor",
+    "PreparedCampaign",
+    "ResultsTimeline",
+    "SupervisorCrash",
+]

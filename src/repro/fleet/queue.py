@@ -1,0 +1,388 @@
+"""The durable campaign queue: submit/claim/complete on sealed JSONL.
+
+The queue is the fleet's record of truth, built on the same crash-safe
+primitives as the campaign journal (:mod:`repro.obs.jsonl`): every
+record is appended in a single fsynced ``write`` with a CRC32 ``cs``
+seal, a torn tail heals on read, and the file is compacted atomically
+once history dominates live state.  A supervisor that dies mid-fleet
+therefore leaves a queue any successor can read and act on.
+
+Record shapes (all carry ``"v"``, the schema version, and ``"t"``, the
+simulated-clock time they were written at)::
+
+    {"kind": "submit",   "id", "seq", "tenant", "priority", "nodes",
+                         "spec": {...}}          a campaign enters the queue
+    {"kind": "claim",    "id", "worker", "lease_until"}   lease granted
+    {"kind": "renew",    "id", "worker", "lease_until"}   heartbeat
+    {"kind": "release",  "id", "worker", "reason"}        lease given back
+    {"kind": "complete", "id", "worker", "status", "detail",
+                         "passed", "failed"}              terminal state
+    {"kind": "drain",         "worker"}        a supervisor drained cleanly
+    {"kind": "drain-request"}                  operator asked for a drain
+
+**Lease state machine.**  A campaign is ``pending`` after submit (or
+release), ``leased`` while a worker holds an unexpired lease, and
+terminal (``completed`` / ``failed`` / ``aborted``) after a complete
+record.  Leases live on the *simulated* clock: a worker renews its
+lease every scheduling slice, and a lease whose holder stopped renewing
+-- a crashed or hung supervisor -- simply expires, making the campaign
+claimable again.  The next claimant resumes it from its campaign
+journal (``--resume`` semantics), so reclaim never re-runs completed
+cases.  A worker may also reclaim its *own* unexpired lease (a
+restarted supervisor keeps its identity) without waiting out the TTL.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.jsonl import JsonlAppender, read_jsonl, write_jsonl_atomic
+from repro.runner.resilience import SCHEMA_VERSION, check_record_version
+
+__all__ = ["CampaignQueue", "CampaignState", "QueueError"]
+
+#: campaign statuses that mean "this campaign will never run again"
+TERMINAL_STATUSES = ("completed", "failed", "aborted")
+
+
+class QueueError(ValueError):
+    """An operation inconsistent with the queue's current state."""
+
+
+@dataclass
+class CampaignState:
+    """The folded state of one campaign (latest record per keyspace)."""
+
+    id: str
+    seq: int
+    spec: Dict[str, Any]
+    tenant: str = "default"
+    priority: int = 0
+    nodes: int = 1
+    #: "pending" | "leased" | "completed" | "failed" | "aborted"
+    status: str = "pending"
+    worker: Optional[str] = None
+    lease_until: Optional[float] = None
+    detail: str = ""
+    passed: int = 0
+    failed: int = 0
+    submitted_at: float = 0.0
+    completed_at: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def claimable(self, worker: str, now: float) -> bool:
+        """Whether *worker* may (re)claim this campaign at *now*.
+
+        Pending campaigns are free; a leased one is claimable when the
+        lease expired (the holder stopped heartbeating) or when the
+        claimant *is* the holder (a restarted supervisor taking its own
+        work back).
+        """
+        if self.terminal:
+            return False
+        if self.status == "pending":
+            return True
+        if self.worker == worker:
+            return True
+        return self.lease_until is not None and self.lease_until <= now
+
+
+class CampaignQueue:
+    """Durable multi-campaign queue over one sealed JSONL file."""
+
+    def __init__(self, path: str, sync: bool = True):
+        self.path = path
+        self.sync = sync
+        self._appender = JsonlAppender(path, sync=sync)
+        self._lock = threading.Lock()
+
+    # -- writing -------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        record = {"v": SCHEMA_VERSION, **record}
+        with self._lock:
+            self._appender.append(record)
+        return record
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        campaign_id: Optional[str] = None,
+        tenant: str = "default",
+        priority: int = 0,
+        nodes: int = 1,
+        now: float = 0.0,
+    ) -> str:
+        """Enqueue one campaign; returns its (unique) campaign id.
+
+        When no id is given one is derived from the submission ordinal
+        plus a content digest of the spec -- unique per submission, so
+        the same spec can be queued repeatedly (that is what produces
+        the sequential runs the results timeline tracks).
+        """
+        seq = self._next_seq()
+        if campaign_id is None:
+            import hashlib
+            import json
+
+            digest = hashlib.sha256(
+                json.dumps(spec, sort_keys=True).encode("utf-8")
+            ).hexdigest()[:8]
+            campaign_id = f"c{seq:04d}-{digest}"
+        elif campaign_id in self.load():
+            raise QueueError(
+                f"campaign id {campaign_id!r} already queued; ids are "
+                f"unique per submission"
+            )
+        self._append({
+            "kind": "submit",
+            "t": now,
+            "id": campaign_id,
+            "seq": seq,
+            "tenant": tenant,
+            "priority": int(priority),
+            "nodes": int(nodes),
+            "spec": spec,
+        })
+        return campaign_id
+
+    def claim(
+        self,
+        worker: str,
+        now: float,
+        lease_seconds: float,
+        accept: Optional[Callable[[CampaignState], bool]] = None,
+    ) -> Optional[CampaignState]:
+        """Lease the best claimable campaign to *worker*, if any.
+
+        Selection is by (highest priority, lowest submission ordinal) --
+        deterministic, so every supervisor replays the same claim order.
+        ``accept`` lets the caller veto candidates (tenant quota gating)
+        without losing their place in the queue.  Returns the claimed
+        state (with the fresh lease applied) or ``None``.
+        """
+        candidates = [
+            s for s in self.load().values() if s.claimable(worker, now)
+        ]
+        candidates.sort(key=lambda s: (-s.priority, s.seq))
+        for state in candidates:
+            if accept is not None and not accept(state):
+                continue
+            state.status = "leased"
+            state.worker = worker
+            state.lease_until = now + float(lease_seconds)
+            self._append({
+                "kind": "claim",
+                "t": now,
+                "id": state.id,
+                "worker": worker,
+                "lease_until": state.lease_until,
+            })
+            return state
+        return None
+
+    def renew(
+        self, campaign_id: str, worker: str, now: float, lease_seconds: float
+    ) -> float:
+        """Heartbeat: extend *worker*'s lease; returns the new expiry."""
+        lease_until = now + float(lease_seconds)
+        self._append({
+            "kind": "renew",
+            "t": now,
+            "id": campaign_id,
+            "worker": worker,
+            "lease_until": lease_until,
+        })
+        return lease_until
+
+    def release(
+        self, campaign_id: str, worker: str, now: float, reason: str = ""
+    ) -> None:
+        """Give a lease back without completing (graceful drain)."""
+        self._append({
+            "kind": "release",
+            "t": now,
+            "id": campaign_id,
+            "worker": worker,
+            "reason": reason,
+        })
+
+    def complete(
+        self,
+        campaign_id: str,
+        worker: str,
+        status: str,
+        now: float,
+        detail: str = "",
+        passed: int = 0,
+        failed: int = 0,
+    ) -> None:
+        """Record a campaign's terminal state."""
+        if status not in TERMINAL_STATUSES:
+            raise QueueError(
+                f"terminal status must be one of {TERMINAL_STATUSES}, "
+                f"got {status!r}"
+            )
+        self._append({
+            "kind": "complete",
+            "t": now,
+            "id": campaign_id,
+            "worker": worker,
+            "status": status,
+            "detail": detail,
+            "passed": int(passed),
+            "failed": int(failed),
+        })
+
+    def mark_drain(self, worker: str, now: float) -> None:
+        """Record that *worker* drained gracefully at *now*."""
+        self._append({"kind": "drain", "t": now, "worker": worker})
+
+    def request_drain(self, now: float = 0.0) -> None:
+        """Operator-side drain request (``repro-fleet drain``).
+
+        A running supervisor polls :meth:`drain_requested_since` at
+        every slice boundary, so the request takes effect at the next
+        checkpoint -- the durable-queue equivalent of SIGTERM.
+        """
+        self._append({"kind": "drain-request", "t": now})
+
+    # -- reading -------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        records = read_jsonl(self.path)
+        for record in records:
+            check_record_version(record, self.path)
+        return records
+
+    def load(self) -> Dict[str, CampaignState]:
+        """Fold the record stream into per-campaign state (newest wins)."""
+        states: Dict[str, CampaignState] = {}
+        for record in self.entries():
+            kind = record.get("kind")
+            if kind == "submit":
+                cid = record["id"]
+                states[cid] = CampaignState(
+                    id=cid,
+                    seq=int(record.get("seq", 0)),
+                    spec=record.get("spec") or {},
+                    tenant=record.get("tenant", "default"),
+                    priority=int(record.get("priority", 0)),
+                    nodes=int(record.get("nodes", 1)),
+                    submitted_at=float(record.get("t", 0.0)),
+                )
+                continue
+            state = states.get(record.get("id", ""))
+            if state is None or state.terminal:
+                continue  # releases/renews after complete carry no news
+            if kind in ("claim", "renew"):
+                state.status = "leased"
+                state.worker = record.get("worker")
+                state.lease_until = float(record.get("lease_until", 0.0))
+            elif kind == "release":
+                state.status = "pending"
+                state.worker = None
+                state.lease_until = None
+            elif kind == "complete":
+                state.status = record.get("status", "aborted")
+                state.worker = record.get("worker")
+                state.lease_until = None
+                state.detail = record.get("detail", "")
+                state.passed = int(record.get("passed", 0))
+                state.failed = int(record.get("failed", 0))
+                state.completed_at = float(record.get("t", 0.0))
+        return states
+
+    def next_lease_expiry(self) -> Optional[float]:
+        """The earliest lease expiry among leased campaigns, if any."""
+        expiries = [
+            s.lease_until
+            for s in self.load().values()
+            if s.status == "leased" and s.lease_until is not None
+        ]
+        return min(expiries) if expiries else None
+
+    def max_time(self) -> float:
+        """The latest simulated time any record carries (clock restore).
+
+        A restarted supervisor must not hand out leases that predate
+        ones already in the queue, so its clock resumes from here.
+        """
+        times = [float(r.get("t", 0.0)) for r in self.entries()]
+        return max(times) if times else 0.0
+
+    def drain_requested_since(self, t: float) -> bool:
+        """A drain-request recorded *strictly after* ``t``?
+
+        Strict: a supervisor started at or after the request's time was
+        not the one being asked to stop -- requests must not outlive
+        the drain they triggered and stall every later supervisor.
+        """
+        return any(
+            r.get("kind") == "drain-request" and float(r.get("t", 0.0)) > t
+            for r in self.entries()
+        )
+
+    def _next_seq(self) -> int:
+        seqs = [
+            int(r.get("seq", 0))
+            for r in self.entries()
+            if r.get("kind") == "submit"
+        ]
+        return (max(seqs) + 1) if seqs else 1
+
+    def stats(self) -> Dict[str, int]:
+        """Status-line counts per campaign state."""
+        counts = {
+            "pending": 0, "leased": 0,
+            "completed": 0, "failed": 0, "aborted": 0,
+        }
+        for state in self.load().values():
+            counts[state.status] = counts.get(state.status, 0) + 1
+        return counts
+
+    # -- maintenance ---------------------------------------------------------
+    def compact(self) -> int:
+        """Atomically drop records made redundant by newer ones.
+
+        Keeps, per campaign, the submit record plus the latest
+        state-bearing record (claim/renew/release/complete), the last
+        drain marker and the last drain request; drops superseded
+        heartbeats and stale claims.  The rewrite is atomic (temp +
+        fsync + rename), same as journal compaction.  Returns the
+        number of records dropped.
+        """
+        with self._lock:
+            records = read_jsonl(self.path)
+            for record in records:
+                check_record_version(record, self.path)
+            keep: set = set()
+            latest_state: Dict[str, int] = {}
+            last_drain = -1
+            last_request = -1
+            for i, record in enumerate(records):
+                kind = record.get("kind")
+                if kind == "submit":
+                    keep.add(i)
+                elif kind in ("claim", "renew", "release", "complete"):
+                    latest_state[record.get("id", "")] = i
+                elif kind == "drain":
+                    last_drain = i
+                elif kind == "drain-request":
+                    last_request = i
+                else:
+                    keep.add(i)  # unknown shapes are never destroyed
+            keep.update(latest_state.values())
+            if last_drain >= 0:
+                keep.add(last_drain)
+            if last_request >= 0:
+                keep.add(last_request)
+            kept = [records[i] for i in sorted(keep)]
+            dropped = len(records) - len(kept)
+            if dropped <= 0:
+                return 0
+            write_jsonl_atomic(self.path, kept, sync=self.sync)
+            return dropped

@@ -1,0 +1,225 @@
+"""The longitudinal results timeline: FOMs across fleet runs.
+
+A perflog answers "what did this campaign measure"; the timeline
+answers "what has this *spec* measured every time the fleet ran it".
+Each completed campaign appends one sealed record carrying its figures
+of merit keyed by (benchmark test x system x spec content address), so
+re-submissions of the same spec accumulate into ordered per-cell series
+that :func:`repro.core.regression.detect_change_point` can scan for
+sustained level shifts -- the cross-run promotion of the per-run CI
+gate.
+
+Records (sealed JSONL, same durability contract as the queue)::
+
+    {"kind": "run",      "v", "t", "campaign", "spec_id",
+     "foms": [{"test", "system", "var", "value", "unit"}, ...]}
+    {"kind": "baseline", "v", "t", "spec_id", "through"}
+
+A ``baseline`` record is the operator accepting everything up to run
+index ``through`` for a spec: change-point detection resumes after it,
+so an acknowledged shift (a compiler upgrade, a faster interconnect)
+stops being re-flagged on every fleet pass.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.regression import ChangePoint, detect_change_point
+from repro.obs.jsonl import JsonlAppender, read_jsonl
+from repro.runner.resilience import SCHEMA_VERSION, check_record_version
+
+__all__ = ["ResultsTimeline", "TimelineFinding", "foms_from_report"]
+
+#: one timeline cell: (test, system, spec content id, perf var)
+CellKey = Tuple[str, str, str, str]
+
+
+def foms_from_report(report: Any) -> List[Dict[str, Any]]:
+    """Extract the FOM rows a RunReport contributes to the timeline."""
+    foms: List[Dict[str, Any]] = []
+    for result in report.results:
+        if not result.passed or not result.perfvars:
+            continue
+        for var, (value, unit) in sorted(result.perfvars.items()):
+            foms.append({
+                "test": result.case.test.name,
+                "system": result.case.platform,
+                "var": var,
+                "value": float(value),
+                "unit": unit,
+            })
+    return foms
+
+
+def foms_from_journal(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """FOM rows from journal case records (crash-surviving path).
+
+    A campaign finished by a *restarted* supervisor holds results run
+    by its predecessor only in the journal, so the timeline ingests
+    from there: every journaled case record carries the same perfvars
+    the in-memory result did.
+    """
+    foms: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("status") != "passed":
+            continue
+        for var, pair in sorted((record.get("perfvars") or {}).items()):
+            foms.append({
+                "test": record.get("test", ""),
+                "system": record.get("platform", ""),
+                "var": var,
+                "value": float(pair[0]),
+                "unit": pair[1] if len(pair) > 1 else "",
+            })
+    return foms
+
+
+@dataclass(frozen=True)
+class TimelineFinding:
+    """A change point in one timeline cell."""
+
+    key: CellKey
+    change: ChangePoint
+    runs: int
+
+    @property
+    def label(self) -> str:
+        test, system, spec_id, var = self.key
+        return f"{test}/{var} @{system} [{spec_id}]"
+
+
+class ResultsTimeline:
+    """Append-per-campaign FOM store with cross-run regression checks."""
+
+    def __init__(self, path: str, sync: bool = True):
+        self.path = path
+        self.sync = sync
+        self._appender = JsonlAppender(path, sync=sync)
+        self._lock = threading.Lock()
+
+    # -- writing -------------------------------------------------------------
+    def record_run(
+        self,
+        campaign_id: str,
+        spec_id: str,
+        foms: Sequence[Dict[str, Any]],
+        now: float = 0.0,
+    ) -> None:
+        """Append one completed campaign's FOMs."""
+        with self._lock:
+            self._appender.append({
+                "kind": "run",
+                "v": SCHEMA_VERSION,
+                "t": now,
+                "campaign": campaign_id,
+                "spec_id": spec_id,
+                "foms": list(foms),
+            })
+
+    def set_baseline(
+        self, spec_id: str, through: int, now: float = 0.0
+    ) -> None:
+        """Accept all runs of *spec_id* up to index *through* (exclusive)."""
+        with self._lock:
+            self._appender.append({
+                "kind": "baseline",
+                "v": SCHEMA_VERSION,
+                "t": now,
+                "spec_id": spec_id,
+                "through": int(through),
+            })
+
+    # -- reading -------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        records = read_jsonl(self.path)
+        for record in records:
+            check_record_version(record, self.path)
+        return records
+
+    def series(self) -> Dict[CellKey, List[float]]:
+        """Ordered value series per (test, system, spec_id, var) cell.
+
+        File order *is* run order -- the same append-only convention
+        perflog regression tracking relies on, so no wall clock is
+        trusted anywhere.
+        """
+        out: Dict[CellKey, List[float]] = {}
+        for record in self.entries():
+            if record.get("kind") != "run":
+                continue
+            spec_id = record.get("spec_id", "")
+            for fom in record.get("foms", []):
+                key = (fom.get("test", ""), fom.get("system", ""),
+                       spec_id, fom.get("var", ""))
+                out.setdefault(key, []).append(float(fom.get("value", 0.0)))
+        return out
+
+    def run_count(self, spec_id: str) -> int:
+        return sum(
+            1 for r in self.entries()
+            if r.get("kind") == "run" and r.get("spec_id") == spec_id
+        )
+
+    def baseline_through(self, spec_id: str) -> int:
+        """The latest accepted-through run index for a spec (0 if none)."""
+        through = 0
+        for record in self.entries():
+            if (record.get("kind") == "baseline"
+                    and record.get("spec_id") == spec_id):
+                through = int(record.get("through", 0))
+        return through
+
+    def detect_regressions(
+        self,
+        min_runs: int = 5,
+        threshold: float = 0.05,
+        zscore_gate: float = 2.0,
+        higher_is_better: Optional[Dict[str, bool]] = None,
+    ) -> List[TimelineFinding]:
+        """Scan every cell with enough history for a sustained shift.
+
+        Cells with fewer than ``min_runs`` runs are skipped -- a fleet
+        needs a few passes before "this series stepped" means anything.
+        Baselines gate detection per spec: accepted runs are still part
+        of the before-segment statistics but cannot *be* the change
+        point again.
+        """
+        direction = dict(higher_is_better or {})
+        findings: List[TimelineFinding] = []
+        baselines: Dict[str, int] = {}
+        for key, values in sorted(self.series().items()):
+            if len(values) < min_runs:
+                continue
+            test, system, spec_id, var = key
+            if spec_id not in baselines:
+                baselines[spec_id] = self.baseline_through(spec_id)
+            change = detect_change_point(
+                values,
+                threshold=threshold,
+                zscore_gate=zscore_gate,
+                higher_is_better=direction.get(var, True),
+                start=baselines[spec_id],
+            )
+            if change is not None:
+                findings.append(
+                    TimelineFinding(key=key, change=change, runs=len(values))
+                )
+        return findings
+
+    def render(self, findings: Sequence[TimelineFinding]) -> str:
+        lines = ["FLEET TIMELINE REGRESSIONS", "-" * 60]
+        if not findings:
+            lines.append("no sustained shifts detected")
+        for f in sorted(findings, key=lambda f: f.label):
+            c = f.change
+            arrow = "v" if c.direction == "regressed" else "^"
+            lines.append(
+                f"[{arrow}] {f.label}: {c.before_mean:.4g} -> "
+                f"{c.after_mean:.4g} at run {c.index}/{f.runs} "
+                f"({c.change_fraction:+.1%}, z={c.zscore:+.1f}) "
+                f"[{c.direction}]"
+            )
+        return "\n".join(lines)

@@ -242,6 +242,54 @@ class MetricsRegistry:
                 continue
             self.counter(f"{prefix}.{key}").add(value)
 
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict from another registry into this one.
+
+        The fleet-aggregation primitive: each campaign's run produces
+        its own registry snapshot, and the supervisor folds them into
+        one fleet registry.  Counters add; gauges take the incoming
+        value (last write wins, matching single-registry semantics);
+        histograms merge bucket tallies, counts, sums and min/max --
+        exact for everything except the percentile estimates, which
+        stay bucket-resolution by construction.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            self.counter(name).add(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, data in (snapshot.get("histograms") or {}).items():
+            buckets = data.get("buckets") or {}
+            labels = [b for b in buckets if b != "+inf"]
+            boundaries = (
+                sorted(float(b) for b in labels)
+                if labels else DURATION_BUCKETS
+            )
+            hist = self.histogram(name, boundaries)
+            incoming_bounds = tuple(float(b) for b in boundaries)
+            if hist.boundaries != incoming_bounds:
+                raise ValueError(
+                    f"histogram {name!r}: cannot merge snapshot with "
+                    f"different bucket boundaries"
+                )
+            with hist._lock:
+                for i, bound in enumerate(hist.boundaries):
+                    hist._counts[i] += int(buckets.get(f"{bound:g}", 0))
+                hist._counts[-1] += int(buckets.get("+inf", 0))
+                hist._count += int(data.get("count", 0))
+                hist._sum += float(data.get("sum", 0.0))
+                for key, pick in (("min", min), ("max", max)):
+                    incoming = data.get(key)
+                    if incoming is None:
+                        continue
+                    current = getattr(hist, f"_{key}")
+                    setattr(
+                        hist, f"_{key}",
+                        float(incoming) if current is None
+                        else pick(current, float(incoming)),
+                    )
+
     # -- snapshots -----------------------------------------------------------
     def names(self) -> List[str]:
         with self._lock:

@@ -22,16 +22,12 @@ options such as ``--qos=standard`` / ``--account=t01``, ``--setvar`` and
 from __future__ import annotations
 
 import argparse
-import socket
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.runner.benchmark import REGISTRY
-from repro.runner.config import ConfigError, default_site_config
-from repro.runner.executor import Executor
-from repro.runner.resilience import RetryPolicy
 
-__all__ = ["main", "build_parser", "load_suite"]
+__all__ = ["main", "build_parser", "load_suite", "spec_from_args"]
 
 #: benchmark suite name -> (module registering its tests, class filter).
 #: A None filter takes every class the module registers.
@@ -268,26 +264,39 @@ def _probe_writable_dir(path: str) -> Optional[str]:
         return str(exc)
 
 
-def _parse_assignments(pairs: List[str]) -> Dict[str, str]:
-    out: Dict[str, str] = {}
-    for pair in pairs:
-        if "=" not in pair:
-            raise ValueError(f"expected VAR=VALUE, got {pair!r}")
-        key, _, value = pair.partition("=")
-        out[key.strip()] = value.strip().strip("'\"")
-    return out
+def spec_from_args(args: argparse.Namespace):
+    """The parsed CLI namespace as an embeddable CampaignSpec."""
+    from repro.fleet.service import CampaignSpec
 
-
-def _parse_job_options(opts: List[str]) -> Dict[str, Optional[str]]:
-    """Extract account/qos from -J options (the rest are recorded only)."""
-    parsed: Dict[str, Optional[str]] = {"account": None, "qos": None}
-    for opt in opts:
-        text = opt.strip().strip("'\"")
-        for key in ("account", "qos"):
-            marker = f"--{key}="
-            if text.startswith(marker):
-                parsed[key] = text[len(marker):]
-    return parsed
+    return CampaignSpec(
+        suites=args.checkpath,
+        system=args.system,
+        site_yaml=args.site,
+        setvar=args.setvar,
+        spack_var=args.spack_var,
+        name=args.name,
+        exclude=args.exclude,
+        tags=args.tag,
+        job_options=args.job_option,
+        environs=args.environ,
+        perflog_dir=args.perflog_dir,
+        policy=args.policy,
+        max_workers=args.max_workers,
+        max_retries=args.max_retries,
+        max_failures=args.max_failures,
+        journal=args.journal,
+        journal_batch=args.journal_batch,
+        result_store=args.result_store,
+        inject_faults=args.inject_faults,
+        fault_seed=args.fault_seed,
+        durability=args.durability,
+        watchdog=args.watchdog,
+        speculate=args.speculate,
+        straggler_factor=args.straggler_factor,
+        drain_after=args.drain_after,
+        trace=args.trace,
+        metrics=args.metrics,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -312,150 +321,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.run:
             return 0
 
-    site = default_site_config()
-    for site_path in args.site:
-        try:
-            with open(site_path, encoding="utf-8") as fh:
-                site.merge_yaml(fh.read())
-        except OSError as exc:
-            print(f"error: cannot read --site {site_path}: {exc}",
-                  file=sys.stderr)
-            return 1
-        except ConfigError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-    system = args.system
-    if system is None:
-        system = site.detect(socket.gethostname())
-        if system is None:
-            print(
-                "error: cannot auto-detect the system (ambiguous login node "
-                "names); pass --system=<name> explicitly",
-                file=sys.stderr,
-            )
-            return 1
-        print(f"auto-detected system: {system}")
-
-    try:
-        setvars = _parse_assignments(args.setvar)
-        spack_vars = _parse_assignments(args.spack_var)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    spec_override = spack_vars.pop("spack_spec", None)
-    spack_vars.pop("build_locally", None)  # meaningless under simulation
-    setvars.update(spack_vars)
-    job_opts = _parse_job_options(args.job_option)
-
-    executor = Executor(site=site, perflog_prefix=args.perflog_dir)
-    try:
-        cases = executor.expand_cases(
-            classes,
-            system,
-            environs=args.environ or None,
-            setvars=setvars,
-            spec_override=spec_override,
-            account=job_opts["account"],
-            qos=job_opts["qos"],
-            name_patterns=args.name or None,
-            exclude=args.exclude or None,
-            tags=args.tag or None,
-        )
-    except Exception as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    if not cases:
-        print("no tests match the selection", file=sys.stderr)
-        return 1
-    if args.dry_run:
-        from repro.runner.pipeline import dry_run_case
-
-        for case in cases:
-            print(dry_run_case(case))
-        return 0
-    if args.max_workers < 1:
-        print("error: -j/--max-workers must be >= 1", file=sys.stderr)
-        return 1
-    if args.max_retries < 0:
-        print("error: --max-retries must be >= 0", file=sys.stderr)
-        return 1
-    if args.resume and not args.journal:
-        print("error: --resume requires --journal PATH", file=sys.stderr)
-        return 1
     if args.cache_stats and not args.result_store:
         print("error: --cache-stats requires --result-store DIR",
               file=sys.stderr)
         return 1
-    if args.result_store:
-        # fail at argument-validation time, not hours in at first put()
-        probe_err = _probe_writable_dir(args.result_store)
-        if probe_err is not None:
-            if args.durability == "degrade":
-                print(
-                    f"warning: --result-store {args.result_store} is not "
-                    f"writable ({probe_err}); continuing without the "
-                    f"result store",
-                    file=sys.stderr,
-                )
-                args.result_store = None
-            else:
-                print(
-                    f"error: --result-store directory "
-                    f"{args.result_store} is not writable: {probe_err}",
-                    file=sys.stderr,
-                )
-                return 1
-    faults = None
-    if args.inject_faults:
-        from repro.faults import FaultPlan, FaultSpecError
 
-        try:
-            faults = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
-        except FaultSpecError as exc:
-            print(f"error: --inject-faults: {exc}", file=sys.stderr)
-            return 1
-    retry = RetryPolicy(
-        max_attempts=args.max_retries + 1, seed=args.fault_seed
-    )
-    watchdog = None
-    if args.watchdog:
-        from repro.runner.watchdog import WatchdogSpecError, as_watchdog
+    # everything from here -- site/system resolution, variable parsing,
+    # case expansion, flag validation, the run itself -- lives in the
+    # embeddable CampaignService; repro-bench is one client of it, the
+    # repro-fleet supervisor another
+    from repro.fleet.service import CampaignConfigError, CampaignService
 
-        try:
-            watchdog = as_watchdog(args.watchdog)
-        except WatchdogSpecError as exc:
-            print(f"error: --watchdog: {exc}", file=sys.stderr)
-            return 1
-    if args.straggler_factor <= 1.0:
-        print("error: --straggler-factor must be > 1", file=sys.stderr)
+    service = CampaignService()
+    try:
+        prepared = service.prepare(spec_from_args(args), resume=args.resume)
+    except CampaignConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.drain_after is not None and args.drain_after < 1:
-        print("error: --drain-after must be >= 1", file=sys.stderr)
-        return 1
-    if args.journal_batch < 1:
-        print("error: --journal-batch must be >= 1", file=sys.stderr)
-        return 1
+    if args.system is None and prepared.system is not None:
+        print(f"auto-detected system: {prepared.system}")
+    for warning in prepared.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    executor = prepared.executor
+    if args.dry_run:
+        from repro.runner.pipeline import dry_run_case
+
+        for case in prepared.cases:
+            print(dry_run_case(case))
+        return 0
 
     def run_campaign():
-        return executor.run_cases(
-            cases,
-            policy=args.policy,
-            workers=args.max_workers,
-            retry=retry,
-            faults=faults,
-            max_failures=args.max_failures,
-            journal=args.journal,
-            resume=args.resume,
-            watchdog=watchdog,
-            speculation=args.speculate,
-            straggler_factor=args.straggler_factor,
-            drain_after=args.drain_after,
-            trace=args.trace,
-            metrics=args.metrics,
-            journal_batch=args.journal_batch,
-            result_store=args.result_store,
-            durability=args.durability,
-        )
+        return prepared.run()
 
     try:
         if args.profile is not None:
@@ -510,6 +406,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("perflogs:")
         for path in executor.perflog.written:
             print(f"  {path}")
+    # exit-code contract (README "Exit codes"): 2 = the campaign ABORTED
+    # (circuit breaker, durability failure) and its results are partial;
+    # 1 = it ran to completion but some cases failed; 0 = clean.  Usage
+    # and validation errors stay 1 (argparse's own errors are 2).
+    if report.aborted is not None:
+        return 2
     return 0 if report.success else 1
 
 

@@ -55,14 +55,48 @@ __all__ = [
     "DurabilityPolicy",
     "Quarantine",
     "RetryPolicy",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
     "benchmark_source_hash",
     "case_fingerprint",
+    "check_record_version",
     "content_address",
     "is_transient",
     "make_case_record",
     "result_from_record",
     "run_config_fingerprint",
 ]
+
+#: record-shape version stamped (as ``"v"``) on journal *meta* records
+#: and every fleet-queue/timeline record.  Readers accept any record at
+#: or below their own version -- and records with no ``"v"`` at all,
+#: which predate versioning -- but refuse records from the future
+#: instead of silently misreading a shape they do not understand.
+SCHEMA_VERSION = 1
+
+
+class SchemaVersionError(ValueError):
+    """A record written by a newer repro than the one reading it."""
+
+    def __init__(self, path: str, record_version: int):
+        super().__init__(
+            f"{path}: record schema v{record_version} is newer than this "
+            f"repro understands (v{SCHEMA_VERSION}); upgrade before "
+            f"reading -- refusing to guess at its shape"
+        )
+        self.path = path
+        self.record_version = record_version
+
+
+def check_record_version(record: Dict[str, Any], path: str) -> None:
+    """Raise :class:`SchemaVersionError` for a future-versioned record.
+
+    Legacy records carry no ``"v"`` key and pass unchallenged -- they
+    predate versioning and every reader still understands their shape.
+    """
+    version = record.get("v", 0)
+    if isinstance(version, int) and version > SCHEMA_VERSION:
+        raise SchemaVersionError(path, version)
 
 
 class CampaignAborted(BaseException):
@@ -685,6 +719,7 @@ class CampaignJournal:
         """
         return {
             "kind": "replay",
+            "v": SCHEMA_VERSION,
             "fingerprint": fingerprint or case_fingerprint(result.case),
             "case": result.case.display_name,
             "status": _status_of(result),
@@ -715,7 +750,7 @@ class CampaignJournal:
         (:meth:`load`, :meth:`failure_counts`) skip meta records; the
         *last* health record wins on restore.
         """
-        record = {"kind": "health", "health": snapshot}
+        record = {"kind": "health", "v": SCHEMA_VERSION, "health": snapshot}
         self._append(record)
         return record
 
@@ -732,7 +767,12 @@ class CampaignJournal:
         return self._entries_unlocked()
 
     def _entries_unlocked(self) -> List[Dict[str, Any]]:
-        return read_jsonl(self.path)
+        records = read_jsonl(self.path)
+        for record in records:
+            # a v2 meta record would be *silently misread* by the v1
+            # shape accessors below; refusing up front is the contract
+            check_record_version(record, self.path)
+        return records
 
     def load(self) -> Dict[str, Dict[str, Any]]:
         """Latest case record per fingerprint (the resume state)."""

@@ -1,0 +1,180 @@
+"""The durable campaign queue: leases, folding, healing, compaction."""
+
+import pytest
+
+from repro.fleet.queue import CampaignQueue, QueueError
+from repro.obs.jsonl import read_jsonl, seal_line
+from repro.runner.resilience import SchemaVersionError
+
+SPEC = {"suites": ["stream"], "system": "archer2"}
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return CampaignQueue(str(tmp_path / "fleet.q"))
+
+
+def test_submit_generates_unique_ids_for_identical_specs(queue):
+    a = queue.submit(SPEC)
+    b = queue.submit(SPEC)
+    assert a != b
+    states = queue.load()
+    assert states[a].status == "pending" and states[b].status == "pending"
+    assert states[a].seq < states[b].seq
+
+
+def test_submit_rejects_duplicate_explicit_id(queue):
+    queue.submit(SPEC, campaign_id="c1")
+    with pytest.raises(QueueError):
+        queue.submit(SPEC, campaign_id="c1")
+
+
+def test_claim_order_is_priority_then_submission(queue):
+    low = queue.submit(SPEC, priority=0)
+    high = queue.submit(SPEC, priority=5)
+    also_low = queue.submit(SPEC, priority=0)
+    order = []
+    for _ in range(3):
+        # a live supervisor vetoes what it already holds (own-worker
+        # reclaim is for restarts), mirrored here with the accept hook
+        state = queue.claim("w0", now=0.0, lease_seconds=10.0,
+                            accept=lambda s: s.id not in order)
+        order.append(state.id)
+    assert order == [high, low, also_low]
+
+
+def test_lease_blocks_other_workers_until_expiry(queue):
+    cid = queue.submit(SPEC)
+    queue.claim("w0", now=0.0, lease_seconds=10.0)
+    assert queue.claim("w1", now=5.0, lease_seconds=10.0) is None
+    # the holder stopped heartbeating; the lease lapses
+    reclaimed = queue.claim("w1", now=10.0, lease_seconds=10.0)
+    assert reclaimed is not None and reclaimed.id == cid
+    assert queue.load()[cid].worker == "w1"
+
+
+def test_own_worker_reclaims_without_waiting(queue):
+    cid = queue.submit(SPEC)
+    queue.claim("w0", now=0.0, lease_seconds=100.0)
+    # a restarted supervisor with the same identity takes it right back
+    state = queue.claim("w0", now=1.0, lease_seconds=100.0)
+    assert state is not None and state.id == cid
+
+
+def test_renew_extends_and_release_frees(queue):
+    cid = queue.submit(SPEC)
+    queue.claim("w0", now=0.0, lease_seconds=10.0)
+    queue.renew(cid, "w0", now=8.0, lease_seconds=10.0)
+    assert queue.claim("w1", now=12.0, lease_seconds=10.0) is None  # 8+10
+    queue.release(cid, "w0", now=13.0, reason="drain")
+    state = queue.claim("w1", now=13.0, lease_seconds=10.0)
+    assert state is not None and state.id == cid
+
+
+def test_complete_is_terminal(queue):
+    cid = queue.submit(SPEC)
+    queue.claim("w0", now=0.0, lease_seconds=10.0)
+    queue.complete(cid, "w0", "completed", now=3.0, passed=4)
+    assert queue.claim("w1", now=100.0, lease_seconds=10.0) is None
+    state = queue.load()[cid]
+    assert state.status == "completed" and state.passed == 4
+    with pytest.raises(QueueError):
+        queue.complete(cid, "w0", "running", now=4.0)
+
+
+def test_accept_veto_skips_to_next_candidate(queue):
+    first = queue.submit(SPEC, tenant="a")
+    second = queue.submit(SPEC, tenant="b")
+    state = queue.claim(
+        "w0", now=0.0, lease_seconds=10.0,
+        accept=lambda s: s.tenant != "a",
+    )
+    assert state.id == second
+    assert queue.load()[first].status == "pending"
+
+
+def test_torn_tail_heals_and_queue_stays_usable(queue):
+    queue.submit(SPEC, campaign_id="c1")
+    queue.submit(SPEC, campaign_id="c2")
+    with open(queue.path, "ab") as fh:
+        fh.write(b'{"kind": "submit", "id": "c3", "se')  # power cut
+    fresh = CampaignQueue(queue.path)
+    states = fresh.load()
+    assert set(states) == {"c1", "c2"}  # torn record dropped, not fatal
+    fresh.submit(SPEC, campaign_id="c3")  # appender repairs the tail
+    assert set(fresh.load()) == {"c1", "c2", "c3"}
+
+
+def test_compaction_drops_heartbeats_keeps_state(queue, tmp_path):
+    cid = queue.submit(SPEC)
+    other = queue.submit(SPEC)
+    queue.claim("w0", now=0.0, lease_seconds=10.0)
+    for t in range(1, 20):
+        queue.renew(cid, "w0", now=float(t), lease_seconds=10.0)
+    queue.complete(cid, "w0", "completed", now=20.0, passed=1)
+    before = queue.load()
+    dropped = queue.compact()
+    assert dropped >= 18  # the superseded heartbeats went away
+    after = CampaignQueue(queue.path).load()
+    assert {c: (s.status, s.passed) for c, s in after.items()} == \
+           {c: (s.status, s.passed) for c, s in before.items()}
+    assert after[other].status == "pending"
+    assert queue.compact() == 0  # idempotent
+
+
+def test_compaction_preserves_unknown_record_shapes(queue):
+    queue.submit(SPEC, campaign_id="c1")
+    with open(queue.path, "a", encoding="utf-8") as fh:
+        fh.write(seal_line({"kind": "operator-note", "x": 1}) + "\n")
+    queue.claim("w0", now=0.0, lease_seconds=5.0)
+    queue.renew("c1", "w0", now=1.0, lease_seconds=5.0)
+    queue.compact()
+    kinds = [r.get("kind") for r in read_jsonl(queue.path)]
+    assert "operator-note" in kinds
+
+
+def test_records_carry_schema_version_and_future_v_is_rejected(queue):
+    queue.submit(SPEC, campaign_id="c1")
+    assert all(r.get("v") == 1 for r in read_jsonl(queue.path))
+    with open(queue.path, "a", encoding="utf-8") as fh:
+        fh.write(seal_line({"kind": "submit", "id": "c9", "v": 99})
+                 + "\n")
+    with pytest.raises(SchemaVersionError):
+        CampaignQueue(queue.path).load()
+
+
+def test_legacy_unversioned_records_still_fold(queue):
+    with open(queue.path, "a", encoding="utf-8") as fh:
+        fh.write(seal_line({
+            "kind": "submit", "t": 0.0, "id": "old", "seq": 1,
+            "spec": SPEC,
+        }) + "\n")
+    states = CampaignQueue(queue.path).load()
+    assert states["old"].status == "pending"
+
+
+def test_drain_request_and_marker(queue):
+    queue.submit(SPEC)
+    assert not queue.drain_requested_since(0.0)
+    queue.request_drain(now=5.0)
+    assert queue.drain_requested_since(0.0)
+    # strictly later only: a supervisor started at or after the request
+    # was not the one being asked to stop
+    assert not queue.drain_requested_since(5.0)
+    assert not queue.drain_requested_since(6.0)
+    queue.mark_drain("w0", now=7.0)
+    assert queue.max_time() == 7.0
+
+
+def test_next_lease_expiry_and_stats(queue):
+    a = queue.submit(SPEC)
+    b = queue.submit(SPEC)
+    queue.claim("w0", now=0.0, lease_seconds=10.0)
+    queue.claim("w1", now=2.0, lease_seconds=10.0)
+    assert queue.next_lease_expiry() == 10.0
+    queue.complete(a, "w0", "completed", now=4.0)
+    assert queue.stats() == {
+        "pending": 0, "leased": 1, "completed": 1, "failed": 0, "aborted": 0,
+    }
+    assert b in {s.id for s in queue.load().values()
+                 if s.status == "leased"}

@@ -1,0 +1,151 @@
+"""Longitudinal results timeline + cross-run change-point detection."""
+
+import pytest
+
+from repro.core.regression import detect_change_point
+from repro.fleet.timeline import ResultsTimeline, foms_from_journal
+
+
+def fom(test, value, system="archer2:compute", var="bandwidth"):
+    return {"test": test, "system": system, "var": var,
+            "value": value, "unit": "MB/s"}
+
+
+@pytest.fixture
+def timeline(tmp_path):
+    return ResultsTimeline(str(tmp_path / "fleet.timeline"))
+
+
+# -- the detector itself -----------------------------------------------------
+
+def test_change_point_finds_the_step():
+    values = [100.0, 101.0, 99.0, 100.0, 130.0, 131.0, 129.0, 130.0]
+    cp = detect_change_point(values)
+    assert cp is not None
+    assert cp.index == 4
+    assert cp.direction == "improved"
+    assert cp.change_fraction == pytest.approx(0.30, abs=0.02)
+
+
+def test_change_point_direction_respects_fom_polarity():
+    values = [100.0] * 4 + [80.0] * 4
+    assert detect_change_point(values).direction == "regressed"
+    assert detect_change_point(
+        values, higher_is_better=False
+    ).direction == "improved"
+
+
+def test_change_point_ignores_noise_and_short_series():
+    assert detect_change_point([100, 101, 99, 100, 101, 99, 100]) is None
+    assert detect_change_point([100.0, 130.0]) is None  # too short
+    assert detect_change_point([]) is None
+
+
+def test_change_point_start_excludes_accepted_history():
+    values = [100.0] * 4 + [130.0] * 4
+    assert detect_change_point(values).index == 4
+    # the shift at 4 was accepted (baselined): nothing new to flag
+    assert detect_change_point(values, start=5) is None
+
+
+def test_zero_noise_step_is_detected():
+    # simulated campaigns repeat exactly; the noise floor must not
+    # swallow a real step between two perfectly flat segments
+    cp = detect_change_point([100.0] * 5 + [110.0] * 5)
+    assert cp is not None and cp.index == 5
+
+
+# -- the timeline store ------------------------------------------------------
+
+def test_series_accumulate_in_run_order(timeline):
+    for i, value in enumerate([100.0, 101.0, 99.0]):
+        timeline.record_run(f"c{i}", "spec-a", [fom("StreamBenchmark", value)])
+    series = timeline.series()
+    key = ("StreamBenchmark", "archer2:compute", "spec-a", "bandwidth")
+    assert series[key] == [100.0, 101.0, 99.0]
+    assert timeline.run_count("spec-a") == 3
+
+
+def test_detection_flags_only_the_stepped_cell(timeline):
+    """Acceptance: >= 5 sequential runs, a 2x2 (benchmark x system)
+    grid, one cell steps -- exactly that cell is flagged."""
+    tests = ["BenchA", "BenchB"]
+    systems = ["archer2:compute", "isambard:cascadelake"]
+    for run in range(6):
+        foms = []
+        for t in tests:
+            for s in systems:
+                value = 100.0
+                if t == "BenchB" and s == systems[0] and run >= 3:
+                    value = 130.0  # the injected step-change
+                foms.append(fom(t, value, system=s))
+        timeline.record_run(f"c{run}", "spec-a", foms)
+    findings = timeline.detect_regressions(min_runs=5)
+    assert len(findings) == 1
+    (finding,) = findings
+    assert finding.key == ("BenchB", systems[0], "spec-a", "bandwidth")
+    assert finding.change.index == 3
+    assert finding.change.direction == "improved"
+    assert "BenchB" in timeline.render(findings)
+
+
+def test_min_runs_gate(timeline):
+    for run in range(4):
+        timeline.record_run(
+            f"c{run}", "spec-a",
+            [fom("BenchA", 100.0 if run < 2 else 200.0)],
+        )
+    assert timeline.detect_regressions(min_runs=5) == []
+    assert timeline.detect_regressions(min_runs=4)
+
+
+def test_baseline_suppresses_accepted_shift(timeline):
+    for run in range(8):
+        timeline.record_run(
+            f"c{run}", "spec-a",
+            [fom("BenchA", 100.0 if run < 4 else 70.0)],
+        )
+    findings = timeline.detect_regressions(min_runs=5)
+    assert findings and findings[0].change.direction == "regressed"
+    # operator accepts the new level; the same data stops flagging
+    timeline.set_baseline("spec-a", through=5)
+    assert timeline.detect_regressions(min_runs=5) == []
+
+
+def test_specs_do_not_cross_contaminate(timeline):
+    for run in range(6):
+        timeline.record_run(f"a{run}", "spec-a", [fom("BenchA", 100.0)])
+        timeline.record_run(
+            f"b{run}", "spec-b",
+            [fom("BenchA", 100.0 if run < 3 else 140.0)],
+        )
+    findings = timeline.detect_regressions(min_runs=5)
+    assert {f.key[2] for f in findings} == {"spec-b"}
+
+
+def test_foms_from_journal_reads_case_records():
+    records = [
+        {"status": "passed", "test": "BenchA", "platform": "sys:part",
+         "perfvars": {"bw": [123.0, "MB/s"], "lat": [4.5, "us"]}},
+        {"status": "failed", "test": "BenchB", "platform": "sys:part",
+         "perfvars": {"bw": [1.0, "MB/s"]}},  # failed cases contribute nothing
+        {"status": "passed", "test": "BenchC", "platform": "sys:part",
+         "perfvars": {}},
+    ]
+    foms = foms_from_journal(records)
+    assert foms == [
+        {"test": "BenchA", "system": "sys:part", "var": "bw",
+         "value": 123.0, "unit": "MB/s"},
+        {"test": "BenchA", "system": "sys:part", "var": "lat",
+         "value": 4.5, "unit": "us"},
+    ]
+
+
+def test_timeline_survives_torn_tail(timeline):
+    timeline.record_run("c0", "spec-a", [fom("BenchA", 100.0)])
+    with open(timeline.path, "ab") as fh:
+        fh.write(b'{"kind": "run", "spec_id": "spec-a", "fo')
+    fresh = ResultsTimeline(timeline.path)
+    assert fresh.run_count("spec-a") == 1
+    fresh.record_run("c1", "spec-a", [fom("BenchA", 101.0)])
+    assert fresh.run_count("spec-a") == 2

@@ -1,0 +1,59 @@
+"""The ``repro-bench`` exit-code contract (CI's interface to campaigns).
+
+A campaign that *ran* distinguishes three outcomes:
+
+* ``0`` -- every selected case passed;
+* ``1`` -- the campaign completed, but some cases failed;
+* ``2`` -- the campaign ABORTED (circuit breaker, durability failure):
+  results are partial and must not be interpreted as a verdict.
+
+Flag-validation errors keep exiting 1 (and argparse's own usage errors
+keep exiting 2 via SystemExit) -- only the *campaign* outcomes above
+are new surface.
+"""
+
+import pytest
+
+from repro.runner.cli import main as bench_main
+
+
+def run(tmp_path, *extra, suite="stream"):
+    return bench_main([
+        "-c", suite, "-r", "--system", "archer2",
+        "--perflog-dir", str(tmp_path / "pl"), *extra,
+    ])
+
+
+def test_clean_campaign_exits_zero(tmp_path, capsys):
+    assert run(tmp_path) == 0
+    assert "ABORTED" not in capsys.readouterr().out
+
+
+def test_completed_with_failed_cases_exits_one(tmp_path, capsys):
+    # HPCG_Intel's MKL binary refuses the non-Intel archer2 nodes: a
+    # designed build conflict, i.e. a *completed* campaign with failures
+    rc = run(tmp_path, suite="hpcg")
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "ABORTED" not in out
+
+
+def test_aborted_campaign_exits_two(tmp_path, capsys):
+    rc = run(
+        tmp_path,
+        "--inject-faults", "build:1.0x99", "--max-retries", "0",
+        "--max-failures", "1",
+    )
+    assert rc == 2
+    assert "ABORTED" in capsys.readouterr().out
+
+
+def test_validation_errors_still_exit_one(tmp_path, capsys):
+    assert run(tmp_path, "--max-retries", "-1") == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_usage_errors_still_raise_argparse_exit(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        bench_main(["--no-such-flag"])
+    assert exc.value.code == 2  # argparse's own convention, unchanged

@@ -356,3 +356,84 @@ class TestCompaction:
             assert not report.success
         # two failing cycles, two records: failure history is evidence
         assert len(list(CampaignJournal(path).entries())) == 2
+
+
+class TestCompactionComposition:
+    """Satellite: compact() composed with replay records and health
+    snapshots -- the mixed-journal shape a store-backed, health-tracked
+    campaign actually leaves behind."""
+
+    def _mixed_journal(self, tmp_path):
+        """Case records x2 cycles + two replays per case + two healths."""
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        results = []
+        for cycle in range(2):
+            ex, _ = make_executor(tmp_path, f"mix{cycle}")
+            report = ex.run_cases(ex.expand_cases([Member], "archer2"))
+            results = report.results
+            for result in results:
+                journal.record(result)
+        journal.record_health({"drained": [], "nodes": {"nid0001": 1}})
+        for result in results:
+            journal.record_replay(result, key="old-key",
+                                  cached_from="run-1")
+            journal.record_replay(result, key="new-key",
+                                  cached_from="run-2")
+        journal.record_health({"drained": ["nid0001"], "nodes": {}})
+        return journal, path, results
+
+    def test_compact_keeps_latest_of_every_keyspace(self, tmp_path):
+        journal, _, results = self._mixed_journal(tmp_path)
+        before = journal.load()
+        # 8 case + 2 health + 8 replay = 18 records before compaction
+        assert len(list(journal.entries())) == 18
+        dropped = journal.compact()
+        assert dropped == 9  # 4 stale cases + 4 stale replays + 1 health
+        records = list(journal.entries())
+        cases = [r for r in records if r.get("kind") is None]
+        replays = [r for r in records if r.get("kind") == "replay"]
+        healths = [r for r in records if r.get("kind") == "health"]
+        assert len(cases) == 4 and journal.load() == before
+        # the *latest* replay per fingerprint survived, not the first
+        assert len(replays) == 4
+        assert all(r["key"] == "new-key" for r in replays)
+        assert journal.health_snapshot() == {
+            "drained": ["nid0001"], "nodes": {},
+        }
+        assert len(healths) == 1
+        assert journal.compact() == 0  # idempotent on the mixed shape
+
+    def test_resume_after_compact_converges_byte_identically(self, tmp_path):
+        """Crash -> compact the partial journal -> resume: same bytes
+        as the uninterrupted run.  Compaction must never change what
+        --resume reconstructs, even mid-campaign with meta records
+        interleaved."""
+        path = str(tmp_path / "j.jsonl")
+        ref_ex, ref_prefix = make_executor(tmp_path, "cc-ref")
+        ref = ref_ex.run_cases(ref_ex.expand_cases([Member], "archer2"))
+        assert ref.success
+
+        Member.ran = 0
+        Member.kill_at = 2
+        ex1, prefix = make_executor(tmp_path, "cc")
+        journal = CampaignJournal(path)
+        journal.record_health({"drained": [], "nodes": {}})
+        crashed = ex1.run_cases(ex1.expand_cases([Member], "archer2"),
+                                journal=journal)
+        assert crashed.aborted and len(crashed.passed) == 2
+
+        # an operator compacts the crashed campaign's journal offline
+        reopened = CampaignJournal(path)
+        state_before = reopened.load()
+        reopened.compact()
+        assert CampaignJournal(path).load() == state_before
+
+        Member.kill_at = None
+        ran_before = Member.ran
+        ex2, _ = make_executor(tmp_path, "cc")  # same perflog prefix
+        resumed = ex2.run_cases(ex2.expand_cases([Member], "archer2"),
+                                journal=path, resume=True)
+        assert resumed.success and len(resumed.resumed) == 2
+        assert Member.ran == ran_before + 2  # nothing re-executed
+        assert read_logs(prefix) == read_logs(ref_prefix)
