@@ -16,6 +16,7 @@ setup(
             "repro-trace = repro.obs.cli:main",
             "repro-fsck = repro.runner.fsck:main",
             "repro-fleet = repro.fleet.cli:main",
+            "repro-top = repro.obs.top:main",
         ],
     },
 )

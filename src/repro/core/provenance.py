@@ -54,6 +54,10 @@ class RunProvenance:
     #: ``--trace`` was armed (the pointer, not the spans: traces can be
     #: large and live next to the perflogs they describe)
     trace_file: Optional[str] = None
+    #: path of the sealed live-status artifact, when ``--live-status``
+    #: was armed -- same pointer-not-payload rule as the trace, and the
+    #: handle ``repro-fsck --provenance`` uses to discover/verify it
+    live_status: Optional[str] = None
     #: result-store accounting (``ResultStoreStats.as_dict()``) when
     #: ``--result-store`` was armed: how many cases were replayed from
     #: the content-addressed store vs executed fresh.  An incremental
@@ -112,14 +116,16 @@ class RunProvenance:
         self.resilience = info
 
     def attach_metrics(
-        self, snapshot: Any, trace_path: Optional[str] = None
+        self, snapshot: Any, trace_path: Optional[str] = None,
+        live_status: Optional[str] = None,
     ) -> None:
         """Record the campaign metrics snapshot (and the trace pointer).
 
         Accepts a :class:`~repro.obs.metrics.MetricsRegistry`, anything
         with ``snapshot()``/``as_dict()``, or a plain dict -- typically
         ``report.metrics`` straight off the :class:`RunReport`, with
-        ``report.trace_path`` as *trace_path*.
+        ``report.trace_path`` as *trace_path* and the ``--live-status``
+        path (if armed) as *live_status*.
         """
         if hasattr(snapshot, "snapshot"):
             self.metrics = snapshot.snapshot()
@@ -129,6 +135,8 @@ class RunProvenance:
             self.metrics = dict(snapshot)
         if trace_path is not None:
             self.trace_file = str(trace_path)
+        if live_status is not None:
+            self.live_status = str(live_status)
 
     def attach_result_cache(self, stats: Any) -> None:
         """Record result-store accounting (``ResultStoreStats`` or dict)."""
@@ -226,6 +234,7 @@ class RunProvenance:
                 "health": self.health,
                 "metrics": self.metrics,
                 "trace_file": self.trace_file,
+                "live_status": self.live_status,
                 "result_cache": self.result_cache,
             },
             indent=2,
@@ -243,6 +252,7 @@ class RunProvenance:
         # observability fields arrived later; .get keeps old files loading
         prov.metrics = doc.get("metrics")
         prov.trace_file = doc.get("trace_file")
+        prov.live_status = doc.get("live_status")
         prov.result_cache = doc.get("result_cache")
         return prov
 

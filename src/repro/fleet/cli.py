@@ -118,9 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "longitudinal results timeline")
     run.add_argument("--metrics", action="store_true",
                      help="print fleet.* counters after the summary")
+    run.add_argument("--live-status", nargs="?", const="", default=None,
+                     metavar="PATH",
+                     help="stream live fleet aggregates to a sealed "
+                          "JSONL artifact (default: <queue>.live.jsonl); "
+                          "watch with repro-top or repro-fleet status")
 
     status = sub.add_parser("status", help="show per-campaign state")
     status.add_argument("--queue", required=True, metavar="PATH")
+    status.add_argument("--live-status", default=None, metavar="PATH",
+                        help="live-status artifact to read per-campaign "
+                             "progress from (default: <queue>.live.jsonl "
+                             "when present)")
 
     drain = sub.add_parser(
         "drain", help="ask the running supervisor to drain gracefully"
@@ -205,6 +214,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     timeline = (
         ResultsTimeline(args.timeline) if args.timeline else None
     )
+    live = args.live_status
+    if live == "":
+        live = f"{args.queue}.live.jsonl"
     supervisor = FleetSupervisor(
         queue,
         worker=args.worker,
@@ -215,6 +227,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tenant_quotas=quotas,
         faults=faults,
         timeline=timeline,
+        live=live,
     )
 
     # SIGTERM = graceful drain at the next slice boundary: running
@@ -255,7 +268,48 @@ def _cmd_status(args: argparse.Namespace) -> int:
               f"priority={s.priority} nodes={s.nodes}{extra}")
     counts = queue.stats()
     print(", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    _print_live_status(args)
     return 0
+
+
+def _print_live_status(args: argparse.Namespace) -> None:
+    """Augment queue-fold state with live per-campaign progress.
+
+    The supervisor's live-status artifact (``run --live-status``) is a
+    sealed JSONL stream of windowed snapshots; the latest one carries
+    per-campaign done/total counters and fleet-wide rates that the
+    queue fold alone cannot know mid-slice.
+    """
+    import os
+
+    path = args.live_status or f"{args.queue}.live.jsonl"
+    if not os.path.exists(path):
+        return
+    from repro.obs.live import read_live_status
+
+    _, statuses = read_live_status(path)
+    if not statuses:
+        return
+    snap = statuses[-1].get("snapshot") or {}
+    cases = snap.get("cases") or {}
+    rates = snap.get("rates") or {}
+    rate = rates.get("cases_per_second")
+    print(
+        f"live: t=+{snap.get('clock', 0):g}s  "
+        f"{cases.get('total', 0)} case(s) done fleet-wide"
+        + (f", {rate:g} cases/s" if rate else "")
+        + f"  ({path})"
+    )
+    fleet = snap.get("fleet") or {}
+    for cid in sorted(fleet):
+        info = fleet[cid]
+        total = info.get("total", 0)
+        done = info.get("done", 0)
+        pct = f" ({done * 100 // total}%)" if total else ""
+        print(f"  {cid}: {done}/{total} case(s){pct}, "
+              f"{info.get('slices', 0)} slice(s), {info.get('status', '?')}")
+    for alert in snap.get("alerts") or []:
+        print(f"  ! {alert}")
 
 
 def _cmd_drain(args: argparse.Namespace) -> int:

@@ -88,6 +88,9 @@ class CampaignSpec:
     drain_after: Optional[int] = None
     trace: Optional[str] = None
     metrics: bool = False
+    #: live analytics plane: stream sealed status snapshots here while
+    #: the campaign runs (``repro-bench --live-status`` / ``repro-top``)
+    live_status: Optional[str] = None
     #: pin perflog timestamps (fleet determinism / byte-identity tests)
     perflog_timestamp: Optional[str] = None
 
@@ -152,10 +155,15 @@ class PreparedCampaign:
         self,
         cases: Optional[Sequence[Any]] = None,
         resume: bool = False,
+        live: Optional[Any] = None,
     ) -> RunReport:
         options = dict(self.run_options)
         if resume:
             options["resume"] = True
+        if live is not None:
+            # a supervisor shares one LiveStatsSink across campaigns;
+            # it overrides any per-spec live-status path
+            options["live"] = live
         return self.executor.run_cases(
             self.cases if cases is None else list(cases), **options
         )
@@ -235,6 +243,7 @@ class CampaignService:
             "journal_batch": spec.journal_batch,
             "result_store": result_store,
             "durability": spec.durability,
+            "live": spec.live_status,
         }
         return PreparedCampaign(
             spec=spec,

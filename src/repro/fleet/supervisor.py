@@ -45,6 +45,7 @@ from repro.fleet.service import (
     PreparedCampaign,
 )
 from repro.fleet.timeline import ResultsTimeline, foms_from_journal
+from repro.obs.live import as_live_sink
 from repro.obs.metrics import MetricsRegistry
 from repro.runner.resilience import (
     COMPLETED_STATUSES,
@@ -160,6 +161,12 @@ class FleetSupervisor:
     on_slice:
         Test/observer hook called after every slice with
         ``(campaign_id, slices_so_far)``.
+    live:
+        Live analytics plane: a path (sealed live-status artifact) or
+        a shared :class:`~repro.obs.live.LiveStatsSink`.  The sink is
+        threaded into every campaign slice and fed per-campaign fleet
+        progress at each slice boundary; ``repro-fleet status`` and
+        ``repro-top`` read the artifact from a second process.
     """
 
     def __init__(
@@ -177,6 +184,7 @@ class FleetSupervisor:
         metrics: Optional[MetricsRegistry] = None,
         timeline: Optional[ResultsTimeline] = None,
         on_slice: Optional[Callable[[str, int], None]] = None,
+        live: Optional[Any] = None,
     ):
         if slice_cases < 1:
             raise ValueError("slice_cases must be >= 1")
@@ -198,6 +206,11 @@ class FleetSupervisor:
         self.metrics = metrics or MetricsRegistry()
         self.timeline = timeline
         self.on_slice = on_slice
+        # the live analytics plane: one shared sink across every
+        # campaign this supervisor holds (a path arms a sealed
+        # live-status artifact that `repro-fleet status` / `repro-top`
+        # tail from a second process)
+        self.live = as_live_sink(live)
         # resume the simulated clock from the queue: leases this
         # supervisor grants must postdate every recorded one
         self.clock = (
@@ -366,7 +379,8 @@ class FleetSupervisor:
             chunk = chunk[: max(1, len(chunk) // 2)]
         try:
             run_report = rt.prepared.run(
-                cases=chunk, resume=rt.journal is not None
+                cases=chunk, resume=rt.journal is not None,
+                live=self.live,
             )
         except CampaignAborted as exc:
             # backstop bulkhead: run_cases converts aborts into
@@ -393,6 +407,7 @@ class FleetSupervisor:
             )
             return
         rt.cursor += len(chunk)
+        self._note_live(cid, rt, "running")
         if self.on_slice is not None:
             self.on_slice(cid, rt.slices)
         if rt.journal is None or rt.cursor >= len(rt.prepared.cases):
@@ -408,6 +423,7 @@ class FleetSupervisor:
                 id=cid, status="lost", slices=rt.slices,
                 detail="lease expired (injected)",
             )
+            self._note_live(cid, rt, "lost")
         else:
             self.metrics.counter("fleet.leases.renewed").add()
             self.queue.renew(
@@ -459,6 +475,7 @@ class FleetSupervisor:
             slices=rt.slices,
             detail="" if failed == 0 else f"{failed} case(s) failed",
         )
+        self._note_live(cid, rt, status)
 
     def _terminal(
         self,
@@ -477,6 +494,25 @@ class FleetSupervisor:
         report.outcomes[cid] = CampaignOutcome(
             id=cid, status=status, detail=detail, slices=rt.slices
         )
+        self._note_live(cid, rt, status)
+
+    def _note_live(self, cid: str, rt: _Running, status: str) -> None:
+        """Feed one campaign's progress into the live plane (if armed)."""
+        if self.live is None:
+            return
+        total = len(rt.prepared.cases)
+        done = total if status == "completed" else min(rt.cursor, total)
+        self.live.note_fleet(
+            cid,
+            tenant=rt.state.tenant,
+            nodes=rt.state.nodes,
+            done=done,
+            total=total,
+            slices=rt.slices,
+            status=status,
+            now=self.clock.now,
+        )
+        self.live.emit_status(self.clock.now)
 
     # -- drain / idle ---------------------------------------------------------
     def _drain_due(self, started_at: float) -> bool:

@@ -7,7 +7,7 @@ pipeline stages, queue waits, backoff sleeps, watchdog events,
 speculative duplicates -- plus a unified metrics namespace replacing the
 summary counters that used to be scattered over four objects.
 
-Three modules, zero dependencies:
+Four modules, zero dependencies:
 
 * :mod:`repro.obs.jsonl` -- the crash-safe JSONL primitives shared with
   the campaign journal (single-write appends, fsync, torn-tail repair);
@@ -15,14 +15,27 @@ Three modules, zero dependencies:
   ``CaseTimeline``, plus ``load_trace``/``validate_nesting``/
   ``chrome_trace`` for the analysis side;
 * :mod:`repro.obs.metrics` -- ``MetricsRegistry`` with counters, gauges
-  and fixed-bucket histograms whose snapshots are deterministic.
+  and fixed-bucket histograms whose snapshots are deterministic;
+* :mod:`repro.obs.live` -- the live analytics plane: ``LiveStatsSink``
+  subscribes to the perflog/trace writer hooks and maintains windowed
+  aggregates (throughput, latency percentiles, fleet occupancy) while
+  campaigns run, streaming sealed ``live-status`` snapshots a second
+  process can tail.
 
 ``repro-trace`` (:mod:`repro.obs.cli`) renders timelines, slowest-span
 tables and metrics summaries from the trace file and exports Chrome
-``chrome://tracing`` JSON.
+``chrome://tracing`` JSON; ``repro-top`` (:mod:`repro.obs.top`) is the
+refresh-loop dashboard over the live plane.
 """
 
 from repro.obs.jsonl import JsonlAppender, read_jsonl, write_jsonl_atomic
+from repro.obs.live import (
+    LiveStatsSink,
+    TailCursor,
+    as_live_sink,
+    read_live_status,
+    replay_trace,
+)
 from repro.obs.metrics import (
     Counter,
     DURATION_BUCKETS,
@@ -49,15 +62,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlAppender",
+    "LiveStatsSink",
     "MetricsRegistry",
     "Span",
     "SpanRecorder",
+    "TailCursor",
     "TraceError",
     "Tracer",
+    "as_live_sink",
     "as_tracer",
     "chrome_trace",
     "load_trace",
     "read_jsonl",
+    "read_live_status",
+    "replay_trace",
     "validate_nesting",
     "write_jsonl_atomic",
 ]

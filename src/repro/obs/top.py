@@ -1,0 +1,277 @@
+"""``repro-top``: a live fleet dashboard over the streaming stats plane.
+
+Three ways in, one renderer:
+
+* ``repro-top STATUS.live.jsonl`` -- follow a running campaign/fleet:
+  tail the sealed live-status artifact (exactly-once incremental reads
+  via :class:`~repro.obs.live.TailCursor`) and redraw on every new
+  status record;
+* ``repro-top STATUS.live.jsonl --once [--json]`` -- render the latest
+  snapshot and exit (scripting, CI smoke);
+* ``repro-top --replay TRACE`` -- reconstruct the dashboard
+  deterministically from a *finished* trace file.  Traces are
+  byte-identical across execution policies, so this render is too --
+  which is how the test suite pins the dashboard.
+
+Everything is keyed to the simulated clock; the only wall-clock use is
+the watch loop's sleep between polls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from .cli import _fmt_seconds
+from .live import TailCursor, read_live_status, replay_trace
+
+__all__ = ["build_parser", "main", "render_dashboard"]
+
+#: sparkline glyphs; index 0 is "no completions in this bucket"
+_BLOCKS = "·▁▂▃▄▅▆▇█"
+
+
+def sparkline(history: List[int]) -> str:
+    """Bucket counts -> a fixed-glyph sparkline (integer math only)."""
+    if not history:
+        return ""
+    peak = max(history)
+    if peak <= 0:
+        return _BLOCKS[0] * len(history)
+    out = []
+    for n in history:
+        if n <= 0:
+            out.append(_BLOCKS[0])
+        else:
+            # n == peak maps to the top glyph, n == 1 to the bottom one
+            out.append(_BLOCKS[1 + (n * 7) // peak])
+    return "".join(out)
+
+
+def _progress_bar(done: int, total: int, width: int = 14) -> str:
+    if total <= 0:
+        return "[" + "-" * width + "]  ??%"
+    fill = min(width, done * width // total)
+    pct = done * 100 // total
+    return "[" + "#" * fill + "-" * (width - fill) + f"] {pct:3d}%"
+
+
+def _rate_str(rate: Optional[float]) -> str:
+    return f"{rate:.2f}" if rate is not None else "-"
+
+
+def render_dashboard(snapshot: Dict[str, Any], width: int = 72) -> str:
+    """The full ASCII dashboard for one status snapshot."""
+    out: List[str] = []
+    clock = snapshot.get("clock") or 0.0
+    cases = snapshot.get("cases") or {}
+    rates = snapshot.get("rates") or {}
+    out.append(
+        f"repro-top -- t=+{_fmt_seconds(clock)} (simulated clock)  "
+        f"source={snapshot.get('source', '?')}"
+    )
+    out.append(
+        f"cases: {cases.get('total', 0)} total  "
+        f"{cases.get('passed', 0)} pass  {cases.get('failed', 0)} fail  "
+        f"{cases.get('skipped', 0)} skip   "
+        f"{_rate_str(rates.get('cases_per_second'))} cases/s"
+    )
+    out.append(
+        f"retries: {cases.get('retried', 0)} case(s) "
+        f"(+{cases.get('attempts_extra', 0)} attempts)  "
+        f"resumed {cases.get('resumed', 0)}  "
+        f"replayed {cases.get('replayed', 0)}  "
+        f"speculated {cases.get('speculated', 0)}  "
+        f"rows {snapshot.get('rows', 0)}"
+    )
+
+    fleet = snapshot.get("fleet") or {}
+    if fleet:
+        out.append("")
+        out.append("FLEET")
+        out.append(f"  {'campaign':<18} {'tenant':<10} {'nodes':>5}  "
+                   f"{'progress':<21} {'slices':>6}  status")
+        for cid in sorted(fleet):
+            info = fleet[cid]
+            out.append(
+                f"  {cid:<18.18} {info.get('tenant', '-'):<10.10} "
+                f"{info.get('nodes', 0):>5}  "
+                f"{_progress_bar(info.get('done', 0), info.get('total', 0))}"
+                f"  {info.get('slices', 0):>6}  {info.get('status', '?')}"
+            )
+        tenants = snapshot.get("tenants") or {}
+        if tenants:
+            parts = [
+                f"{name}: {t['campaigns']} campaign(s), {t['nodes']} node(s)"
+                for name, t in sorted(tenants.items())
+            ]
+            out.append("  tenants  " + "   ".join(parts))
+
+    systems = snapshot.get("systems") or {}
+    if systems:
+        out.append("")
+        out.append("SYSTEMS")
+        out.append(f"  {'system':<24} {'cases':>6} {'pass':>6} {'fail':>5} "
+                   f"{'rows':>6} {'cases/s':>8}  activity")
+        for name in sorted(systems):
+            rec = systems[name]
+            out.append(
+                f"  {name:<24.24} {rec.get('cases', 0):>6} "
+                f"{rec.get('passed', 0):>6} {rec.get('failed', 0):>5} "
+                f"{rec.get('rows', 0):>6} "
+                f"{_rate_str(rec.get('rate')):>8}  "
+                f"{sparkline(rec.get('history') or [])}"
+            )
+
+    latency = snapshot.get("latency") or {}
+    if any((latency.get(k) or {}).get("count") for k in latency):
+        out.append("")
+        out.append("LATENCY (simulated seconds)")
+        for key, label in (("queue", "queue-wait"), ("run", "job-run"),
+                           ("case", "case")):
+            h = latency.get(key) or {}
+            if not h.get("count"):
+                continue
+            out.append(
+                f"  {label:<11} n={h['count']:<7} "
+                f"p50={_fmt_seconds(h.get('p50') or 0.0):<9} "
+                f"p90={_fmt_seconds(h.get('p90') or 0.0):<9} "
+                f"p99={_fmt_seconds(h.get('p99') or 0.0):<9} "
+                f"max={_fmt_seconds(h.get('max') or 0.0)}"
+            )
+
+    slowest = snapshot.get("slowest") or []
+    if slowest:
+        out.append("")
+        out.append("SLOWEST SPANS")
+        for dur, track, name in slowest:
+            out.append(f"  {_fmt_seconds(dur):>9}  {track:<28.28} {name}")
+
+    out.append("")
+    alerts = snapshot.get("alerts") or []
+    if alerts:
+        out.append("ALERTS")
+        for alert in alerts:
+            out.append(f"  ! {alert}")
+    else:
+        out.append("no alerts")
+    return "\n".join(line.rstrip() for line in out)
+
+
+def _emit(snapshot: Dict[str, Any], as_json: bool, width: int,
+          clear: bool = False) -> None:
+    if clear:
+        sys.stdout.write("\x1b[2J\x1b[H")
+    if as_json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_dashboard(snapshot, width=width))
+    sys.stdout.flush()
+
+
+def _watch(path: str, args: argparse.Namespace) -> int:
+    """Follow the live-status artifact until interrupted (or --frames)."""
+    from .jsonl import verify_line
+
+    cursor = TailCursor(path)
+    latest: Optional[Dict[str, Any]] = None
+    frames = 0
+    clear = not args.no_clear
+    while True:
+        lines, reset = cursor.read_new()
+        if reset:
+            latest = None
+        fresh = False
+        for line in lines:
+            rec = verify_line(line)
+            if rec is not None and rec.get("kind") == "status":
+                latest = rec.get("snapshot")
+                fresh = True
+        if fresh and latest is not None:
+            _emit(latest, args.json, args.width, clear=clear)
+            frames += 1
+            if args.frames is not None and frames >= args.frames:
+                return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live dashboard over a running repro campaign/fleet.",
+    )
+    parser.add_argument(
+        "status", nargs="?", default=None,
+        help="live-status artifact (from --live-status PATH)",
+    )
+    parser.add_argument(
+        "--replay", default=None, metavar="TRACE",
+        help="reconstruct the dashboard from a finished trace file",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render the latest snapshot and exit (no watch loop)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the snapshot as JSON instead of the dashboard",
+    )
+    parser.add_argument(
+        "--width", type=int, default=72,
+        help="dashboard width hint in characters (default 72)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="watch-mode poll interval (wall seconds, default 2.0)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="watch mode: exit after N redraws (tests, demos)",
+    )
+    parser.add_argument(
+        "--no-clear", action="store_true",
+        help="watch mode: append frames instead of clearing the screen",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if (args.status is None) == (args.replay is None):
+        print("repro-top: need a STATUS file or --replay TRACE (not both)",
+              file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        try:
+            sink = replay_trace(args.replay)
+        except OSError as exc:
+            print(f"repro-top: {exc}", file=sys.stderr)
+            return 2
+        _emit(sink.snapshot(), args.json, args.width)
+        return 0
+
+    if args.once:
+        try:
+            _, statuses = read_live_status(args.status)
+        except OSError as exc:
+            print(f"repro-top: {exc}", file=sys.stderr)
+            return 2
+        if not statuses:
+            print(f"repro-top: no status records in {args.status}",
+                  file=sys.stderr)
+            return 1
+        _emit(statuses[-1]["snapshot"], args.json, args.width)
+        return 0
+
+    return _watch(args.status, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -368,6 +368,14 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_id = 1
         self._wrote_meta = False
+        #: flush subscribers -- duck-typed objects with
+        #: ``note_flush(path, lines)``, the mirror of the perflog
+        #: writer's ``note_append`` hook.  Each flushed batch of sealed
+        #: lines is fanned out in flush order (the deterministic result
+        #: order), so a sink sees exactly the byte stream the trace file
+        #: receives without subclassing the tracer.  A sink that raises
+        #: is dropped -- observers must never fail the campaign.
+        self._sinks: List[Any] = []
         #: group-commit buffer of *encoded* lines (encoding happens at
         #: flush time so replayed bundles can blit verbatim bytes in)
         self._pending_lines: List[str] = []
@@ -385,6 +393,34 @@ class Tracer:
     def recorder(self, track: str) -> SpanRecorder:
         """A fresh recorder for one track (no shared state touched)."""
         return SpanRecorder(track, wall=self.wall)
+
+    # -- flush subscribers ---------------------------------------------------
+    def add_sink(self, sink: Any) -> None:
+        """Subscribe *sink* to span flushes.
+
+        ``sink.note_flush(path, items)`` is called with the trace path
+        (``None`` for in-memory tracers) and every flushed batch, in
+        flush order.  The mirror of ``PerflogWriter.note_append``.  Each
+        item is the decoded record dict when the tracer has it in hand
+        (the live-flush hot path skips a re-parse + checksum round
+        trip) and the raw sealed line otherwise (result-store blits);
+        sinks must accept both.  Idempotent per sink object.
+        """
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+
+    def _notify_sinks(
+        self, items: List[Union[str, Dict[str, Any]]]
+    ) -> None:
+        if not self._sinks or not items:
+            return
+        for sink in list(self._sinks):
+            try:
+                sink.note_flush(self.path, items)
+            except Exception:
+                # observers never fail the campaign: a broken sink is
+                # dropped and the trace keeps flowing to disk.
+                self._sinks.remove(sink)
 
     # -- storage-fault plumbing ----------------------------------------------
     def attach_io(self, io: Any, label: str = "trace") -> None:
@@ -490,6 +526,10 @@ class Tracer:
                 else:
                     self._appender.append_lines(lines)
                 self.spans_written += n_spans
+            # sinks hear every flush -- even in-memory or degraded-disk
+            # tracers keep the live plane fed.  Live flushes hand over
+            # the decoded records; blits only have the stored lines.
+            self._notify_sinks(records if records else lines)
             return records
 
     def _drain_locked(self) -> None:
@@ -516,6 +556,7 @@ class Tracer:
                 if self._pending_lines:
                     self._drain_locked()
                 self._appender.append_many(records)
+            self._notify_sinks(list(records))
 
 
 def serialize_spans(recorder: SpanRecorder) -> List[Dict[str, Any]]:

@@ -231,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="collect campaign counters and duration "
                              "histograms and print the breakdown after "
                              "the summary (implied by --trace)")
+    parser.add_argument("--live-status", default=None, metavar="PATH",
+                        help="stream live windowed aggregates (per-system "
+                             "throughput, latency percentiles, alerts) to "
+                             "a sealed JSONL artifact at PATH while the "
+                             "campaign runs; watch with repro-top PATH")
     parser.add_argument("--profile", nargs="?", const="-", default=None,
                         metavar="PATH",
                         help="profile the campaign with cProfile; print "
@@ -296,6 +301,7 @@ def spec_from_args(args: argparse.Namespace):
         drain_after=args.drain_after,
         trace=args.trace,
         metrics=args.metrics,
+        live_status=args.live_status,
     )
 
 
@@ -402,6 +408,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_metrics(report.metrics))
     if report.trace_path is not None:
         print(f"trace: {report.trace_path}")
+    if args.live_status is not None:
+        print(f"live status: {args.live_status} (watch with repro-top)")
     if executor.perflog and executor.perflog.written:
         print("perflogs:")
         for path in executor.perflog.written:

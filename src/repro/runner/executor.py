@@ -45,6 +45,7 @@ from typing import (
 )
 
 from repro.faults import FaultClock, FaultPlan
+from repro.obs.live import LiveStatsSink, as_live_sink
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import ReplayedSpans, Tracer, as_tracer
 from repro.pkgmgr.installer import Installer
@@ -107,6 +108,9 @@ class RunReport:
     metrics: Optional[Dict[str, Any]] = None
     #: the JSONL trace file spans were streamed to (None: not traced)
     trace_path: Optional[str] = None
+    #: the sealed live-status artifact the live plane streamed to
+    #: (None: no live sink, in-memory sink, or the stream degraded)
+    live_status_path: Optional[str] = None
     #: result-store accounting (``ResultStoreStats.as_dict()``) when a
     #: --result-store was armed -- the ``Replayed:`` summary line and
     #: ``--cache-stats`` reporting read this
@@ -408,6 +412,7 @@ class Executor:
         journal_batch: int = 1,
         result_store: Optional[Union[str, CaseResultStore]] = None,
         durability: str = "strict",
+        live: Optional[Union[str, LiveStatsSink]] = None,
     ) -> RunReport:
         """Run a campaign under the chosen execution policy.
 
@@ -474,7 +479,15 @@ class Executor:
           campaign's counters and duration histograms; the snapshot
           lands on :attr:`RunReport.metrics`, in the trace file's final
           record, and (via ``RunProvenance.attach_metrics``) in
-          provenance.  Tracing implies metrics.
+          provenance.  Tracing implies metrics;
+        * ``live`` (a path or :class:`~repro.obs.live.LiveStatsSink`)
+          arms the live analytics plane (DESIGN.md section 10): the
+          sink subscribes to the perflog/trace writer hooks, receives
+          every completed case as it is consumed, and -- when given a
+          path -- streams sealed ``live-status`` snapshots a second
+          process can watch with ``repro-top``.  A pure observer: it
+          cannot fail or slow the campaign beyond its own accounting,
+          and everything it sees is on the simulated clock.
 
         Incremental campaigns (DESIGN.md "Incremental campaigns"):
 
@@ -568,6 +581,14 @@ class Executor:
             tracer.recorder("campaign") if tracer is not None else None
         )
         campaign_cursor = [0.0]
+        live_sink = as_live_sink(live)
+        if live_sink is not None:
+            # the live plane listens on the writer hooks (add_sink is
+            # idempotent: fleet slices reuse one executor + sink pair)
+            if tracer is not None:
+                tracer.add_sink(live_sink)
+            if self.perflog is not None:
+                self.perflog.add_sink(live_sink)
         completed: Dict[str, Dict[str, Any]] = {}
         if journal is not None and resume:
             completed = journal.load()
@@ -888,6 +909,29 @@ class Executor:
                 durpolicy.absorb("store", str(store.root), exc)
                 drop_store()
 
+        def case_span_attrs(result: CaseResult) -> Dict[str, Any]:
+            """Campaign-track span attrs for one finished case.
+
+            Shared between the trace record and the live sink, so the
+            live plane and a later ``--replay`` of the trace attribute
+            cases identically.
+            """
+            attrs: Dict[str, Any] = dict(
+                status=(
+                    "passed" if result.passed else
+                    ("skipped" if result.skipped else "failed")
+                ),
+                attempts=result.attempts,
+                resumed=result.resumed,
+                speculated=result.speculated,
+            )
+            if result.replayed:
+                # cache annotation -- the ONLY campaign-track
+                # difference between a warm and a cold trace
+                # (strip_replay_attrs removes it for comparison)
+                attrs["replayed"] = True
+            return attrs
+
         def on_result(result: CaseResult) -> None:
             # fires per case, in deterministic serial order, as soon as
             # the result is available (run_waves streams it) -- so the
@@ -916,24 +960,20 @@ class Executor:
                 )
                 t0 = campaign_cursor[0]
                 if campaign_rec is not None:
-                    span_attrs: Dict[str, Any] = dict(
-                        status=(
-                            "passed" if result.passed else
-                            ("skipped" if result.skipped else "failed")
-                        ),
-                        attempts=result.attempts,
-                        resumed=result.resumed,
-                        speculated=result.speculated,
-                    )
-                    if result.replayed:
-                        # cache annotation -- the ONLY campaign-track
-                        # difference between a warm and a cold trace
-                        # (strip_replay_attrs removes it for comparison)
-                        span_attrs["replayed"] = True
+                    span_attrs = case_span_attrs(result)
                     campaign_rec.record(
                         result.case.display_name, t0, t0 + extent,
                         "case", **span_attrs,
                     )
+                    if live_sink is not None:
+                        # the exact campaign-track record: live state
+                        # reconciles byte-for-byte with a later replay
+                        # of the trace (sched spans arrive separately
+                        # through the note_flush hook)
+                        live_sink.observe_case(
+                            result.case.display_name, t0, t0 + extent,
+                            span_attrs,
+                        )
                 campaign_cursor[0] = t0 + extent
                 if recorder is not None:
                     try:
@@ -951,6 +991,28 @@ class Executor:
                         "perflog-flush", campaign_cursor[0], "io",
                         case=result.case.display_name,
                     )
+            elif live_sink is not None:
+                # untraced campaigns still feed the live plane: the
+                # case extent is rebuilt from the simulated durations
+                # (what the campaign track would have recorded), and
+                # queue/job seconds go straight to the histograms since
+                # no sched spans will arrive through note_flush
+                extent = 0.0 if result.skipped else (
+                    result.build_seconds + result.queue_seconds
+                    + result.job_seconds + sum(result.backoff_schedule)
+                )
+                t0 = campaign_cursor[0]
+                campaign_cursor[0] = t0 + extent
+                live_sink.observe_case(
+                    result.case.display_name, t0, t0 + extent,
+                    case_span_attrs(result),
+                    durations=(
+                        None if result.skipped else {
+                            "queue": result.queue_seconds,
+                            "job": result.job_seconds,
+                        }
+                    ),
+                )
             if (store is not None and not result.resumed
                     and not result.replayed and not result.quarantined):
                 # quarantine short-circuits are ledger state, not
@@ -1041,6 +1103,12 @@ class Executor:
                 durpolicy.absorb("trace", tracer.path, exc)
                 tracer.disable_disk()
                 report.degraded = durpolicy.snapshot()
+        if live_sink is not None:
+            # fold the end-of-run counters (store hit rates, degraded
+            # streams) and emit the final status record; per fleet
+            # slice these fold additively, like merge_snapshot
+            live_sink.finalize(report.metrics, now=campaign_cursor[0])
+            report.live_status_path = live_sink.status_path
         if journal is not None and report.success:
             # a finished campaign's journal only needs its latest state
             journal.compact()
@@ -1106,6 +1174,13 @@ class Executor:
         )
         # subsystem caches publish their own namespaces
         self.concretizer_cache.stats.publish(registry, "concretize")
+        if (self.perflog is not None and self.perflog.store is not None
+                and hasattr(self.perflog.store, "stats")):
+            # the ingest-cache mirror's counters used to land only in
+            # provenance; metrics snapshots under-reported cache work.
+            # Gated on an attached store so quiet campaigns keep their
+            # exact historical namespace (and trace trailer bytes).
+            self.perflog.store.stats.publish(registry, "ingest")
         if store is not None:
             # only when a result store is armed: cold campaigns keep the
             # exact metrics namespace (and trace trailer bytes) they had

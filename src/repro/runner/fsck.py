@@ -13,10 +13,11 @@ while preserving every intact record::
 
 What each artifact class gets:
 
-* **JSONL (journal / trace / metrics)** -- every line is decoded and
-  checksum-verified; repair rewrites the file atomically with only the
-  intact records (re-sealed), dropping torn tails and quarantining
-  mid-file bit rot.
+* **JSONL (journal / trace / metrics / live-status)** -- every line is
+  decoded and checksum-verified; repair rewrites the file atomically
+  with only the intact records (re-sealed), dropping torn tails and
+  quarantining mid-file bit rot.  ``*.live.jsonl`` streams are reported
+  under their own ``live-status`` kind.
 * **Perflogs** -- each ``.sums`` range is re-checksummed; repair
   rebuilds the log from the valid ranges plus any complete uncovered
   tail lines, then regenerates the sidecar.  Without a sidecar only a
@@ -44,7 +45,9 @@ from repro.obs.jsonl import scan_jsonl, write_jsonl_atomic
 from repro.runner.perflog import sums_path, verify_sums
 from repro.runner.results import _verify_entry
 
-__all__ = ["main", "fsck_jsonl", "fsck_perflog", "fsck_store"]
+__all__ = [
+    "main", "fsck_jsonl", "fsck_live_status", "fsck_perflog", "fsck_store",
+]
 
 
 def _report(kind: str, path: str, checked: int, invalid: int,
@@ -70,6 +73,19 @@ def fsck_jsonl(path: str, repair: bool = False) -> Dict[str, Any]:
         write_jsonl_atomic(path, records)
         healed = invalid
     return _report("jsonl", path, stats["ok"] + invalid, invalid, healed)
+
+
+def fsck_live_status(path: str, repair: bool = False) -> Dict[str, Any]:
+    """Verify/heal a ``repro-live`` status artifact.
+
+    Mechanically identical to :func:`fsck_jsonl` (the live plane emits
+    the same sealed-JSONL lines as journals and traces), but reported
+    under its own kind so an auditor can see at a glance that the
+    dashboard stream -- not the ledger -- is what rotted.
+    """
+    report = fsck_jsonl(path, repair=repair)
+    report["kind"] = "live-status"
+    return report
 
 
 # -- perflogs + .sums sidecars ---------------------------------------------------------
@@ -299,10 +315,14 @@ def collect_targets(paths: List[str]) -> List[Tuple[str, str]]:
                     full = os.path.join(dirpath, name)
                     if name.endswith(".log"):
                         add("perflog", full)
+                    elif name.endswith(".live.jsonl"):
+                        add("live-status", full)
                     elif name.endswith(".jsonl"):
                         add("jsonl", full)
         elif path.endswith(".log"):
             add("perflog", path)
+        elif path.endswith(".live.jsonl"):
+            add("live-status", path)
         else:
             add("jsonl", path)
     return targets
@@ -316,6 +336,9 @@ def targets_from_provenance(path: str) -> List[str]:
     trace = doc.get("trace_file")
     if trace:
         out.append(trace)
+    live = doc.get("live_status")
+    if live:
+        out.append(live)
     journal = (doc.get("resilience") or {}).get("journal")
     if journal:
         out.append(journal)
@@ -328,6 +351,7 @@ def targets_from_provenance(path: str) -> List[str]:
 # -- CLI -------------------------------------------------------------------------------
 _CHECKERS = {
     "jsonl": fsck_jsonl,
+    "live-status": fsck_live_status,
     "perflog": fsck_perflog,
 }
 

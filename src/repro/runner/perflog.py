@@ -235,6 +235,12 @@ class PerflogHandler:
         #: the store is demoted to None first, so the perflog itself is
         #: never re-appended for a store-side problem
         self.on_store_error: Optional[Callable[[str, Exception], None]] = None
+        #: append subscribers beyond the ingest store -- duck-typed
+        #: objects with ``note_append(path, lines, wrote_header=...)``.
+        #: Same contract as the store hook, but best-effort: a sink that
+        #: raises is dropped (the rows are already durable) instead of
+        #: being demoted through ``on_store_error``.
+        self._sinks: List[object] = []
         #: sidecars are best-effort: once one fails, stop writing it
         self._sums_disabled: set = set()
         #: ``.sums`` sidecars are opt-in (armed with the fault shim or
@@ -254,6 +260,16 @@ class PerflogHandler:
     def enable_sums(self) -> None:
         """Write ``.sums`` checksum sidecars alongside each perflog."""
         self.sums_enabled = True
+
+    def add_sink(self, sink: object) -> None:
+        """Subscribe *sink* to appends: ``note_append(path, lines, wrote_header)``.
+
+        Sinks hear every durable append in flush order -- the same
+        feed the ingest store gets -- so live observers see rows the
+        moment they hit disk.  Idempotent per sink object.
+        """
+        if sink not in self._sinks:
+            self._sinks.append(sink)
 
     def path_for(self, result: CaseResult) -> str:
         case = result.case
@@ -369,6 +385,13 @@ class PerflogHandler:
                     self.store = None
                     if self.on_store_error is not None:
                         self.on_store_error(path, exc)
+            for sink in list(self._sinks):
+                try:
+                    sink.note_append(path, lines, wrote_header=new_file)
+                except Exception:
+                    # observers never fail (or re-run) a flush: the rows
+                    # are durable, so a broken sink is simply dropped.
+                    self._sinks.remove(sink)
             if not seen:
                 self.written.append(path)
                 self._written_set.add(path)

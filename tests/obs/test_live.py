@@ -1,0 +1,254 @@
+"""Tests for the live analytics plane (repro.obs.live)."""
+
+import json
+
+import pytest
+
+from repro.obs.jsonl import seal_line
+from repro.obs.live import (
+    LIVE_FORMAT,
+    LIVE_VERSION,
+    LiveStatsSink,
+    TailCursor,
+    as_live_sink,
+    read_live_status,
+    system_of,
+)
+
+
+def case_attrs(status="passed", attempts=1, **flags):
+    attrs = {"status": status, "attempts": attempts,
+             "resumed": False, "speculated": False}
+    attrs.update(flags)
+    return attrs
+
+
+class TestSystemOf:
+    def test_parses_display_names(self):
+        assert system_of("Bench_1 @archer2:compute+gnu") == "archer2"
+        assert system_of("Bench @csd3+def") == "csd3"
+        assert system_of("Bench @csd3") == "csd3"
+
+    def test_degenerate_names(self):
+        assert system_of("no-system-here") == "?"
+        assert system_of("trailing @") == "?"
+
+
+class TestTailCursor:
+    def test_incremental_exactly_once(self, tmp_path):
+        path = str(tmp_path / "f.jsonl")
+        cur = TailCursor(path)
+        assert cur.read_new() == ([], False)  # missing file: quiet
+        with open(path, "w") as fh:
+            fh.write("a\nb\n")
+        lines, reset = cur.read_new()
+        assert lines == ["a", "b"] and not reset
+        assert cur.read_new() == ([], False)  # nothing new
+        with open(path, "a") as fh:
+            fh.write("c\n")
+        assert cur.read_new() == (["c"], False)
+
+    def test_torn_tail_left_for_next_poll(self, tmp_path):
+        path = str(tmp_path / "f.jsonl")
+        with open(path, "w") as fh:
+            fh.write("a\nhalf")
+        cur = TailCursor(path)
+        assert cur.read_new() == (["a"], False)
+        with open(path, "a") as fh:
+            fh.write("-line\n")
+        assert cur.read_new() == (["half-line"], False)
+
+    def test_rewrite_resets_to_full_reread(self, tmp_path):
+        path = str(tmp_path / "f.jsonl")
+        with open(path, "w") as fh:
+            fh.write("a\nb\n")
+        cur = TailCursor(path)
+        cur.read_new()
+        # heal/rotation rewrites the file with different content
+        with open(path, "w") as fh:
+            fh.write("x\ny\nz\n")
+        lines, reset = cur.read_new()
+        assert reset and lines == ["x", "y", "z"]
+
+    def test_truncation_detected_via_size(self, tmp_path):
+        path = str(tmp_path / "f.jsonl")
+        with open(path, "w") as fh:
+            fh.write("aaaa\nbbbb\n")
+        cur = TailCursor(path)
+        cur.read_new()
+        with open(path, "w") as fh:
+            fh.write("cc\n")
+        lines, reset = cur.read_new()
+        assert reset and lines == ["cc"]
+
+
+class TestLiveStatsSink:
+    def test_source_and_window_validated(self):
+        with pytest.raises(ValueError):
+            LiveStatsSink(source="nope")
+        with pytest.raises(ValueError):
+            LiveStatsSink(bucket=0.0)
+
+    def test_note_append_attributes_rows_per_system(self):
+        sink = LiveStatsSink()
+        sink.note_append("pl/a.log", [
+            "2024|t|env|archer2|p|x|1|u|pass",
+            "2024|t|env|csd3|p|x|1|u|pass",
+            "2024|t|env|archer2|p|y|2|u|pass",
+        ])
+        snap = sink.snapshot()
+        assert snap["rows"] == 3 and snap["files"] == 1
+        assert snap["systems"]["archer2"]["rows"] == 2
+        assert snap["systems"]["csd3"]["rows"] == 1
+
+    def test_observe_case_tallies_and_window_rate(self):
+        sink = LiveStatsSink(window=10.0, bucket=1.0)
+        for i in range(5):
+            sink.observe_case(f"B_{i} @sys:part+e", float(i), float(i + 1),
+                              case_attrs())
+        snap = sink.snapshot()
+        assert snap["cases"]["total"] == snap["cases"]["passed"] == 5
+        # 5 cases over 5 elapsed (simulated) seconds
+        assert snap["rates"]["cases_per_second"] == pytest.approx(1.0)
+        assert snap["systems"]["sys"]["history"][-5:] == [1, 1, 1, 1, 1]
+
+    def test_rate_window_slides_past_old_cases(self):
+        sink = LiveStatsSink(window=10.0, bucket=1.0)
+        sink.observe_case("A @sys:p+e", 0.0, 1.0, case_attrs())
+        # a much later case moves the window past the first one
+        sink.observe_case("B @sys:p+e", 99.0, 100.0, case_attrs())
+        snap = sink.snapshot()
+        assert snap["rates"]["cases_per_second"] == pytest.approx(0.1)
+
+    def test_retry_failure_and_flag_accounting(self):
+        sink = LiveStatsSink()
+        sink.observe_case("A @s:p+e", 0.0, 1.0,
+                          case_attrs(status="failed", attempts=3))
+        sink.observe_case("B @s:p+e", 1.0, 2.0,
+                          case_attrs(resumed=True, replayed=True))
+        snap = sink.snapshot()
+        assert snap["cases"]["failed"] == 1
+        assert snap["cases"]["retried"] == 1
+        assert snap["cases"]["attempts_extra"] == 2
+        assert snap["cases"]["resumed"] == snap["cases"]["replayed"] == 1
+        assert snap["rates"]["retry_rate"] == pytest.approx(0.5)
+        assert "1 case(s) failed" in snap["alerts"]
+
+    def test_untraced_durations_feed_latency_hists(self):
+        sink = LiveStatsSink()
+        sink.observe_case("A @s:p+e", 0.0, 3.0, case_attrs(),
+                          durations={"queue": 1.0, "job": 2.0})
+        lat = sink.snapshot()["latency"]
+        assert lat["queue"]["count"] == lat["run"]["count"] == 1
+        assert lat["case"]["count"] == 1
+
+    def test_note_flush_ignores_damaged_lines(self):
+        sink = LiveStatsSink()
+        good = seal_line({"kind": "span", "track": "t", "name": "attempt",
+                          "cat": "stage", "t0": 0.0, "t1": 2.0})
+        bad_cs = '{"kind": "span", "track": "t", "name": "x", "cs": 1}'
+        sink.note_flush("trace.jsonl", [good, "not json", bad_cs])
+        snap = sink.snapshot()
+        assert snap["events"]["spans"] == 1
+        assert snap["slowest"] == [[2.0, "t", "attempt"]]
+
+    def test_live_mode_skips_campaign_case_spans(self):
+        """The campaign-track summary span duplicates observe_case."""
+        sink = LiveStatsSink()
+        sink.observe_case("A @s:p+e", 0.0, 1.0, case_attrs())
+        dup = seal_line({"kind": "span", "track": "campaign", "name":
+                         "A @s:p+e", "cat": "case", "t0": 0.0, "t1": 1.0,
+                         "attrs": case_attrs()})
+        sink.note_flush("trace.jsonl", [dup])
+        assert sink.snapshot()["cases"]["total"] == 1
+
+    def test_replay_mode_ingests_campaign_case_spans(self):
+        sink = LiveStatsSink(source="replay")
+        rec = seal_line({"kind": "span", "track": "campaign", "name":
+                         "A @s:p+e", "cat": "case", "t0": 0.0, "t1": 1.0,
+                         "attrs": case_attrs()})
+        sink.note_flush("trace.jsonl", [rec])
+        assert sink.snapshot()["cases"]["total"] == 1
+
+    def test_fold_metrics_is_additive_like_merge_snapshot(self):
+        sink = LiveStatsSink()
+        sink.finalize({"counters": {"resultstore.hits": 3,
+                                    "resultstore.misses": 1,
+                                    "io.degraded.trace": 1,
+                                    "skip_rate": 0.5, "ok": True}})
+        sink.finalize({"counters": {"resultstore.hits": 1}})
+        snap = sink.snapshot()
+        assert snap["totals"]["resultstore.hits"] == 4
+        assert "skip_rate" not in snap["totals"]  # non-int skipped
+        assert snap["rates"]["store_hit_rate"] == pytest.approx(0.8)
+        assert snap["rates"]["degraded_streams"] == 1
+        assert "degraded stream: trace" in snap["alerts"]
+
+    def test_note_fleet_occupancy_and_alerts(self):
+        sink = LiveStatsSink()
+        sink.note_fleet("c1", tenant="acme", nodes=2, done=1, total=4,
+                        slices=1, status="running", now=5.0)
+        sink.note_fleet("c2", tenant="acme", nodes=1, done=0, total=2,
+                        slices=0, status="aborted", now=6.0)
+        snap = sink.snapshot()
+        assert snap["clock"] == 6.0
+        assert snap["fleet"]["c1"]["done"] == 1
+        assert snap["tenants"]["acme"] == {"campaigns": 2, "nodes": 2}
+        assert "campaign c2: aborted" in snap["alerts"]
+
+    def test_slowest_leaderboard_deterministic_ties(self):
+        sink = LiveStatsSink(top_n=2)
+        spans = [
+            {"kind": "span", "track": "b", "name": "run", "cat": "stage",
+             "t0": 0.0, "t1": 2.0},
+            {"kind": "span", "track": "a", "name": "run", "cat": "stage",
+             "t0": 0.0, "t1": 2.0},
+            {"kind": "span", "track": "c", "name": "run", "cat": "stage",
+             "t0": 0.0, "t1": 5.0},
+        ]
+        sink.note_flush("t", [seal_line(s) for s in spans])
+        assert sink.snapshot()["slowest"] == [
+            [5.0, "c", "run"], [2.0, "a", "run"]]
+
+    def test_status_artifact_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.live.jsonl")
+        sink = LiveStatsSink(status_path=path, emit_every=2)
+        sink.observe_case("A @s:p+e", 0.0, 1.0, case_attrs())
+        sink.observe_case("B @s:p+e", 1.0, 2.0, case_attrs())  # emits
+        sink.finalize({"counters": {"cases.total": 2}}, now=2.0)
+        meta, statuses = read_live_status(path)
+        assert meta["format"] == LIVE_FORMAT
+        assert meta["version"] == LIVE_VERSION
+        assert [s["seq"] for s in statuses] == [1, 2]
+        assert statuses[-1]["snapshot"] == sink.snapshot()
+
+    def test_emit_failure_degrades_to_memory(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "run.live.jsonl")
+        sink = LiveStatsSink(status_path=path)
+        monkeypatch.setattr(
+            "repro.obs.live.JsonlAppender.append_many",
+            lambda self, recs: (_ for _ in ()).throw(OSError("disk")),
+        )
+        sink.emit_status(now=1.0)
+        assert sink.status_path is None  # degraded, never raised
+        sink.observe_case("A @s:p+e", 0.0, 1.0, case_attrs())
+        assert sink.snapshot()["cases"]["total"] == 1
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        sink = LiveStatsSink()
+        sink.observe_case("B @zeta:p+e", 0.0, 1.0, case_attrs())
+        sink.observe_case("A @alpha:p+e", 1.0, 2.0, case_attrs())
+        snap = sink.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["systems"]) == ["alpha", "zeta"]
+
+
+class TestAsLiveSink:
+    def test_coercions(self, tmp_path):
+        assert as_live_sink(None) is None
+        sink = LiveStatsSink()
+        assert as_live_sink(sink) is sink
+        path = str(tmp_path / "x.live.jsonl")
+        made = as_live_sink(path)
+        assert isinstance(made, LiveStatsSink)
+        assert made.status_path == path

@@ -170,3 +170,72 @@ class TestStatsPublishers:
         reg = MetricsRegistry()
         stats.publish(reg)
         assert reg.snapshot()["counters"]["ingest.misses"] == 4
+
+
+class TestMergeSnapshot:
+    """Fleet-aggregation edge cases: merge_snapshot must stay exact."""
+
+    def test_empty_snapshot_is_a_no_op(self):
+        reg = MetricsRegistry()
+        reg.counter("cases.total").add(3)
+        before = reg.snapshot()
+        reg.merge_snapshot({})
+        reg.merge_snapshot({"counters": None, "gauges": None,
+                           "histograms": None})
+        assert reg.snapshot() == before
+
+    def test_counters_add_but_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        reg.counter("cases.total").add(2)
+        reg.gauge("fleet.occupancy").set(3.0)
+        reg.merge_snapshot({
+            "counters": {"cases.total": 5},
+            "gauges": {"fleet.occupancy": 1.0},
+        })
+        snap = reg.snapshot()
+        assert snap["counters"]["cases.total"] == 7  # additive
+        assert snap["gauges"]["fleet.occupancy"] == 1.0  # last write wins
+
+    def test_bool_and_non_int_counters_skipped(self):
+        reg = MetricsRegistry()
+        reg.merge_snapshot({
+            "counters": {"ok": True, "rate": 0.5, "real": 2},
+        })
+        counters = reg.snapshot()["counters"]
+        assert counters == {"real": 2}
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("sched.job_seconds", [1.0, 2.0]).observe(1.5)
+        incoming = {
+            "histograms": {
+                "sched.job_seconds": {
+                    "count": 1, "sum": 0.5, "min": 0.5, "max": 0.5,
+                    "buckets": {"0.5": 1, "4": 0, "+inf": 0},
+                },
+            },
+        }
+        with pytest.raises(ValueError, match="bucket boundaries"):
+            reg.merge_snapshot(incoming)
+
+    def test_histogram_merge_is_exact_for_tallies(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (0.05, 2.0):
+            a.histogram("h").observe(v)
+        for v in (700.0,):
+            b.histogram("h").observe(v)
+        a.merge_snapshot(b.snapshot())
+        merged = a.snapshot()["histograms"]["h"]
+        one = MetricsRegistry()
+        for v in (0.05, 2.0, 700.0):
+            one.histogram("h").observe(v)
+        assert merged == one.snapshot()["histograms"]["h"]
+
+    def test_merge_into_fresh_registry_reproduces_snapshot(self):
+        src = MetricsRegistry()
+        src.counter("cases.total").add(4)
+        src.gauge("g").set(2.5)
+        src.histogram("h").observe(1.0)
+        dst = MetricsRegistry()
+        dst.merge_snapshot(src.snapshot())
+        assert dst.snapshot() == src.snapshot()

@@ -1,0 +1,94 @@
+"""Tests for the ``repro-top`` dashboard (repro.obs.top)."""
+
+import json
+
+import pytest
+
+from repro.obs.live import LiveStatsSink
+from repro.obs.top import main, render_dashboard, sparkline
+
+
+def make_status(tmp_path, n_cases=3, emit_every=1):
+    path = str(tmp_path / "run.live.jsonl")
+    sink = LiveStatsSink(status_path=path, emit_every=emit_every)
+    for i in range(n_cases):
+        sink.observe_case(
+            f"B_{i} @archer2:compute+gnu", float(i), float(i + 1),
+            {"status": "passed", "attempts": 1,
+             "resumed": False, "speculated": False},
+        )
+    sink.finalize({"counters": {"cases.total": n_cases}}, now=float(n_cases))
+    return path, sink
+
+
+class TestSparkline:
+    def test_scales_to_peak_with_integer_math(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == "··"
+        line = sparkline([0, 1, 4, 8])
+        assert line[0] == "·"
+        assert line[-1] == "█"  # peak always maps to the top glyph
+        assert len(line) == 4
+
+    def test_single_bucket_is_peak(self):
+        assert sparkline([2]) == "█"
+
+
+class TestRenderDashboard:
+    def test_sections_appear_when_populated(self, tmp_path):
+        _, sink = make_status(tmp_path)
+        sink.note_fleet("c0001", tenant="acme", nodes=1, done=1, total=2,
+                        slices=1, status="running", now=4.0)
+        text = render_dashboard(sink.snapshot())
+        assert "repro-top -- t=+" in text and "source=live" in text
+        assert "FLEET" in text and "c0001" in text and "acme" in text
+        assert "SYSTEMS" in text and "archer2" in text
+        assert "LATENCY (simulated seconds)" in text
+        assert "no alerts" in text
+
+    def test_alerts_render_with_bang(self):
+        sink = LiveStatsSink()
+        sink.observe_case("A @s:p+e", 0.0, 1.0,
+                          {"status": "failed", "attempts": 1})
+        text = render_dashboard(sink.snapshot())
+        assert "ALERTS" in text and "! 1 case(s) failed" in text
+
+    def test_render_is_deterministic(self, tmp_path):
+        _, a = make_status(tmp_path)
+        _, b = make_status(tmp_path)
+        assert render_dashboard(a.snapshot()) == render_dashboard(
+            b.snapshot())
+
+
+class TestMain:
+    def test_once_renders_latest(self, tmp_path, capsys):
+        path, sink = make_status(tmp_path)
+        assert main([path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == render_dashboard(sink.snapshot())
+
+    def test_once_json_is_the_snapshot(self, tmp_path, capsys):
+        path, sink = make_status(tmp_path)
+        assert main([path, "--once", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == sink.snapshot()
+
+    def test_watch_with_frames_drains_records(self, tmp_path, capsys):
+        path, _ = make_status(tmp_path, n_cases=2, emit_every=1)
+        rc = main([path, "--frames", "1", "--interval", "0",
+                   "--no-clear"])
+        assert rc == 0
+        assert "repro-top -- t=+" in capsys.readouterr().out
+
+    def test_usage_errors(self, tmp_path, capsys):
+        assert main([]) == 2
+        path, _ = make_status(tmp_path)
+        assert main([path, "--replay", path]) == 2
+
+    def test_empty_status_file_exits_1(self, tmp_path):
+        empty = tmp_path / "empty.live.jsonl"
+        empty.write_text("")
+        assert main([str(empty), "--once"]) == 1
+
+    def test_missing_replay_trace_exits_2(self, tmp_path):
+        assert main(["--replay", str(tmp_path / "nope.jsonl")]) == 2
